@@ -1,0 +1,67 @@
+"""Ablation — fixed-width vs adaptive (self-sizing) Count-Min sketch.
+
+Section V shows the adversary's required effort grows linearly with the
+sketch width; the adaptive strategy grows the width online as the observed
+population grows, without a-priori knowledge of ``n``.  This ablation runs a
+peak-attacked stream over a population much larger than the initial sketch
+and compares a small fixed sketch, a large fixed sketch (oracle sizing) and
+the adaptive strategy.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import AdaptiveKnowledgeFreeStrategy, KnowledgeFreeStrategy
+from repro.experiments.reporting import format_table
+from repro.metrics import kl_gain
+from repro.streams import peak_attack_stream
+
+STREAM_SIZE = 30_000
+POPULATION = 2_000
+MEMORY = 20
+
+
+def _run_ablation():
+    rng = np.random.default_rng(77)
+    stream = peak_attack_stream(STREAM_SIZE, POPULATION, peak_fraction=0.5,
+                                random_state=rng)
+    strategies = {
+        "fixed small sketch (k=16)": KnowledgeFreeStrategy(
+            MEMORY, sketch_width=16, sketch_depth=5, random_state=rng),
+        "fixed large sketch (k=512)": KnowledgeFreeStrategy(
+            MEMORY, sketch_width=512, sketch_depth=5, random_state=rng),
+        "adaptive sketch (16 -> ...)": AdaptiveKnowledgeFreeStrategy(
+            MEMORY, initial_sketch_width=16, sketch_depth=5, load_factor=4.0,
+            random_state=rng),
+    }
+    rows = []
+    for name, strategy in strategies.items():
+        output = strategy.process_stream(stream)
+        final_width = getattr(strategy, "current_width",
+                              getattr(strategy.frequency_oracle, "width", None))
+        rows.append({
+            "strategy": name,
+            "gain": kl_gain(stream, output),
+            "final sketch width": final_width,
+        })
+    return rows
+
+
+@pytest.mark.figure("ablation-adaptive")
+def test_ablation_adaptive_sketch(benchmark, print_result):
+    rows = benchmark.pedantic(_run_ablation, rounds=1, iterations=1)
+    print_result("Ablation: fixed vs adaptive Count-Min sizing",
+                 format_table(rows))
+    gains = {row["strategy"]: row["gain"] for row in rows}
+    widths = {row["strategy"]: row["final sketch width"] for row in rows}
+    # The adaptive strategy grows beyond its initial width and tracks the
+    # behaviour of the oracle-sized (large fixed) sketch it converges to; the
+    # pay-off of the larger width is the linearly larger attack threshold of
+    # Section V (per-identifier effort), not the gain under this particular
+    # non-saturating peak attack.
+    assert widths["adaptive sketch (16 -> ...)"] > 16
+    assert gains["adaptive sketch (16 -> ...)"] >= \
+        gains["fixed large sketch (k=512)"] - 0.15
+    # All variants remove a substantial share of the peak-attack bias.
+    for gain in gains.values():
+        assert gain > 0.5

@@ -1,0 +1,50 @@
+"""Micro-benchmarks — per-element throughput of the core building blocks.
+
+Not a paper figure: these benchmarks track the cost per processed identifier
+of the Count-Min sketch and of both sampling strategies, the quantity that
+must stay low "to keep pace with the data stream" (Section III-A).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import KnowledgeFreeStrategy, OmniscientStrategy
+from repro.sketches import CountMinSketch
+from repro.streams import StreamOracle, zipf_stream
+
+STREAM = zipf_stream(5_000, 1_000, alpha=1.2, random_state=99)
+IDENTIFIERS = list(STREAM)
+
+
+@pytest.mark.figure("throughput")
+def test_count_min_update_throughput(benchmark):
+    sketch = CountMinSketch(width=50, depth=10, random_state=0)
+
+    def run():
+        for identifier in IDENTIFIERS:
+            sketch.update(identifier)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+@pytest.mark.figure("throughput")
+def test_knowledge_free_processing_throughput(benchmark):
+    def run():
+        strategy = KnowledgeFreeStrategy(10, sketch_width=10, sketch_depth=5,
+                                         random_state=1)
+        for identifier in IDENTIFIERS:
+            strategy.process(identifier)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+@pytest.mark.figure("throughput")
+def test_omniscient_processing_throughput(benchmark):
+    oracle = StreamOracle.from_stream(STREAM)
+
+    def run():
+        strategy = OmniscientStrategy(oracle, 10, random_state=2)
+        for identifier in IDENTIFIERS:
+            strategy.process(identifier)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)

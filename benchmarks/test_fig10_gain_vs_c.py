@@ -1,0 +1,51 @@
+"""Figure 10 — gain ``G_KL`` as a function of the sampling-memory size ``c``.
+
+(a) peak attack; (b) targeted + flooding attacks.  Paper settings:
+m = 100,000, n = 1,000, k = 10, s = 17, c from 10 to 1,000.  The paper's
+headline: increasing c masks both attacks (the knowledge-free curve reaches
+the omniscient one at c ≈ 300 for the peak attack and c ≈ 700 for the
+combined attack).  The benchmark sweeps a reduced c-grid on m = 20,000.
+"""
+
+import pytest
+
+from repro.experiments import figures
+from repro.experiments.reporting import format_series
+
+MEMORY_SIZES = (10, 100, 400)
+COMMON = dict(stream_size=20_000, population_size=1_000, sketch_width=10,
+              sketch_depth=17, trials=2)
+
+
+@pytest.mark.figure("figure10a")
+def test_figure10a_memory_vs_peak_attack(benchmark, print_result):
+    series = benchmark.pedantic(
+        lambda: figures.figure10a(memory_sizes=MEMORY_SIZES, random_state=101,
+                                  **COMMON),
+        rounds=1, iterations=1,
+    )
+    print_result("Figure 10(a): G_KL vs memory size c (peak attack)",
+                 format_series(series, x_label="c"))
+    kf = dict(series["knowledge-free"])
+    # Larger memory masks the attack: the gain is non-decreasing in c and the
+    # largest memory essentially matches the omniscient strategy.
+    assert kf[400.0] >= kf[10.0] - 0.02
+    omni = dict(series["omniscient"])
+    assert kf[400.0] >= omni[400.0] - 0.05
+
+
+@pytest.mark.figure("figure10b")
+def test_figure10b_memory_vs_combined_attack(benchmark, print_result):
+    series = benchmark.pedantic(
+        lambda: figures.figure10b(memory_sizes=MEMORY_SIZES, random_state=102,
+                                  **COMMON),
+        rounds=1, iterations=1,
+    )
+    print_result("Figure 10(b): G_KL vs memory size c (targeted + flooding)",
+                 format_series(series, x_label="c"))
+    kf = dict(series["knowledge-free"])
+    assert kf[100.0] > kf[10.0]
+    assert kf[400.0] > kf[10.0]
+    omni = dict(series["omniscient"])
+    for c in MEMORY_SIZES:
+        assert omni[float(c)] > 0.85

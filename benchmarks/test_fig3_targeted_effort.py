@@ -1,0 +1,36 @@
+"""Figure 3 — targeted-attack effort ``L_{k,s}`` as a function of ``k``.
+
+Paper settings: s = 10, eta_T in {0.5, 1e-1, ..., 1e-6}, k up to 500.  The
+quantity is analytical, so this benchmark reproduces the exact published
+curves (reduced to a smaller k-grid and eta-set to keep the run short; pass
+the full grids to ``figures.figure3`` for the complete figure).
+"""
+
+import pytest
+
+from repro.experiments import figures
+from repro.experiments.reporting import format_series
+
+K_VALUES = (10, 50, 100, 250, 500)
+ETAS = (0.5, 1e-2, 1e-4, 1e-6)
+
+
+@pytest.mark.figure("figure3")
+def test_figure3_targeted_effort(benchmark, print_result):
+    series = benchmark.pedantic(
+        lambda: figures.figure3(k_values=K_VALUES, s=10, etas=ETAS),
+        rounds=1, iterations=1,
+    )
+    print_result("Figure 3: L_{k,s} vs k (s=10)",
+                 format_series(series, x_label="k", float_format="{:.0f}"))
+    # Shape checks: linear growth in k, increasing with the confidence level.
+    for points in series.values():
+        efforts = [effort for _, effort in points]
+        assert efforts == sorted(efforts)
+    strict = dict(series[f"s=10 | eta_T={1e-6:g}"])
+    loose = dict(series["s=10 | eta_T=0.5"])
+    for k in K_VALUES:
+        assert strict[float(k)] > loose[float(k)]
+    # Spot value from the paper: L_{50,10} = 227 for eta_T = 1e-1 is between
+    # the 1e-2 and 0.5 curves computed here.
+    assert loose[50.0] < 227 < strict[50.0]

@@ -1,0 +1,30 @@
+"""Figure 4 — flooding-attack effort ``E_k`` as a function of ``k``.
+
+Paper settings: eta_F in {0.5, 1e-1, ..., 1e-6}, k from 10 to 500.  Exact
+analytical quantity; the benchmark uses a reduced grid for speed.
+"""
+
+import pytest
+
+from repro.experiments import figures
+from repro.experiments.reporting import format_series
+
+K_VALUES = (10, 50, 100, 250)
+ETAS = (0.5, 1e-1, 1e-4, 1e-6)
+
+
+@pytest.mark.figure("figure4")
+def test_figure4_flooding_effort(benchmark, print_result):
+    series = benchmark.pedantic(
+        lambda: figures.figure4(k_values=K_VALUES, etas=ETAS),
+        rounds=1, iterations=1,
+    )
+    print_result("Figure 4: E_k vs k",
+                 format_series(series, x_label="k", float_format="{:.0f}"))
+    for points in series.values():
+        efforts = [effort for _, effort in points]
+        assert efforts == sorted(efforts)
+    # Values reported in the paper's text: ~300 identifiers for k=50 at 0.9
+    # success probability, ~650 at 0.9999.
+    assert abs(dict(series["eta_F=0.1"])[50.0] - 306) <= 1
+    assert abs(dict(series["eta_F=0.0001"])[50.0] - 651) <= 1

@@ -1,0 +1,63 @@
+"""Figure 7 — frequency distribution as a function of node identifiers.
+
+(a) peak attack ("Zipf alpha = 4"): one identifier holds half the stream;
+(b) targeted + flooding attacks (truncated Poisson, lambda = n/2).
+
+Paper settings: m = 100,000, n = 1,000, c = 10, k = 10, s = 5.  The benchmark
+runs m = 30,000 by default and reports the frequency-profile summary (max,
+mean, std, distinct) of the input and of both output streams.
+"""
+
+import pytest
+
+from repro.experiments import figures
+from repro.experiments.reporting import format_table
+
+COMMON = dict(stream_size=30_000, population_size=1_000, memory_size=10,
+              sketch_width=10, sketch_depth=5)
+
+
+def _rows(result):
+    rows = []
+    for name in ("input", "knowledge-free", "omniscient"):
+        profile = dict(result[name])
+        profile["stream"] = name
+        rows.append(profile)
+    return rows
+
+
+@pytest.mark.figure("figure7a")
+def test_figure7a_peak_attack(benchmark, print_result):
+    result = benchmark.pedantic(
+        lambda: figures.figure7a(random_state=71, **COMMON),
+        rounds=1, iterations=1,
+    )
+    print_result(
+        "Figure 7(a): peak attack",
+        format_table(_rows(result),
+                     columns=["stream", "max", "mean", "std", "distinct"]))
+    # The paper reports a ~50x reduction of the peak by the knowledge-free
+    # strategy and a complete flattening by the omniscient one.
+    assert result["knowledge-free"]["max"] < result["input"]["max"] / 5
+    assert result["omniscient"]["max"] < result["input"]["max"] / 20
+    assert result["omniscient_divergence"] < result["input_divergence"] / 10
+
+
+@pytest.mark.figure("figure7b")
+def test_figure7b_targeted_and_flooding(benchmark, print_result):
+    result = benchmark.pedantic(
+        lambda: figures.figure7b(random_state=72, **COMMON),
+        rounds=1, iterations=1,
+    )
+    print_result(
+        "Figure 7(b): targeted + flooding attacks",
+        format_table(_rows(result),
+                     columns=["stream", "max", "mean", "std", "distinct"]))
+    # The paper's point for this figure is that the combined attack *succeeds*
+    # against the knowledge-free strategy at these (k, s) settings — its peak
+    # is only moderately reduced — while the omniscient strategy remains fully
+    # robust.
+    assert result["knowledge-free"]["max"] < result["input"]["max"] * 2
+    assert result["omniscient"]["max"] < result["input"]["max"] / 3
+    assert result["knowledge_free_divergence"] < result["input_divergence"]
+    assert result["omniscient_divergence"] < result["input_divergence"] / 5

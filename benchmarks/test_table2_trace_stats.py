@@ -1,0 +1,28 @@
+"""Table II — statistics of the real data traces (synthetic stand-ins).
+
+The synthetic traces are generated at 1% scale here (the full-scale traces
+have millions of entries); the printed table includes both the synthetic and
+the published full-scale statistics.
+"""
+
+import pytest
+
+from repro.experiments import figures
+from repro.experiments.reporting import format_table
+
+
+@pytest.mark.figure("table2")
+def test_table2_trace_statistics(benchmark, print_result):
+    rows = benchmark.pedantic(lambda: figures.table2(scale=0.01),
+                              rounds=1, iterations=1)
+    print_result("Table II: trace statistics (synthetic stand-ins, 1% scale)",
+                 format_table(rows))
+    assert [row["trace"] for row in rows] == ["NASA", "ClarkNet", "Saskatchewan"]
+    for row in rows:
+        # Scaled statistics preserve the published ordering between traces.
+        assert row["size (synthetic)"] == pytest.approx(
+            0.01 * row["size (paper)"], rel=0.02)
+        assert row["distinct (synthetic)"] == pytest.approx(
+            0.01 * row["distinct (paper)"], rel=0.02)
+    sizes = [row["size (synthetic)"] for row in rows]
+    assert sizes[2] > sizes[0] > sizes[1]  # Saskatchewan > NASA > ClarkNet

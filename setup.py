@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+The project is fully described by ``pyproject.toml``; this file only exists so
+that ``pip install -e . --no-use-pep517`` (the legacy editable path) works in
+offline environments where pip cannot build a wheel.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,113 @@
+"""repro — Uniform node sampling robust against collusions of malicious nodes.
+
+A production-quality reproduction of Anceaume, Busnel & Sericola,
+*Uniform Node Sampling Service Robust against Collusions of Malicious Nodes*
+(DSN 2013).
+
+The package provides:
+
+* the **omniscient** (Algorithm 1) and **knowledge-free** (Algorithm 3)
+  sampling strategies and the :class:`~repro.core.service.NodeSamplingService`
+  facade (:mod:`repro.core`);
+* the streaming-sketch substrate, including the Count-Min sketch of
+  Algorithm 2 (:mod:`repro.sketches`);
+* stream generators, trace stand-ins and the strong-adversary attack models
+  (:mod:`repro.streams`, :mod:`repro.adversary`);
+* the gossip / random-walk network substrate producing the input streams
+  (:mod:`repro.network`);
+* the exact Markov-chain and urn analyses of Sections IV and V
+  (:mod:`repro.analysis`);
+* KL-divergence metrics and the experiment harness regenerating every table
+  and figure of the evaluation (:mod:`repro.metrics`,
+  :mod:`repro.experiments`).
+
+Quickstart
+----------
+>>> from repro import KnowledgeFreeStrategy, zipf_stream, kl_gain
+>>> biased = zipf_stream(20_000, 500, alpha=4, random_state=0)
+>>> sampler = KnowledgeFreeStrategy(memory_size=10, sketch_width=10,
+...                                 sketch_depth=5, random_state=0)
+>>> output = sampler.process_stream(biased)
+>>> kl_gain(biased, output) > 0.5
+True
+"""
+
+from repro.adversary import (
+    Adversary,
+    AttackBudget,
+    FloodingAttack,
+    PeakAttack,
+    SybilIdentifierFactory,
+    TargetedAttack,
+)
+from repro.analysis import (
+    OmniscientChainModel,
+    flooding_attack_effort,
+    targeted_attack_effort,
+)
+from repro.core import (
+    EmpiricalOmniscientStrategy,
+    FullMemorySampler,
+    KnowledgeFreeStrategy,
+    MinWiseSampler,
+    NodeSamplingService,
+    OmniscientStrategy,
+    ReservoirSampler,
+    SamplingStrategy,
+)
+from repro.metrics import (
+    FrequencyDistribution,
+    kl_divergence,
+    kl_divergence_to_uniform,
+    kl_gain,
+)
+from repro.sketches import CountMinSketch, ExactFrequencyCounter
+from repro.streams import (
+    IdentifierStream,
+    StreamOracle,
+    peak_stream,
+    truncated_poisson_stream,
+    uniform_stream,
+    zipf_stream,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core
+    "SamplingStrategy",
+    "OmniscientStrategy",
+    "EmpiricalOmniscientStrategy",
+    "KnowledgeFreeStrategy",
+    "MinWiseSampler",
+    "ReservoirSampler",
+    "FullMemorySampler",
+    "NodeSamplingService",
+    # sketches
+    "CountMinSketch",
+    "ExactFrequencyCounter",
+    # streams
+    "IdentifierStream",
+    "StreamOracle",
+    "uniform_stream",
+    "zipf_stream",
+    "truncated_poisson_stream",
+    "peak_stream",
+    # adversary
+    "Adversary",
+    "AttackBudget",
+    "TargetedAttack",
+    "FloodingAttack",
+    "PeakAttack",
+    "SybilIdentifierFactory",
+    # analysis
+    "OmniscientChainModel",
+    "targeted_attack_effort",
+    "flooding_attack_effort",
+    # metrics
+    "FrequencyDistribution",
+    "kl_divergence",
+    "kl_divergence_to_uniform",
+    "kl_gain",
+]

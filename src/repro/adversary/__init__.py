@@ -1,0 +1,35 @@
+"""Adversary and attack models (Sections III-B and V).
+
+* :mod:`repro.adversary.attacks` — targeted, flooding and peak attacks plus
+  Sybil identifier generation;
+* :mod:`repro.adversary.adversary` — the strong-adversary controller that
+  composes attacks and biases a correct node's input stream.
+"""
+
+from repro.adversary.adversary import (
+    Adversary,
+    make_combined_adversary,
+    make_flooding_adversary,
+    make_peak_adversary,
+    make_targeted_adversary,
+)
+from repro.adversary.attacks import (
+    AttackBudget,
+    FloodingAttack,
+    PeakAttack,
+    SybilIdentifierFactory,
+    TargetedAttack,
+)
+
+__all__ = [
+    "Adversary",
+    "AttackBudget",
+    "TargetedAttack",
+    "FloodingAttack",
+    "PeakAttack",
+    "SybilIdentifierFactory",
+    "make_peak_adversary",
+    "make_targeted_adversary",
+    "make_flooding_adversary",
+    "make_combined_adversary",
+]

@@ -1,0 +1,58 @@
+"""Analytical models of the paper.
+
+* :mod:`repro.analysis.markov` — the exact Markov chain of the omniscient
+  strategy (Section IV-A, Theorems 3-4);
+* :mod:`repro.analysis.stirling` — Stirling numbers of the second kind and
+  the urn-occupancy distribution (Theorem 6);
+* :mod:`repro.analysis.urns` — adversary-effort bounds ``L_{k,s}`` and
+  ``E_k`` for targeted and flooding attacks (Section V, Figures 3-4, Table I).
+"""
+
+from repro.analysis.markov import OmniscientChainModel, uniform_chain_model
+from repro.analysis.transient import (
+    ConvergencePoint,
+    ConvergenceTracker,
+    empirical_convergence_position,
+    mixing_time,
+)
+from repro.analysis.stirling import (
+    occupancy_distribution,
+    stirling_recurrence_check,
+    stirling_row,
+    stirling_second_kind,
+)
+from repro.analysis.urns import (
+    PAPER_TABLE1_SETTINGS,
+    PAPER_TABLE1_VALUES,
+    EffortTableRow,
+    UrnOccupancyProcess,
+    coupon_collector_pmf,
+    effort_table,
+    flooding_attack_effort,
+    occupancy_pmf,
+    probability_collision_at,
+    targeted_attack_effort,
+)
+
+__all__ = [
+    "OmniscientChainModel",
+    "uniform_chain_model",
+    "mixing_time",
+    "ConvergenceTracker",
+    "ConvergencePoint",
+    "empirical_convergence_position",
+    "stirling_second_kind",
+    "stirling_row",
+    "stirling_recurrence_check",
+    "occupancy_distribution",
+    "UrnOccupancyProcess",
+    "occupancy_pmf",
+    "probability_collision_at",
+    "targeted_attack_effort",
+    "flooding_attack_effort",
+    "coupon_collector_pmf",
+    "effort_table",
+    "EffortTableRow",
+    "PAPER_TABLE1_SETTINGS",
+    "PAPER_TABLE1_VALUES",
+]

@@ -1,0 +1,288 @@
+"""Markov-chain analysis of the omniscient strategy (Section IV-A).
+
+Algorithm 1 is modelled by a homogeneous discrete-time Markov chain ``X``
+over the state space ``S = {A subset of N : |A| = c}`` — the possible contents
+of the sampling memory ``Gamma`` once it is full.  With insertion
+probabilities ``a_j`` and removal weights ``r_j`` the transition probabilities
+are (for ``A != B``):
+
+    P(A, B) = (r_i / sum_{l in A} r_l) * p_j * a_j
+                 if A \\ B = {i} and B \\ A = {j},
+    P(A, B) = 0 otherwise,
+
+and ``P(A, A)`` closes each row to 1.  Theorem 3 shows the chain is reversible
+with stationary distribution
+
+    pi_A = (1/K) (sum_{l in A} r_l) (prod_{h in A} p_h a_h / r_h),
+
+and Theorem 4 shows that with ``a_j = min(p)/p_j`` and ``r_j = 1/n`` the
+stationary probability that any identifier ``l`` is in the memory is
+``gamma_l = c / n`` — the Uniformity property.
+
+This module builds the exact chain for small ``(n, c)``, computes its
+stationary distribution and the marginals ``gamma_l``, and checks
+reversibility, so that the theory can be validated numerically and compared
+with simulation.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.validation import check_positive
+
+State = FrozenSet[int]
+
+
+@dataclass
+class OmniscientChainModel:
+    """Exact Markov-chain model of Algorithm 1.
+
+    Parameters
+    ----------
+    occurrence_probabilities:
+        ``p_j`` for every identifier of the population (must sum to 1; they
+        are renormalised otherwise).
+    memory_size:
+        The memory capacity ``c`` (``1 <= c < n``).
+    insertion_probabilities:
+        ``a_j`` per identifier.  Defaults to the paper's ``min(p) / p_j``.
+    removal_weights:
+        ``r_j`` per identifier.  Defaults to the paper's ``1 / n``.
+    """
+
+    occurrence_probabilities: Mapping[int, float]
+    memory_size: int
+    insertion_probabilities: Optional[Mapping[int, float]] = None
+    removal_weights: Optional[Mapping[int, float]] = None
+
+    def __post_init__(self) -> None:
+        check_positive("memory_size", self.memory_size)
+        identifiers = sorted(self.occurrence_probabilities)
+        if len(identifiers) <= self.memory_size:
+            raise ValueError(
+                "the population must be strictly larger than the memory size"
+            )
+        total = float(sum(self.occurrence_probabilities.values()))
+        check_positive("sum of occurrence probabilities", total)
+        self.identifiers: List[int] = identifiers
+        self.p: Dict[int, float] = {
+            identifier: self.occurrence_probabilities[identifier] / total
+            for identifier in identifiers
+        }
+        if any(probability <= 0 for probability in self.p.values()):
+            raise ValueError("all occurrence probabilities must be positive")
+        min_p = min(self.p.values())
+        if self.insertion_probabilities is None:
+            self.a: Dict[int, float] = {
+                identifier: min_p / probability
+                for identifier, probability in self.p.items()
+            }
+        else:
+            self.a = {identifier: float(self.insertion_probabilities[identifier])
+                      for identifier in identifiers}
+        n = len(identifiers)
+        if self.removal_weights is None:
+            self.r: Dict[int, float] = {identifier: 1.0 / n
+                                        for identifier in identifiers}
+        else:
+            self.r = {identifier: float(self.removal_weights[identifier])
+                      for identifier in identifiers}
+        if any(weight <= 0 for weight in self.r.values()):
+            raise ValueError("all removal weights must be positive")
+        self.states: List[State] = [
+            frozenset(subset)
+            for subset in itertools.combinations(identifiers, self.memory_size)
+        ]
+        self._state_index: Dict[State, int] = {
+            state: index for index, state in enumerate(self.states)
+        }
+
+    # ------------------------------------------------------------------ #
+    # Chain construction
+    # ------------------------------------------------------------------ #
+    @property
+    def population_size(self) -> int:
+        """The population size ``n``."""
+        return len(self.identifiers)
+
+    @property
+    def num_states(self) -> int:
+        """The number of states ``C(n, c)``."""
+        return len(self.states)
+
+    def transition_probability(self, source: State, destination: State) -> float:
+        """Return ``P(A, B)`` for two states of the chain."""
+        if source == destination:
+            return 1.0 - sum(
+                self.transition_probability(source, other)
+                for other in self.states if other != source
+            )
+        removed = source - destination
+        added = destination - source
+        if len(removed) != 1 or len(added) != 1:
+            return 0.0
+        i = next(iter(removed))
+        j = next(iter(added))
+        denominator = sum(self.r[l] for l in source)
+        return (self.r[i] / denominator) * self.p[j] * self.a[j]
+
+    def transition_matrix(self) -> np.ndarray:
+        """Return the full transition matrix ``P`` over the enumerated states."""
+        size = self.num_states
+        matrix = np.zeros((size, size), dtype=np.float64)
+        for row, source in enumerate(self.states):
+            off_diagonal = 0.0
+            for column, destination in enumerate(self.states):
+                if source == destination:
+                    continue
+                removed = source - destination
+                added = destination - source
+                if len(removed) == 1 and len(added) == 1:
+                    i = next(iter(removed))
+                    j = next(iter(added))
+                    denominator = sum(self.r[l] for l in source)
+                    probability = (self.r[i] / denominator) * self.p[j] * self.a[j]
+                    matrix[row, column] = probability
+                    off_diagonal += probability
+            matrix[row, row] = 1.0 - off_diagonal
+        return matrix
+
+    # ------------------------------------------------------------------ #
+    # Stationary analysis (Theorems 3 and 4)
+    # ------------------------------------------------------------------ #
+    def theoretical_stationary_distribution(self) -> np.ndarray:
+        """Return the stationary distribution of Theorem 3 (Relation 1)."""
+        weights = np.empty(self.num_states, dtype=np.float64)
+        for index, state in enumerate(self.states):
+            sum_r = sum(self.r[l] for l in state)
+            product = 1.0
+            for h in state:
+                product *= self.p[h] * self.a[h] / self.r[h]
+            weights[index] = sum_r * product
+        return weights / weights.sum()
+
+    def numerical_stationary_distribution(self, *,
+                                          tolerance: float = 1e-12,
+                                          max_iterations: int = 100_000
+                                          ) -> np.ndarray:
+        """Return the stationary distribution by power iteration on ``P``."""
+        matrix = self.transition_matrix()
+        distribution = np.full(self.num_states, 1.0 / self.num_states)
+        for _ in range(max_iterations):
+            updated = distribution @ matrix
+            if np.max(np.abs(updated - distribution)) < tolerance:
+                return updated / updated.sum()
+            distribution = updated
+        return distribution / distribution.sum()
+
+    def is_reversible(self, *, tolerance: float = 1e-10) -> bool:
+        """Check the detailed-balance equations ``pi_A P(A,B) = pi_B P(B,A)``."""
+        matrix = self.transition_matrix()
+        pi = self.theoretical_stationary_distribution()
+        for row in range(self.num_states):
+            for column in range(self.num_states):
+                lhs = pi[row] * matrix[row, column]
+                rhs = pi[column] * matrix[column, row]
+                if abs(lhs - rhs) > tolerance:
+                    return False
+        return True
+
+    def membership_probabilities(self, *,
+                                 distribution: Optional[np.ndarray] = None
+                                 ) -> Dict[int, float]:
+        """Return ``gamma_l = P{l in Gamma}`` in stationary regime (Theorem 4).
+
+        With the paper's choice of ``a`` and ``r`` every ``gamma_l`` equals
+        ``c / n``.
+        """
+        if distribution is None:
+            distribution = self.theoretical_stationary_distribution()
+        gammas = {identifier: 0.0 for identifier in self.identifiers}
+        for probability, state in zip(distribution, self.states):
+            for identifier in state:
+                gammas[identifier] += float(probability)
+        return gammas
+
+    def output_probabilities(self, *,
+                             distribution: Optional[np.ndarray] = None
+                             ) -> Dict[int, float]:
+        """Return ``P{output = j}`` in stationary regime.
+
+        The output is drawn uniformly from ``Gamma``, so
+        ``P{output = j} = gamma_j / c``; with the paper's parameters this is
+        ``1 / n`` for every identifier — the Uniformity property.
+        """
+        gammas = self.membership_probabilities(distribution=distribution)
+        return {identifier: gamma / self.memory_size
+                for identifier, gamma in gammas.items()}
+
+    # ------------------------------------------------------------------ #
+    # Transient behaviour
+    # ------------------------------------------------------------------ #
+    def distribution_after(self, steps: int, *,
+                           initial_state: Optional[Sequence[int]] = None
+                           ) -> np.ndarray:
+        """Return the state distribution after ``steps`` transitions.
+
+        Parameters
+        ----------
+        steps:
+            Number of stream elements processed after the memory became full.
+        initial_state:
+            The initial content of the memory; defaults to the lexicographically
+            smallest ``c``-subset of the population.
+        """
+        if steps < 0:
+            raise ValueError("steps must be non-negative")
+        matrix = self.transition_matrix()
+        if initial_state is None:
+            initial = frozenset(self.identifiers[: self.memory_size])
+        else:
+            initial = frozenset(int(identifier) for identifier in initial_state)
+            if initial not in self._state_index:
+                raise ValueError("initial_state is not a valid c-subset of the population")
+        distribution = np.zeros(self.num_states, dtype=np.float64)
+        distribution[self._state_index[initial]] = 1.0
+        for _ in range(steps):
+            distribution = distribution @ matrix
+        return distribution
+
+    def total_variation_to_stationary(self, steps: int, *,
+                                      initial_state: Optional[Sequence[int]] = None
+                                      ) -> float:
+        """Return the total-variation distance to stationarity after ``steps``."""
+        transient = self.distribution_after(steps, initial_state=initial_state)
+        stationary = self.theoretical_stationary_distribution()
+        return 0.5 * float(np.abs(transient - stationary).sum())
+
+
+def uniform_chain_model(population_size: int, memory_size: int, *,
+                        bias: Optional[Mapping[int, float]] = None
+                        ) -> OmniscientChainModel:
+    """Convenience constructor over the population ``{0..population_size-1}``.
+
+    Parameters
+    ----------
+    bias:
+        Optional occurrence probabilities; defaults to a (possibly biased)
+        uniform stream.  Keys outside the population are rejected.
+    """
+    check_positive("population_size", population_size)
+    identifiers = list(range(int(population_size)))
+    if bias is None:
+        probabilities = {identifier: 1.0 / population_size
+                         for identifier in identifiers}
+    else:
+        unknown = set(bias) - set(identifiers)
+        if unknown:
+            raise ValueError(f"bias contains identifiers outside the population: {unknown}")
+        probabilities = {identifier: float(bias.get(identifier, 0.0))
+                         for identifier in identifiers}
+        if any(probability <= 0 for probability in probabilities.values()):
+            raise ValueError("every identifier needs a positive occurrence probability")
+    return OmniscientChainModel(probabilities, memory_size)

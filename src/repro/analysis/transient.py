@@ -1,0 +1,163 @@
+"""Transient behaviour of the node sampling service.
+
+The paper's conclusion lists the transient analysis of the sampling service
+as future work (via weak lumpability).  This module provides two practical
+tools in that direction:
+
+* **Exact mixing analysis** of the omniscient chain for small populations:
+  :func:`mixing_time` iterates the transition matrix and returns the number
+  of stream elements needed for the total-variation distance to the uniform
+  stationary distribution to fall below a threshold — the analytical
+  counterpart of Figure 9's "how long until the output is uniform".
+* **Empirical convergence detection** on sampler outputs:
+  :class:`ConvergenceTracker` follows the KL divergence of the output stream
+  to the uniform distribution over sliding windows and reports the first
+  position at which it stays below a tolerance, which is how the simulation
+  experiments measure the stationary regime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.markov import OmniscientChainModel
+from repro.metrics.distributions import FrequencyDistribution
+from repro.metrics.divergence import kl_divergence
+from repro.utils.validation import check_positive
+
+
+def mixing_time(model: OmniscientChainModel, *, tolerance: float = 0.01,
+                max_steps: int = 100_000,
+                initial_state: Optional[Sequence[int]] = None) -> int:
+    """Return the number of transitions for the chain to be ``tolerance``-mixed.
+
+    The chain starts from ``initial_state`` (default: the lexicographically
+    smallest memory content) and the function returns the smallest ``t`` such
+    that the total-variation distance between the distribution after ``t``
+    transitions and the stationary distribution is below ``tolerance``.
+
+    Only practical for small ``C(n, c)`` state spaces (the same limitation as
+    the exact chain itself); larger systems use the empirical tracker below.
+    """
+    check_positive("tolerance", tolerance)
+    check_positive("max_steps", max_steps)
+    matrix = model.transition_matrix()
+    stationary = model.theoretical_stationary_distribution()
+    if initial_state is None:
+        initial = frozenset(model.identifiers[: model.memory_size])
+    else:
+        initial = frozenset(int(identifier) for identifier in initial_state)
+    distribution = np.zeros(model.num_states, dtype=np.float64)
+    distribution[model.states.index(initial)] = 1.0
+    for step in range(1, int(max_steps) + 1):
+        distribution = distribution @ matrix
+        distance = 0.5 * float(np.abs(distribution - stationary).sum())
+        if distance < tolerance:
+            return step
+    raise RuntimeError(
+        f"chain not {tolerance}-mixed within {max_steps} steps"
+    )
+
+
+@dataclass
+class ConvergencePoint:
+    """KL divergence of one output-stream window."""
+
+    #: Index (in stream elements) of the end of the window.
+    position: int
+    #: KL divergence of the window's empirical distribution to uniform.
+    divergence: float
+
+
+class ConvergenceTracker:
+    """Detects when a sampler's output stream becomes (near-)uniform.
+
+    Feed the tracker every output identifier; it maintains non-overlapping
+    windows of ``window_size`` elements and records the KL divergence of each
+    window's empirical distribution to the uniform distribution over the
+    given population.  The output is declared converged at the end of the
+    first window whose divergence is below ``tolerance``.
+
+    Parameters
+    ----------
+    population:
+        The identifiers the output should become uniform over.
+    window_size:
+        Number of output elements per window.  Must be large enough relative
+        to the population for the per-window noise floor (≈ n / (2·window))
+        to sit below ``tolerance``.
+    tolerance:
+        Divergence threshold declaring convergence.
+    """
+
+    def __init__(self, population: Sequence[int], *, window_size: int = 1_000,
+                 tolerance: float = 0.2) -> None:
+        check_positive("window_size", window_size)
+        check_positive("tolerance", tolerance)
+        self.population = sorted(set(int(identifier)
+                                     for identifier in population))
+        if not self.population:
+            raise ValueError("population must be non-empty")
+        self.window_size = int(window_size)
+        self.tolerance = float(tolerance)
+        self._uniform = FrequencyDistribution.uniform(self.population)
+        self._window: List[int] = []
+        self._position = 0
+        self.history: List[ConvergencePoint] = []
+        self._converged_at: Optional[int] = None
+
+    def update(self, identifier: int) -> None:
+        """Record one output-stream element."""
+        self._position += 1
+        self._window.append(int(identifier))
+        if len(self._window) >= self.window_size:
+            self._close_window()
+
+    def update_many(self, identifiers: Sequence[int]) -> None:
+        """Record a batch of output-stream elements."""
+        for identifier in identifiers:
+            self.update(identifier)
+
+    def _close_window(self) -> None:
+        counts = {}
+        for identifier in self._window:
+            counts[identifier] = counts.get(identifier, 0) + 1
+        window_distribution = FrequencyDistribution.from_counts(
+            counts, support=set(self.population) | set(counts))
+        divergence = kl_divergence(window_distribution, self._uniform)
+        self.history.append(ConvergencePoint(position=self._position,
+                                             divergence=divergence))
+        if self._converged_at is None and divergence < self.tolerance:
+            self._converged_at = self._position
+        self._window = []
+
+    @property
+    def converged_at(self) -> Optional[int]:
+        """Stream position at which the output first looked uniform (or None)."""
+        return self._converged_at
+
+    @property
+    def has_converged(self) -> bool:
+        """Whether a window below the tolerance has been observed."""
+        return self._converged_at is not None
+
+    def divergence_series(self) -> List[ConvergencePoint]:
+        """Return the per-window divergences recorded so far."""
+        return list(self.history)
+
+
+def empirical_convergence_position(output_identifiers: Sequence[int],
+                                   population: Sequence[int], *,
+                                   window_size: int = 1_000,
+                                   tolerance: float = 0.2) -> Optional[int]:
+    """Convenience wrapper: first position at which an output stream is uniform.
+
+    Returns ``None`` when no window of the stream meets the tolerance.
+    """
+    tracker = ConvergenceTracker(population, window_size=window_size,
+                                 tolerance=tolerance)
+    tracker.update_many(output_identifiers)
+    return tracker.converged_at

@@ -1,0 +1,261 @@
+"""Adversary-effort analysis as urn problems (Section V of the paper).
+
+The Count-Min matrix of the knowledge-free strategy has ``s`` rows of ``k``
+counters; the ``s`` hash functions are private to the node.  From the
+adversary's viewpoint, every *distinct* identifier it creates is a ball thrown
+uniformly at random into ``k`` urns, independently in each of the ``s`` rows.
+
+* **Targeted attack** (Section V-A): the attack succeeds once, in *every* row,
+  at least one malicious identifier collides with the cell of the targeted
+  identifier.  The paper measures this through the first time a new ball no
+  longer opens a new urn: ``L_{k,s}`` (Relation 2) is the minimum number of
+  distinct identifiers such that
+  ``(P{N_l = N_{l-1}})^s > 1 - eta_T``, where ``N_l`` is the number of
+  occupied urns after ``l`` throws and ``P{N_l = N_{l-1}} = E(N_{l-1}) / k``.
+* **Flooding attack** (Section V-B): the attack succeeds once every urn of a
+  row is occupied (then every cell of the matrix is inflated).  ``U_k`` is the
+  number of balls needed to occupy all ``k`` urns (a coupon-collector time)
+  and ``E_k`` (Relation 5) is the smallest ``l`` with
+  ``P{U_k <= l} > 1 - eta_F``; it does not depend on ``s``.
+
+These quantities regenerate Figure 3, Figure 4 and Table I exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+from repro.analysis.stirling import occupancy_distribution
+from repro.utils.validation import check_positive, check_probability
+
+
+class UrnOccupancyProcess:
+    """Incremental model of throwing balls uniformly into ``k`` urns.
+
+    Maintains the exact distribution of ``N_l`` (number of occupied urns after
+    ``l`` throws) using the forward recurrence of Theorem 6, advancing one
+    ball at a time so that stopping times such as ``L_{k,s}`` and ``E_k`` can
+    be found without recomputing the distribution from scratch at every step.
+    """
+
+    def __init__(self, num_urns: int) -> None:
+        check_positive("num_urns", num_urns)
+        self.num_urns = int(num_urns)
+        self._distribution = np.zeros(self.num_urns + 1, dtype=np.float64)
+        self._distribution[0] = 1.0
+        self._balls_thrown = 0
+
+    @property
+    def balls_thrown(self) -> int:
+        """Number of balls thrown so far (``l``)."""
+        return self._balls_thrown
+
+    @property
+    def distribution(self) -> np.ndarray:
+        """A copy of the current distribution of ``N_l`` over ``{0..k}``."""
+        return self._distribution.copy()
+
+    def throw(self) -> None:
+        """Throw one more ball (advance the recurrence by one step)."""
+        k = self.num_urns
+        updated = np.zeros_like(self._distribution)
+        for occupied in range(k + 1):
+            probability = self._distribution[occupied]
+            if probability == 0.0:
+                continue
+            updated[occupied] += probability * (occupied / k)
+            if occupied < k:
+                updated[occupied + 1] += probability * ((k - occupied) / k)
+        self._distribution = updated
+        self._balls_thrown += 1
+
+    def expected_occupied(self) -> float:
+        """Return ``E(N_l)`` for the current number of throws."""
+        indices = np.arange(self.num_urns + 1, dtype=np.float64)
+        return float(np.dot(indices, self._distribution))
+
+    def probability_no_new_urn(self) -> float:
+        """Return ``P{N_{l+1} = N_l} = E(N_l) / k`` for the current ``l``."""
+        return self.expected_occupied() / self.num_urns
+
+    def probability_all_occupied(self) -> float:
+        """Return ``P{N_l = k}`` — all urns occupied after the current throws."""
+        return float(self._distribution[self.num_urns])
+
+
+def occupancy_pmf(num_urns: int, num_balls: int) -> np.ndarray:
+    """Return the exact distribution of ``N_l`` (Theorem 6) as an array.
+
+    Thin wrapper over :func:`repro.analysis.stirling.occupancy_distribution`
+    kept here so the attack-analysis API is self-contained.
+    """
+    return occupancy_distribution(num_urns, num_balls)
+
+
+def probability_collision_at(num_urns: int, num_balls: int) -> float:
+    """Return ``P{N_l = N_{l-1}}`` — the ``l``-th ball hits an occupied urn.
+
+    Equals ``E(N_{l-1}) / k`` (Section V-A).
+    """
+    check_positive("num_urns", num_urns)
+    if num_balls < 1:
+        raise ValueError("num_balls must be >= 1")
+    distribution = occupancy_distribution(num_urns, num_balls - 1)
+    expectation = float(np.dot(np.arange(num_urns + 1), distribution))
+    return expectation / num_urns
+
+
+def targeted_attack_effort(num_urns: int, num_rows: int, eta: float, *,
+                           max_balls: int = 10_000_000) -> int:
+    """Return ``L_{k,s}`` — the minimum number of distinct malicious identifiers
+    for a targeted attack to succeed with probability at least ``1 - eta``.
+
+    Implements Relation (2):
+    ``L_{k,s} = inf{ l >= 2 | (P{N_l = N_{l-1}})^s > 1 - eta }``.
+
+    Parameters
+    ----------
+    num_urns:
+        ``k`` — number of columns of the Count-Min matrix.
+    num_rows:
+        ``s`` — number of rows (independent hash functions).
+    eta:
+        ``eta_T`` — tolerated failure probability, in ``(0, 1)``.
+    max_balls:
+        Safety bound on the search.
+
+    Raises
+    ------
+    RuntimeError
+        If the threshold is not reached within ``max_balls`` throws.
+    """
+    check_positive("num_urns", num_urns)
+    check_positive("num_rows", num_rows)
+    check_probability("eta", eta, allow_zero=False, allow_one=False)
+    threshold = 1.0 - eta
+    process = UrnOccupancyProcess(num_urns)
+    process.throw()  # l = 1
+    for l in range(2, max_balls + 1):
+        # P{N_l = N_{l-1}} = E(N_{l-1}) / k, computed before throwing ball l.
+        probability = process.probability_no_new_urn()
+        if probability ** num_rows > threshold:
+            return l
+        process.throw()
+    raise RuntimeError(
+        f"L_(k={num_urns}, s={num_rows}) not reached within {max_balls} balls"
+    )
+
+
+def flooding_attack_effort(num_urns: int, eta: float, *,
+                           max_balls: int = 10_000_000) -> int:
+    """Return ``E_k`` — the minimum number of distinct malicious identifiers
+    for a flooding attack to succeed with probability at least ``1 - eta``.
+
+    Implements Relation (5): ``E_k = inf{ l >= k | P{U_k <= l} > 1 - eta }``
+    where ``P{U_k <= l} = P{N_l = k}`` (all urns occupied after ``l`` balls).
+    ``E_k`` does not depend on the number of rows ``s`` because the ``s``
+    experiments are identical and a full row implies all rows are full in the
+    coupled construction used by the paper.
+    """
+    check_positive("num_urns", num_urns)
+    check_probability("eta", eta, allow_zero=False, allow_one=False)
+    threshold = 1.0 - eta
+    if num_urns == 1:
+        return 1
+    process = UrnOccupancyProcess(num_urns)
+    for l in range(1, max_balls + 1):
+        process.throw()
+        if l >= num_urns and process.probability_all_occupied() > threshold:
+            return l
+    raise RuntimeError(
+        f"E_(k={num_urns}) not reached within {max_balls} balls"
+    )
+
+
+def coupon_collector_pmf(num_urns: int, max_balls: int) -> np.ndarray:
+    """Return ``P{U_k = l}`` for ``l = 0..max_balls``.
+
+    ``U_k`` is the number of balls needed to occupy all ``k`` urns;
+    ``P{U_k = l} = (1/k) * P{N_{l-1} = k-1}`` for ``l >= k`` (Section V-B).
+    """
+    check_positive("num_urns", num_urns)
+    check_positive("max_balls", max_balls)
+    k = int(num_urns)
+    pmf = np.zeros(max_balls + 1, dtype=np.float64)
+    if k == 1:
+        if max_balls >= 1:
+            pmf[1] = 1.0
+        return pmf
+    process = UrnOccupancyProcess(k)
+    for l in range(1, max_balls + 1):
+        # distribution currently describes N_{l-1}
+        if l >= k:
+            pmf[l] = process.distribution[k - 1] / k
+        process.throw()
+    return pmf
+
+
+@dataclass(frozen=True)
+class EffortTableRow:
+    """One row of Table I: settings and the resulting efforts."""
+
+    num_urns: int
+    num_rows: int
+    eta: float
+    targeted_effort: int
+    flooding_effort: int
+
+
+def effort_table(settings: Sequence[Dict[str, float]]) -> List[EffortTableRow]:
+    """Compute Table I style rows for the given ``(k, s, eta)`` settings.
+
+    Parameters
+    ----------
+    settings:
+        Iterable of dictionaries with keys ``k``, ``s`` and ``eta``.
+    """
+    rows: List[EffortTableRow] = []
+    for setting in settings:
+        k = int(setting["k"])
+        s = int(setting["s"])
+        eta = float(setting["eta"])
+        rows.append(EffortTableRow(
+            num_urns=k,
+            num_rows=s,
+            eta=eta,
+            targeted_effort=targeted_attack_effort(k, s, eta),
+            flooding_effort=flooding_attack_effort(k, eta),
+        ))
+    return rows
+
+
+#: The (k, s, eta) settings of Table I of the paper, in published order.
+PAPER_TABLE1_SETTINGS = (
+    {"k": 10, "s": 5, "eta": 1e-1},
+    {"k": 10, "s": 5, "eta": 1e-4},
+    {"k": 50, "s": 5, "eta": 1e-1},
+    {"k": 50, "s": 10, "eta": 1e-1},
+    {"k": 50, "s": 40, "eta": 1e-1},
+    {"k": 50, "s": 5, "eta": 1e-4},
+    {"k": 50, "s": 10, "eta": 1e-4},
+    {"k": 50, "s": 40, "eta": 1e-4},
+    {"k": 250, "s": 10, "eta": 1e-1},
+    {"k": 250, "s": 10, "eta": 1e-4},
+)
+
+#: L_{k,s} and E_k values published in Table I, keyed by (k, s, eta).
+PAPER_TABLE1_VALUES: Dict[tuple, Dict[str, int]] = {
+    (10, 5, 1e-1): {"targeted": 38, "flooding": 44},
+    (10, 5, 1e-4): {"targeted": 104, "flooding": 110},
+    (50, 5, 1e-1): {"targeted": 193, "flooding": 306},
+    (50, 10, 1e-1): {"targeted": 227, "flooding": 306},
+    (50, 40, 1e-1): {"targeted": 296, "flooding": 306},
+    (50, 5, 1e-4): {"targeted": 537, "flooding": 651},
+    (50, 10, 1e-4): {"targeted": 571, "flooding": 651},
+    (50, 40, 1e-4): {"targeted": 640, "flooding": 651},
+    (250, 10, 1e-1): {"targeted": 1138, "flooding": 1617},
+    (250, 10, 1e-4): {"targeted": 2871, "flooding": 3363},
+}

@@ -1,0 +1,244 @@
+"""Command-line interface: regenerate the paper's tables and figures.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro list
+    python -m repro table1
+    python -m repro figure3 --k 10 50 100 --eta 0.1 0.0001
+    python -m repro figure8 --stream-size 20000 --trials 2
+    python -m repro figure12 --scale 0.01
+
+Every sub-command prints the same rows/series the corresponding benchmark
+prints, using the drivers in :mod:`repro.experiments.figures`; simulation
+figures accept their main size parameters so they can be run anywhere between
+"seconds on a laptop" and the paper's full scale.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.experiments import figures
+from repro.experiments.reporting import format_series, format_table
+
+
+def _print_series(series, x_label: str) -> None:
+    print(format_series(series, x_label=x_label))
+
+
+def _cmd_table1(arguments: argparse.Namespace) -> None:
+    print(format_table(figures.table1(), float_format="{:.4g}"))
+
+
+def _cmd_table2(arguments: argparse.Namespace) -> None:
+    print(format_table(figures.table2(scale=arguments.scale)))
+
+
+def _cmd_figure3(arguments: argparse.Namespace) -> None:
+    series = figures.figure3(k_values=arguments.k, s=arguments.s,
+                             etas=arguments.eta)
+    _print_series(series, "k")
+
+
+def _cmd_figure4(arguments: argparse.Namespace) -> None:
+    series = figures.figure4(k_values=arguments.k, etas=arguments.eta)
+    _print_series(series, "k")
+
+
+def _cmd_figure5(arguments: argparse.Namespace) -> None:
+    series = figures.figure5(scale=arguments.scale)
+    _print_series(series, "rank")
+
+
+def _cmd_figure6(arguments: argparse.Namespace) -> None:
+    result = figures.figure6(stream_size=arguments.stream_size,
+                             population_size=arguments.population_size,
+                             random_state=arguments.seed)
+    rows = []
+    for index, checkpoint in enumerate(result["checkpoints"]):
+        rows.append({
+            "elements": checkpoint,
+            "input max": result["input"]["max_frequency"][index],
+            "knowledge-free max": result["knowledge-free"]["max_frequency"][index],
+            "omniscient max": result["omniscient"]["max_frequency"][index],
+        })
+    print(format_table(rows))
+
+
+def _cmd_figure7(arguments: argparse.Namespace) -> None:
+    driver = figures.figure7a if arguments.variant == "a" else figures.figure7b
+    result = driver(stream_size=arguments.stream_size,
+                    population_size=arguments.population_size,
+                    random_state=arguments.seed)
+    rows = []
+    for name in ("input", "knowledge-free", "omniscient"):
+        row = dict(result[name])
+        row["stream"] = name
+        rows.append(row)
+    print(format_table(rows, columns=["stream", "max", "mean", "std",
+                                      "distinct"]))
+    print(f"\ninput KL to uniform:          {result['input_divergence']:.4f}")
+    print(f"knowledge-free KL to uniform: {result['knowledge_free_divergence']:.4f}")
+    print(f"omniscient KL to uniform:     {result['omniscient_divergence']:.4f}")
+
+
+def _cmd_figure8(arguments: argparse.Namespace) -> None:
+    series = figures.figure8(population_sizes=arguments.n,
+                             stream_size=arguments.stream_size,
+                             trials=arguments.trials,
+                             random_state=arguments.seed)
+    _print_series(series, "n")
+
+
+def _cmd_figure9(arguments: argparse.Namespace) -> None:
+    series = figures.figure9(stream_sizes=arguments.m,
+                             population_size=arguments.population_size,
+                             trials=arguments.trials,
+                             random_state=arguments.seed)
+    _print_series(series, "m")
+
+
+def _cmd_figure10(arguments: argparse.Namespace) -> None:
+    driver = figures.figure10a if arguments.variant == "a" else figures.figure10b
+    series = driver(memory_sizes=arguments.c,
+                    stream_size=arguments.stream_size,
+                    population_size=arguments.population_size,
+                    trials=arguments.trials,
+                    random_state=arguments.seed)
+    _print_series(series, "c")
+
+
+def _cmd_figure11(arguments: argparse.Namespace) -> None:
+    series = figures.figure11(malicious_counts=arguments.l,
+                              stream_size=arguments.stream_size,
+                              population_size=arguments.population_size,
+                              trials=arguments.trials,
+                              random_state=arguments.seed)
+    _print_series(series, "l")
+
+
+def _cmd_figure12(arguments: argparse.Namespace) -> None:
+    rows = figures.figure12(scale=arguments.scale, trials=arguments.trials,
+                            random_state=arguments.seed)
+    print(format_table(rows))
+
+
+def _add_common_simulation_arguments(parser: argparse.ArgumentParser, *,
+                                     stream_size: int = 20_000,
+                                     population_size: int = 1_000) -> None:
+    parser.add_argument("--stream-size", type=int, default=stream_size,
+                        help="number of identifiers in the input stream (m)")
+    parser.add_argument("--population-size", type=int, default=population_size,
+                        help="number of distinct identifiers (n)")
+    parser.add_argument("--trials", type=int, default=2,
+                        help="independent repetitions per point")
+    parser.add_argument("--seed", type=int, default=2013,
+                        help="master random seed")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the command-line parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the tables and figures of the DSN 2013 "
+                    "uniform-node-sampling paper.",
+    )
+    subparsers = parser.add_subparsers(dest="command")
+
+    subparsers.add_parser("list", help="list the available experiments")
+
+    table1 = subparsers.add_parser("table1", help="Table I: L_{k,s} and E_k")
+    table1.set_defaults(handler=_cmd_table1)
+
+    table2 = subparsers.add_parser("table2", help="Table II: trace statistics")
+    table2.add_argument("--scale", type=float, default=0.01)
+    table2.set_defaults(handler=_cmd_table2)
+
+    figure3 = subparsers.add_parser("figure3", help="L_{k,s} vs k")
+    figure3.add_argument("--k", type=int, nargs="+",
+                         default=[10, 50, 100, 250, 500])
+    figure3.add_argument("--s", type=int, default=10)
+    figure3.add_argument("--eta", type=float, nargs="+",
+                         default=[0.5, 1e-2, 1e-4, 1e-6])
+    figure3.set_defaults(handler=_cmd_figure3)
+
+    figure4 = subparsers.add_parser("figure4", help="E_k vs k")
+    figure4.add_argument("--k", type=int, nargs="+",
+                         default=[10, 50, 100, 250])
+    figure4.add_argument("--eta", type=float, nargs="+",
+                         default=[0.5, 1e-1, 1e-4, 1e-6])
+    figure4.set_defaults(handler=_cmd_figure4)
+
+    figure5 = subparsers.add_parser("figure5",
+                                    help="trace rank/frequency profiles")
+    figure5.add_argument("--scale", type=float, default=0.02)
+    figure5.set_defaults(handler=_cmd_figure5)
+
+    figure6 = subparsers.add_parser("figure6",
+                                    help="frequency distribution over time")
+    _add_common_simulation_arguments(figure6, stream_size=20_000)
+    figure6.set_defaults(handler=_cmd_figure6)
+
+    figure7 = subparsers.add_parser("figure7",
+                                    help="frequency vs identifier under attack")
+    figure7.add_argument("variant", choices=["a", "b"],
+                         help="a: peak attack, b: targeted + flooding")
+    _add_common_simulation_arguments(figure7, stream_size=30_000)
+    figure7.set_defaults(handler=_cmd_figure7)
+
+    figure8 = subparsers.add_parser("figure8", help="gain vs population size")
+    figure8.add_argument("--n", type=int, nargs="+",
+                         default=[10, 100, 500, 1000])
+    _add_common_simulation_arguments(figure8)
+    figure8.set_defaults(handler=_cmd_figure8)
+
+    figure9 = subparsers.add_parser("figure9", help="gain vs stream size")
+    figure9.add_argument("--m", type=int, nargs="+",
+                         default=[5_000, 15_000, 50_000])
+    _add_common_simulation_arguments(figure9)
+    figure9.set_defaults(handler=_cmd_figure9)
+
+    figure10 = subparsers.add_parser("figure10", help="gain vs memory size")
+    figure10.add_argument("variant", choices=["a", "b"],
+                          help="a: peak attack, b: targeted + flooding")
+    figure10.add_argument("--c", type=int, nargs="+", default=[10, 100, 400])
+    _add_common_simulation_arguments(figure10)
+    figure10.set_defaults(handler=_cmd_figure10)
+
+    figure11 = subparsers.add_parser("figure11",
+                                     help="gain vs number of malicious ids")
+    figure11.add_argument("--l", type=int, nargs="+",
+                          default=[10, 50, 100, 500])
+    _add_common_simulation_arguments(figure11, stream_size=60_000)
+    figure11.set_defaults(handler=_cmd_figure11)
+
+    figure12 = subparsers.add_parser("figure12", help="KL divergence on traces")
+    figure12.add_argument("--scale", type=float, default=0.01)
+    figure12.add_argument("--trials", type=int, default=1)
+    figure12.add_argument("--seed", type=int, default=2013)
+    figure12.set_defaults(handler=_cmd_figure12)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point of ``python -m repro``."""
+    parser = build_parser()
+    arguments = parser.parse_args(argv)
+    if arguments.command is None:
+        parser.print_help()
+        return 1
+    if arguments.command == "list":
+        for name in ("table1", "table2", "figure3", "figure4", "figure5",
+                     "figure6", "figure7 a|b", "figure8", "figure9",
+                     "figure10 a|b", "figure11", "figure12"):
+            print(name)
+        return 0
+    arguments.handler(arguments)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

@@ -1,0 +1,114 @@
+"""Adaptive knowledge-free strategy: self-sizing Count-Min sketch.
+
+Section V shows that the adversary's required effort grows linearly with the
+sketch width ``k``, so "the effort ... can be made arbitrarily large by any
+correct node by just increasing the memory space of the sampler".  The plain
+knowledge-free strategy fixes ``k`` a priori; this extension monitors the
+number of distinct identifiers observed (with a HyperLogLog sketch, another
+constant-memory summary) and doubles the Count-Min width whenever the
+distinct count exceeds ``load_factor * k`` — keeping the per-cell collision
+load, and hence the estimate quality and the attack threshold, under control
+without any a-priori knowledge of the population size.
+
+Growing the sketch starts a new *epoch*: a fresh Count-Min matrix is
+allocated with double the width and new hash functions, and the old matrix is
+retired.  Frequency estimates during an epoch only reflect that epoch's
+traffic, which keeps the estimate an *underestimate* of the true total count;
+the insertion probability ``min_sigma / f̂_j`` remains well defined and the
+sampling memory itself is carried over unchanged, so no samples are lost.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.knowledge_free import KnowledgeFreeStrategy
+from repro.sketches.count_min import CountMinSketch
+from repro.sketches.hyperloglog import HyperLogLog
+from repro.utils.rng import RandomState, ensure_rng
+from repro.utils.validation import check_positive
+
+
+class AdaptiveKnowledgeFreeStrategy(KnowledgeFreeStrategy):
+    """Knowledge-free strategy whose Count-Min sketch grows with the population.
+
+    Parameters
+    ----------
+    memory_size:
+        Capacity ``c`` of the sampling memory.
+    initial_sketch_width:
+        Width ``k`` of the first epoch's Count-Min matrix.
+    sketch_depth:
+        Number of rows ``s`` (kept constant across epochs).
+    load_factor:
+        Epoch boundary: when the estimated number of distinct identifiers
+        exceeds ``load_factor * current_width``, the width is doubled.
+    max_width:
+        Upper bound on the width (memory budget of the node).
+    random_state:
+        The node's local random coins.
+    """
+
+    name = "adaptive-knowledge-free"
+
+    def __init__(self, memory_size: int, *, initial_sketch_width: int = 16,
+                 sketch_depth: int = 5, load_factor: float = 4.0,
+                 max_width: int = 1 << 16,
+                 random_state: RandomState = None) -> None:
+        check_positive("initial_sketch_width", initial_sketch_width)
+        check_positive("load_factor", load_factor)
+        check_positive("max_width", max_width)
+        if max_width < initial_sketch_width:
+            raise ValueError("max_width must be >= initial_sketch_width")
+        rng = ensure_rng(random_state)
+        super().__init__(memory_size, sketch_width=initial_sketch_width,
+                         sketch_depth=sketch_depth, random_state=rng)
+        self.sketch_depth = int(sketch_depth)
+        self.load_factor = float(load_factor)
+        self.max_width = int(max_width)
+        self._distinct_estimator = HyperLogLog(precision=12, random_state=rng)
+        self._epoch = 0
+        self._epoch_history: List[int] = [int(initial_sketch_width)]
+
+    # ------------------------------------------------------------------ #
+    # Epoch management
+    # ------------------------------------------------------------------ #
+    @property
+    def current_width(self) -> int:
+        """Width of the current epoch's Count-Min matrix."""
+        return self.frequency_oracle.width
+
+    @property
+    def epoch(self) -> int:
+        """Number of times the sketch has been regrown."""
+        return self._epoch
+
+    @property
+    def epoch_widths(self) -> List[int]:
+        """The successive widths used since the strategy started."""
+        return list(self._epoch_history)
+
+    def estimated_distinct(self) -> float:
+        """Current estimate of the number of distinct identifiers observed."""
+        return self._distinct_estimator.estimate()
+
+    def _maybe_grow(self) -> None:
+        width = self.current_width
+        if width >= self.max_width:
+            return
+        if self.estimated_distinct() <= self.load_factor * width:
+            return
+        new_width = min(self.max_width, width * 2)
+        self.frequency_oracle = CountMinSketch(width=new_width,
+                                               depth=self.sketch_depth,
+                                               random_state=self._rng)
+        self._epoch += 1
+        self._epoch_history.append(new_width)
+
+    # ------------------------------------------------------------------ #
+    # Online interface
+    # ------------------------------------------------------------------ #
+    def _admit(self, identifier: int) -> None:
+        self._distinct_estimator.update(identifier)
+        self._maybe_grow()
+        super()._admit(identifier)

@@ -1,0 +1,140 @@
+"""Base types shared by all node-sampling strategies.
+
+A *sampling strategy* in this library is an online object fed one identifier
+at a time (the input stream ``sigma_i`` of the paper) and producing one output
+identifier per input element (the output stream ``sigma'_i``).  At any moment
+the strategy also exposes ``sample()`` — the primitive of the node sampling
+service described in the paper's introduction — which returns a uniformly
+chosen identifier from the strategy's sampling memory ``Gamma_i``.
+
+All strategies keep at most ``memory_size`` (the paper's ``c``) identifiers in
+``Gamma_i``, with ``c`` much smaller than the population size ``n``.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable, List, Optional, Set
+
+import numpy as np
+
+from repro.streams.stream import IdentifierStream
+from repro.utils.rng import RandomState, ensure_rng
+from repro.utils.validation import check_positive
+
+
+class SamplingStrategy(abc.ABC):
+    """Abstract base class of the node-sampling strategies.
+
+    Parameters
+    ----------
+    memory_size:
+        Capacity ``c`` of the sampling memory ``Gamma``.
+    random_state:
+        The node's local random coins (not observable by the adversary).
+    """
+
+    #: Human-readable name used by experiment reports.
+    name = "abstract"
+
+    def __init__(self, memory_size: int, *,
+                 random_state: RandomState = None) -> None:
+        check_positive("memory_size", memory_size)
+        self.memory_size = int(memory_size)
+        self._rng = ensure_rng(random_state)
+        self._memory: List[int] = []
+        self._memory_set: Set[int] = set()
+        self._elements_processed = 0
+
+    # ------------------------------------------------------------------ #
+    # Sampling memory management
+    # ------------------------------------------------------------------ #
+    @property
+    def memory(self) -> List[int]:
+        """A copy of the current content of the sampling memory ``Gamma``."""
+        return list(self._memory)
+
+    @property
+    def memory_is_full(self) -> bool:
+        """Whether ``Gamma`` holds ``memory_size`` identifiers."""
+        return len(self._memory) >= self.memory_size
+
+    @property
+    def elements_processed(self) -> int:
+        """Number of stream elements processed so far."""
+        return self._elements_processed
+
+    def _contains(self, identifier: int) -> bool:
+        return identifier in self._memory_set
+
+    def _insert(self, identifier: int) -> None:
+        """Append ``identifier`` to ``Gamma`` (caller checks capacity)."""
+        self._memory.append(identifier)
+        self._memory_set.add(identifier)
+
+    def _replace(self, index: int, identifier: int) -> None:
+        """Replace the identifier at ``index`` in ``Gamma`` by ``identifier``."""
+        victim = self._memory[index]
+        self._memory_set.discard(victim)
+        self._memory[index] = identifier
+        self._memory_set.add(identifier)
+
+    # ------------------------------------------------------------------ #
+    # Core online interface
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def _admit(self, identifier: int) -> None:
+        """Decide whether and how ``identifier`` enters the sampling memory."""
+
+    def process(self, identifier: int) -> Optional[int]:
+        """Process one stream element and return the next output identifier.
+
+        Mirrors one loop iteration of Algorithms 1 and 3: the identifier is
+        (possibly) admitted into ``Gamma``, then an identifier drawn uniformly
+        from ``Gamma`` is written to the output stream.  Returns ``None`` only
+        if ``Gamma`` is still empty, which cannot happen after the first
+        element.
+        """
+        self._elements_processed += 1
+        self._admit(int(identifier))
+        return self.sample()
+
+    def process_stream(self, stream: Iterable[int]) -> IdentifierStream:
+        """Process a whole input stream and return the produced output stream."""
+        outputs: List[int] = []
+        for identifier in stream:
+            output = self.process(identifier)
+            if output is not None:
+                outputs.append(output)
+        universe = None
+        malicious: List[int] = []
+        if isinstance(stream, IdentifierStream):
+            universe = stream.universe
+            malicious = stream.malicious
+        return IdentifierStream(
+            identifiers=outputs,
+            universe=universe,
+            malicious=malicious,
+            label=f"{self.name}({getattr(stream, 'label', 'stream')})",
+        )
+
+    def sample(self) -> Optional[int]:
+        """Return an identifier chosen uniformly at random from ``Gamma``.
+
+        This is the node sampling service primitive.  Returns ``None`` when no
+        identifier has been observed yet.
+        """
+        if not self._memory:
+            return None
+        index = int(self._rng.integers(0, len(self._memory)))
+        return self._memory[index]
+
+    def reset(self) -> None:
+        """Clear the sampling memory and the processed-element counter."""
+        self._memory.clear()
+        self._memory_set.clear()
+        self._elements_processed = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (f"{type(self).__name__}(memory_size={self.memory_size}, "
+                f"processed={self._elements_processed})")

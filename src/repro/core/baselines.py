@@ -1,0 +1,114 @@
+"""Baseline sampling strategies the paper compares against or builds upon.
+
+* :class:`MinWiseSampler` — the Brahms-style sampler of Bortnikov et al.
+  (paper reference [6]): each memory slot keeps the identifier whose image
+  under a random min-wise (here: 2-universal) permutation is the smallest
+  ever seen.  It converges to a uniform sample but, as the paper points out,
+  the sample then never changes — it violates Freshness.
+* :class:`ReservoirSampler` — classic Vitter reservoir sampling of the input
+  stream.  Uniform over *stream positions*, hence heavily biased towards
+  over-represented identifiers: this is the natural "do nothing about the
+  adversary" baseline.
+* :class:`FullMemorySampler` — stores every distinct identifier ever seen and
+  samples uniformly among them.  Perfectly uniform and fresh but requires
+  memory linear in the population size, which is exactly the cost the paper's
+  strategies avoid (and which [2] shows is unavoidable for deterministic
+  algorithms).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.base import SamplingStrategy
+from repro.sketches.hashing import MERSENNE_PRIME_61, UniversalHashFamily
+from repro.utils.rng import RandomState, ensure_rng
+
+
+class MinWiseSampler(SamplingStrategy):
+    """Brahms-style min-wise permutation sampler (paper reference [6]).
+
+    Each of the ``memory_size`` slots owns an independent random hash
+    function; slot ``i`` remembers the identifier minimising that function
+    over the stream read so far.  Eventually each slot holds a uniform sample
+    of the distinct identifiers, but once converged the sample is static.
+    """
+
+    name = "minwise"
+
+    def __init__(self, memory_size: int, *,
+                 random_state: RandomState = None) -> None:
+        rng = ensure_rng(random_state)
+        super().__init__(memory_size, random_state=rng)
+        family = UniversalHashFamily(MERSENNE_PRIME_61 - 1, random_state=rng)
+        self._hash_functions = family.draw_many(self.memory_size)
+        self._best_values: List[Optional[int]] = [None] * self.memory_size
+        self._best_identifiers: List[Optional[int]] = [None] * self.memory_size
+
+    def _admit(self, identifier: int) -> None:
+        for slot, hash_function in enumerate(self._hash_functions):
+            value = hash_function(identifier)
+            best = self._best_values[slot]
+            if best is None or value < best:
+                self._best_values[slot] = value
+                self._best_identifiers[slot] = identifier
+        # Rebuild Gamma from the slot winners (duplicates are possible when
+        # the same identifier wins several slots, as in Brahms).
+        self._memory = [identifier for identifier in self._best_identifiers
+                        if identifier is not None]
+        self._memory_set = set(self._memory)
+
+    def reset(self) -> None:
+        super().reset()
+        self._best_values = [None] * self.memory_size
+        self._best_identifiers = [None] * self.memory_size
+
+
+class ReservoirSampler(SamplingStrategy):
+    """Classic reservoir sampling (Vitter's Algorithm R) of the input stream.
+
+    Keeps a uniform sample of the *stream elements*, so identifiers injected
+    many times by the adversary are proportionally over-represented in the
+    sample — the baseline illustrating why plain streaming sampling is not
+    Byzantine-tolerant.
+    """
+
+    name = "reservoir"
+
+    def _admit(self, identifier: int) -> None:
+        if not self.memory_is_full:
+            self._insert(identifier)
+            return
+        # Element number `elements_processed` (1-based) replaces a random slot
+        # with probability memory_size / elements_processed.
+        position = int(self._rng.integers(0, self._elements_processed))
+        if position < self.memory_size:
+            self._replace(position, identifier)
+
+
+class FullMemorySampler(SamplingStrategy):
+    """Unbounded-memory sampler storing every distinct identifier seen.
+
+    ``memory_size`` is ignored for storage purposes (the memory grows with
+    the number of distinct identifiers); it is kept in the signature so the
+    class is interchangeable with the bounded strategies in experiments.
+    """
+
+    name = "full-memory"
+
+    def __init__(self, memory_size: int = 1, *,
+                 random_state: RandomState = None) -> None:
+        super().__init__(memory_size, random_state=random_state)
+
+    @property
+    def memory_is_full(self) -> bool:  # noqa: D401 - property documented in base
+        """Always False: the memory is unbounded."""
+        return False
+
+    def _admit(self, identifier: int) -> None:
+        if identifier not in self._memory_set:
+            self._insert(identifier)
+
+    def distinct_seen(self) -> int:
+        """Return the number of distinct identifiers stored."""
+        return len(self._memory)

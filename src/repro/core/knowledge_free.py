@@ -1,0 +1,131 @@
+"""Knowledge-free one-pass sampling strategy (Algorithm 3 of the paper).
+
+The knowledge-free strategy makes no assumption about the input stream: it
+does not know the population size, the stream length, or any occurrence
+probability.  Instead it maintains a Count-Min sketch ``F̂`` (Algorithm 2) in
+parallel with the sampling memory ``Gamma`` and, for every received
+identifier ``j``:
+
+1. updates the sketch with ``j`` and queries the estimate ``f̂_j``;
+2. computes ``min_sigma`` — the minimum cell of the whole sketch, a proxy for
+   the frequency of the rarest identifier seen so far;
+3. if ``Gamma`` is not full, stores ``j``;
+4. otherwise, with probability ``a_j = min_sigma / f̂_j``, evicts an
+   identifier chosen uniformly (``r_k = 1/c``) and stores ``j``;
+5. outputs an identifier chosen uniformly from ``Gamma``.
+
+The frequency oracle is pluggable (any object exposing ``update``,
+``estimate`` and ``min_cell``): the sketch-choice ablation drives the same
+strategy with a Count sketch or a Space-Saving summary instead of Count-Min.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol, runtime_checkable
+
+from repro.core.base import SamplingStrategy
+from repro.sketches.count_min import CountMinSketch
+from repro.utils.rng import RandomState, ensure_rng
+
+
+@runtime_checkable
+class FrequencyOracle(Protocol):
+    """Minimal interface Algorithm 3 needs from its frequency estimator."""
+
+    def update(self, item: int, count: int = 1) -> None:
+        """Record an occurrence of ``item``."""
+
+    def estimate(self, item: int) -> int:
+        """Return the estimated frequency of ``item``."""
+
+    def min_cell(self) -> int:
+        """Return a lower bound on the frequency of the rarest item seen."""
+
+
+class KnowledgeFreeStrategy(SamplingStrategy):
+    """Algorithm 3: knowledge-free node sampling backed by a Count-Min sketch.
+
+    Parameters
+    ----------
+    memory_size:
+        Capacity ``c`` of the sampling memory ``Gamma``.
+    sketch_width:
+        Number ``k`` of columns of the Count-Min matrix.  Ignored when an
+        explicit ``frequency_oracle`` is supplied.
+    sketch_depth:
+        Number ``s`` of rows of the Count-Min matrix.  Ignored when an
+        explicit ``frequency_oracle`` is supplied.
+    frequency_oracle:
+        Optional alternative frequency estimator implementing
+        :class:`FrequencyOracle`; defaults to a fresh
+        :class:`~repro.sketches.count_min.CountMinSketch` of the requested
+        dimensions.
+    random_state:
+        The node's local random coins (sketch hash functions included).
+
+    Examples
+    --------
+    >>> from repro.streams import zipf_stream
+    >>> strategy = KnowledgeFreeStrategy(memory_size=10, sketch_width=10,
+    ...                                  sketch_depth=5, random_state=1)
+    >>> biased = zipf_stream(5_000, 100, alpha=4, random_state=1)
+    >>> output = strategy.process_stream(biased)
+    >>> len(output) == len(biased)
+    True
+    """
+
+    name = "knowledge-free"
+
+    def __init__(self, memory_size: int, *, sketch_width: int = 10,
+                 sketch_depth: int = 5,
+                 frequency_oracle: Optional[FrequencyOracle] = None,
+                 random_state: RandomState = None) -> None:
+        rng = ensure_rng(random_state)
+        super().__init__(memory_size, random_state=rng)
+        if frequency_oracle is None:
+            frequency_oracle = CountMinSketch(width=sketch_width,
+                                              depth=sketch_depth,
+                                              random_state=rng)
+        self.frequency_oracle = frequency_oracle
+
+    # ------------------------------------------------------------------ #
+    # Algorithm 3 internals
+    # ------------------------------------------------------------------ #
+    def insertion_probability(self, identifier: int) -> float:
+        """Return ``a_j = min_sigma / f̂_j`` for the given identifier.
+
+        Queried *after* the sketch has been updated with the identifier, so
+        ``f̂_j >= 1`` and the ratio is well defined and lies in ``(0, 1]``.
+        """
+        estimate = self.frequency_oracle.estimate(identifier)
+        if estimate <= 0:
+            return 1.0
+        min_sigma = self.frequency_oracle.min_cell()
+        return min(1.0, min_sigma / estimate) if min_sigma > 0 else 0.0
+
+    def _admit(self, identifier: int) -> None:
+        """One admission step of Algorithm 3 (lines 4-12)."""
+        # cobegin: the sketch and the sampler read the same element in parallel.
+        self.frequency_oracle.update(identifier)
+        if not self.memory_is_full:
+            if identifier not in self._memory_set:
+                self._insert(identifier)
+            return
+        if identifier in self._memory_set:
+            return
+        acceptance = self.insertion_probability(identifier)
+        if acceptance > 0 and self._rng.random() < acceptance:
+            victim_index = int(self._rng.integers(0, len(self._memory)))
+            self._replace(victim_index, identifier)
+
+    # ------------------------------------------------------------------ #
+    # Introspection helpers used by experiments and tests
+    # ------------------------------------------------------------------ #
+    @property
+    def sketch(self) -> FrequencyOracle:
+        """The underlying frequency oracle (Count-Min sketch by default)."""
+        return self.frequency_oracle
+
+    def estimated_frequency(self, identifier: int) -> int:
+        """Return the oracle's current frequency estimate for ``identifier``."""
+        return self.frequency_oracle.estimate(identifier)

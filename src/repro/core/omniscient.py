@@ -1,0 +1,137 @@
+"""Omniscient one-pass sampling strategy (Algorithm 1 of the paper).
+
+The omniscient strategy knows the population size ``n`` and the occurrence
+probability ``p_j`` of every identifier ``j`` in the full input stream (via a
+:class:`~repro.streams.oracle.StreamOracle`).  Following Corollary 5 it uses
+
+* insertion probability   ``a_j = min_i(p_i) / p_j``
+* removal probability     ``r_k = 1 / n``  (uniform over the memory content)
+
+which makes the Markov chain over the content of the sampling memory
+``Gamma`` reversible with the uniform stationary distribution over all
+``C(n, c)`` subsets (Theorems 3 and 4), hence the output stream satisfies
+Uniformity and Freshness whatever the bias of the input stream.
+
+Because ``r_k`` is identical for all identifiers, the eviction step reduces to
+choosing the victim uniformly among the ``c`` stored identifiers; the class
+nevertheless supports arbitrary positive removal weights so the Markov-chain
+analysis module and the eviction ablation can exercise the general form of
+Algorithm 1.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.core.base import SamplingStrategy
+from repro.streams.oracle import StreamOracle
+from repro.utils.rng import RandomState
+
+
+class OmniscientStrategy(SamplingStrategy):
+    """Algorithm 1: omniscient node sampling.
+
+    Parameters
+    ----------
+    oracle:
+        Occurrence-probability oracle providing ``p_j`` and ``min_i(p_i)``.
+    memory_size:
+        Capacity ``c`` of the sampling memory ``Gamma``.
+    removal_weights:
+        Optional mapping identifier -> positive removal weight ``r_j``.  The
+        default (``None``) uses the paper's choice ``r_j = 1/n``, i.e. uniform
+        eviction.  Supplying explicit weights reproduces the general Algorithm
+        1 eviction rule ``P{evict k} = r_k / sum_{l in Gamma} r_l``.
+    random_state:
+        The node's local random coins.
+
+    Notes
+    -----
+    Identifiers never seen by the oracle (e.g. Sybil identifiers created after
+    the oracle was built) are treated as maximally rare: their insertion
+    probability is 1.  This is the conservative behaviour of a genuinely
+    omniscient strategy and only helps the adversary's identifiers enter the
+    memory; uniform eviction still prevents them from eclipsing correct ones.
+    """
+
+    name = "omniscient"
+
+    def __init__(self, oracle: StreamOracle, memory_size: int, *,
+                 removal_weights: Optional[Dict[int, float]] = None,
+                 random_state: RandomState = None) -> None:
+        super().__init__(memory_size, random_state=random_state)
+        self.oracle = oracle
+        if removal_weights is not None:
+            for identifier, weight in removal_weights.items():
+                if weight <= 0:
+                    raise ValueError(
+                        f"removal weight of identifier {identifier} must be "
+                        f"positive, got {weight}"
+                    )
+        self._removal_weights = dict(removal_weights) if removal_weights else None
+
+    # ------------------------------------------------------------------ #
+    # Algorithm 1 internals
+    # ------------------------------------------------------------------ #
+    def insertion_probability(self, identifier: int) -> float:
+        """Return ``a_j = min_i(p_i) / p_j`` for the given identifier."""
+        return self.oracle.insertion_probability(identifier)
+
+    def _removal_weight(self, identifier: int) -> float:
+        if self._removal_weights is None:
+            return 1.0 / self.oracle.population_size
+        return self._removal_weights.get(
+            identifier, 1.0 / self.oracle.population_size
+        )
+
+    def _choose_victim(self) -> int:
+        """Return the index in ``Gamma`` of the identifier to evict.
+
+        The victim is chosen with probability proportional to its removal
+        weight ``r_k`` (Algorithm 1, line 6).  With the paper's uniform
+        weights this is a uniform choice over the memory.
+        """
+        if self._removal_weights is None:
+            return int(self._rng.integers(0, len(self._memory)))
+        weights = np.array(
+            [self._removal_weight(identifier) for identifier in self._memory],
+            dtype=np.float64,
+        )
+        weights /= weights.sum()
+        return int(self._rng.choice(len(self._memory), p=weights))
+
+    def _admit(self, identifier: int) -> None:
+        """One admission step of Algorithm 1 (lines 2-7)."""
+        if not self.memory_is_full:
+            # Gamma is a *set* (line 3 is a set union): re-receiving an
+            # identifier already stored leaves it unchanged.
+            if identifier not in self._memory_set:
+                self._insert(identifier)
+            return
+        if identifier in self._memory_set:
+            # The identifier is already stored; re-inserting it would create a
+            # duplicate.  The Markov chain of Section IV only moves between
+            # c-subsets, so a self-loop is the faithful behaviour.
+            return
+        acceptance = self.insertion_probability(identifier)
+        if self._rng.random() < acceptance:
+            victim_index = self._choose_victim()
+            self._replace(victim_index, identifier)
+
+
+class EmpiricalOmniscientStrategy(OmniscientStrategy):
+    """Omniscient strategy driven by empirical frequencies of a finite stream.
+
+    Convenience wrapper used by the experiment harness: the oracle is built
+    from the exact frequencies of the (already biased) input stream, which is
+    precisely the knowledge Algorithm 1 assumes.
+    """
+
+    name = "omniscient-empirical"
+
+    def __init__(self, stream, memory_size: int, *,
+                 random_state: RandomState = None) -> None:
+        oracle = StreamOracle.from_stream(stream)
+        super().__init__(oracle, memory_size, random_state=random_state)

@@ -1,0 +1,140 @@
+"""Node sampling service facade.
+
+The paper describes the node sampling service as the single primitive offered
+to applications: *return the identifier of a random node of the system*
+(Introduction, Section IV).  :class:`NodeSamplingService` wraps a sampling
+strategy behind that primitive, keeps the running output stream and exposes
+convenience statistics, so example applications and experiments never need to
+manipulate strategies directly.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, List, Optional
+
+from repro.core.base import SamplingStrategy
+from repro.core.knowledge_free import KnowledgeFreeStrategy
+from repro.core.omniscient import OmniscientStrategy
+from repro.streams.oracle import StreamOracle
+from repro.streams.stream import IdentifierStream
+from repro.utils.rng import RandomState
+
+
+class NodeSamplingService:
+    """Byzantine-tolerant uniform node sampling service of a correct node.
+
+    Parameters
+    ----------
+    strategy:
+        The sampling strategy processing the node's input stream (one of
+        :class:`~repro.core.omniscient.OmniscientStrategy`,
+        :class:`~repro.core.knowledge_free.KnowledgeFreeStrategy`, or a
+        baseline).
+    record_output:
+        When True (default) every output identifier is recorded so that the
+        output stream and its frequency distribution can be inspected — this
+        is what the evaluation needs.  Long-running deployments can disable
+        the recording to keep memory constant.
+
+    Examples
+    --------
+    >>> service = NodeSamplingService.knowledge_free(memory_size=10,
+    ...                                              sketch_width=10,
+    ...                                              sketch_depth=5,
+    ...                                              random_state=7)
+    >>> for identifier in [1, 2, 2, 3, 1, 4]:
+    ...     _ = service.on_receive(identifier)
+    >>> service.sample() in {1, 2, 3, 4}
+    True
+    """
+
+    def __init__(self, strategy: SamplingStrategy, *,
+                 record_output: bool = True) -> None:
+        self.strategy = strategy
+        self.record_output = record_output
+        self._output: List[int] = []
+        self._output_counts: Counter = Counter()
+
+    # ------------------------------------------------------------------ #
+    # Convenience constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def knowledge_free(cls, memory_size: int, *, sketch_width: int = 10,
+                       sketch_depth: int = 5,
+                       random_state: RandomState = None,
+                       record_output: bool = True) -> "NodeSamplingService":
+        """Build a service running the knowledge-free strategy (Algorithm 3)."""
+        strategy = KnowledgeFreeStrategy(
+            memory_size,
+            sketch_width=sketch_width,
+            sketch_depth=sketch_depth,
+            random_state=random_state,
+        )
+        return cls(strategy, record_output=record_output)
+
+    @classmethod
+    def omniscient(cls, oracle: StreamOracle, memory_size: int, *,
+                   random_state: RandomState = None,
+                   record_output: bool = True) -> "NodeSamplingService":
+        """Build a service running the omniscient strategy (Algorithm 1)."""
+        strategy = OmniscientStrategy(oracle, memory_size,
+                                      random_state=random_state)
+        return cls(strategy, record_output=record_output)
+
+    # ------------------------------------------------------------------ #
+    # Online interface
+    # ------------------------------------------------------------------ #
+    def on_receive(self, identifier: int) -> Optional[int]:
+        """Feed one identifier from the input stream; return the output element."""
+        output = self.strategy.process(identifier)
+        if output is not None and self.record_output:
+            self._output.append(output)
+            self._output_counts[output] += 1
+        return output
+
+    def consume(self, stream: Iterable[int]) -> None:
+        """Feed a whole input stream to the service."""
+        for identifier in stream:
+            self.on_receive(identifier)
+
+    def sample(self) -> Optional[int]:
+        """Return a uniformly chosen node identifier — the service primitive."""
+        return self.strategy.sample()
+
+    def sample_many(self, count: int) -> List[int]:
+        """Return ``count`` independent samples from the service."""
+        if count <= 0:
+            raise ValueError(f"count must be positive, got {count}")
+        samples = []
+        for _ in range(count):
+            sample = self.sample()
+            if sample is not None:
+                samples.append(sample)
+        return samples
+
+    # ------------------------------------------------------------------ #
+    # Inspection
+    # ------------------------------------------------------------------ #
+    @property
+    def output_stream(self) -> IdentifierStream:
+        """The output stream produced so far (requires ``record_output``)."""
+        return IdentifierStream(
+            identifiers=list(self._output),
+            label=f"output({self.strategy.name})",
+        )
+
+    def output_frequencies(self) -> Dict[int, int]:
+        """Return the frequency of every identifier in the output stream."""
+        return dict(self._output_counts)
+
+    @property
+    def elements_processed(self) -> int:
+        """Number of input-stream elements processed so far."""
+        return self.strategy.elements_processed
+
+    def reset(self) -> None:
+        """Reset the strategy and clear the recorded output."""
+        self.strategy.reset()
+        self._output.clear()
+        self._output_counts.clear()

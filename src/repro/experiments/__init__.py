@@ -1,0 +1,36 @@
+"""Experiment harness and per-figure drivers (Section VI).
+
+* :mod:`repro.experiments.harness` — multi-trial experiment runner and
+  parameter sweeps;
+* :mod:`repro.experiments.figures` — one driver per table/figure of the
+  paper's evaluation;
+* :mod:`repro.experiments.reporting` — ASCII table/series rendering.
+"""
+
+from repro.experiments.harness import (
+    ExperimentHarness,
+    ExperimentResult,
+    StrategySummary,
+    TrialResult,
+    default_strategy_factories,
+    sweep,
+)
+from repro.experiments.reporting import (
+    format_comparison,
+    format_series,
+    format_table,
+)
+from repro.experiments import figures
+
+__all__ = [
+    "ExperimentHarness",
+    "ExperimentResult",
+    "TrialResult",
+    "StrategySummary",
+    "default_strategy_factories",
+    "sweep",
+    "format_table",
+    "format_series",
+    "format_comparison",
+    "figures",
+]

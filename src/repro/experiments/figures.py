@@ -1,0 +1,520 @@
+"""Per-figure and per-table experiment drivers (Section VI of the paper).
+
+Every public function of this module regenerates one table or figure of the
+paper's evaluation and returns plain data structures (rows or named series)
+that the benchmark harness prints with :mod:`repro.experiments.reporting`.
+
+The analytical figures (3, 4, Table I) are exact.  The simulation figures
+(6-12) accept size parameters so that benchmarks can run a scaled-down — but
+structurally identical — version of the paper's 100k-element, 100-trial
+experiments; pass the paper's parameters to reproduce them at full scale.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.urns import (
+    PAPER_TABLE1_SETTINGS,
+    PAPER_TABLE1_VALUES,
+    flooding_attack_effort,
+    targeted_attack_effort,
+)
+from repro.core.knowledge_free import KnowledgeFreeStrategy
+from repro.core.omniscient import OmniscientStrategy
+from repro.experiments.harness import (
+    ExperimentHarness,
+    ExperimentResult,
+    default_strategy_factories,
+)
+from repro.metrics.divergence import kl_divergence_to_uniform, kl_gain
+from repro.streams.generators import (
+    peak_attack_stream,
+    peak_stream,
+    poisson_arrival_stream,
+    poisson_attack_stream,
+    truncated_poisson_stream,
+    uniform_stream,
+    zipf_stream,
+)
+from repro.streams.oracle import StreamOracle
+from repro.streams.stream import IdentifierStream
+from repro.streams.traces import PAPER_TRACES, SyntheticTrace, paper_trace_table
+from repro.utils.rng import RandomState, ensure_rng, spawn_children
+
+Series = Dict[str, List[Tuple[float, float]]]
+
+
+# ---------------------------------------------------------------------- #
+# Section V — analytical attack-effort figures
+# ---------------------------------------------------------------------- #
+def figure3(k_values: Sequence[int] = (10, 25, 50, 100, 150, 200, 250, 300,
+                                       350, 400, 450, 500),
+            s: int = 10,
+            etas: Sequence[float] = (0.5, 1e-1, 1e-2, 1e-3, 1e-4, 1e-5, 1e-6),
+            ) -> Series:
+    """Figure 3: ``L_{k,s}`` as a function of ``k`` for several ``eta_T``.
+
+    Returns one series per ``eta_T`` value, each a list of ``(k, L_{k,s})``.
+    """
+    series: Series = {}
+    for eta in etas:
+        label = f"s={s} | eta_T={eta:g}"
+        series[label] = [
+            (float(k), float(targeted_attack_effort(k, s, eta)))
+            for k in k_values
+        ]
+    return series
+
+
+def figure4(k_values: Sequence[int] = (10, 50, 100, 150, 200, 250, 300, 350,
+                                       400, 450, 500),
+            etas: Sequence[float] = (0.5, 1e-1, 1e-2, 1e-3, 1e-4, 1e-5, 1e-6),
+            ) -> Series:
+    """Figure 4: ``E_k`` as a function of ``k`` for several ``eta_F``.
+
+    Returns one series per ``eta_F`` value, each a list of ``(k, E_k)``.
+    """
+    series: Series = {}
+    for eta in etas:
+        label = f"eta_F={eta:g}"
+        series[label] = [
+            (float(k), float(flooding_attack_effort(k, eta)))
+            for k in k_values
+        ]
+    return series
+
+
+def table1(settings: Sequence[Dict[str, float]] = PAPER_TABLE1_SETTINGS
+           ) -> List[Dict[str, object]]:
+    """Table I: key values of ``L_{k,s}`` and ``E_k``.
+
+    Returns one row per setting with both the computed values and the values
+    published in the paper (for the settings the paper reports).
+    """
+    rows: List[Dict[str, object]] = []
+    for setting in settings:
+        k, s, eta = int(setting["k"]), int(setting["s"]), float(setting["eta"])
+        computed_targeted = targeted_attack_effort(k, s, eta)
+        computed_flooding = flooding_attack_effort(k, eta)
+        published = PAPER_TABLE1_VALUES.get((k, s, eta), {})
+        rows.append({
+            "k": k,
+            "s": s,
+            "eta": eta,
+            "L_ks (computed)": computed_targeted,
+            "L_ks (paper)": published.get("targeted", ""),
+            "E_k (computed)": computed_flooding,
+            "E_k (paper)": published.get("flooding", ""),
+        })
+    return rows
+
+
+# ---------------------------------------------------------------------- #
+# Section VI — trace statistics and shapes
+# ---------------------------------------------------------------------- #
+def table2(scale: float = 1.0) -> List[Dict[str, object]]:
+    """Table II: statistics of the (synthetic stand-in) data traces.
+
+    With ``scale = 1.0`` the synthetic traces match the published stream
+    sizes and distinct counts exactly, and the max frequency approximately
+    (it is the fitted quantity).
+    """
+    rows: List[Dict[str, object]] = []
+    published = {row["trace"]: row for row in paper_trace_table()}
+    for spec in PAPER_TRACES:
+        trace = SyntheticTrace(spec, scale=scale)
+        stats = trace.statistics()
+        rows.append({
+            "trace": spec.name,
+            "size (synthetic)": stats["size"],
+            "size (paper)": published[spec.name]["size"],
+            "distinct (synthetic)": stats["distinct"],
+            "distinct (paper)": published[spec.name]["distinct"],
+            "max freq (synthetic)": stats["max_frequency"],
+            "max freq (paper)": published[spec.name]["max_frequency"],
+        })
+    return rows
+
+
+def figure5(scale: float = 0.02, *, num_points: int = 30) -> Series:
+    """Figure 5: log-log rank/frequency profile of each trace stand-in.
+
+    Returns, per trace, ``num_points`` (rank, frequency) points sampled
+    logarithmically along the rank axis — the textual analogue of the paper's
+    log-log scatter plot, showing the Zipf-like decay of all three traces.
+    """
+    series: Series = {}
+    for spec in PAPER_TRACES:
+        trace = SyntheticTrace(spec, scale=scale)
+        frequencies = sorted(trace.frequencies().values(), reverse=True)
+        ranks = np.unique(np.geomspace(1, len(frequencies),
+                                       num=num_points).astype(int))
+        series[spec.name] = [
+            (float(rank), float(frequencies[rank - 1])) for rank in ranks
+        ]
+    return series
+
+
+# ---------------------------------------------------------------------- #
+# Figure 6 — frequency distribution as a function of time
+# ---------------------------------------------------------------------- #
+def figure6(stream_size: int = 40_000, population_size: int = 1_000, *,
+            memory_size: int = 15, sketch_width: int = 15, sketch_depth: int = 17,
+            num_checkpoints: int = 4,
+            random_state: RandomState = None) -> Dict[str, object]:
+    """Figure 6: frequency distribution over time (input vs both strategies).
+
+    The input stream is biased so that a small set of identifiers recurs with
+    a high frequency (the paper describes it as Poisson-like with a small
+    index).  The function processes the stream once with each strategy and
+    records, at ``num_checkpoints`` evenly spaced times, summary statistics of
+    the frequency distribution of the input prefix and of both output
+    prefixes: the maximum frequency and the number of distinct identifiers
+    seen.  A uniformising sampler shows a much smaller maximum frequency and
+    steadily increasing coverage.
+
+    Returns a dictionary with the checkpoint times and, for each of ``input``,
+    ``knowledge-free`` and ``omniscient``, lists of per-checkpoint
+    ``max_frequency`` and ``distinct`` values.
+    """
+    rng = ensure_rng(random_state)
+    stream_rng, kf_rng, omni_rng = spawn_children(rng, 3)
+    stream = poisson_arrival_stream(stream_size, population_size,
+                                    burst_identifiers=max(
+                                        2, population_size // 100),
+                                    burst_weight=0.5,
+                                    random_state=stream_rng)
+    knowledge_free = KnowledgeFreeStrategy(memory_size,
+                                           sketch_width=sketch_width,
+                                           sketch_depth=sketch_depth,
+                                           random_state=kf_rng)
+    omniscient = OmniscientStrategy(StreamOracle.from_stream(stream),
+                                    memory_size, random_state=omni_rng)
+    checkpoints = [int(stream.size * (index + 1) / num_checkpoints)
+                   for index in range(num_checkpoints)]
+    outputs = {"knowledge-free": [], "omniscient": []}
+    results = {
+        "checkpoints": checkpoints,
+        "input": {"max_frequency": [], "distinct": []},
+        "knowledge-free": {"max_frequency": [], "distinct": []},
+        "omniscient": {"max_frequency": [], "distinct": []},
+    }
+    next_checkpoint = 0
+    input_counts: Dict[int, int] = {}
+    kf_counts: Dict[int, int] = {}
+    omni_counts: Dict[int, int] = {}
+    for position, identifier in enumerate(stream, start=1):
+        input_counts[identifier] = input_counts.get(identifier, 0) + 1
+        kf_output = knowledge_free.process(identifier)
+        if kf_output is not None:
+            kf_counts[kf_output] = kf_counts.get(kf_output, 0) + 1
+        omni_output = omniscient.process(identifier)
+        if omni_output is not None:
+            omni_counts[omni_output] = omni_counts.get(omni_output, 0) + 1
+        if (next_checkpoint < len(checkpoints)
+                and position == checkpoints[next_checkpoint]):
+            for name, counts in (("input", input_counts),
+                                 ("knowledge-free", kf_counts),
+                                 ("omniscient", omni_counts)):
+                results[name]["max_frequency"].append(
+                    max(counts.values()) if counts else 0)
+                results[name]["distinct"].append(len(counts))
+            next_checkpoint += 1
+    return results
+
+
+# ---------------------------------------------------------------------- #
+# Figure 7 — frequency distribution as a function of node identifiers
+# ---------------------------------------------------------------------- #
+def _frequency_profile(stream: IdentifierStream,
+                       output_kf: IdentifierStream,
+                       output_omniscient: IdentifierStream) -> Dict[str, object]:
+    """Summarise the three frequency distributions of a Figure 7 experiment."""
+    def profile(target: IdentifierStream) -> Dict[str, float]:
+        frequencies = target.frequencies()
+        values = np.array(list(frequencies.values()), dtype=np.float64)
+        if values.size == 0:
+            return {"max": 0.0, "mean": 0.0, "std": 0.0, "distinct": 0.0}
+        return {
+            "max": float(values.max()),
+            "mean": float(values.mean()),
+            "std": float(values.std()),
+            "distinct": float(len(values)),
+        }
+
+    return {
+        "input": profile(stream),
+        "knowledge-free": profile(output_kf),
+        "omniscient": profile(output_omniscient),
+        "input_divergence": kl_divergence_to_uniform(stream,
+                                                     support=stream.universe),
+        "knowledge_free_divergence": kl_divergence_to_uniform(
+            output_kf, support=stream.universe),
+        "omniscient_divergence": kl_divergence_to_uniform(
+            output_omniscient, support=stream.universe),
+    }
+
+
+def figure7a(stream_size: int = 100_000, population_size: int = 1_000, *,
+             memory_size: int = 10, sketch_width: int = 10, sketch_depth: int = 5,
+             peak_fraction: float = 0.5,
+             random_state: RandomState = None) -> Dict[str, object]:
+    """Figure 7(a): frequency vs identifier under a peak (Zipf alpha=4) attack.
+
+    The input realises the scenario described in the paper: one identifier is
+    injected ``peak_fraction * m`` times while every other identifier occurs a
+    small, equal number of times.
+    """
+    rng = ensure_rng(random_state)
+    stream_rng, kf_rng, omni_rng = spawn_children(rng, 3)
+    stream = peak_attack_stream(stream_size, population_size,
+                                peak_fraction=peak_fraction,
+                                random_state=stream_rng)
+    knowledge_free = KnowledgeFreeStrategy(memory_size,
+                                           sketch_width=sketch_width,
+                                           sketch_depth=sketch_depth,
+                                           random_state=kf_rng)
+    omniscient = OmniscientStrategy(StreamOracle.from_stream(stream),
+                                    memory_size, random_state=omni_rng)
+    output_kf = knowledge_free.process_stream(stream)
+    output_omni = omniscient.process_stream(stream)
+    return _frequency_profile(stream, output_kf, output_omni)
+
+
+def figure7b(stream_size: int = 100_000, population_size: int = 1_000, *,
+             memory_size: int = 10, sketch_width: int = 10, sketch_depth: int = 5,
+             random_state: RandomState = None) -> Dict[str, object]:
+    """Figure 7(b): frequency vs identifier under targeted+flooding bias.
+
+    The input is biased by a truncated Poisson distribution with
+    ``lambda = n/2`` as in the paper: roughly ``sqrt(n)`` identifiers around
+    rank ``n/2`` are heavily over-represented.
+    """
+    rng = ensure_rng(random_state)
+    stream_rng, kf_rng, omni_rng = spawn_children(rng, 3)
+    stream = poisson_attack_stream(stream_size, population_size,
+                                   random_state=stream_rng)
+    knowledge_free = KnowledgeFreeStrategy(memory_size,
+                                           sketch_width=sketch_width,
+                                           sketch_depth=sketch_depth,
+                                           random_state=kf_rng)
+    omniscient = OmniscientStrategy(StreamOracle.from_stream(stream),
+                                    memory_size, random_state=omni_rng)
+    output_kf = knowledge_free.process_stream(stream)
+    output_omni = omniscient.process_stream(stream)
+    return _frequency_profile(stream, output_kf, output_omni)
+
+
+# ---------------------------------------------------------------------- #
+# Figures 8-11 — KL gain sweeps
+# ---------------------------------------------------------------------- #
+def _gain_sweep(parameter_values: Sequence,
+                stream_for, *,
+                memory_size: int, sketch_width: int, sketch_depth: int,
+                trials: int, random_state: RandomState) -> Series:
+    """Shared machinery of Figures 8-10: sweep a parameter, report mean gains."""
+    rng = ensure_rng(random_state)
+    series: Series = {"knowledge-free": [], "omniscient": []}
+    for value in parameter_values:
+        harness = ExperimentHarness(
+            stream_factory=lambda trial_rng, value=value: stream_for(value,
+                                                                     trial_rng),
+            strategy_factories=default_strategy_factories(
+                memory_size, sketch_width, sketch_depth),
+            trials=trials,
+            random_state=rng,
+        )
+        result = harness.run()
+        for name in series:
+            series[name].append((float(value), result.mean_gain(name)))
+    return series
+
+
+def figure8(population_sizes: Sequence[int] = (10, 30, 100, 300, 1000), *,
+            stream_size: int = 100_000, memory_size: int = 10,
+            sketch_width: int = 10, sketch_depth: int = 17,
+            peak_fraction: float = 0.5, trials: int = 3,
+            random_state: RandomState = None) -> Series:
+    """Figure 8: gain ``G_KL`` as a function of the population size ``n``.
+
+    The input stream is biased by a peak attack (the "Zipfian alpha=4" bias
+    of the paper); settings m=100,000, k=10, c=10, s=17.
+    """
+    def stream_for(population_size: int, rng) -> IdentifierStream:
+        return peak_attack_stream(stream_size, int(population_size),
+                                  peak_fraction=peak_fraction,
+                                  random_state=rng)
+
+    return _gain_sweep(population_sizes, stream_for, memory_size=memory_size,
+                       sketch_width=sketch_width, sketch_depth=sketch_depth,
+                       trials=trials, random_state=random_state)
+
+
+def figure9(stream_sizes: Sequence[int] = (10_000, 30_000, 100_000, 300_000,
+                                           1_000_000), *,
+            population_size: int = 1_000, memory_size: int = 10,
+            sketch_width: int = 10, sketch_depth: int = 17,
+            peak_fraction: float = 0.5, trials: int = 3,
+            random_state: RandomState = None) -> Series:
+    """Figure 9: gain ``G_KL`` as a function of the stream size ``m``.
+
+    Peak-attack bias, paper settings n=1,000, k=10, c=10, s=17.
+    """
+    def stream_for(stream_size: int, rng) -> IdentifierStream:
+        return peak_attack_stream(int(stream_size), population_size,
+                                  peak_fraction=peak_fraction,
+                                  random_state=rng)
+
+    return _gain_sweep(stream_sizes, stream_for, memory_size=memory_size,
+                       sketch_width=sketch_width, sketch_depth=sketch_depth,
+                       trials=trials, random_state=random_state)
+
+
+def figure10a(memory_sizes: Sequence[int] = (10, 50, 100, 300, 500, 700, 1000),
+              *, stream_size: int = 100_000, population_size: int = 1_000,
+              sketch_width: int = 10, sketch_depth: int = 17,
+              peak_fraction: float = 0.5, trials: int = 3,
+              random_state: RandomState = None) -> Series:
+    """Figure 10(a): gain vs sampling-memory size ``c`` under a peak attack."""
+    rng = ensure_rng(random_state)
+    series: Series = {"knowledge-free": [], "omniscient": []}
+    for memory_size in memory_sizes:
+        harness = ExperimentHarness(
+            stream_factory=lambda trial_rng: peak_attack_stream(
+                stream_size, population_size, peak_fraction=peak_fraction,
+                random_state=trial_rng),
+            strategy_factories=default_strategy_factories(
+                int(memory_size), sketch_width, sketch_depth),
+            trials=trials,
+            random_state=rng,
+        )
+        result = harness.run()
+        for name in series:
+            series[name].append((float(memory_size), result.mean_gain(name)))
+    return series
+
+
+def figure10b(memory_sizes: Sequence[int] = (10, 50, 100, 300, 500, 700, 1000),
+              *, stream_size: int = 100_000, population_size: int = 1_000,
+              sketch_width: int = 10, sketch_depth: int = 17, trials: int = 3,
+              random_state: RandomState = None) -> Series:
+    """Figure 10(b): gain vs ``c`` under targeted + flooding (Poisson) bias."""
+    rng = ensure_rng(random_state)
+    series: Series = {"knowledge-free": [], "omniscient": []}
+    for memory_size in memory_sizes:
+        harness = ExperimentHarness(
+            stream_factory=lambda trial_rng: poisson_attack_stream(
+                stream_size, population_size, random_state=trial_rng),
+            strategy_factories=default_strategy_factories(
+                int(memory_size), sketch_width, sketch_depth),
+            trials=trials,
+            random_state=rng,
+        )
+        result = harness.run()
+        for name in series:
+            series[name].append((float(memory_size), result.mean_gain(name)))
+    return series
+
+
+def figure11(malicious_counts: Sequence[int] = (10, 30, 100, 300, 1000), *,
+             stream_size: int = 100_000, population_size: int = 1_000,
+             memory_size: int = 50, sketch_width: int = 50, sketch_depth: int = 10,
+             overrepresentation: int = 20, trials: int = 3,
+             random_state: RandomState = None) -> Series:
+    """Figure 11: gain vs the number of over-represented malicious identifiers.
+
+    ``malicious_counts`` identifiers are over-represented by a factor
+    ``overrepresentation`` relative to correct identifiers in the input
+    stream (the rest of the probability mass is uniform).  The paper observes
+    that the knowledge-free strategy degrades once the malicious identifiers
+    reach about 10% of the population (paper settings: m=100,000, n=1,000,
+    c=50, k=50, s=10).
+    """
+    rng = ensure_rng(random_state)
+    series: Series = {"knowledge-free": []}
+
+    def stream_for(num_malicious: int, trial_rng) -> IdentifierStream:
+        num_malicious = int(num_malicious)
+        weights = np.ones(population_size + num_malicious, dtype=np.float64)
+        weights[population_size:] = float(overrepresentation)
+        probabilities = weights / weights.sum()
+        draws = trial_rng.choice(len(weights), size=stream_size, p=probabilities)
+        identifiers = draws.tolist()
+        return IdentifierStream(
+            identifiers=identifiers,
+            universe=list(range(population_size + num_malicious)),
+            malicious=list(range(population_size, population_size + num_malicious)),
+            label=f"figure11(l={num_malicious})",
+        )
+
+    for num_malicious in malicious_counts:
+        harness = ExperimentHarness(
+            stream_factory=lambda trial_rng, value=num_malicious: stream_for(
+                value, trial_rng),
+            strategy_factories={
+                "knowledge-free": default_strategy_factories(
+                    memory_size, sketch_width, sketch_depth)["knowledge-free"],
+            },
+            trials=trials,
+            random_state=rng,
+        )
+        result = harness.run()
+        series["knowledge-free"].append(
+            (float(num_malicious), result.mean_gain("knowledge-free")))
+    return series
+
+
+# ---------------------------------------------------------------------- #
+# Figure 12 — real (synthetic stand-in) traces
+# ---------------------------------------------------------------------- #
+def figure12(scale: float = 0.01, *, trials: int = 1,
+             random_state: RandomState = None) -> List[Dict[str, object]]:
+    """Figure 12: KL divergence to uniform on the three trace stand-ins.
+
+    For every trace the knowledge-free strategy is run with the paper's two
+    sizings — ``c = k = log2(n)`` and ``c = k = 0.01 n`` — plus the omniscient
+    strategy, and the KL divergence of the input and of each output stream to
+    the uniform distribution is reported.
+    """
+    rng = ensure_rng(random_state)
+    rows: List[Dict[str, object]] = []
+    for spec in PAPER_TRACES:
+        trace = SyntheticTrace(spec, scale=scale, random_state=rng)
+        stream = trace.materialise()
+        n = stream.population_size
+        small = max(2, int(round(np.log2(n))))
+        # At the paper's trace sizes 0.01 n is much larger than log2 n; keep
+        # that ordering on scaled-down traces as well.
+        large = max(small + 1, int(round(0.01 * n)))
+        divergences = {"input": [], "kf-log": [], "kf-1pct": [], "omniscient": []}
+        for _ in range(trials):
+            trial_rngs = spawn_children(rng, 3)
+            kf_small = KnowledgeFreeStrategy(small, sketch_width=small,
+                                             sketch_depth=5,
+                                             random_state=trial_rngs[0])
+            kf_large = KnowledgeFreeStrategy(large, sketch_width=large,
+                                             sketch_depth=5,
+                                             random_state=trial_rngs[1])
+            omniscient = OmniscientStrategy(StreamOracle.from_stream(stream),
+                                            large, random_state=trial_rngs[2])
+            support = stream.universe
+            divergences["input"].append(
+                kl_divergence_to_uniform(stream, support=support))
+            divergences["kf-log"].append(kl_divergence_to_uniform(
+                kf_small.process_stream(stream), support=support))
+            divergences["kf-1pct"].append(kl_divergence_to_uniform(
+                kf_large.process_stream(stream), support=support))
+            divergences["omniscient"].append(kl_divergence_to_uniform(
+                omniscient.process_stream(stream), support=support))
+        rows.append({
+            "trace": spec.name,
+            "n (scaled)": n,
+            "input": float(np.mean(divergences["input"])),
+            "knowledge-free c=k=log n": float(np.mean(divergences["kf-log"])),
+            "knowledge-free c=k=0.01n": float(np.mean(divergences["kf-1pct"])),
+            "omniscient": float(np.mean(divergences["omniscient"])),
+        })
+    return rows

@@ -1,0 +1,203 @@
+"""Experiment harness: run a sampling strategy against a biased stream.
+
+The paper evaluates every setting by averaging 100 trials of the same
+experiment.  :class:`ExperimentHarness` encapsulates one such experiment —
+a stream-factory, a set of strategies, and the metrics to report — and runs
+it for an arbitrary number of trials with independent seeds, returning both
+per-trial and averaged results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.base import SamplingStrategy
+from repro.core.knowledge_free import KnowledgeFreeStrategy
+from repro.core.omniscient import OmniscientStrategy
+from repro.metrics.divergence import kl_divergence_to_uniform, kl_gain
+from repro.streams.oracle import StreamOracle
+from repro.streams.stream import IdentifierStream
+from repro.utils.rng import RandomState, ensure_rng, spawn_children
+from repro.utils.validation import check_positive
+
+#: A stream factory takes a per-trial RNG and returns the biased input stream.
+StreamFactory = Callable[[np.random.Generator], IdentifierStream]
+
+#: A strategy factory takes the input stream and a per-trial RNG and returns a
+#: ready-to-run sampling strategy (the stream is needed by omniscient
+#: strategies to build their oracle).
+StrategyFactory = Callable[[IdentifierStream, np.random.Generator], SamplingStrategy]
+
+
+@dataclass
+class TrialResult:
+    """Metrics of one strategy on one trial."""
+
+    strategy: str
+    trial: int
+    input_divergence: float
+    output_divergence: float
+    gain: float
+    input_max_frequency: int
+    output_max_frequency: int
+    stream_size: int
+
+
+@dataclass
+class StrategySummary:
+    """Averaged metrics of one strategy over all trials."""
+
+    strategy: str
+    trials: int
+    mean_input_divergence: float
+    mean_output_divergence: float
+    mean_gain: float
+    std_gain: float
+    mean_output_max_frequency: float
+
+
+@dataclass
+class ExperimentResult:
+    """All per-trial results plus per-strategy summaries."""
+
+    trials: List[TrialResult] = field(default_factory=list)
+
+    def for_strategy(self, name: str) -> List[TrialResult]:
+        """Return the per-trial results of one strategy."""
+        return [trial for trial in self.trials if trial.strategy == name]
+
+    def summaries(self) -> Dict[str, StrategySummary]:
+        """Return the averaged metrics keyed by strategy name."""
+        summaries: Dict[str, StrategySummary] = {}
+        names = sorted({trial.strategy for trial in self.trials})
+        for name in names:
+            rows = self.for_strategy(name)
+            gains = np.array([row.gain for row in rows])
+            summaries[name] = StrategySummary(
+                strategy=name,
+                trials=len(rows),
+                mean_input_divergence=float(np.mean(
+                    [row.input_divergence for row in rows])),
+                mean_output_divergence=float(np.mean(
+                    [row.output_divergence for row in rows])),
+                mean_gain=float(gains.mean()),
+                std_gain=float(gains.std()),
+                mean_output_max_frequency=float(np.mean(
+                    [row.output_max_frequency for row in rows])),
+            )
+        return summaries
+
+    def mean_gain(self, strategy: str) -> float:
+        """Return the mean gain of one strategy."""
+        rows = self.for_strategy(strategy)
+        if not rows:
+            raise KeyError(f"no trials recorded for strategy {strategy!r}")
+        return float(np.mean([row.gain for row in rows]))
+
+
+def default_strategy_factories(memory_size: int, sketch_width: int,
+                               sketch_depth: int) -> Dict[str, StrategyFactory]:
+    """Return the paper's two strategies as harness factories.
+
+    The omniscient strategy receives an oracle built from the exact empirical
+    frequencies of the trial's input stream, matching the paper's definition
+    of omniscience.
+    """
+    def make_knowledge_free(stream: IdentifierStream,
+                            rng: np.random.Generator) -> SamplingStrategy:
+        return KnowledgeFreeStrategy(memory_size, sketch_width=sketch_width,
+                                     sketch_depth=sketch_depth,
+                                     random_state=rng)
+
+    def make_omniscient(stream: IdentifierStream,
+                        rng: np.random.Generator) -> SamplingStrategy:
+        oracle = StreamOracle.from_stream(stream)
+        return OmniscientStrategy(oracle, memory_size, random_state=rng)
+
+    return {
+        "knowledge-free": make_knowledge_free,
+        "omniscient": make_omniscient,
+    }
+
+
+class ExperimentHarness:
+    """Run one experiment (stream x strategies) over several trials.
+
+    Parameters
+    ----------
+    stream_factory:
+        Builds the biased input stream of a trial from a per-trial RNG.
+    strategy_factories:
+        Mapping strategy-name -> factory; each strategy processes the same
+        input stream within a trial.
+    trials:
+        Number of independent repetitions.
+    random_state:
+        Master seed from which per-trial seeds are derived.
+    """
+
+    def __init__(self, stream_factory: StreamFactory,
+                 strategy_factories: Dict[str, StrategyFactory], *,
+                 trials: int = 10,
+                 random_state: RandomState = None) -> None:
+        check_positive("trials", trials)
+        if not strategy_factories:
+            raise ValueError("at least one strategy factory is required")
+        self.stream_factory = stream_factory
+        self.strategy_factories = dict(strategy_factories)
+        self.trials = int(trials)
+        self._rng = ensure_rng(random_state)
+
+    def run(self) -> ExperimentResult:
+        """Run all trials and return the collected results."""
+        result = ExperimentResult()
+        trial_rngs = spawn_children(self._rng, self.trials)
+        for trial_index, trial_rng in enumerate(trial_rngs):
+            stream = self.stream_factory(trial_rng)
+            support = stream.universe
+            input_divergence = kl_divergence_to_uniform(stream, support=support)
+            for name, factory in self.strategy_factories.items():
+                strategy = factory(stream, trial_rng)
+                output = strategy.process_stream(stream)
+                output_divergence = kl_divergence_to_uniform(output,
+                                                             support=support)
+                gain = kl_gain(stream, output, support=support)
+                result.trials.append(TrialResult(
+                    strategy=name,
+                    trial=trial_index,
+                    input_divergence=input_divergence,
+                    output_divergence=output_divergence,
+                    gain=gain,
+                    input_max_frequency=stream.max_frequency(),
+                    output_max_frequency=output.max_frequency(),
+                    stream_size=stream.size,
+                ))
+        return result
+
+
+def sweep(parameter_values: Sequence,
+          harness_factory: Callable[[object], ExperimentHarness]
+          ) -> Dict[object, ExperimentResult]:
+    """Run a harness for every value of a swept parameter.
+
+    Parameters
+    ----------
+    parameter_values:
+        The values of the swept parameter (e.g. memory sizes ``c`` for
+        Figure 10, population sizes ``n`` for Figure 8).
+    harness_factory:
+        Builds the harness for one parameter value.
+
+    Returns
+    -------
+    dict
+        Mapping parameter value -> :class:`ExperimentResult`.
+    """
+    results: Dict[object, ExperimentResult] = {}
+    for value in parameter_values:
+        harness = harness_factory(value)
+        results[value] = harness.run()
+    return results

@@ -1,0 +1,98 @@
+"""Plain-text reporting of experiment results.
+
+Every figure/table driver returns structured data (lists of rows or series of
+points); this module renders them as aligned ASCII tables so that the
+benchmark harness can print the same rows/series the paper reports without
+any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+
+def format_table(rows: Sequence[Mapping[str, object]], *,
+                 columns: Sequence[str] = None,
+                 float_format: str = "{:.4f}") -> str:
+    """Render a list of row-dictionaries as an aligned ASCII table.
+
+    Parameters
+    ----------
+    rows:
+        The table rows; every row is a mapping column-name -> value.
+    columns:
+        Column order; defaults to the keys of the first row.
+    float_format:
+        Format applied to float values.
+    """
+    if not rows:
+        return "(empty table)"
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    def render(value: object) -> str:
+        if isinstance(value, bool):
+            return str(value)
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    rendered = [[render(row.get(column, "")) for column in columns]
+                for row in rows]
+    widths = [max(len(column), *(len(line[index]) for line in rendered))
+              for index, column in enumerate(columns)]
+    header = " | ".join(column.ljust(width)
+                        for column, width in zip(columns, widths))
+    separator = "-+-".join("-" * width for width in widths)
+    body = "\n".join(
+        " | ".join(cell.ljust(width) for cell, width in zip(line, widths))
+        for line in rendered
+    )
+    return f"{header}\n{separator}\n{body}"
+
+
+def format_series(series: Mapping[str, Sequence[Tuple[object, float]]], *,
+                  x_label: str = "x", float_format: str = "{:.4f}") -> str:
+    """Render named (x, y) series as a wide ASCII table.
+
+    All series are aligned on the union of their x values; missing points are
+    rendered as blanks.  This is the textual analogue of the paper's line
+    plots (Figures 3, 4, 8, 9, 10, 11).
+    """
+    if not series:
+        return "(no series)"
+    xs: List[object] = []
+    seen = set()
+    for points in series.values():
+        for x, _ in points:
+            if x not in seen:
+                seen.add(x)
+                xs.append(x)
+    try:
+        xs = sorted(xs)
+    except TypeError:
+        pass
+    rows = []
+    lookup = {name: dict(points) for name, points in series.items()}
+    for x in xs:
+        row: Dict[str, object] = {x_label: x}
+        for name in series:
+            value = lookup[name].get(x)
+            row[name] = value if value is not None else ""
+        rows.append(row)
+    return format_table(rows, columns=[x_label, *series.keys()],
+                        float_format=float_format)
+
+
+def format_comparison(paper: Mapping[str, float], measured: Mapping[str, float],
+                      *, float_format: str = "{:.4f}") -> str:
+    """Render a paper-vs-measured comparison table (used by EXPERIMENTS.md)."""
+    rows = []
+    for key in paper:
+        rows.append({
+            "quantity": key,
+            "paper": paper[key],
+            "measured": measured.get(key, ""),
+        })
+    return format_table(rows, columns=["quantity", "paper", "measured"],
+                        float_format=float_format)

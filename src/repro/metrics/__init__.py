@@ -1,0 +1,41 @@
+"""Metrics used by the evaluation (Section VI-A).
+
+* :mod:`repro.metrics.distributions` — empirical frequency distributions over
+  node identifiers;
+* :mod:`repro.metrics.divergence` — Kullback-Leibler divergence, the gain
+  ``G_KL``, and companion distances (total variation, chi-square);
+* :mod:`repro.metrics.uniformity` — chi-square goodness-of-fit testing of
+  sampler outputs against the uniform distribution.
+"""
+
+from repro.metrics.distributions import FrequencyDistribution
+from repro.metrics.divergence import (
+    chi_square_statistic,
+    cross_entropy,
+    entropy,
+    kl_divergence,
+    kl_divergence_to_uniform,
+    kl_gain,
+    max_frequency_ratio,
+    total_variation,
+)
+from repro.metrics.uniformity import (
+    UniformityReport,
+    chi_square_uniformity_test,
+    uniformity_of_output,
+)
+
+__all__ = [
+    "FrequencyDistribution",
+    "entropy",
+    "cross_entropy",
+    "kl_divergence",
+    "kl_divergence_to_uniform",
+    "kl_gain",
+    "total_variation",
+    "chi_square_statistic",
+    "max_frequency_ratio",
+    "UniformityReport",
+    "chi_square_uniformity_test",
+    "uniformity_of_output",
+]

@@ -1,0 +1,147 @@
+"""Empirical frequency distributions over node identifiers.
+
+The paper's evaluation compares the *frequency distribution* of the sampler's
+input and output streams with the uniform distribution over the population.
+:class:`FrequencyDistribution` is the common representation used by the
+divergence measures and the experiment harness: a normalised probability
+vector over an explicit identifier support, built either from a stream, a raw
+frequency table, or analytically (uniform / Zipf / Poisson).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.streams.stream import IdentifierStream
+from repro.utils.validation import check_positive
+
+
+class FrequencyDistribution:
+    """A probability distribution over a finite set of node identifiers.
+
+    Parameters
+    ----------
+    probabilities:
+        Mapping identifier -> probability mass.  Masses must be non-negative;
+        they are renormalised to sum to one.
+    support:
+        Optional explicit support.  Identifiers of the support missing from
+        ``probabilities`` receive zero mass; identifiers in ``probabilities``
+        but outside the support are rejected.  When omitted, the support is
+        the set of keys of ``probabilities``.
+    """
+
+    def __init__(self, probabilities: Mapping[int, float], *,
+                 support: Optional[Iterable[int]] = None) -> None:
+        if support is None:
+            support_list = sorted(int(identifier) for identifier in probabilities)
+        else:
+            support_list = sorted(int(identifier) for identifier in support)
+            unknown = set(int(i) for i in probabilities) - set(support_list)
+            if unknown:
+                raise ValueError(
+                    f"probabilities contain identifiers outside the support: "
+                    f"{sorted(unknown)[:5]}..."
+                )
+        if not support_list:
+            raise ValueError("the support must be non-empty")
+        masses = np.array(
+            [float(probabilities.get(identifier, 0.0)) for identifier in support_list],
+            dtype=np.float64,
+        )
+        if np.any(masses < 0):
+            raise ValueError("probability masses must be non-negative")
+        total = masses.sum()
+        check_positive("total probability mass", total)
+        self._support: List[int] = support_list
+        self._index: Dict[int, int] = {identifier: index
+                                       for index, identifier in enumerate(support_list)}
+        self._probabilities = masses / total
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_counts(cls, counts: Mapping[int, int], *,
+                    support: Optional[Iterable[int]] = None
+                    ) -> "FrequencyDistribution":
+        """Build a distribution from raw occurrence counts."""
+        return cls({identifier: float(count) for identifier, count in counts.items()},
+                   support=support)
+
+    @classmethod
+    def from_stream(cls, stream: IdentifierStream, *,
+                    support: Optional[Iterable[int]] = None
+                    ) -> "FrequencyDistribution":
+        """Build the empirical distribution of a stream.
+
+        The support defaults to the stream's universe so that identifiers of
+        the population that never appear receive zero mass (which matters for
+        Freshness-style checks).
+        """
+        if support is None:
+            support = stream.universe
+        counts = Counter(stream.identifiers)
+        return cls.from_counts(counts, support=support)
+
+    @classmethod
+    def uniform(cls, support: Iterable[int]) -> "FrequencyDistribution":
+        """Return the uniform distribution over ``support``."""
+        support_list = sorted(int(identifier) for identifier in support)
+        if not support_list:
+            raise ValueError("the support must be non-empty")
+        probability = 1.0 / len(support_list)
+        return cls({identifier: probability for identifier in support_list})
+
+    # ------------------------------------------------------------------ #
+    # Accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def support(self) -> List[int]:
+        """The sorted list of identifiers carrying (possibly zero) mass."""
+        return list(self._support)
+
+    @property
+    def probabilities(self) -> np.ndarray:
+        """The probability vector aligned with :attr:`support`."""
+        return self._probabilities.copy()
+
+    def probability(self, identifier: int) -> float:
+        """Return the probability mass of ``identifier`` (0 if outside support)."""
+        index = self._index.get(int(identifier))
+        if index is None:
+            return 0.0
+        return float(self._probabilities[index])
+
+    def as_dict(self) -> Dict[int, float]:
+        """Return the distribution as an identifier -> probability mapping."""
+        return {identifier: float(probability)
+                for identifier, probability in zip(self._support, self._probabilities)}
+
+    def __len__(self) -> int:
+        return len(self._support)
+
+    def __contains__(self, identifier: int) -> bool:
+        return int(identifier) in self._index
+
+    # ------------------------------------------------------------------ #
+    # Algebra
+    # ------------------------------------------------------------------ #
+    def aligned_with(self, other: "FrequencyDistribution"
+                     ) -> "tuple[np.ndarray, np.ndarray]":
+        """Return the two probability vectors over the union of both supports."""
+        union = sorted(set(self._support) | set(other._support))
+        mine = np.array([self.probability(identifier) for identifier in union])
+        theirs = np.array([other.probability(identifier) for identifier in union])
+        return mine, theirs
+
+    def max_probability(self) -> float:
+        """Return the largest single-identifier probability."""
+        return float(self._probabilities.max())
+
+    def effective_support_size(self) -> int:
+        """Return the number of identifiers with strictly positive mass."""
+        return int(np.count_nonzero(self._probabilities))

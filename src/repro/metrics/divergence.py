@@ -1,0 +1,168 @@
+"""Statistical distances between identifier streams (Section VI-A).
+
+The paper measures how far a stream is from uniform with the Kullback-Leibler
+divergence (Relation 6)
+
+    D_KL(v || w) = sum_i v_i log(v_i / w_i) = H(v, w) - H(v)
+
+and summarises an experiment with the *gain*
+
+    G_KL = 1 - D(sigma' || U) / D(sigma || U)
+
+— the fraction of the input stream's bias removed by the sampler (1 means the
+output is perfectly uniform, 0 means the sampler did not help at all,
+negative values mean it made things worse).
+
+This module also provides the total-variation and chi-square distances used by
+additional sanity checks and ablations.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.metrics.distributions import FrequencyDistribution
+from repro.streams.stream import IdentifierStream
+
+DistributionLike = Union[FrequencyDistribution, IdentifierStream]
+
+
+def _as_distribution(value: DistributionLike, *,
+                     support=None) -> FrequencyDistribution:
+    """Coerce a stream or distribution into a :class:`FrequencyDistribution`."""
+    if isinstance(value, FrequencyDistribution):
+        return value
+    if isinstance(value, IdentifierStream):
+        return FrequencyDistribution.from_stream(value, support=support)
+    raise TypeError(
+        "expected a FrequencyDistribution or IdentifierStream, "
+        f"got {type(value).__name__}"
+    )
+
+
+def entropy(distribution: DistributionLike) -> float:
+    """Return the Shannon entropy ``H(v)`` in nats."""
+    dist = _as_distribution(distribution)
+    probabilities = dist.probabilities
+    mask = probabilities > 0
+    return float(-(probabilities[mask] * np.log(probabilities[mask])).sum())
+
+
+def cross_entropy(first: DistributionLike, second: DistributionLike) -> float:
+    """Return the cross entropy ``H(v, w) = -sum v_i log w_i`` in nats.
+
+    Identifiers with ``v_i > 0`` and ``w_i = 0`` make the cross entropy
+    infinite; a small floor is applied to ``w`` (see :func:`kl_divergence`).
+    """
+    v = _as_distribution(first)
+    w = _as_distribution(second)
+    v_probabilities, w_probabilities = v.aligned_with(w)
+    floor = 1e-12
+    w_probabilities = np.maximum(w_probabilities, floor)
+    mask = v_probabilities > 0
+    return float(-(v_probabilities[mask] * np.log(w_probabilities[mask])).sum())
+
+
+def kl_divergence(first: DistributionLike, second: DistributionLike) -> float:
+    """Return ``D_KL(first || second)`` in nats (Relation 6 of the paper).
+
+    A floor of ``1e-12`` is applied to the second distribution so that
+    identifiers present in ``first`` but absent from ``second`` yield a large
+    finite penalty instead of infinity — the convention used to compare an
+    empirical output stream with the uniform distribution over the full
+    population.
+    """
+    v = _as_distribution(first)
+    w = _as_distribution(second)
+    v_probabilities, w_probabilities = v.aligned_with(w)
+    floor = 1e-12
+    w_probabilities = np.maximum(w_probabilities, floor)
+    mask = v_probabilities > 0
+    ratios = v_probabilities[mask] / w_probabilities[mask]
+    return float((v_probabilities[mask] * np.log(ratios)).sum())
+
+
+def kl_divergence_to_uniform(stream: DistributionLike, *,
+                             support=None) -> float:
+    """Return ``D_KL(stream || U)`` where ``U`` is uniform over the support.
+
+    The support defaults to the stream's universe (for streams) or the
+    distribution's support.
+    """
+    dist = _as_distribution(stream, support=support)
+    uniform = FrequencyDistribution.uniform(dist.support)
+    return kl_divergence(dist, uniform)
+
+
+def kl_gain(input_stream: DistributionLike, output_stream: DistributionLike, *,
+            support=None) -> float:
+    """Return the paper's gain ``G_KL = 1 - D(sigma'||U) / D(sigma||U)``.
+
+    Parameters
+    ----------
+    input_stream:
+        The (biased) input stream ``sigma`` or its distribution.
+    output_stream:
+        The sampler's output stream ``sigma'`` or its distribution.
+    support:
+        Optional common support; defaults to the input stream's universe so
+        both divergences are taken against the same uniform distribution.
+
+    Notes
+    -----
+    When the input stream is already (numerically) uniform the denominator is
+    ~0; the function returns 1.0 if the output is at least as uniform, else
+    0.0, rather than dividing by zero.
+    """
+    if support is None and isinstance(input_stream, IdentifierStream):
+        support = input_stream.universe
+    input_divergence = kl_divergence_to_uniform(input_stream, support=support)
+    output_divergence = kl_divergence_to_uniform(output_stream, support=support)
+    if input_divergence <= 1e-12:
+        return 1.0 if output_divergence <= input_divergence + 1e-12 else 0.0
+    return 1.0 - output_divergence / input_divergence
+
+
+def total_variation(first: DistributionLike, second: DistributionLike) -> float:
+    """Return the total-variation distance ``0.5 * sum |v_i - w_i|``."""
+    v = _as_distribution(first)
+    w = _as_distribution(second)
+    v_probabilities, w_probabilities = v.aligned_with(w)
+    return float(0.5 * np.abs(v_probabilities - w_probabilities).sum())
+
+
+def chi_square_statistic(observed: DistributionLike,
+                         expected: DistributionLike, *,
+                         sample_size: Optional[int] = None) -> float:
+    """Return the chi-square statistic of ``observed`` against ``expected``.
+
+    Parameters
+    ----------
+    sample_size:
+        Number of observations behind the observed distribution; defaults to
+        the stream length when a stream is given, otherwise 1 (the statistic
+        then reduces to a normalised squared distance).
+    """
+    if sample_size is None:
+        sample_size = (observed.size
+                       if isinstance(observed, IdentifierStream) else 1)
+    v = _as_distribution(observed)
+    w = _as_distribution(expected)
+    v_probabilities, w_probabilities = v.aligned_with(w)
+    mask = w_probabilities > 0
+    diffs = (v_probabilities[mask] - w_probabilities[mask]) ** 2
+    return float(sample_size * (diffs / w_probabilities[mask]).sum())
+
+
+def max_frequency_ratio(stream: IdentifierStream) -> float:
+    """Return ``max_j f_j / (m / n)`` — how over-represented the heaviest id is.
+
+    Equals 1 for a perfectly balanced stream; large values indicate a peak.
+    """
+    if stream.size == 0:
+        return 0.0
+    expected = stream.size / stream.population_size
+    return stream.max_frequency() / expected

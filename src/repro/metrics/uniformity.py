@@ -1,0 +1,164 @@
+"""Statistical uniformity testing of sampler outputs.
+
+The paper's evaluation relies on the KL divergence; a downstream user
+deploying the node sampling service also wants a *decision*: "is this output
+stream consistent with uniform sampling of the population?".  This module
+provides a chi-square goodness-of-fit test against the uniform distribution
+(with an optional scipy backend and a Wilson–Hilferty normal approximation
+fallback), together with simpler diagnostics (maximum relative deviation,
+coverage of the population).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.streams.stream import IdentifierStream
+from repro.utils.validation import check_probability
+
+
+def _chi_square_survival(statistic: float, degrees_of_freedom: int) -> float:
+    """Return ``P{Chi2_df >= statistic}``.
+
+    Uses :mod:`scipy` when available and the Wilson–Hilferty cube-root normal
+    approximation otherwise (accurate to a few 1e-3 for df >= 10, amply
+    sufficient for a pass/fail uniformity verdict).
+    """
+    if degrees_of_freedom <= 0:
+        raise ValueError("degrees_of_freedom must be positive")
+    try:  # pragma: no cover - exercised only when scipy is installed
+        from scipy import stats
+
+        return float(stats.chi2.sf(statistic, degrees_of_freedom))
+    except ImportError:  # pragma: no cover - depends on environment
+        pass
+    df = float(degrees_of_freedom)
+    z = ((statistic / df) ** (1.0 / 3.0) - (1.0 - 2.0 / (9.0 * df))) \
+        / math.sqrt(2.0 / (9.0 * df))
+    # Standard normal survival function via erfc.
+    return 0.5 * math.erfc(z / math.sqrt(2.0))
+
+
+@dataclass(frozen=True)
+class UniformityReport:
+    """Outcome of a uniformity test on an output stream."""
+
+    #: Number of samples tested.
+    sample_size: int
+    #: Size of the population the samples should be uniform over.
+    population_size: int
+    #: Chi-square statistic against the uniform expectation.
+    chi_square: float
+    #: p-value of the chi-square goodness-of-fit test.
+    p_value: float
+    #: Significance level used for the verdict.
+    significance: float
+    #: Largest ratio observed/expected over the population.
+    max_relative_deviation: float
+    #: Fraction of the population observed at least once.
+    coverage: float
+
+    @property
+    def is_uniform(self) -> bool:
+        """Whether the hypothesis of uniform sampling is *not* rejected."""
+        return self.p_value >= self.significance
+
+
+def chi_square_uniformity_test(samples: Iterable[int],
+                               population: Iterable[int], *,
+                               significance: float = 0.01
+                               ) -> UniformityReport:
+    """Test whether ``samples`` look uniformly drawn from ``population``.
+
+    Parameters
+    ----------
+    samples:
+        The observed node identifiers (e.g. the sampler's output stream, or
+        repeated calls to ``sample()``).
+    population:
+        The identifiers the samples should be uniform over.
+    significance:
+        Rejection threshold for the p-value (default 1 %).
+
+    Notes
+    -----
+    The chi-square approximation needs a few samples per category; with fewer
+    than ~5 samples per population member the verdict is conservative (the
+    test loses power but does not spuriously reject).
+    """
+    check_probability("significance", significance, allow_zero=False,
+                      allow_one=False)
+    population_list = sorted(set(int(identifier) for identifier in population))
+    if not population_list:
+        raise ValueError("population must be non-empty")
+    index = {identifier: position
+             for position, identifier in enumerate(population_list)}
+    counts = np.zeros(len(population_list), dtype=np.float64)
+    sample_size = 0
+    outside = 0
+    for sample in samples:
+        sample_size += 1
+        position = index.get(int(sample))
+        if position is None:
+            outside += 1
+            continue
+        counts[position] += 1
+    if sample_size == 0:
+        raise ValueError("samples must be non-empty")
+    expected = (sample_size - outside) / len(population_list)
+    if expected <= 0:
+        # Every sample fell outside the population: maximally non-uniform.
+        return UniformityReport(
+            sample_size=sample_size,
+            population_size=len(population_list),
+            chi_square=float("inf"),
+            p_value=0.0,
+            significance=significance,
+            max_relative_deviation=float("inf"),
+            coverage=0.0,
+        )
+    statistic = float(((counts - expected) ** 2 / expected).sum())
+    p_value = _chi_square_survival(statistic, len(population_list) - 1)
+    return UniformityReport(
+        sample_size=sample_size,
+        population_size=len(population_list),
+        chi_square=statistic,
+        p_value=p_value,
+        significance=significance,
+        max_relative_deviation=float(counts.max() / expected),
+        coverage=float(np.count_nonzero(counts) / len(population_list)),
+    )
+
+
+def uniformity_of_output(stream: IdentifierStream, *,
+                         population: Optional[Iterable[int]] = None,
+                         significance: float = 0.01,
+                         discard_fraction: float = 0.25) -> UniformityReport:
+    """Test the uniformity of a sampler *output stream*.
+
+    The beginning of an output stream reflects the warm-up of the sampling
+    memory (the Markov chain has not mixed yet), so by default the first
+    ``discard_fraction`` of the stream is discarded before testing — the
+    stationary-regime check the paper's Uniformity property is about.
+
+    Parameters
+    ----------
+    stream:
+        The sampler's output stream.
+    population:
+        The population the output should be uniform over; defaults to the
+        stream's universe.
+    discard_fraction:
+        Leading fraction of the stream treated as warm-up.
+    """
+    if not 0 <= discard_fraction < 1:
+        raise ValueError("discard_fraction must be in [0, 1)")
+    if population is None:
+        population = stream.universe
+    start = int(len(stream) * discard_fraction)
+    return chi_square_uniformity_test(stream.identifiers[start:], population,
+                                      significance=significance)

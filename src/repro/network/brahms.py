@@ -1,0 +1,247 @@
+"""Brahms-style Byzantine-resilient membership protocol (paper reference [6]).
+
+The paper's closest related work — Bortnikov et al.'s *Brahms* — combines a
+gossip-based membership view with a layer of min-wise samplers and feeds a
+fraction of the view from that sampler history, which bounds the fraction of
+adversarial identifiers an attacker can push into the views.  This module
+implements a compact round-based version of that protocol so the paper's
+qualitative comparison ("min-wise sampling converges to a uniform but static
+sample") can be reproduced against a running system rather than against a
+stand-alone :class:`~repro.core.baselines.MinWiseSampler`.
+
+The implementation follows the structure of Brahms:
+
+* every node keeps a **view** of ``view_size`` identifiers and a layer of
+  ``sampler_count`` min-wise samplers fed by every identifier the node hears;
+* each round a node *pushes* its identifier to some view members and *pulls*
+  the views of others;
+* the next view is assembled from ``alpha`` / ``beta`` / ``gamma`` fractions
+  of (pushed ids, pulled ids, sampler history), which is the attack-limiting
+  mechanism: even if the adversary floods pushes, the ``gamma`` share keeps
+  re-injecting the (slowly converging, eventually uniform) sampler history.
+
+Malicious nodes deviate by pushing every round to every correct node they
+know and by answering pulls with views made only of adversarial identifiers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.core.baselines import MinWiseSampler
+from repro.utils.rng import RandomState, ensure_rng, spawn_children
+from repro.utils.validation import check_positive, check_probability
+
+
+@dataclass
+class BrahmsConfig:
+    """Parameters of the Brahms membership protocol."""
+
+    #: Size of every node's membership view (l1 in the Brahms paper).
+    view_size: int = 16
+    #: Number of min-wise samplers per node (l2 in the Brahms paper).
+    sampler_count: int = 16
+    #: Fraction of the next view taken from received pushes.
+    alpha: float = 0.45
+    #: Fraction of the next view taken from pulled views.
+    beta: float = 0.45
+    #: Fraction of the next view taken from the sampler history.
+    gamma: float = 0.1
+    #: Number of push messages a correct node sends per round.
+    pushes_per_round: int = 4
+    #: Number of pull requests a correct node sends per round.
+    pulls_per_round: int = 4
+
+    def __post_init__(self) -> None:
+        check_positive("view_size", self.view_size)
+        check_positive("sampler_count", self.sampler_count)
+        check_positive("pushes_per_round", self.pushes_per_round)
+        check_positive("pulls_per_round", self.pulls_per_round)
+        for name in ("alpha", "beta", "gamma"):
+            check_probability(name, getattr(self, name), allow_zero=True,
+                              allow_one=True)
+        total = self.alpha + self.beta + self.gamma
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(
+                f"alpha + beta + gamma must equal 1, got {total}"
+            )
+
+
+class BrahmsNode:
+    """One correct node running the Brahms membership protocol."""
+
+    is_malicious = False
+
+    def __init__(self, identifier: int, config: BrahmsConfig, *,
+                 random_state: RandomState = None) -> None:
+        self.identifier = int(identifier)
+        self.config = config
+        self._rng = ensure_rng(random_state)
+        self.view: List[int] = []
+        self.sampler = MinWiseSampler(config.sampler_count,
+                                      random_state=self._rng)
+        self._pending_pushes: List[int] = []
+
+    # -- message handling -------------------------------------------------
+    def bootstrap(self, identifiers: Sequence[int]) -> None:
+        """Initialise the view with known identifiers (excluding self)."""
+        candidates = [int(i) for i in identifiers if int(i) != self.identifier]
+        self._rng.shuffle(candidates)
+        self.view = candidates[: self.config.view_size]
+        for identifier in self.view:
+            self.sampler.process(identifier)
+
+    def receive_push(self, identifier: int) -> None:
+        """Record a pushed identifier (processed at the end of the round)."""
+        identifier = int(identifier)
+        self._pending_pushes.append(identifier)
+        self.sampler.process(identifier)
+
+    def answer_pull(self) -> List[int]:
+        """Return the node's current view (correct nodes answer honestly)."""
+        return list(self.view)
+
+    # -- round update -----------------------------------------------------
+    def _sample_slice(self, source: List[int], count: int) -> List[int]:
+        unique = [identifier for identifier in dict.fromkeys(source)
+                  if identifier != self.identifier]
+        if not unique or count <= 0:
+            return []
+        chosen = self._rng.choice(len(unique), size=min(count, len(unique)),
+                                  replace=False)
+        return [unique[int(index)] for index in chosen]
+
+    def update_view(self, pulled: List[int]) -> None:
+        """Assemble the next view from pushes, pulls and the sampler history."""
+        for identifier in pulled:
+            self.sampler.process(identifier)
+        config = self.config
+        push_quota = int(round(config.alpha * config.view_size))
+        pull_quota = int(round(config.beta * config.view_size))
+        history_quota = config.view_size - push_quota - pull_quota
+
+        next_view: List[int] = []
+        next_view.extend(self._sample_slice(self._pending_pushes, push_quota))
+        next_view.extend(self._sample_slice(pulled, pull_quota))
+        history: List[int] = [identifier for identifier in self.sampler.memory
+                              if identifier != self.identifier]
+        next_view.extend(self._sample_slice(history, history_quota))
+        # Top up from the previous view if any quota could not be filled.
+        if len(next_view) < config.view_size:
+            next_view.extend(self._sample_slice(
+                self.view, config.view_size - len(next_view)))
+        if next_view:
+            self.view = list(dict.fromkeys(next_view))[: config.view_size]
+        self._pending_pushes = []
+
+    def malicious_fraction_of_view(self, malicious: Set[int]) -> float:
+        """Return the fraction of the current view controlled by the adversary."""
+        if not self.view:
+            return 0.0
+        hits = sum(1 for identifier in self.view if identifier in malicious)
+        return hits / len(self.view)
+
+
+class BrahmsSimulation:
+    """Round-based simulation of Brahms under a push-flood attack.
+
+    Parameters
+    ----------
+    num_correct:
+        Number of correct nodes.
+    num_malicious:
+        Number of adversarial identifiers; the adversary pushes each of them
+        to every correct node every round and answers every pull with a view
+        made only of adversarial identifiers (the strongest view-poisoning
+        behaviour Brahms is designed to bound).
+    config:
+        Protocol parameters.
+    random_state:
+        Master seed.
+    """
+
+    def __init__(self, num_correct: int, num_malicious: int = 0, *,
+                 config: Optional[BrahmsConfig] = None,
+                 random_state: RandomState = None) -> None:
+        check_positive("num_correct", num_correct)
+        if num_malicious < 0:
+            raise ValueError("num_malicious must be non-negative")
+        self.config = config or BrahmsConfig()
+        self._rng = ensure_rng(random_state)
+        children = spawn_children(self._rng, num_correct)
+        self.correct_ids = list(range(num_correct))
+        self.malicious_ids = list(range(num_correct,
+                                        num_correct + num_malicious))
+        self.nodes: Dict[int, BrahmsNode] = {
+            identifier: BrahmsNode(identifier, self.config,
+                                   random_state=children[index])
+            for index, identifier in enumerate(self.correct_ids)
+        }
+        everyone = self.correct_ids + self.malicious_ids
+        for node in self.nodes.values():
+            node.bootstrap(everyone)
+        self.rounds_executed = 0
+
+    # -- adversary behaviour ------------------------------------------------
+    def _adversarial_pull_answer(self) -> List[int]:
+        if not self.malicious_ids:
+            return []
+        size = min(self.config.view_size, len(self.malicious_ids))
+        chosen = self._rng.choice(len(self.malicious_ids), size=size,
+                                  replace=False)
+        return [self.malicious_ids[int(index)] for index in chosen]
+
+    # -- rounds ---------------------------------------------------------------
+    def run_round(self) -> None:
+        """Execute one synchronous Brahms round."""
+        config = self.config
+        # 1. Correct pushes.
+        for node in self.nodes.values():
+            targets = node._sample_slice(node.view, config.pushes_per_round)
+            for target in targets:
+                if target in self.nodes:
+                    self.nodes[target].receive_push(node.identifier)
+        # 2. Adversarial push flood: every malicious identifier is pushed to
+        #    every correct node every round.
+        for node in self.nodes.values():
+            for identifier in self.malicious_ids:
+                node.receive_push(identifier)
+        # 3. Pulls and view update.
+        for node in self.nodes.values():
+            pulled: List[int] = []
+            partners = node._sample_slice(node.view, config.pulls_per_round)
+            for partner in partners:
+                if partner in self.nodes:
+                    pulled.extend(self.nodes[partner].answer_pull())
+                elif partner in set(self.malicious_ids):
+                    pulled.extend(self._adversarial_pull_answer())
+            node.update_view(pulled)
+        self.rounds_executed += 1
+
+    def run(self, rounds: int) -> "BrahmsSimulation":
+        """Execute ``rounds`` protocol rounds."""
+        check_positive("rounds", rounds)
+        for _ in range(rounds):
+            self.run_round()
+        return self
+
+    # -- observation ----------------------------------------------------------
+    def mean_view_poisoning(self) -> float:
+        """Mean fraction of adversarial identifiers in correct nodes' views."""
+        malicious = set(self.malicious_ids)
+        fractions = [node.malicious_fraction_of_view(malicious)
+                     for node in self.nodes.values()]
+        return sum(fractions) / len(fractions) if fractions else 0.0
+
+    def mean_sampler_poisoning(self) -> float:
+        """Mean fraction of adversarial identifiers in the sampler layers."""
+        malicious = set(self.malicious_ids)
+        fractions = []
+        for node in self.nodes.values():
+            memory = node.sampler.memory
+            if not memory:
+                continue
+            fractions.append(sum(1 for identifier in memory
+                                 if identifier in malicious) / len(memory))
+        return sum(fractions) / len(fractions) if fractions else 0.0

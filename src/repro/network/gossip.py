@@ -1,0 +1,195 @@
+"""Push gossip dissemination of node identifiers.
+
+The paper's input streams "may result from the continuous propagation of node
+ids through gossip-based algorithms" (Section IV).  This module implements a
+round-based push gossip protocol over an overlay graph: at every round each
+node advertises an identifier (its own for correct nodes, an adversary-chosen
+identifier for malicious nodes) to ``fanout`` neighbours; every received
+identifier is appended to the receiver's input stream and fed to its local
+node sampling service.
+
+The simulation thereby produces, at every correct node, exactly the kind of
+adversarially biased identifier stream the sampling strategies are designed
+to unbias.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.network.node import CorrectNode, MaliciousNode, Node, NodeConfig
+from repro.network.overlay import OverlayGraph, ring_with_shortcuts
+from repro.streams.stream import IdentifierStream
+from repro.utils.rng import RandomState, ensure_rng, spawn_children
+from repro.utils.validation import check_positive
+
+
+@dataclass
+class GossipConfig:
+    """Parameters of the push-gossip simulation."""
+
+    #: Number of neighbours contacted by each node per round.
+    fanout: int = 3
+    #: Number of identifiers each malicious node pushes per round (the
+    #: adversary's amplification factor).
+    malicious_fanout: int = 6
+    #: Sampling-service configuration of every correct node.
+    node_config: NodeConfig = field(default_factory=NodeConfig)
+
+    def __post_init__(self) -> None:
+        check_positive("fanout", self.fanout)
+        check_positive("malicious_fanout", self.malicious_fanout)
+
+
+class GossipSimulation:
+    """Round-based push gossip over an overlay graph.
+
+    Parameters
+    ----------
+    num_correct:
+        Number of correct nodes.
+    num_malicious:
+        Number of malicious (adversary-controlled) nodes.
+    sybil_identifiers_per_malicious:
+        Number of fabricated identifiers each malicious node cycles through
+        when advertising (1 means malicious nodes only advertise themselves).
+    config:
+        Gossip parameters.
+    overlay:
+        Optional pre-built overlay; defaults to a ring with random shortcuts
+        over all the nodes (correct and malicious mixed).
+    random_state:
+        Master seed; every node receives an independent child generator.
+    """
+
+    def __init__(self, num_correct: int, num_malicious: int = 0, *,
+                 sybil_identifiers_per_malicious: int = 1,
+                 config: Optional[GossipConfig] = None,
+                 overlay: Optional[OverlayGraph] = None,
+                 random_state: RandomState = None) -> None:
+        check_positive("num_correct", num_correct)
+        if num_malicious < 0:
+            raise ValueError("num_malicious must be non-negative")
+        check_positive("sybil_identifiers_per_malicious",
+                       sybil_identifiers_per_malicious)
+        self.config = config or GossipConfig()
+        self._rng = ensure_rng(random_state)
+        total_nodes = num_correct + num_malicious
+        children = spawn_children(self._rng, total_nodes + 1)
+        self._overlay_rng = children[-1]
+
+        correct_ids = list(range(num_correct))
+        malicious_ids = list(range(num_correct, total_nodes))
+        next_sybil = total_nodes
+        self.nodes: Dict[int, Node] = {}
+        for index, identifier in enumerate(correct_ids):
+            self.nodes[identifier] = CorrectNode(
+                identifier, config=self.config.node_config,
+                random_state=children[index],
+            )
+        for offset, identifier in enumerate(malicious_ids):
+            controlled = [identifier]
+            for _ in range(sybil_identifiers_per_malicious - 1):
+                controlled.append(next_sybil)
+                next_sybil += 1
+            self.nodes[identifier] = MaliciousNode(
+                identifier, controlled,
+                random_state=children[num_correct + offset],
+            )
+        self.correct_ids = correct_ids
+        self.malicious_ids = malicious_ids
+        self.sybil_identifiers = [
+            identifier
+            for node in self.nodes.values() if node.is_malicious
+            for identifier in node.controlled_identifiers
+        ]
+        if overlay is None:
+            # Shuffle the node order so malicious nodes are scattered around
+            # the ring instead of forming a contiguous (mostly self-connected)
+            # segment.
+            node_order = list(self.nodes)
+            self._overlay_rng.shuffle(node_order)
+            overlay = ring_with_shortcuts(
+                node_order, shortcuts=max(1, total_nodes // 2),
+                random_state=self._overlay_rng,
+            )
+        self.overlay = overlay
+        self.rounds_executed = 0
+        # Bootstrap views with overlay neighbours so gossip can start.
+        for identifier, node in self.nodes.items():
+            node.view = list(self.overlay.neighbors(identifier))
+
+    # ------------------------------------------------------------------ #
+    # Simulation
+    # ------------------------------------------------------------------ #
+    def run_round(self) -> None:
+        """Execute one synchronous gossip round."""
+        deliveries: List[tuple] = []
+        for identifier, node in self.nodes.items():
+            neighbors = self.overlay.neighbors(identifier)
+            if not neighbors:
+                continue
+            if node.is_malicious:
+                # Malicious nodes are not bound by the protocol: they push
+                # their full per-round budget, re-contacting neighbours as
+                # needed (the adversary's amplification factor).
+                count = self.config.malicious_fanout
+                chosen = self._rng.choice(len(neighbors), size=count,
+                                          replace=True)
+            else:
+                count = min(self.config.fanout, len(neighbors))
+                chosen = self._rng.choice(len(neighbors), size=count,
+                                          replace=False)
+            for index in chosen:
+                target = neighbors[int(index)]
+                deliveries.append((target, node.advertisement()))
+        # Deliver after all sends so the round is synchronous.
+        self._rng.shuffle(deliveries)
+        for target, advertised in deliveries:
+            self.nodes[target].receive(advertised)
+        self.rounds_executed += 1
+
+    def run(self, rounds: int) -> None:
+        """Execute ``rounds`` gossip rounds."""
+        check_positive("rounds", rounds)
+        for _ in range(rounds):
+            self.run_round()
+
+    # ------------------------------------------------------------------ #
+    # Observation
+    # ------------------------------------------------------------------ #
+    def correct_nodes(self) -> List[CorrectNode]:
+        """Return the correct nodes of the simulation."""
+        return [self.nodes[identifier] for identifier in self.correct_ids]
+
+    def input_stream_of(self, identifier: int) -> IdentifierStream:
+        """Return the input stream ``sigma_i`` received so far by a correct node."""
+        node = self.nodes[int(identifier)]
+        if node.is_malicious:
+            raise ValueError("malicious nodes do not run the sampling service")
+        universe = sorted(set(self.correct_ids) | set(self.malicious_ids)
+                          | set(self.sybil_identifiers))
+        return IdentifierStream(
+            identifiers=list(node.received),
+            universe=universe,
+            malicious=sorted(set(self.malicious_ids) | set(self.sybil_identifiers)),
+            label=f"gossip-input(node={identifier})",
+        )
+
+    def output_stream_of(self, identifier: int) -> IdentifierStream:
+        """Return the sampler output stream ``sigma'_i`` of a correct node."""
+        node = self.nodes[int(identifier)]
+        if node.is_malicious:
+            raise ValueError("malicious nodes do not run the sampling service")
+        output = node.sampling_service.output_stream
+        return IdentifierStream(
+            identifiers=output.identifiers,
+            universe=self.input_stream_of(identifier).universe,
+            malicious=sorted(set(self.malicious_ids) | set(self.sybil_identifiers)),
+            label=f"gossip-output(node={identifier})",
+        )
+
+    def correct_overlay_is_connected(self) -> bool:
+        """Check the weak-connectivity assumption over the correct nodes only."""
+        return self.overlay.is_connected(restrict_to=self.correct_ids)

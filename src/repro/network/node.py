@@ -1,0 +1,171 @@
+"""Node model of the large-scale system (Section III).
+
+The system ``N`` is a set of ``n`` nodes, ``l`` of which are malicious and
+collude under the control of the adversary.  Every correct node runs a local
+node sampling service fed by the stream of identifiers it receives (through
+gossip or random walks); malicious nodes ignore the protocol and emit the
+identifiers the adversary tells them to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.core.base import SamplingStrategy
+from repro.core.knowledge_free import KnowledgeFreeStrategy
+from repro.core.service import NodeSamplingService
+from repro.utils.rng import RandomState, ensure_rng
+from repro.utils.validation import check_positive
+
+
+@dataclass
+class NodeConfig:
+    """Configuration of the sampling service run by every correct node."""
+
+    memory_size: int = 10
+    sketch_width: int = 10
+    sketch_depth: int = 5
+    record_output: bool = True
+
+    def __post_init__(self) -> None:
+        check_positive("memory_size", self.memory_size)
+        check_positive("sketch_width", self.sketch_width)
+        check_positive("sketch_depth", self.sketch_depth)
+
+
+class Node:
+    """Base class for simulated nodes.
+
+    Parameters
+    ----------
+    identifier:
+        The node's identifier drawn from the universe ``Omega``.
+    """
+
+    is_malicious = False
+
+    def __init__(self, identifier: int) -> None:
+        self.identifier = int(identifier)
+        #: Identifiers this node currently knows about (its partial view).
+        self.view: List[int] = []
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        kind = "malicious" if self.is_malicious else "correct"
+        return f"{type(self).__name__}(id={self.identifier}, {kind})"
+
+
+class CorrectNode(Node):
+    """A correct node running the node sampling service on its input stream.
+
+    Parameters
+    ----------
+    identifier:
+        The node's identifier.
+    config:
+        Sampling-service configuration (memory size, sketch dimensions).
+    random_state:
+        Local random coins; independent per node and hidden from the adversary.
+    """
+
+    is_malicious = False
+
+    def __init__(self, identifier: int, *, config: Optional[NodeConfig] = None,
+                 random_state: RandomState = None) -> None:
+        super().__init__(identifier)
+        self.config = config or NodeConfig()
+        self._rng = ensure_rng(random_state)
+        strategy: SamplingStrategy = KnowledgeFreeStrategy(
+            self.config.memory_size,
+            sketch_width=self.config.sketch_width,
+            sketch_depth=self.config.sketch_depth,
+            random_state=self._rng,
+        )
+        self.sampling_service = NodeSamplingService(
+            strategy, record_output=self.config.record_output
+        )
+        #: Every identifier received so far, in arrival order (the stream sigma_i).
+        self.received: List[int] = []
+
+    def receive(self, identifier: int) -> None:
+        """Receive one identifier from the network and feed the sampler."""
+        identifier = int(identifier)
+        self.received.append(identifier)
+        self.sampling_service.on_receive(identifier)
+        if identifier not in self.view and identifier != self.identifier:
+            self.view.append(identifier)
+
+    def sample(self) -> Optional[int]:
+        """Return a uniformly sampled node identifier (the service primitive)."""
+        return self.sampling_service.sample()
+
+    def gossip_targets(self, fanout: int) -> List[int]:
+        """Return up to ``fanout`` identifiers to gossip to, sampled via the service.
+
+        Correct nodes use their own sampling service to pick gossip partners,
+        which is exactly the epidemic use-case motivating the paper.
+        """
+        check_positive("fanout", fanout)
+        targets: List[int] = []
+        attempts = 0
+        while len(targets) < fanout and attempts < fanout * 4:
+            attempts += 1
+            candidate = self.sample()
+            if candidate is None:
+                break
+            if candidate != self.identifier and candidate not in targets:
+                targets.append(candidate)
+        if not targets and self.view:
+            size = min(fanout, len(self.view))
+            chosen = self._rng.choice(len(self.view), size=size, replace=False)
+            targets = [self.view[int(index)] for index in chosen]
+        return targets
+
+    def advertisement(self) -> int:
+        """Return the identifier this node advertises in gossip: its own."""
+        return self.identifier
+
+
+class MaliciousNode(Node):
+    """A malicious node emitting adversary-chosen identifiers.
+
+    Parameters
+    ----------
+    identifier:
+        The node's real identifier (it also has one).
+    controlled_identifiers:
+        The pool of (Sybil) identifiers the adversary told this node to
+        advertise; the node cycles through them.
+    """
+
+    is_malicious = True
+
+    def __init__(self, identifier: int,
+                 controlled_identifiers: Sequence[int], *,
+                 random_state: RandomState = None) -> None:
+        super().__init__(identifier)
+        if not controlled_identifiers:
+            raise ValueError("a malicious node needs at least one controlled identifier")
+        self.controlled_identifiers = [int(i) for i in controlled_identifiers]
+        self._rng = ensure_rng(random_state)
+        self._cursor = 0
+
+    def receive(self, identifier: int) -> None:
+        """Malicious nodes observe the traffic but do not run the protocol."""
+        self.view.append(int(identifier))
+
+    def advertisement(self) -> int:
+        """Return the next adversary-chosen identifier to advertise."""
+        identifier = self.controlled_identifiers[self._cursor]
+        self._cursor = (self._cursor + 1) % len(self.controlled_identifiers)
+        return identifier
+
+    def gossip_targets(self, fanout: int) -> List[int]:
+        """Malicious nodes gossip to random known nodes to maximise spread."""
+        check_positive("fanout", fanout)
+        if not self.view:
+            return []
+        unique_view = list(dict.fromkeys(self.view))
+        size = min(fanout, len(unique_view))
+        chosen = self._rng.choice(len(unique_view), size=size, replace=False)
+        return [unique_view[int(index)] for index in chosen]

@@ -1,0 +1,225 @@
+"""Overlay graphs connecting the simulated nodes.
+
+The paper assumes that from time ``T0`` onwards all correct nodes are *weakly
+connected*: there is a path between any pair of correct nodes.  This module
+builds the static communication overlays used by the gossip and random-walk
+simulators (ring + random shortcuts, Erdős–Rényi, k-regular random graphs)
+and provides the connectivity checks the assumption requires.
+
+The implementation is self-contained (plain adjacency sets) so the core
+library does not depend on networkx; the optional ``analysis`` extra can still
+be used for richer graph analytics in user code.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List, Sequence, Set
+
+from repro.utils.rng import RandomState, ensure_rng
+from repro.utils.validation import check_positive
+
+
+class OverlayGraph:
+    """Undirected overlay graph over node identifiers.
+
+    Parameters
+    ----------
+    identifiers:
+        The nodes of the overlay.
+    """
+
+    def __init__(self, identifiers: Sequence[int]) -> None:
+        unique = list(dict.fromkeys(int(identifier) for identifier in identifiers))
+        if not unique:
+            raise ValueError("an overlay needs at least one node")
+        self._adjacency: Dict[int, Set[int]] = {identifier: set()
+                                                for identifier in unique}
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @property
+    def nodes(self) -> List[int]:
+        """The node identifiers of the overlay."""
+        return list(self._adjacency)
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes."""
+        return len(self._adjacency)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges."""
+        return sum(len(neighbors) for neighbors in self._adjacency.values()) // 2
+
+    def add_edge(self, first: int, second: int) -> None:
+        """Add an undirected edge between two existing nodes."""
+        first, second = int(first), int(second)
+        if first == second:
+            return
+        if first not in self._adjacency or second not in self._adjacency:
+            raise KeyError("both endpoints must be nodes of the overlay")
+        self._adjacency[first].add(second)
+        self._adjacency[second].add(first)
+
+    def neighbors(self, identifier: int) -> List[int]:
+        """Return the neighbors of ``identifier``."""
+        return sorted(self._adjacency[int(identifier)])
+
+    def degree(self, identifier: int) -> int:
+        """Return the degree of ``identifier``."""
+        return len(self._adjacency[int(identifier)])
+
+    def has_edge(self, first: int, second: int) -> bool:
+        """Return whether the undirected edge exists."""
+        return int(second) in self._adjacency.get(int(first), set())
+
+    # ------------------------------------------------------------------ #
+    # Connectivity (the paper's weak-connectivity assumption)
+    # ------------------------------------------------------------------ #
+    def connected_component(self, start: int) -> Set[int]:
+        """Return the set of nodes reachable from ``start``."""
+        start = int(start)
+        if start not in self._adjacency:
+            raise KeyError(f"unknown node {start}")
+        seen = {start}
+        queue = deque([start])
+        while queue:
+            current = queue.popleft()
+            for neighbor in self._adjacency[current]:
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    queue.append(neighbor)
+        return seen
+
+    def is_connected(self, *, restrict_to: Iterable[int] = None) -> bool:
+        """Return whether the overlay (or an induced subgraph) is connected.
+
+        Parameters
+        ----------
+        restrict_to:
+            Optional subset of nodes; used to check the paper's assumption
+            that the *correct* nodes remain weakly connected even after
+            removing the malicious ones.
+        """
+        if restrict_to is None:
+            nodes = set(self._adjacency)
+        else:
+            nodes = {int(identifier) for identifier in restrict_to}
+            unknown = nodes - set(self._adjacency)
+            if unknown:
+                raise KeyError(f"unknown nodes: {sorted(unknown)[:5]}")
+        if not nodes:
+            return True
+        start = next(iter(nodes))
+        seen = {start}
+        queue = deque([start])
+        while queue:
+            current = queue.popleft()
+            for neighbor in self._adjacency[current]:
+                if neighbor in nodes and neighbor not in seen:
+                    seen.add(neighbor)
+                    queue.append(neighbor)
+        return seen == nodes
+
+    def shortest_path_length(self, source: int, destination: int) -> int:
+        """Return the hop distance between two nodes (BFS); -1 if unreachable."""
+        source, destination = int(source), int(destination)
+        if source == destination:
+            return 0
+        seen = {source}
+        queue = deque([(source, 0)])
+        while queue:
+            current, distance = queue.popleft()
+            for neighbor in self._adjacency[current]:
+                if neighbor == destination:
+                    return distance + 1
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    queue.append((neighbor, distance + 1))
+        return -1
+
+
+# ---------------------------------------------------------------------- #
+# Topology generators
+# ---------------------------------------------------------------------- #
+def ring_with_shortcuts(identifiers: Sequence[int], *, shortcuts: int = 0,
+                        random_state: RandomState = None) -> OverlayGraph:
+    """Return a ring over the identifiers plus ``shortcuts`` random chords.
+
+    The ring guarantees connectivity; the shortcuts shrink the diameter, which
+    keeps gossip dissemination fast in large simulations.
+    """
+    graph = OverlayGraph(identifiers)
+    nodes = graph.nodes
+    if len(nodes) == 1:
+        return graph
+    for index, identifier in enumerate(nodes):
+        graph.add_edge(identifier, nodes[(index + 1) % len(nodes)])
+    rng = ensure_rng(random_state)
+    added = 0
+    attempts = 0
+    while added < shortcuts and attempts < shortcuts * 20 + 20:
+        attempts += 1
+        first, second = rng.choice(len(nodes), size=2, replace=False)
+        first_id, second_id = nodes[int(first)], nodes[int(second)]
+        if not graph.has_edge(first_id, second_id):
+            graph.add_edge(first_id, second_id)
+            added += 1
+    return graph
+
+
+def erdos_renyi(identifiers: Sequence[int], edge_probability: float, *,
+                random_state: RandomState = None,
+                ensure_connected: bool = True) -> OverlayGraph:
+    """Return an Erdős–Rényi ``G(n, p)`` overlay.
+
+    Parameters
+    ----------
+    edge_probability:
+        Probability of each undirected edge.
+    ensure_connected:
+        When True (default), a spanning ring is added if the sampled graph is
+        disconnected, so that the weak-connectivity assumption always holds.
+    """
+    if not 0 <= edge_probability <= 1:
+        raise ValueError("edge_probability must be in [0, 1]")
+    graph = OverlayGraph(identifiers)
+    nodes = graph.nodes
+    rng = ensure_rng(random_state)
+    for i in range(len(nodes)):
+        for j in range(i + 1, len(nodes)):
+            if rng.random() < edge_probability:
+                graph.add_edge(nodes[i], nodes[j])
+    if ensure_connected and not graph.is_connected():
+        for index in range(len(nodes)):
+            graph.add_edge(nodes[index], nodes[(index + 1) % len(nodes)])
+    return graph
+
+
+def random_regular(identifiers: Sequence[int], degree: int, *,
+                   random_state: RandomState = None) -> OverlayGraph:
+    """Return an (approximately) ``degree``-regular random overlay.
+
+    Uses a simple stub-matching pass followed by a connectivity repair (a
+    spanning ring) if needed.  Exact regularity is not required by the
+    simulations — only bounded degree and connectivity matter.
+    """
+    check_positive("degree", degree)
+    graph = OverlayGraph(identifiers)
+    nodes = graph.nodes
+    if degree >= len(nodes):
+        raise ValueError("degree must be smaller than the number of nodes")
+    rng = ensure_rng(random_state)
+    stubs: List[int] = []
+    for identifier in nodes:
+        stubs.extend([identifier] * degree)
+    rng.shuffle(stubs)
+    for index in range(0, len(stubs) - 1, 2):
+        graph.add_edge(stubs[index], stubs[index + 1])
+    if not graph.is_connected():
+        for index in range(len(nodes)):
+            graph.add_edge(nodes[index], nodes[(index + 1) % len(nodes)])
+    return graph

@@ -1,0 +1,200 @@
+"""Random-walk based identifier dissemination.
+
+The paper's second stream source: "the node ids received during random walks
+initiated at each node of the system" (Section IV).  A token carrying its
+initiator's advertised identifier performs a random walk over the overlay;
+every correct node the token visits appends the carried identifier to its
+input stream.  Malicious nodes initiate extra walks carrying adversary-chosen
+identifiers and may bias the routing of tokens they relay (they forward
+preferentially towards other malicious nodes to slow the spread of correct
+identifiers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.network.node import CorrectNode, MaliciousNode, Node, NodeConfig
+from repro.network.overlay import OverlayGraph, ring_with_shortcuts
+from repro.streams.stream import IdentifierStream
+from repro.utils.rng import RandomState, ensure_rng, spawn_children
+from repro.utils.validation import check_positive
+
+
+@dataclass
+class RandomWalkConfig:
+    """Parameters of the random-walk dissemination simulation."""
+
+    #: Number of hops of each walk.
+    walk_length: int = 10
+    #: Number of walks each correct node initiates per round.
+    walks_per_node: int = 1
+    #: Number of walks each malicious node initiates per round.
+    malicious_walks_per_node: int = 3
+    #: Sampling-service configuration of every correct node.
+    node_config: NodeConfig = None
+
+    def __post_init__(self) -> None:
+        check_positive("walk_length", self.walk_length)
+        check_positive("walks_per_node", self.walks_per_node)
+        check_positive("malicious_walks_per_node", self.malicious_walks_per_node)
+        if self.node_config is None:
+            self.node_config = NodeConfig()
+
+
+class RandomWalkSimulation:
+    """Random-walk dissemination of node identifiers over an overlay.
+
+    Parameters
+    ----------
+    num_correct, num_malicious:
+        Population composition.
+    sybil_identifiers_per_malicious:
+        Fabricated identifiers cycled through by each malicious initiator.
+    config:
+        Walk parameters.
+    overlay:
+        Optional pre-built overlay; defaults to a ring with shortcuts.
+    random_state:
+        Master seed; nodes get independent child generators.
+    """
+
+    def __init__(self, num_correct: int, num_malicious: int = 0, *,
+                 sybil_identifiers_per_malicious: int = 1,
+                 config: Optional[RandomWalkConfig] = None,
+                 overlay: Optional[OverlayGraph] = None,
+                 random_state: RandomState = None) -> None:
+        check_positive("num_correct", num_correct)
+        if num_malicious < 0:
+            raise ValueError("num_malicious must be non-negative")
+        self.config = config or RandomWalkConfig()
+        self._rng = ensure_rng(random_state)
+        total = num_correct + num_malicious
+        children = spawn_children(self._rng, total + 1)
+
+        self.correct_ids = list(range(num_correct))
+        self.malicious_ids = list(range(num_correct, total))
+        next_sybil = total
+        self.nodes: Dict[int, Node] = {}
+        for index, identifier in enumerate(self.correct_ids):
+            self.nodes[identifier] = CorrectNode(
+                identifier, config=self.config.node_config,
+                random_state=children[index],
+            )
+        for offset, identifier in enumerate(self.malicious_ids):
+            controlled = [identifier]
+            for _ in range(sybil_identifiers_per_malicious - 1):
+                controlled.append(next_sybil)
+                next_sybil += 1
+            self.nodes[identifier] = MaliciousNode(
+                identifier, controlled,
+                random_state=children[num_correct + offset],
+            )
+        self.sybil_identifiers = [
+            identifier
+            for node in self.nodes.values() if node.is_malicious
+            for identifier in node.controlled_identifiers
+        ]
+        if overlay is None:
+            # Scatter malicious nodes around the ring (see GossipSimulation).
+            node_order = list(self.nodes)
+            children[-1].shuffle(node_order)
+            overlay = ring_with_shortcuts(
+                node_order, shortcuts=max(1, total // 2),
+                random_state=children[-1],
+            )
+        self.overlay = overlay
+        self.rounds_executed = 0
+
+    # ------------------------------------------------------------------ #
+    # Walk mechanics
+    # ------------------------------------------------------------------ #
+    def _next_hop(self, current: int, carrying_malicious: bool) -> Optional[int]:
+        """Pick the next hop of a walk currently at ``current``.
+
+        Correct relays forward uniformly among their neighbours.  Malicious
+        relays bias the routing in the adversary's favour: walks carrying an
+        adversary-controlled identifier are pushed towards *correct*
+        neighbours (to spread the malicious identifiers), while walks carrying
+        a correct identifier are pulled towards *malicious* neighbours (to
+        suppress its dissemination) whenever such neighbours exist.
+        """
+        neighbors = self.overlay.neighbors(current)
+        if not neighbors:
+            return None
+        node = self.nodes[current]
+        if node.is_malicious:
+            if carrying_malicious:
+                preferred = [neighbor for neighbor in neighbors
+                             if not self.nodes[neighbor].is_malicious]
+            else:
+                preferred = [neighbor for neighbor in neighbors
+                             if self.nodes[neighbor].is_malicious]
+            if preferred:
+                index = int(self._rng.integers(0, len(preferred)))
+                return preferred[index]
+        index = int(self._rng.integers(0, len(neighbors)))
+        return neighbors[index]
+
+    def _run_walk(self, initiator: int, advertised: int) -> None:
+        """Run one walk carrying ``advertised`` starting from ``initiator``."""
+        malicious_identifiers = set(self.malicious_ids) | set(
+            self.sybil_identifiers)
+        carrying_malicious = advertised in malicious_identifiers
+        current = initiator
+        for _ in range(self.config.walk_length):
+            next_hop = self._next_hop(current, carrying_malicious)
+            if next_hop is None:
+                return
+            self.nodes[next_hop].receive(advertised)
+            current = next_hop
+
+    def run_round(self) -> None:
+        """Every node initiates its per-round walks."""
+        for identifier, node in self.nodes.items():
+            walks = (self.config.malicious_walks_per_node if node.is_malicious
+                     else self.config.walks_per_node)
+            for _ in range(walks):
+                self._run_walk(identifier, node.advertisement())
+        self.rounds_executed += 1
+
+    def run(self, rounds: int) -> None:
+        """Execute ``rounds`` dissemination rounds."""
+        check_positive("rounds", rounds)
+        for _ in range(rounds):
+            self.run_round()
+
+    # ------------------------------------------------------------------ #
+    # Observation
+    # ------------------------------------------------------------------ #
+    def correct_nodes(self) -> List[CorrectNode]:
+        """Return the correct nodes of the simulation."""
+        return [self.nodes[identifier] for identifier in self.correct_ids]
+
+    def input_stream_of(self, identifier: int) -> IdentifierStream:
+        """Return the input stream received so far by a correct node."""
+        node = self.nodes[int(identifier)]
+        if node.is_malicious:
+            raise ValueError("malicious nodes do not run the sampling service")
+        universe = sorted(set(self.correct_ids) | set(self.malicious_ids)
+                          | set(self.sybil_identifiers))
+        return IdentifierStream(
+            identifiers=list(node.received),
+            universe=universe,
+            malicious=sorted(set(self.malicious_ids) | set(self.sybil_identifiers)),
+            label=f"walk-input(node={identifier})",
+        )
+
+    def output_stream_of(self, identifier: int) -> IdentifierStream:
+        """Return the sampler output stream of a correct node."""
+        node = self.nodes[int(identifier)]
+        if node.is_malicious:
+            raise ValueError("malicious nodes do not run the sampling service")
+        output = node.sampling_service.output_stream
+        return IdentifierStream(
+            identifiers=output.identifiers,
+            universe=self.input_stream_of(identifier).universe,
+            malicious=sorted(set(self.malicious_ids) | set(self.sybil_identifiers)),
+            label=f"walk-output(node={identifier})",
+        )

@@ -1,0 +1,187 @@
+"""High-level system simulator tying overlays, gossip/walks and sampling together.
+
+:class:`SystemSimulation` is the "whole system" entry point: it builds a
+population of correct and malicious nodes, connects them with an overlay,
+disseminates identifiers with either gossip or random walks, and reports
+per-node uniformity metrics of the resulting sampler outputs.  The example
+applications and the integration tests drive the library through this class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.metrics.divergence import kl_divergence_to_uniform, kl_gain
+from repro.network.gossip import GossipConfig, GossipSimulation
+from repro.network.node import NodeConfig
+from repro.network.random_walk import RandomWalkConfig, RandomWalkSimulation
+from repro.utils.rng import RandomState
+from repro.utils.validation import check_positive
+
+
+class DisseminationProtocol(str, Enum):
+    """Which identifier-dissemination substrate feeds the samplers."""
+
+    GOSSIP = "gossip"
+    RANDOM_WALK = "random-walk"
+
+
+@dataclass
+class SystemConfig:
+    """Configuration of a whole-system simulation."""
+
+    num_correct: int = 50
+    num_malicious: int = 5
+    sybil_identifiers_per_malicious: int = 1
+    protocol: DisseminationProtocol = DisseminationProtocol.GOSSIP
+    rounds: int = 50
+    node_config: NodeConfig = field(default_factory=NodeConfig)
+    fanout: int = 3
+    malicious_fanout: int = 6
+
+    def __post_init__(self) -> None:
+        check_positive("num_correct", self.num_correct)
+        if self.num_malicious < 0:
+            raise ValueError("num_malicious must be non-negative")
+        check_positive("rounds", self.rounds)
+
+
+@dataclass
+class NodeReport:
+    """Uniformity metrics of one correct node after the simulation."""
+
+    node_id: int
+    stream_length: int
+    distinct_received: int
+    input_divergence: float
+    output_divergence: float
+    gain: float
+    malicious_fraction_input: float
+    malicious_fraction_output: float
+
+
+@dataclass
+class SystemReport:
+    """Aggregated metrics over all correct nodes."""
+
+    per_node: List[NodeReport]
+
+    @property
+    def mean_gain(self) -> float:
+        """Mean KL gain over the correct nodes."""
+        if not self.per_node:
+            return 0.0
+        return float(np.mean([report.gain for report in self.per_node]))
+
+    @property
+    def mean_input_divergence(self) -> float:
+        """Mean input-stream KL divergence to uniform."""
+        if not self.per_node:
+            return 0.0
+        return float(np.mean([report.input_divergence for report in self.per_node]))
+
+    @property
+    def mean_output_divergence(self) -> float:
+        """Mean output-stream KL divergence to uniform."""
+        if not self.per_node:
+            return 0.0
+        return float(np.mean([report.output_divergence for report in self.per_node]))
+
+    @property
+    def mean_malicious_fraction_output(self) -> float:
+        """Mean fraction of adversary-controlled identifiers in the outputs."""
+        if not self.per_node:
+            return 0.0
+        return float(np.mean([report.malicious_fraction_output
+                              for report in self.per_node]))
+
+
+class SystemSimulation:
+    """End-to-end simulation of the node sampling service in a hostile system.
+
+    Parameters
+    ----------
+    config:
+        System configuration.
+    random_state:
+        Master seed.
+    """
+
+    def __init__(self, config: Optional[SystemConfig] = None, *,
+                 random_state: RandomState = None) -> None:
+        self.config = config or SystemConfig()
+        if self.config.protocol is DisseminationProtocol.GOSSIP:
+            self._engine = GossipSimulation(
+                self.config.num_correct,
+                self.config.num_malicious,
+                sybil_identifiers_per_malicious=(
+                    self.config.sybil_identifiers_per_malicious),
+                config=GossipConfig(
+                    fanout=self.config.fanout,
+                    malicious_fanout=self.config.malicious_fanout,
+                    node_config=self.config.node_config,
+                ),
+                random_state=random_state,
+            )
+        else:
+            self._engine = RandomWalkSimulation(
+                self.config.num_correct,
+                self.config.num_malicious,
+                sybil_identifiers_per_malicious=(
+                    self.config.sybil_identifiers_per_malicious),
+                config=RandomWalkConfig(node_config=self.config.node_config),
+                random_state=random_state,
+            )
+
+    @property
+    def engine(self):
+        """The underlying dissemination simulation (gossip or random walk)."""
+        return self._engine
+
+    def run(self, rounds: Optional[int] = None) -> "SystemSimulation":
+        """Run the dissemination for ``rounds`` rounds (default: config.rounds)."""
+        self._engine.run(rounds if rounds is not None else self.config.rounds)
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Reporting
+    # ------------------------------------------------------------------ #
+    def _malicious_fraction(self, identifiers: List[int]) -> float:
+        if not identifiers:
+            return 0.0
+        malicious = set(self._engine.malicious_ids) | set(
+            self._engine.sybil_identifiers)
+        hits = sum(1 for identifier in identifiers if identifier in malicious)
+        return hits / len(identifiers)
+
+    def report(self) -> SystemReport:
+        """Return per-node and aggregate uniformity metrics."""
+        reports: List[NodeReport] = []
+        for identifier in self._engine.correct_ids:
+            input_stream = self._engine.input_stream_of(identifier)
+            output_stream = self._engine.output_stream_of(identifier)
+            if input_stream.size == 0:
+                continue
+            support = input_stream.universe
+            input_divergence = kl_divergence_to_uniform(input_stream,
+                                                        support=support)
+            output_divergence = kl_divergence_to_uniform(output_stream,
+                                                         support=support)
+            gain = kl_gain(input_stream, output_stream, support=support)
+            reports.append(NodeReport(
+                node_id=identifier,
+                stream_length=input_stream.size,
+                distinct_received=len(set(input_stream.identifiers)),
+                input_divergence=input_divergence,
+                output_divergence=output_divergence,
+                gain=gain,
+                malicious_fraction_input=self._malicious_fraction(
+                    input_stream.identifiers),
+                malicious_fraction_output=self._malicious_fraction(
+                    output_stream.identifiers),
+            ))
+        return SystemReport(per_node=reports)

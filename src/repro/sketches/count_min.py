@@ -1,0 +1,251 @@
+"""Count-Min sketch (Algorithm 2 of the paper, Cormode & Muthukrishnan 2005).
+
+The sketch maintains an ``s x k`` matrix ``F̂`` of counters and ``s`` hash
+functions drawn from a 2-universal family.  Every arriving identifier
+increments one counter per row; a point query returns the minimum of the ``s``
+counters the identifier maps to, which overestimates the true frequency by at
+most ``eps * m`` with probability at least ``1 - delta`` where
+``k = ceil(e / eps)`` and ``s = ceil(ln(1 / delta))``.
+
+The knowledge-free sampling strategy (Algorithm 3) additionally needs
+``min_sigma`` — the minimum value over *all* cells of the matrix — which it
+uses as a proxy for the frequency of the rarest identifier seen so far.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Optional, Tuple
+
+import numpy as np
+
+from repro.sketches.hashing import UniversalHashFamily, UniversalHashFunction
+from repro.utils.rng import RandomState, ensure_rng
+from repro.utils.validation import check_positive, check_probability
+
+
+def dimensions_from_error(epsilon: float, delta: float) -> Tuple[int, int]:
+    """Return ``(width k, depth s)`` from the accuracy parameters of Algorithm 2.
+
+    ``k = ceil(e / epsilon)`` and ``s = ceil(ln(1 / delta))`` (the paper writes
+    ``log`` for the natural logarithm; Algorithm 2 line 1-2).
+    """
+    check_probability("epsilon", epsilon, allow_zero=False, allow_one=False)
+    check_probability("delta", delta, allow_zero=False, allow_one=False)
+    width = int(math.ceil(math.e / epsilon))
+    depth = max(1, int(math.ceil(math.log(1.0 / delta))))
+    return width, depth
+
+
+class CountMinSketch:
+    """Streaming frequency estimator with ``O(k * s)`` memory.
+
+    Parameters
+    ----------
+    width:
+        Number of counters per row (``k`` in the paper).
+    depth:
+        Number of rows / hash functions (``s`` in the paper).
+    random_state:
+        Local random coins used to draw the hash functions.  The adversary
+        knows ``width`` and ``depth`` but not the drawn functions.
+
+    Examples
+    --------
+    >>> sketch = CountMinSketch(width=16, depth=4, random_state=42)
+    >>> for item in [1, 2, 2, 3, 3, 3]:
+    ...     sketch.update(item)
+    >>> sketch.estimate(3) >= 3
+    True
+    """
+
+    def __init__(self, width: int, depth: int, *,
+                 random_state: RandomState = None) -> None:
+        check_positive("width", width)
+        check_positive("depth", depth)
+        self.width = int(width)
+        self.depth = int(depth)
+        self._rng = ensure_rng(random_state)
+        family = UniversalHashFamily(self.width, random_state=self._rng)
+        self._hash_functions: Tuple[UniversalHashFunction, ...] = tuple(
+            family.draw_many(self.depth)
+        )
+        self._table = np.zeros((self.depth, self.width), dtype=np.int64)
+        self._total = 0
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_error(cls, epsilon: float, delta: float, *,
+                   random_state: RandomState = None) -> "CountMinSketch":
+        """Build a sketch sized from ``(epsilon, delta)`` as in Algorithm 2."""
+        width, depth = dimensions_from_error(epsilon, delta)
+        return cls(width=width, depth=depth, random_state=random_state)
+
+    # ------------------------------------------------------------------ #
+    # Streaming interface
+    # ------------------------------------------------------------------ #
+    def update(self, item: int, count: int = 1) -> None:
+        """Record ``count`` occurrences of ``item`` (Algorithm 2, lines 5-7)."""
+        if count <= 0:
+            raise ValueError(f"count must be positive, got {count}")
+        for row, hash_function in enumerate(self._hash_functions):
+            self._table[row, hash_function(item)] += count
+        self._total += count
+
+    def update_many(self, items: Iterable[int]) -> None:
+        """Record a batch of single occurrences."""
+        for item in items:
+            self.update(item)
+
+    def estimate(self, item: int) -> int:
+        """Return ``f̂_item``, the Count-Min estimate of the item's frequency."""
+        return int(min(
+            self._table[row, hash_function(item)]
+            for row, hash_function in enumerate(self._hash_functions)
+        ))
+
+    # ------------------------------------------------------------------ #
+    # Quantities used by the knowledge-free strategy
+    # ------------------------------------------------------------------ #
+    def min_cell(self) -> int:
+        """Return ``min_sigma``: the minimum *non-empty* counter of the matrix.
+
+        Algorithm 3 (line 6) uses this value as a conservative estimate of the
+        frequency of the least frequent identifier observed so far.  Cells
+        that no identifier has ever hashed to carry no information about any
+        observed identifier, so they are excluded; otherwise a single
+        untouched cell (likely when the number of distinct identifiers is
+        comparable to the matrix width) would drive every insertion
+        probability ``a_j = min_sigma / f̂_j`` to zero and freeze the sampling
+        memory.  Returns 0 only when the sketch is empty.
+        """
+        if self._total == 0:
+            return 0
+        non_zero = self._table[self._table > 0]
+        if non_zero.size == 0:
+            return 0
+        return int(non_zero.min())
+
+    @property
+    def total(self) -> int:
+        """Total number of updates seen (the current stream length ``m``)."""
+        return self._total
+
+    @property
+    def table(self) -> np.ndarray:
+        """A read-only view of the counter matrix (for inspection/tests)."""
+        view = self._table.view()
+        view.setflags(write=False)
+        return view
+
+    # ------------------------------------------------------------------ #
+    # Error bound helpers
+    # ------------------------------------------------------------------ #
+    @property
+    def epsilon(self) -> float:
+        """Additive-error factor implied by the current width (``e / k``)."""
+        return math.e / self.width
+
+    @property
+    def delta(self) -> float:
+        """Failure probability implied by the current depth (``e^-s``)."""
+        return math.exp(-self.depth)
+
+    def error_bound(self) -> float:
+        """Return the additive error bound ``epsilon * total``.
+
+        With probability at least ``1 - delta``,
+        ``estimate(j) <= f_j + error_bound()`` for any item ``j``.
+        """
+        return self.epsilon * self._total
+
+    # ------------------------------------------------------------------ #
+    # Merging (standard Count-Min property, useful for distributed use)
+    # ------------------------------------------------------------------ #
+    def merge(self, other: "CountMinSketch") -> None:
+        """Merge another sketch built with the *same* hash functions in place.
+
+        Raises
+        ------
+        ValueError
+            If the sketches have different dimensions or hash functions —
+            merging such sketches would produce meaningless estimates.
+        """
+        if (self.width, self.depth) != (other.width, other.depth):
+            raise ValueError("cannot merge sketches with different dimensions")
+        if self._hash_functions != other._hash_functions:
+            raise ValueError("cannot merge sketches with different hash functions")
+        self._table += other._table
+        self._total += other._total
+
+    def copy_empty(self) -> "CountMinSketch":
+        """Return a zeroed sketch sharing this sketch's hash functions."""
+        clone = CountMinSketch.__new__(CountMinSketch)
+        clone.width = self.width
+        clone.depth = self.depth
+        clone._rng = self._rng
+        clone._hash_functions = self._hash_functions
+        clone._table = np.zeros_like(self._table)
+        clone._total = 0
+        return clone
+
+    def __len__(self) -> int:
+        return self._total
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (f"CountMinSketch(width={self.width}, depth={self.depth}, "
+                f"total={self._total})")
+
+
+class ExactFrequencyCounter:
+    """Exact frequency oracle with the same interface as :class:`CountMinSketch`.
+
+    Used by the omniscient strategy and by tests comparing sketch estimates to
+    ground truth.  Memory grows with the number of distinct identifiers, which
+    is exactly the cost the paper's knowledge-free strategy avoids.
+    """
+
+    def __init__(self) -> None:
+        self._counts: Dict[int, int] = {}
+        self._total = 0
+
+    def update(self, item: int, count: int = 1) -> None:
+        """Record ``count`` occurrences of ``item``."""
+        if count <= 0:
+            raise ValueError(f"count must be positive, got {count}")
+        self._counts[item] = self._counts.get(item, 0) + count
+        self._total += count
+
+    def update_many(self, items: Iterable[int]) -> None:
+        """Record a batch of single occurrences."""
+        for item in items:
+            self.update(item)
+
+    def estimate(self, item: int) -> int:
+        """Return the exact frequency of ``item`` (0 if never seen)."""
+        return self._counts.get(item, 0)
+
+    def min_cell(self) -> int:
+        """Return the frequency of the rarest identifier seen so far (0 if none)."""
+        if not self._counts:
+            return 0
+        return min(self._counts.values())
+
+    @property
+    def total(self) -> int:
+        """Total number of updates seen."""
+        return self._total
+
+    @property
+    def distinct(self) -> int:
+        """Number of distinct identifiers seen."""
+        return len(self._counts)
+
+    def frequencies(self) -> Dict[int, int]:
+        """Return a copy of the exact frequency table."""
+        return dict(self._counts)
+
+    def __len__(self) -> int:
+        return self._total

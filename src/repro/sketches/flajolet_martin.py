@@ -1,0 +1,95 @@
+"""Flajolet–Martin probabilistic distinct counting (paper reference [12]).
+
+Estimates the number of distinct identifiers in a stream using the position of
+the lowest set bit of hashed values.  Included as a substrate: the paper's
+omniscient strategy needs the population size ``n``; a deployment that cannot
+know ``n`` exactly can estimate it with this sketch (or HyperLogLog).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.sketches.hashing import UniversalHashFamily, UniversalHashFunction
+from repro.utils.rng import RandomState, ensure_rng
+from repro.utils.validation import check_positive
+
+#: Flajolet–Martin bias correction constant (phi).
+FM_CORRECTION = 0.77351
+
+
+def _rho(value: int) -> int:
+    """Return the 0-based position of the least significant set bit of ``value``.
+
+    By convention ``rho(0)`` is the register width used by the caller; here we
+    return a large constant so the caller can clamp it.
+    """
+    if value == 0:
+        return 64
+    position = 0
+    while value & 1 == 0:
+        value >>= 1
+        position += 1
+    return position
+
+
+class FlajoletMartinSketch:
+    """Distinct-count estimator averaging several independent FM registers.
+
+    Parameters
+    ----------
+    num_registers:
+        Number of independent hash functions / bitmaps whose estimates are
+        averaged.  More registers tighten the estimate (variance decreases as
+        ``1 / num_registers``).
+    register_bits:
+        Width of each bitmap.
+    random_state:
+        Local random coins used to draw the hash functions.
+    """
+
+    def __init__(self, num_registers: int = 16, register_bits: int = 32, *,
+                 random_state: RandomState = None) -> None:
+        check_positive("num_registers", num_registers)
+        check_positive("register_bits", register_bits)
+        self.num_registers = int(num_registers)
+        self.register_bits = int(register_bits)
+        rng = ensure_rng(random_state)
+        family = UniversalHashFamily(1 << self.register_bits, random_state=rng)
+        self._hash_functions: List[UniversalHashFunction] = family.draw_many(
+            self.num_registers
+        )
+        self._bitmaps = [0] * self.num_registers
+        self._total = 0
+
+    def update(self, item: int) -> None:
+        """Record one occurrence of ``item`` (duplicates do not change the estimate)."""
+        for index, hash_function in enumerate(self._hash_functions):
+            position = min(_rho(hash_function(item)), self.register_bits - 1)
+            self._bitmaps[index] |= 1 << position
+        self._total += 1
+
+    def update_many(self, items: Iterable[int]) -> None:
+        """Record a batch of occurrences."""
+        for item in items:
+            self.update(item)
+
+    def _lowest_unset_bit(self, bitmap: int) -> int:
+        position = 0
+        while bitmap & (1 << position):
+            position += 1
+        return position
+
+    def estimate(self) -> float:
+        """Return the estimated number of distinct identifiers seen."""
+        if self._total == 0:
+            return 0.0
+        mean_position = sum(
+            self._lowest_unset_bit(bitmap) for bitmap in self._bitmaps
+        ) / self.num_registers
+        return (2 ** mean_position) / FM_CORRECTION
+
+    @property
+    def total(self) -> int:
+        """Total number of updates seen (with duplicates)."""
+        return self._total

@@ -1,0 +1,131 @@
+"""2-universal hash families (Section III-D of the paper).
+
+The knowledge-free strategy relies on hash functions drawn from a 2-universal
+family: for any two distinct items ``x != y`` the collision probability is at
+most ``1 / range_size``, exactly what a truly random function would give.
+
+We implement the classic Carter–Wegman construction
+
+    h(x) = ((a * x + b) mod p) mod range_size
+
+with ``p`` a Mersenne prime larger than the identifier universe and ``a, b``
+drawn uniformly at random (``a != 0``) using the node's *local* random coins —
+the adversary knows the construction but not ``a`` and ``b`` (Section III-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+from repro.utils.rng import RandomState, ensure_rng
+from repro.utils.validation import check_positive
+
+#: Mersenne prime 2^61 - 1 — larger than any 160-bit identifier reduced into
+#: 61 bits and large enough for the universes used in simulations.
+MERSENNE_PRIME_61 = (1 << 61) - 1
+
+
+@dataclass(frozen=True)
+class UniversalHashFunction:
+    """A single hash function ``h(x) = ((a x + b) mod p) mod m`` from the family.
+
+    Attributes
+    ----------
+    a, b:
+        Random multipliers defining the function; ``1 <= a < p``, ``0 <= b < p``.
+    prime:
+        The modulus ``p`` of the Carter–Wegman construction.
+    range_size:
+        The size ``m`` of the output range; outputs lie in ``[0, m)``.
+    """
+
+    a: int
+    b: int
+    prime: int
+    range_size: int
+
+    def __post_init__(self) -> None:
+        check_positive("range_size", self.range_size)
+        check_positive("prime", self.prime)
+        if not 1 <= self.a < self.prime:
+            raise ValueError(f"a must be in [1, prime), got {self.a}")
+        if not 0 <= self.b < self.prime:
+            raise ValueError(f"b must be in [0, prime), got {self.b}")
+
+    def __call__(self, item: int) -> int:
+        """Hash ``item`` into ``[0, range_size)``."""
+        return ((self.a * int(item) + self.b) % self.prime) % self.range_size
+
+    def hash_many(self, items: Sequence[int]) -> np.ndarray:
+        """Vectorised hashing of a sequence of identifiers.
+
+        Uses Python integers (object dtype) for the intermediate product so the
+        multiplication never overflows, then converts back to ``int64``.
+        """
+        arr = np.asarray(items, dtype=object)
+        hashed = ((self.a * arr + self.b) % self.prime) % self.range_size
+        return hashed.astype(np.int64)
+
+
+class UniversalHashFamily:
+    """Factory drawing independent functions from a 2-universal family.
+
+    Parameters
+    ----------
+    range_size:
+        Output range ``m`` of every drawn function.
+    prime:
+        Field modulus; must exceed the largest identifier ever hashed.  The
+        default (2^61 - 1) is safe for the 63-bit identifier universes used in
+        the simulations.
+    random_state:
+        Local random coins used to draw the coefficients.
+    """
+
+    def __init__(self, range_size: int, *, prime: int = MERSENNE_PRIME_61,
+                 random_state: RandomState = None) -> None:
+        check_positive("range_size", range_size)
+        check_positive("prime", prime)
+        if prime <= range_size:
+            raise ValueError(
+                f"prime ({prime}) must be larger than range_size ({range_size})"
+            )
+        self.range_size = int(range_size)
+        self.prime = int(prime)
+        self._rng = ensure_rng(random_state)
+
+    def draw(self) -> UniversalHashFunction:
+        """Draw one hash function uniformly from the family."""
+        a = int(self._rng.integers(1, self.prime))
+        b = int(self._rng.integers(0, self.prime))
+        return UniversalHashFunction(a=a, b=b, prime=self.prime,
+                                     range_size=self.range_size)
+
+    def draw_many(self, count: int) -> List[UniversalHashFunction]:
+        """Draw ``count`` independent hash functions."""
+        check_positive("count", count)
+        return [self.draw() for _ in range(count)]
+
+
+def pairwise_collision_rate(function: UniversalHashFunction,
+                            items: Iterable[int]) -> float:
+    """Empirical pairwise collision rate of ``function`` over distinct ``items``.
+
+    Mainly used by the test-suite to check the 2-universality bound
+    ``P{h(x) = h(y)} <= 1 / range_size`` on average over random functions.
+    """
+    values = [function(item) for item in set(items)]
+    n = len(values)
+    if n < 2:
+        return 0.0
+    collisions = 0
+    pairs = 0
+    for i in range(n):
+        for j in range(i + 1, n):
+            pairs += 1
+            if values[i] == values[j]:
+                collisions += 1
+    return collisions / pairs

@@ -1,0 +1,67 @@
+"""Stream model, synthetic generators and trace stand-ins.
+
+* :mod:`repro.streams.stream` — the :class:`IdentifierStream` abstraction and
+  stream manipulation helpers (merging, truncation, shuffling);
+* :mod:`repro.streams.generators` — the synthetic biases used by the paper's
+  evaluation (uniform, Zipfian, truncated Poisson, explicit peak, bursty);
+* :mod:`repro.streams.traces` — synthetic stand-ins for the NASA, ClarkNet
+  and Saskatchewan HTTP traces of Table II;
+* :mod:`repro.streams.oracle` — the occurrence-probability oracle assumed by
+  the omniscient strategy.
+"""
+
+from repro.streams.generators import (
+    peak_attack_stream,
+    peak_stream,
+    poisson_arrival_stream,
+    poisson_attack_stream,
+    truncated_poisson_probabilities,
+    truncated_poisson_stream,
+    uniform_stream,
+    zipf_probabilities,
+    zipf_stream,
+)
+from repro.streams.churn import ChurnEvent, ChurnModel, ChurnTrace
+from repro.streams.oracle import StreamOracle
+from repro.streams.stream import (
+    IdentifierStream,
+    merge_streams,
+    stream_from_frequencies,
+)
+from repro.streams.traces import (
+    CLARKNET,
+    NASA,
+    PAPER_TRACES,
+    SASKATCHEWAN,
+    SyntheticTrace,
+    TraceSpec,
+    load_paper_traces,
+    paper_trace_table,
+)
+
+__all__ = [
+    "IdentifierStream",
+    "merge_streams",
+    "stream_from_frequencies",
+    "StreamOracle",
+    "ChurnModel",
+    "ChurnTrace",
+    "ChurnEvent",
+    "uniform_stream",
+    "zipf_stream",
+    "zipf_probabilities",
+    "truncated_poisson_stream",
+    "truncated_poisson_probabilities",
+    "peak_stream",
+    "peak_attack_stream",
+    "poisson_attack_stream",
+    "poisson_arrival_stream",
+    "SyntheticTrace",
+    "TraceSpec",
+    "NASA",
+    "CLARKNET",
+    "SASKATCHEWAN",
+    "PAPER_TRACES",
+    "load_paper_traces",
+    "paper_trace_table",
+]

@@ -1,0 +1,153 @@
+"""Churn model: node arrivals and departures before the stability time T0.
+
+The paper assumes (Section III-C) that there exists a time ``T0`` after which
+churn ceases; uniformity is only meaningful over the stable population.  This
+module simulates what happens *before* that point: a population that changes
+through join and leave events while identifiers are being disseminated, so
+that users can study how quickly the sampling service converges once the
+population stabilises, and verify that pre-``T0`` traffic does not poison the
+post-``T0`` sample.
+
+The model is deliberately simple — independent join/leave events at constant
+rates — which is all the sampling-service analysis needs; richer session-time
+distributions can be layered on top by subclassing :class:`ChurnModel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Set
+
+from repro.streams.stream import IdentifierStream
+from repro.utils.rng import RandomState, ensure_rng
+from repro.utils.validation import check_positive, check_probability
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """One membership change: a node joining or leaving at a given time."""
+
+    time: int
+    identifier: int
+    joined: bool
+
+
+@dataclass
+class ChurnTrace:
+    """Result of a churn simulation.
+
+    Attributes
+    ----------
+    stream:
+        The identifier stream observed during the churn phase (advertisements
+        of whichever nodes were alive at each step).
+    events:
+        The join/leave events, in order.
+    stable_population:
+        The population alive at ``T0`` — the population the node sampling
+        service should become uniform over.
+    stability_time:
+        The index in the stream at which churn ceased (``T0``).
+    """
+
+    stream: IdentifierStream
+    events: List[ChurnEvent]
+    stable_population: List[int]
+    stability_time: int
+
+
+class ChurnModel:
+    """Generates identifier streams from a population subject to churn.
+
+    Parameters
+    ----------
+    initial_population:
+        Number of nodes alive at time 0.
+    join_rate:
+        Probability that a new node joins at any pre-``T0`` step.
+    leave_rate:
+        Probability that a random alive node leaves at any pre-``T0`` step.
+    advertisements_per_step:
+        Number of identifiers appended to the stream per step (alive nodes
+        advertising themselves, uniformly at random).
+    random_state:
+        Randomness source.
+    """
+
+    def __init__(self, initial_population: int, *, join_rate: float = 0.05,
+                 leave_rate: float = 0.05, advertisements_per_step: int = 5,
+                 random_state: RandomState = None) -> None:
+        check_positive("initial_population", initial_population)
+        check_probability("join_rate", join_rate)
+        check_probability("leave_rate", leave_rate)
+        check_positive("advertisements_per_step", advertisements_per_step)
+        self.initial_population = int(initial_population)
+        self.join_rate = float(join_rate)
+        self.leave_rate = float(leave_rate)
+        self.advertisements_per_step = int(advertisements_per_step)
+        self._rng = ensure_rng(random_state)
+
+    def generate(self, churn_steps: int, stable_steps: int) -> ChurnTrace:
+        """Simulate ``churn_steps`` of churn followed by ``stable_steps`` without.
+
+        Returns the full stream (churn phase then stable phase), the events,
+        the stable population, and the stream index corresponding to ``T0``.
+        """
+        check_positive("churn_steps", churn_steps)
+        check_positive("stable_steps", stable_steps)
+        alive: Set[int] = set(range(self.initial_population))
+        next_identifier = self.initial_population
+        events: List[ChurnEvent] = []
+        identifiers: List[int] = []
+        ever_alive: Set[int] = set(alive)
+
+        def advertise() -> None:
+            if not alive:
+                return
+            alive_list = sorted(alive)
+            draws = self._rng.integers(0, len(alive_list),
+                                       size=self.advertisements_per_step)
+            for draw in draws:
+                identifiers.append(alive_list[int(draw)])
+
+        for step in range(int(churn_steps)):
+            if self._rng.random() < self.join_rate:
+                alive.add(next_identifier)
+                ever_alive.add(next_identifier)
+                events.append(ChurnEvent(time=step, identifier=next_identifier,
+                                         joined=True))
+                next_identifier += 1
+            if len(alive) > 1 and self._rng.random() < self.leave_rate:
+                alive_list = sorted(alive)
+                victim = alive_list[int(self._rng.integers(0, len(alive_list)))]
+                alive.discard(victim)
+                events.append(ChurnEvent(time=step, identifier=victim,
+                                         joined=False))
+            advertise()
+
+        stability_time = len(identifiers)
+        stable_population = sorted(alive)
+        for _ in range(int(stable_steps)):
+            advertise()
+
+        stream = IdentifierStream(
+            identifiers=identifiers,
+            universe=sorted(ever_alive),
+            label=(f"churn(init={self.initial_population}, "
+                   f"join={self.join_rate}, leave={self.leave_rate})"),
+        )
+        return ChurnTrace(stream=stream, events=events,
+                          stable_population=stable_population,
+                          stability_time=stability_time)
+
+    def stable_suffix(self, trace: ChurnTrace) -> IdentifierStream:
+        """Return the post-``T0`` part of a generated trace.
+
+        This is the stream over which the paper's Uniformity property is
+        defined; its universe is the stable population.
+        """
+        return IdentifierStream(
+            identifiers=trace.stream.identifiers[trace.stability_time:],
+            universe=trace.stable_population,
+            label=f"{trace.stream.label}+stable",
+        )

@@ -1,0 +1,283 @@
+"""Synthetic input-stream generators used throughout the evaluation.
+
+The paper biases the sampler's input stream with several distributions:
+
+* **Uniform** streams (the unbiased reference);
+* **Zipfian** streams with parameter ``alpha`` — the "peak attack" of
+  Figures 7(a), 8, 9 and 10(a) uses ``alpha = 4``, which concentrates almost
+  all of the mass on a single identifier;
+* **Truncated Poisson** streams with ``lambda = n / 2`` — the targeted +
+  flooding scenario of Figures 7(b) and 10(b);
+* An explicit **peak** stream — one identifier occurs a fixed large number of
+  times, every other identifier a fixed small number of times (the scenario
+  described for Figure 7(a): 50,000 vs 50 occurrences).
+
+Every generator returns an :class:`~repro.streams.stream.IdentifierStream`
+whose universe is ``{0, ..., n-1}`` unless explicit identifiers are supplied.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.streams.stream import IdentifierStream, stream_from_frequencies
+from repro.utils.rng import RandomState, ensure_rng
+from repro.utils.validation import check_positive
+
+
+def _resolve_universe(population_size: Optional[int],
+                      identifiers: Optional[Sequence[int]]) -> List[int]:
+    """Return the identifier universe from either an explicit list or a size."""
+    if identifiers is not None:
+        universe = [int(identifier) for identifier in identifiers]
+        if len(set(universe)) != len(universe):
+            raise ValueError("identifiers must be distinct")
+        if not universe:
+            raise ValueError("identifiers must be non-empty")
+        return universe
+    if population_size is None:
+        raise ValueError("either population_size or identifiers must be given")
+    check_positive("population_size", population_size)
+    return list(range(int(population_size)))
+
+
+def uniform_stream(stream_size: int, population_size: Optional[int] = None, *,
+                   identifiers: Optional[Sequence[int]] = None,
+                   random_state: RandomState = None) -> IdentifierStream:
+    """Generate a stream whose identifiers are drawn i.i.d. uniformly.
+
+    This is the ideal, unbiased input against which biased streams are
+    compared (the distribution ``U`` of the gain ``G_KL``).
+    """
+    check_positive("stream_size", stream_size)
+    universe = _resolve_universe(population_size, identifiers)
+    rng = ensure_rng(random_state)
+    draws = rng.integers(0, len(universe), size=int(stream_size))
+    sampled = [universe[index] for index in draws]
+    return IdentifierStream(identifiers=sampled, universe=universe,
+                            label="uniform")
+
+
+def zipf_probabilities(population_size: int, alpha: float) -> np.ndarray:
+    """Return the Zipf(alpha) probability vector over ranks ``1..population_size``."""
+    check_positive("population_size", population_size)
+    check_positive("alpha", alpha)
+    ranks = np.arange(1, population_size + 1, dtype=np.float64)
+    weights = ranks ** (-float(alpha))
+    return weights / weights.sum()
+
+
+def zipf_stream(stream_size: int, population_size: Optional[int] = None, *,
+                alpha: float = 1.0,
+                identifiers: Optional[Sequence[int]] = None,
+                random_state: RandomState = None) -> IdentifierStream:
+    """Generate a Zipfian stream: rank ``i`` occurs with probability ``~ i^-alpha``.
+
+    With ``alpha = 4`` this reproduces the paper's *peak attack* bias where a
+    single identifier dominates the stream.
+    """
+    check_positive("stream_size", stream_size)
+    universe = _resolve_universe(population_size, identifiers)
+    rng = ensure_rng(random_state)
+    probabilities = zipf_probabilities(len(universe), alpha)
+    draws = rng.choice(len(universe), size=int(stream_size), p=probabilities)
+    sampled = [universe[index] for index in draws]
+    return IdentifierStream(identifiers=sampled, universe=universe,
+                            label=f"zipf(alpha={alpha})")
+
+
+def truncated_poisson_probabilities(population_size: int,
+                                    lam: float) -> np.ndarray:
+    """Return Poisson(lam) probabilities truncated to ``{0, ..., population_size-1}``.
+
+    Identifier ``i`` receives weight ``lam^i e^-lam / i!`` renormalised over
+    the population; this concentrates the stream's mass on the identifiers
+    around rank ``lam``, which is how the paper generates the targeted +
+    flooding bias of Figure 7(b) (``lam = n / 2``).
+    """
+    check_positive("population_size", population_size)
+    check_positive("lam", lam)
+    log_weights = np.empty(population_size, dtype=np.float64)
+    for i in range(population_size):
+        log_weights[i] = i * math.log(lam) - lam - math.lgamma(i + 1)
+    log_weights -= log_weights.max()
+    weights = np.exp(log_weights)
+    return weights / weights.sum()
+
+
+def truncated_poisson_stream(stream_size: int,
+                             population_size: Optional[int] = None, *,
+                             lam: Optional[float] = None,
+                             identifiers: Optional[Sequence[int]] = None,
+                             random_state: RandomState = None) -> IdentifierStream:
+    """Generate a stream biased by a truncated Poisson distribution.
+
+    ``lam`` defaults to ``population_size / 2`` as in the paper's Figure 7(b).
+    """
+    check_positive("stream_size", stream_size)
+    universe = _resolve_universe(population_size, identifiers)
+    if lam is None:
+        lam = len(universe) / 2.0
+    rng = ensure_rng(random_state)
+    probabilities = truncated_poisson_probabilities(len(universe), lam)
+    draws = rng.choice(len(universe), size=int(stream_size), p=probabilities)
+    sampled = [universe[index] for index in draws]
+    return IdentifierStream(identifiers=sampled, universe=universe,
+                            label=f"truncated-poisson(lambda={lam})")
+
+
+def peak_stream(population_size: Optional[int] = None, *,
+                peak_frequency: int = 50_000,
+                base_frequency: int = 50,
+                peak_identifier: Optional[int] = None,
+                identifiers: Optional[Sequence[int]] = None,
+                random_state: RandomState = None) -> IdentifierStream:
+    """Generate the explicit *peak attack* stream of Figure 7(a).
+
+    One identifier (the peak) occurs ``peak_frequency`` times while every
+    other identifier of the universe occurs ``base_frequency`` times; the
+    occurrences are randomly interleaved.
+    """
+    check_positive("peak_frequency", peak_frequency)
+    check_positive("base_frequency", base_frequency)
+    universe = _resolve_universe(population_size, identifiers)
+    if peak_identifier is None:
+        peak_identifier = universe[0]
+    if peak_identifier not in universe:
+        raise ValueError("peak_identifier must belong to the identifier universe")
+    frequencies: Dict[int, int] = {
+        identifier: base_frequency for identifier in universe
+    }
+    frequencies[peak_identifier] = peak_frequency
+    stream = stream_from_frequencies(
+        frequencies,
+        random_state=random_state,
+        label=f"peak(peak={peak_frequency}, base={base_frequency})",
+        malicious=[peak_identifier],
+    )
+    return stream
+
+
+def peak_attack_stream(stream_size: int, population_size: Optional[int] = None,
+                       *, peak_fraction: float = 0.5,
+                       peak_identifier: Optional[int] = None,
+                       identifiers: Optional[Sequence[int]] = None,
+                       random_state: RandomState = None) -> IdentifierStream:
+    """Generate the paper's *peak attack* input at a target stream size.
+
+    One identifier receives ``peak_fraction`` of the ``stream_size``
+    occurrences; the remaining occurrences are spread as evenly as possible
+    over the rest of the population, so that every identifier appears (the
+    situation of Figure 7(a): one identifier occurs 50,000 times, every other
+    identifier about 50 times, for m = 100,000 and n = 1,000).
+
+    The paper labels this bias "Zipfian with alpha = 4": with such a strong
+    exponent essentially all the Zipf mass sits on the top identifier, and the
+    remaining identifiers appear a small, comparable number of times.
+    """
+    check_positive("stream_size", stream_size)
+    if not 0 < peak_fraction < 1:
+        raise ValueError("peak_fraction must be in (0, 1)")
+    universe = _resolve_universe(population_size, identifiers)
+    if peak_identifier is None:
+        peak_identifier = universe[0]
+    if peak_identifier not in universe:
+        raise ValueError("peak_identifier must belong to the identifier universe")
+    peak_count = max(1, int(round(stream_size * peak_fraction)))
+    others = [identifier for identifier in universe
+              if identifier != peak_identifier]
+    frequencies: Dict[int, int] = {peak_identifier: peak_count}
+    remaining = max(0, int(stream_size) - peak_count)
+    if others:
+        base, leftover = divmod(remaining, len(others))
+        for index, identifier in enumerate(others):
+            frequencies[identifier] = max(1, base + (1 if index < leftover else 0))
+    return stream_from_frequencies(
+        frequencies,
+        random_state=random_state,
+        label=f"peak-attack(fraction={peak_fraction})",
+        malicious=[peak_identifier],
+    )
+
+
+def poisson_attack_stream(stream_size: int,
+                          population_size: Optional[int] = None, *,
+                          attack_fraction: float = 0.5,
+                          lam: Optional[float] = None,
+                          identifiers: Optional[Sequence[int]] = None,
+                          random_state: RandomState = None) -> IdentifierStream:
+    """Generate the targeted + flooding bias of Figure 7(b).
+
+    Every identifier of the population receives an equal share of
+    ``(1 - attack_fraction) * stream_size`` occurrences (the legitimate
+    traffic), and the adversary's ``attack_fraction`` share is distributed
+    over the population according to a truncated Poisson distribution with
+    parameter ``lam`` (default ``population_size / 2``), which over-represents
+    the identifiers around rank ``lam`` — the roughly 50 over-represented
+    identifiers visible in the paper's Figure 7(b).
+
+    Identifiers whose Poisson weight exceeds the uniform weight ``1/n`` are
+    reported as the malicious (over-represented) identifiers of the stream.
+    """
+    check_positive("stream_size", stream_size)
+    if not 0 < attack_fraction < 1:
+        raise ValueError("attack_fraction must be in (0, 1)")
+    universe = _resolve_universe(population_size, identifiers)
+    n = len(universe)
+    if lam is None:
+        lam = n / 2.0
+    poisson = truncated_poisson_probabilities(n, lam)
+    base_total = int(round(stream_size * (1.0 - attack_fraction)))
+    attack_total = max(0, int(stream_size) - base_total)
+    base, leftover = divmod(base_total, n)
+    frequencies: Dict[int, int] = {}
+    malicious: List[int] = []
+    for index, identifier in enumerate(universe):
+        count = max(1, base + (1 if index < leftover else 0))
+        count += int(round(poisson[index] * attack_total))
+        frequencies[identifier] = count
+        if poisson[index] > 1.0 / n:
+            malicious.append(identifier)
+    return stream_from_frequencies(
+        frequencies,
+        random_state=random_state,
+        label=f"poisson-attack(lambda={lam}, fraction={attack_fraction})",
+        malicious=malicious,
+    )
+
+
+def poisson_arrival_stream(stream_size: int,
+                           population_size: Optional[int] = None, *,
+                           burst_identifiers: int = 10,
+                           burst_weight: float = 0.4,
+                           identifiers: Optional[Sequence[int]] = None,
+                           random_state: RandomState = None) -> IdentifierStream:
+    """Generate the Figure 6 style stream: a few identifiers recur heavily.
+
+    ``burst_identifiers`` identifiers collectively receive ``burst_weight`` of
+    the stream's mass; the remaining mass is spread uniformly over the rest of
+    the population.  This mimics the "Poisson distribution with a small
+    index" bias the paper uses for its isopleth figure.
+    """
+    check_positive("stream_size", stream_size)
+    if not 0 < burst_weight < 1:
+        raise ValueError("burst_weight must be in (0, 1)")
+    universe = _resolve_universe(population_size, identifiers)
+    if burst_identifiers >= len(universe):
+        raise ValueError("burst_identifiers must be smaller than the population")
+    rng = ensure_rng(random_state)
+    probabilities = np.full(len(universe),
+                            (1.0 - burst_weight) / (len(universe) - burst_identifiers))
+    probabilities[:burst_identifiers] = burst_weight / burst_identifiers
+    probabilities /= probabilities.sum()
+    draws = rng.choice(len(universe), size=int(stream_size), p=probabilities)
+    sampled = [universe[index] for index in draws]
+    return IdentifierStream(
+        identifiers=sampled,
+        universe=universe,
+        malicious=universe[:burst_identifiers],
+        label=f"bursty(burst={burst_identifiers}, weight={burst_weight})",
+    )

@@ -1,0 +1,113 @@
+"""Stream oracles: the a-priori knowledge assumed by the omniscient strategy.
+
+Algorithm 1 of the paper assumes the sampler knows, for every received
+identifier ``j``, its occurrence probability ``p_j`` in the *full* stream, as
+well as the population size ``n``.  A :class:`StreamOracle` encapsulates that
+knowledge so the omniscient strategy can be driven either by the true
+generating distribution (when it is known analytically) or by the empirical
+frequencies of a finite stream realisation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from repro.streams.stream import IdentifierStream
+from repro.utils.validation import check_positive
+
+
+class StreamOracle:
+    """Occurrence-probability oracle backing the omniscient strategy.
+
+    Parameters
+    ----------
+    probabilities:
+        Mapping identifier -> occurrence probability ``p_j``.  Probabilities
+        must be strictly positive (the paper assumes every node of the
+        population has a non-null probability to appear in the stream —
+        otherwise Freshness is unattainable) and are renormalised to sum to 1.
+    """
+
+    def __init__(self, probabilities: Mapping[int, float]) -> None:
+        if not probabilities:
+            raise ValueError("probabilities must be non-empty")
+        total = float(sum(probabilities.values()))
+        check_positive("sum of probabilities", total)
+        self._probabilities: Dict[int, float] = {}
+        for identifier, probability in probabilities.items():
+            if probability <= 0:
+                raise ValueError(
+                    f"occurrence probability of identifier {identifier} must be "
+                    f"strictly positive, got {probability}"
+                )
+            self._probabilities[int(identifier)] = probability / total
+        self._min_probability = min(self._probabilities.values())
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_stream(cls, stream: IdentifierStream) -> "StreamOracle":
+        """Build an oracle from the empirical frequencies of a finite stream."""
+        frequencies = stream.frequencies()
+        if not frequencies:
+            raise ValueError("cannot build an oracle from an empty stream")
+        return cls({identifier: count for identifier, count in frequencies.items()})
+
+    @classmethod
+    def uniform(cls, population_size: int) -> "StreamOracle":
+        """Build the oracle of an unbiased stream over ``{0..population_size-1}``."""
+        check_positive("population_size", population_size)
+        probability = 1.0 / population_size
+        return cls({identifier: probability
+                    for identifier in range(population_size)})
+
+    # ------------------------------------------------------------------ #
+    # Queries used by Algorithm 1
+    # ------------------------------------------------------------------ #
+    @property
+    def population_size(self) -> int:
+        """The population size ``n`` known to the omniscient strategy."""
+        return len(self._probabilities)
+
+    @property
+    def min_probability(self) -> float:
+        """``min_i p_i`` over the population — the numerator of ``a_j``."""
+        return self._min_probability
+
+    def probability(self, identifier: int) -> float:
+        """Return ``p_j`` for ``identifier``.
+
+        Raises
+        ------
+        KeyError
+            If the identifier is unknown to the oracle.  The omniscient
+            strategy treats unknown identifiers as having the minimum
+            probability via :meth:`insertion_probability`, so callers that
+            want that behaviour should use it instead.
+        """
+        return self._probabilities[int(identifier)]
+
+    def insertion_probability(self, identifier: int) -> float:
+        """Return ``a_j = min_i(p_i) / p_j`` (Corollary 5).
+
+        Identifiers unknown to the oracle (e.g. Sybil identifiers fabricated
+        after the oracle was built) are treated as maximally rare and receive
+        insertion probability 1 — the most conservative choice, and the one a
+        genuinely omniscient strategy would make for an identifier it has
+        never been told about.
+        """
+        probability = self._probabilities.get(int(identifier))
+        if probability is None:
+            return 1.0
+        return self._min_probability / probability
+
+    def probabilities(self) -> Dict[int, float]:
+        """Return a copy of the full probability table."""
+        return dict(self._probabilities)
+
+    def __contains__(self, identifier: int) -> bool:
+        return int(identifier) in self._probabilities
+
+    def __len__(self) -> int:
+        return len(self._probabilities)

@@ -1,0 +1,207 @@
+"""Stream abstractions.
+
+A *stream* in this library is simply an iterable of integer node identifiers,
+matching the paper's model (Section III-A): identifiers arrive quickly and
+sequentially, may recur with an unknown bias, and the stream is potentially
+unbounded.  :class:`IdentifierStream` wraps a concrete finite realisation of a
+stream together with the metadata experiments need (the identifier universe,
+which identifiers are controlled by the adversary, the generating
+distribution's name), and provides utilities to interleave, truncate and
+analyse streams.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.utils.rng import RandomState, ensure_rng
+from repro.utils.validation import check_positive
+
+
+@dataclass
+class IdentifierStream:
+    """A finite realisation of a node-identifier stream.
+
+    Attributes
+    ----------
+    identifiers:
+        The sequence of identifiers, in arrival order.
+    universe:
+        The set (as a sorted list) of identifiers that may legitimately appear
+        — the population ``N`` of the paper once churn has ceased.  Defaults
+        to the distinct identifiers present in the stream.
+    malicious:
+        Identifiers controlled by the adversary (the ``l`` identifiers of
+        Section III-B).  Empty for unbiased streams.
+    label:
+        Human-readable description of how the stream was generated; used by
+        the experiment reports.
+    """
+
+    identifiers: List[int]
+    universe: Optional[List[int]] = None
+    malicious: List[int] = field(default_factory=list)
+    label: str = "stream"
+
+    def __post_init__(self) -> None:
+        self.identifiers = [int(identifier) for identifier in self.identifiers]
+        if self.universe is None:
+            self.universe = sorted(set(self.identifiers))
+        else:
+            self.universe = sorted(int(identifier) for identifier in self.universe)
+        self.malicious = sorted(int(identifier) for identifier in self.malicious)
+
+    # ------------------------------------------------------------------ #
+    # Basic container protocol
+    # ------------------------------------------------------------------ #
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.identifiers)
+
+    def __len__(self) -> int:
+        return len(self.identifiers)
+
+    def __getitem__(self, index):
+        return self.identifiers[index]
+
+    # ------------------------------------------------------------------ #
+    # Derived statistics
+    # ------------------------------------------------------------------ #
+    @property
+    def size(self) -> int:
+        """Stream length ``m``."""
+        return len(self.identifiers)
+
+    @property
+    def population_size(self) -> int:
+        """Population size ``n`` (size of the identifier universe)."""
+        return len(self.universe)
+
+    @property
+    def correct(self) -> List[int]:
+        """Identifiers of the universe not controlled by the adversary."""
+        malicious = set(self.malicious)
+        return [identifier for identifier in self.universe
+                if identifier not in malicious]
+
+    def frequencies(self) -> Dict[int, int]:
+        """Return the exact frequency of every identifier in the stream."""
+        return dict(Counter(self.identifiers))
+
+    def occurrence_probabilities(self) -> Dict[int, float]:
+        """Return ``p_j = f_j / m`` for every identifier in the stream."""
+        if not self.identifiers:
+            return {}
+        total = len(self.identifiers)
+        return {identifier: count / total
+                for identifier, count in self.frequencies().items()}
+
+    def max_frequency(self) -> int:
+        """Return the frequency of the most frequent identifier (0 if empty)."""
+        freqs = self.frequencies()
+        return max(freqs.values()) if freqs else 0
+
+    def statistics(self) -> Dict[str, int]:
+        """Return the Table II style statistics: m, n and the max frequency."""
+        return {
+            "size": self.size,
+            "distinct": len(set(self.identifiers)),
+            "max_frequency": self.max_frequency(),
+        }
+
+    # ------------------------------------------------------------------ #
+    # Transformations
+    # ------------------------------------------------------------------ #
+    def truncate(self, length: int) -> "IdentifierStream":
+        """Return a copy containing only the first ``length`` identifiers."""
+        check_positive("length", length)
+        return IdentifierStream(
+            identifiers=self.identifiers[:length],
+            universe=self.universe,
+            malicious=self.malicious,
+            label=f"{self.label}[:{length}]",
+        )
+
+    def shuffled(self, random_state: RandomState = None) -> "IdentifierStream":
+        """Return a copy whose arrival order has been randomly permuted.
+
+        The adversary may arbitrarily order the stream; experiments use this
+        to check that the strategies are insensitive to ordering.
+        """
+        rng = ensure_rng(random_state)
+        permuted = list(self.identifiers)
+        rng.shuffle(permuted)
+        return IdentifierStream(
+            identifiers=permuted,
+            universe=self.universe,
+            malicious=self.malicious,
+            label=f"{self.label}+shuffled",
+        )
+
+    def prefixes(self, checkpoints: Sequence[int]) -> Iterator["IdentifierStream"]:
+        """Yield prefixes of the stream at the requested lengths."""
+        for checkpoint in checkpoints:
+            yield self.truncate(min(checkpoint, self.size))
+
+
+def merge_streams(streams: Sequence[IdentifierStream], *,
+                  random_state: RandomState = None,
+                  label: str = "merged") -> IdentifierStream:
+    """Randomly interleave several streams into one.
+
+    The relative order of identifiers *within* each input stream is preserved;
+    arrival slots are assigned uniformly at random across streams, which
+    models several sources (e.g. gossip partners and an adversary) feeding a
+    single input stream.
+    """
+    if not streams:
+        raise ValueError("merge_streams requires at least one stream")
+    rng = ensure_rng(random_state)
+    slots: List[int] = []
+    for index, stream in enumerate(streams):
+        slots.extend([index] * stream.size)
+    rng.shuffle(slots)
+    cursors = [0] * len(streams)
+    merged: List[int] = []
+    for slot in slots:
+        merged.append(streams[slot].identifiers[cursors[slot]])
+        cursors[slot] += 1
+    universe = sorted(set().union(*(stream.universe for stream in streams)))
+    malicious = sorted(set().union(*(set(stream.malicious) for stream in streams)))
+    return IdentifierStream(identifiers=merged, universe=universe,
+                            malicious=malicious, label=label)
+
+
+def stream_from_frequencies(frequencies: Dict[int, int], *,
+                            random_state: RandomState = None,
+                            label: str = "from-frequencies",
+                            malicious: Optional[Iterable[int]] = None,
+                            shuffle: bool = True) -> IdentifierStream:
+    """Build a stream realising exactly the given frequency table.
+
+    Parameters
+    ----------
+    frequencies:
+        Mapping identifier -> number of occurrences.
+    shuffle:
+        When True (default) the occurrences are randomly interleaved;
+        otherwise identifiers appear in blocks sorted by identifier.
+    """
+    identifiers: List[int] = []
+    for identifier in sorted(frequencies):
+        count = frequencies[identifier]
+        if count < 0:
+            raise ValueError(f"negative frequency for identifier {identifier}")
+        identifiers.extend([identifier] * count)
+    if shuffle:
+        rng = ensure_rng(random_state)
+        rng.shuffle(identifiers)
+    return IdentifierStream(
+        identifiers=identifiers,
+        universe=sorted(frequencies),
+        malicious=sorted(malicious) if malicious else [],
+        label=label,
+    )

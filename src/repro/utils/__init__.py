@@ -1,0 +1,26 @@
+"""Shared utilities: random-number handling and argument validation.
+
+The sampling strategies of the paper rely on *local random coins* that the
+adversary cannot observe (Section III-B).  Every randomized component of the
+library therefore takes an explicit :class:`numpy.random.Generator` (or a
+seed) so that experiments are reproducible while still letting each simulated
+node own an independent source of randomness.
+"""
+
+from repro.utils.rng import RandomState, ensure_rng, spawn_children
+from repro.utils.validation import (
+    check_positive,
+    check_probability,
+    check_non_negative,
+    check_in_range,
+)
+
+__all__ = [
+    "RandomState",
+    "ensure_rng",
+    "spawn_children",
+    "check_positive",
+    "check_probability",
+    "check_non_negative",
+    "check_in_range",
+]

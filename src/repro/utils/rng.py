@@ -1,0 +1,75 @@
+"""Random-number-generator helpers.
+
+All randomized classes in the library accept either:
+
+* ``None`` — a fresh, OS-seeded generator is created;
+* an ``int`` seed — a deterministic generator is created from it;
+* an existing :class:`numpy.random.Generator` — used as is.
+
+:func:`ensure_rng` normalises these three cases.  :func:`spawn_children`
+derives independent child generators, which is how a simulation hands an
+independent random coin to every simulated node (the paper requires that the
+adversary has no access to the local coins, hence one generator per node).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+import numpy as np
+
+RandomState = Union[None, int, np.random.Generator]
+
+
+def ensure_rng(random_state: RandomState = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` from a seed, generator or None.
+
+    Parameters
+    ----------
+    random_state:
+        ``None`` for a non-deterministic generator, an integer seed for a
+        reproducible one, or an already constructed generator (returned
+        unchanged).
+
+    Raises
+    ------
+    TypeError
+        If ``random_state`` is none of the accepted types.
+    """
+    if random_state is None:
+        return np.random.default_rng()
+    if isinstance(random_state, np.random.Generator):
+        return random_state
+    if isinstance(random_state, (int, np.integer)):
+        return np.random.default_rng(int(random_state))
+    raise TypeError(
+        "random_state must be None, an int seed, or a numpy Generator, "
+        f"got {type(random_state).__name__}"
+    )
+
+
+def spawn_children(random_state: RandomState, count: int) -> List[np.random.Generator]:
+    """Derive ``count`` statistically independent child generators.
+
+    Child generators are created through numpy's ``spawn`` mechanism when the
+    parent exposes a seed sequence, which guarantees independence between the
+    streams handed to different simulated nodes.
+
+    Parameters
+    ----------
+    random_state:
+        Parent seed/generator (see :func:`ensure_rng`).
+    count:
+        Number of independent generators to derive.  Must be positive.
+    """
+    if count <= 0:
+        raise ValueError(f"count must be positive, got {count}")
+    rng = ensure_rng(random_state)
+    bit_generator = rng.bit_generator
+    seed_seq = getattr(bit_generator, "seed_seq", None)
+    if seed_seq is not None:
+        return [np.random.default_rng(child) for child in seed_seq.spawn(count)]
+    # Fallback for exotic bit generators without a seed sequence: derive
+    # children from integers drawn from the parent.
+    seeds = rng.integers(0, 2**63 - 1, size=count)
+    return [np.random.default_rng(int(seed)) for seed in seeds]

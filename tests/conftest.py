@@ -1,0 +1,30 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.streams import peak_attack_stream, uniform_stream, zipf_stream
+
+
+@pytest.fixture
+def rng():
+    """A deterministic random generator for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_uniform_stream():
+    """A small unbiased stream over 50 identifiers."""
+    return uniform_stream(2_000, 50, random_state=1)
+
+
+@pytest.fixture
+def small_peak_stream():
+    """A small peak-attacked stream over 100 identifiers."""
+    return peak_attack_stream(5_000, 100, peak_fraction=0.5, random_state=2)
+
+
+@pytest.fixture
+def small_zipf_stream():
+    """A small Zipf(1.2) biased stream over 200 identifiers."""
+    return zipf_stream(3_000, 200, alpha=1.2, random_state=3)

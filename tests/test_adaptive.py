@@ -1,0 +1,86 @@
+"""Tests for repro.core.adaptive (self-sizing knowledge-free strategy)."""
+
+import pytest
+
+from repro.core.adaptive import AdaptiveKnowledgeFreeStrategy
+from repro.core.knowledge_free import KnowledgeFreeStrategy
+from repro.metrics import kl_gain
+from repro.streams import peak_attack_stream, uniform_stream
+
+
+class TestAdaptiveKnowledgeFreeStrategy:
+    def test_starts_with_initial_width(self):
+        strategy = AdaptiveKnowledgeFreeStrategy(10, initial_sketch_width=16,
+                                                 random_state=0)
+        assert strategy.current_width == 16
+        assert strategy.epoch == 0
+        assert strategy.epoch_widths == [16]
+
+    def test_grows_when_population_exceeds_load_factor(self):
+        strategy = AdaptiveKnowledgeFreeStrategy(10, initial_sketch_width=8,
+                                                 load_factor=2.0,
+                                                 random_state=1)
+        stream = uniform_stream(5_000, 500, random_state=1)
+        strategy.process_stream(stream)
+        assert strategy.epoch >= 1
+        assert strategy.current_width > 8
+        widths = strategy.epoch_widths
+        assert all(b == 2 * a for a, b in zip(widths, widths[1:]))
+
+    def test_does_not_grow_for_small_population(self):
+        strategy = AdaptiveKnowledgeFreeStrategy(5, initial_sketch_width=64,
+                                                 load_factor=4.0,
+                                                 random_state=2)
+        stream = uniform_stream(3_000, 40, random_state=2)
+        strategy.process_stream(stream)
+        assert strategy.epoch == 0
+        assert strategy.current_width == 64
+
+    def test_width_capped_at_max(self):
+        strategy = AdaptiveKnowledgeFreeStrategy(5, initial_sketch_width=8,
+                                                 load_factor=1.0, max_width=32,
+                                                 random_state=3)
+        stream = uniform_stream(4_000, 1_000, random_state=3)
+        strategy.process_stream(stream)
+        assert strategy.current_width <= 32
+
+    def test_distinct_estimate_tracks_population(self):
+        strategy = AdaptiveKnowledgeFreeStrategy(5, random_state=4)
+        stream = uniform_stream(5_000, 300, random_state=4)
+        strategy.process_stream(stream)
+        assert 150 <= strategy.estimated_distinct() <= 600
+
+    def test_memory_invariants_preserved(self):
+        strategy = AdaptiveKnowledgeFreeStrategy(12, initial_sketch_width=8,
+                                                 load_factor=2.0,
+                                                 random_state=5)
+        stream = peak_attack_stream(8_000, 400, random_state=5)
+        for identifier in stream:
+            strategy.process(identifier)
+            assert len(strategy.memory) <= 12
+            assert len(set(strategy.memory)) == len(strategy.memory)
+
+    def test_gain_comparable_to_fixed_width(self):
+        stream = peak_attack_stream(20_000, 500, peak_fraction=0.5,
+                                    random_state=6)
+        adaptive = AdaptiveKnowledgeFreeStrategy(10, initial_sketch_width=8,
+                                                 load_factor=2.0,
+                                                 random_state=6)
+        fixed = KnowledgeFreeStrategy(10, sketch_width=8, sketch_depth=5,
+                                      random_state=6)
+        adaptive_gain = kl_gain(stream, adaptive.process_stream(stream))
+        fixed_gain = kl_gain(stream, fixed.process_stream(stream))
+        assert adaptive_gain > 0.5
+        assert adaptive_gain >= fixed_gain - 0.15
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveKnowledgeFreeStrategy(5, initial_sketch_width=0)
+        with pytest.raises(ValueError):
+            AdaptiveKnowledgeFreeStrategy(5, load_factor=0)
+        with pytest.raises(ValueError):
+            AdaptiveKnowledgeFreeStrategy(5, initial_sketch_width=64,
+                                          max_width=32)
+
+    def test_name(self):
+        assert AdaptiveKnowledgeFreeStrategy(5).name == "adaptive-knowledge-free"

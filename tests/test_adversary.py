@@ -1,0 +1,88 @@
+"""Tests for repro.adversary.adversary (the strong adversary controller)."""
+
+import pytest
+
+from repro.adversary import (
+    Adversary,
+    AttackBudget,
+    FloodingAttack,
+    PeakAttack,
+    SybilIdentifierFactory,
+    TargetedAttack,
+    make_combined_adversary,
+    make_flooding_adversary,
+    make_peak_adversary,
+    make_targeted_adversary,
+)
+from repro.streams import uniform_stream
+
+
+class TestAdversary:
+    def test_requires_attacks(self):
+        with pytest.raises(ValueError):
+            Adversary([])
+
+    def test_effort_counts_distinct_identifiers(self):
+        factory = SybilIdentifierFactory(correct_identifiers=range(10))
+        targeted = TargetedAttack(1, AttackBudget(5), factory)
+        flooding = FloodingAttack(AttackBudget(7), factory)
+        adversary = Adversary([targeted, flooding], random_state=0)
+        assert adversary.effort == 12
+        assert len(set(adversary.malicious_identifiers)) == 12
+
+    def test_malicious_stream_combines_attacks(self):
+        factory = SybilIdentifierFactory(correct_identifiers=range(10))
+        targeted = TargetedAttack(1, AttackBudget(3, repetitions=2), factory)
+        flooding = FloodingAttack(AttackBudget(4), factory)
+        adversary = Adversary([targeted, flooding], random_state=0)
+        stream = adversary.malicious_stream()
+        assert stream.size == 3 * 2 + 4
+
+    def test_bias_interleaves_and_unions_universe(self):
+        legitimate = uniform_stream(500, 20, random_state=1)
+        adversary = make_peak_adversary(legitimate.universe,
+                                        peak_frequency=200, random_state=2)
+        biased = adversary.bias(legitimate)
+        assert biased.size == 700
+        assert set(legitimate.universe) <= set(biased.universe)
+        assert set(adversary.malicious_identifiers) <= set(biased.universe)
+        assert set(biased.malicious) == set(adversary.malicious_identifiers)
+
+    def test_bias_preserves_legitimate_multiset(self):
+        legitimate = uniform_stream(300, 10, random_state=3)
+        adversary = make_flooding_adversary(legitimate.universe,
+                                            distinct_identifiers=25,
+                                            repetitions=2, random_state=4)
+        biased = adversary.bias(legitimate)
+        legitimate_counts = legitimate.frequencies()
+        biased_counts = biased.frequencies()
+        for identifier, count in legitimate_counts.items():
+            assert biased_counts[identifier] >= count
+
+
+class TestConvenienceConstructors:
+    def test_peak_adversary(self):
+        adversary = make_peak_adversary(range(10), peak_frequency=50,
+                                        random_state=0)
+        assert adversary.effort == 1
+        assert adversary.malicious_stream().size == 50
+
+    def test_targeted_adversary(self):
+        adversary = make_targeted_adversary(range(10), target_identifier=3,
+                                            distinct_identifiers=20,
+                                            random_state=0)
+        assert adversary.effort == 20
+
+    def test_flooding_adversary(self):
+        adversary = make_flooding_adversary(range(10),
+                                            distinct_identifiers=15,
+                                            repetitions=3, random_state=0)
+        assert adversary.malicious_stream().size == 45
+
+    def test_combined_adversary(self):
+        adversary = make_combined_adversary(range(10), target_identifier=0,
+                                            targeted_identifiers=5,
+                                            flooding_identifiers=7,
+                                            random_state=0)
+        assert adversary.effort == 12
+        assert len(adversary.attacks) == 2

@@ -1,0 +1,106 @@
+"""Tests for repro.adversary.attacks."""
+
+import pytest
+
+from repro.adversary.attacks import (
+    AttackBudget,
+    FloodingAttack,
+    PeakAttack,
+    SybilIdentifierFactory,
+    TargetedAttack,
+)
+
+
+class TestSybilIdentifierFactory:
+    def test_avoids_correct_identifiers(self):
+        factory = SybilIdentifierFactory(correct_identifiers=range(100))
+        generated = factory.generate(10)
+        assert all(identifier >= 100 for identifier in generated)
+        assert len(set(generated)) == 10
+
+    def test_never_reuses_identifiers(self):
+        factory = SybilIdentifierFactory(correct_identifiers=[0, 1])
+        first = factory.generate(5)
+        second = factory.generate(5)
+        assert not set(first) & set(second)
+
+    def test_custom_start(self):
+        factory = SybilIdentifierFactory(correct_identifiers=[], start=1_000)
+        assert factory.generate(3) == [1_000, 1_001, 1_002]
+
+    def test_skips_taken_identifiers(self):
+        factory = SybilIdentifierFactory(correct_identifiers=[5, 6], start=5)
+        assert factory.generate(2) == [7, 8]
+
+    def test_rejects_non_positive_count(self):
+        factory = SybilIdentifierFactory(correct_identifiers=[])
+        with pytest.raises(ValueError):
+            factory.generate(0)
+
+
+class TestAttackBudget:
+    def test_total_insertions(self):
+        budget = AttackBudget(distinct_identifiers=10, repetitions=3)
+        assert budget.total_insertions == 30
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AttackBudget(distinct_identifiers=0)
+        with pytest.raises(ValueError):
+            AttackBudget(distinct_identifiers=1, repetitions=0)
+
+
+class TestTargetedAttack:
+    def test_generates_requested_budget(self):
+        factory = SybilIdentifierFactory(correct_identifiers=range(10))
+        attack = TargetedAttack(3, AttackBudget(5, repetitions=4), factory)
+        insertions = attack.generate_insertions(random_state=0)
+        assert insertions.size == 20
+        assert len(set(insertions.identifiers)) == 5
+        assert insertions.malicious == sorted(attack.malicious_identifiers)
+
+    def test_malicious_identifiers_stable(self):
+        factory = SybilIdentifierFactory(correct_identifiers=range(10))
+        attack = TargetedAttack(3, AttackBudget(5), factory)
+        assert attack.malicious_identifiers == attack.malicious_identifiers
+
+    def test_target_not_among_malicious(self):
+        factory = SybilIdentifierFactory(correct_identifiers=range(10))
+        attack = TargetedAttack(3, AttackBudget(5), factory)
+        assert 3 not in attack.malicious_identifiers
+
+
+class TestFloodingAttack:
+    def test_generates_requested_budget(self):
+        factory = SybilIdentifierFactory(correct_identifiers=range(10))
+        attack = FloodingAttack(AttackBudget(8, repetitions=2), factory)
+        insertions = attack.generate_insertions(random_state=1)
+        assert insertions.size == 16
+        assert len(set(insertions.identifiers)) == 8
+
+    def test_each_identifier_repeated(self):
+        factory = SybilIdentifierFactory(correct_identifiers=[])
+        attack = FloodingAttack(AttackBudget(4, repetitions=3), factory)
+        insertions = attack.generate_insertions(random_state=2)
+        for count in insertions.frequencies().values():
+            assert count == 3
+
+
+class TestPeakAttack:
+    def test_single_identifier_repeated(self):
+        factory = SybilIdentifierFactory(correct_identifiers=range(5))
+        attack = PeakAttack(1_000, factory)
+        insertions = attack.generate_insertions()
+        assert insertions.size == 1_000
+        assert len(set(insertions.identifiers)) == 1
+        assert insertions.malicious == [attack.peak_identifier]
+
+    def test_explicit_peak_identifier(self):
+        factory = SybilIdentifierFactory(correct_identifiers=range(5))
+        attack = PeakAttack(10, factory, peak_identifier=42)
+        assert attack.peak_identifier == 42
+
+    def test_rejects_non_positive_frequency(self):
+        factory = SybilIdentifierFactory(correct_identifiers=[])
+        with pytest.raises(ValueError):
+            PeakAttack(0, factory)

@@ -1,0 +1,67 @@
+"""Tests for repro.core.base (the shared strategy interface)."""
+
+import pytest
+
+from repro.core.base import SamplingStrategy
+from repro.streams import IdentifierStream, uniform_stream
+
+
+class RecordingStrategy(SamplingStrategy):
+    """Minimal concrete strategy: admit everything until the memory is full."""
+
+    name = "recording"
+
+    def _admit(self, identifier: int) -> None:
+        if not self.memory_is_full and identifier not in self._memory_set:
+            self._insert(identifier)
+
+
+class TestSamplingStrategyBase:
+    def test_rejects_non_positive_memory(self):
+        with pytest.raises(ValueError):
+            RecordingStrategy(0)
+
+    def test_process_returns_output_after_first_element(self):
+        strategy = RecordingStrategy(3, random_state=0)
+        assert strategy.process(7) == 7
+
+    def test_sample_uniform_over_memory(self):
+        strategy = RecordingStrategy(3, random_state=1)
+        for identifier in [1, 2, 3]:
+            strategy.process(identifier)
+        samples = {strategy.sample() for _ in range(200)}
+        assert samples == {1, 2, 3}
+
+    def test_process_stream_propagates_metadata(self):
+        stream = uniform_stream(100, 10, random_state=2)
+        strategy = RecordingStrategy(5, random_state=2)
+        output = strategy.process_stream(stream)
+        assert isinstance(output, IdentifierStream)
+        assert output.universe == stream.universe
+        assert output.size == stream.size
+        assert strategy.name in output.label
+
+    def test_process_stream_plain_iterable(self):
+        strategy = RecordingStrategy(5, random_state=3)
+        output = strategy.process_stream([1, 2, 3, 4])
+        assert output.size == 4
+
+    def test_elements_processed_counter(self):
+        strategy = RecordingStrategy(2, random_state=4)
+        strategy.process_stream(range(10))
+        assert strategy.elements_processed == 10
+
+    def test_memory_copy_is_isolated(self):
+        strategy = RecordingStrategy(3, random_state=5)
+        strategy.process(1)
+        memory = strategy.memory
+        memory.append(99)
+        assert 99 not in strategy.memory
+
+    def test_reset_clears_state(self):
+        strategy = RecordingStrategy(3, random_state=6)
+        strategy.process_stream([1, 2, 3])
+        strategy.reset()
+        assert strategy.memory == []
+        assert strategy.elements_processed == 0
+        assert strategy.sample() is None

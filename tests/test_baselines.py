@@ -1,0 +1,109 @@
+"""Tests for repro.core.baselines (min-wise, reservoir, full-memory samplers)."""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import FullMemorySampler, MinWiseSampler, ReservoirSampler
+from repro.streams import peak_attack_stream, uniform_stream
+
+
+class TestMinWiseSampler:
+    def test_memory_bounded(self):
+        sampler = MinWiseSampler(memory_size=5, random_state=0)
+        stream = uniform_stream(500, 50, random_state=0)
+        for identifier in stream:
+            sampler.process(identifier)
+            assert len(sampler.memory) <= 5
+
+    def test_converges_then_static(self):
+        # Once every identifier has been seen, the slot winners never change:
+        # the sample is static (the paper's criticism of min-wise sampling).
+        sampler = MinWiseSampler(memory_size=4, random_state=1)
+        universe = list(range(30))
+        rng = np.random.default_rng(1)
+        for _ in range(500):
+            sampler.process(int(rng.integers(0, 30)))
+        snapshot = sorted(sampler.memory)
+        for _ in range(500):
+            sampler.process(int(rng.integers(0, 30)))
+        assert sorted(sampler.memory) == snapshot
+
+    def test_winner_insensitive_to_frequency(self):
+        # The slot winner depends only on the hash image, not on how often an
+        # identifier recurs: repeated injections do not change the winner.
+        sampler = MinWiseSampler(memory_size=1, random_state=2)
+        for identifier in range(20):
+            sampler.process(identifier)
+        winner = sampler.memory[0]
+        for _ in range(1_000):
+            sampler.process(5 if winner != 5 else 7)
+        assert sampler.memory[0] == winner
+
+    def test_reset(self):
+        sampler = MinWiseSampler(memory_size=3, random_state=3)
+        sampler.process(1)
+        sampler.reset()
+        assert sampler.memory == []
+        sampler.process(2)
+        assert 2 in sampler.memory
+
+
+class TestReservoirSampler:
+    def test_uniform_over_stream_positions(self):
+        # Over many runs, each stream element is kept with probability c/m.
+        kept = Counter()
+        runs = 300
+        for seed in range(runs):
+            sampler = ReservoirSampler(memory_size=5, random_state=seed)
+            for identifier in range(50):
+                sampler.process(identifier)
+            kept.update(set(sampler.memory))
+        expected = 5 / 50
+        for identifier in range(50):
+            assert abs(kept[identifier] / runs - expected) < 0.08
+
+    def test_biased_stream_biases_reservoir(self):
+        # The illustrative weakness: an over-represented identifier dominates
+        # the reservoir sample.
+        stream = peak_attack_stream(10_000, 100, peak_fraction=0.5,
+                                    random_state=4)
+        hits = 0
+        runs = 50
+        for seed in range(runs):
+            sampler = ReservoirSampler(memory_size=10, random_state=seed)
+            for identifier in stream:
+                sampler.process(identifier)
+            hits += sum(1 for identifier in sampler.memory if identifier == 0)
+        # Peak identifier holds ~50% of the reservoir slots on average.
+        assert hits / (runs * 10) > 0.3
+
+    def test_memory_bounded(self):
+        sampler = ReservoirSampler(memory_size=3, random_state=5)
+        for identifier in range(100):
+            sampler.process(identifier)
+            assert len(sampler.memory) <= 3
+
+
+class TestFullMemorySampler:
+    def test_stores_every_distinct_identifier(self):
+        sampler = FullMemorySampler(random_state=6)
+        stream = uniform_stream(2_000, 100, random_state=6)
+        sampler.process_stream(stream)
+        assert sampler.distinct_seen() == len(set(stream.identifiers))
+
+    def test_memory_never_full(self):
+        sampler = FullMemorySampler(random_state=7)
+        for identifier in range(1_000):
+            sampler.process(identifier)
+        assert not sampler.memory_is_full
+        assert sampler.distinct_seen() == 1_000
+
+    def test_sample_uniform_over_distinct(self):
+        sampler = FullMemorySampler(random_state=8)
+        stream = peak_attack_stream(5_000, 50, peak_fraction=0.5,
+                                    random_state=8)
+        sampler.process_stream(stream)
+        samples = Counter(sampler.sample() for _ in range(5_000))
+        assert max(samples.values()) < 0.1 * 5_000

@@ -1,0 +1,122 @@
+"""Tests for repro.network.brahms (Brahms-style membership protocol)."""
+
+import pytest
+
+from repro.network.brahms import BrahmsConfig, BrahmsNode, BrahmsSimulation
+
+
+class TestBrahmsConfig:
+    def test_defaults_sum_to_one(self):
+        config = BrahmsConfig()
+        assert config.alpha + config.beta + config.gamma == pytest.approx(1.0)
+
+    def test_rejects_fractions_not_summing_to_one(self):
+        with pytest.raises(ValueError):
+            BrahmsConfig(alpha=0.5, beta=0.5, gamma=0.5)
+
+    def test_rejects_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            BrahmsConfig(view_size=0)
+        with pytest.raises(ValueError):
+            BrahmsConfig(pushes_per_round=0)
+
+
+class TestBrahmsNode:
+    def test_bootstrap_excludes_self_and_respects_view_size(self):
+        node = BrahmsNode(0, BrahmsConfig(view_size=5), random_state=0)
+        node.bootstrap(range(20))
+        assert len(node.view) == 5
+        assert 0 not in node.view
+
+    def test_receive_push_feeds_sampler(self):
+        node = BrahmsNode(0, BrahmsConfig(view_size=4, sampler_count=4),
+                          random_state=1)
+        node.receive_push(7)
+        assert 7 in node.sampler.memory
+
+    def test_answer_pull_returns_copy(self):
+        node = BrahmsNode(0, BrahmsConfig(view_size=4), random_state=2)
+        node.bootstrap(range(10))
+        answer = node.answer_pull()
+        answer.append(999)
+        assert 999 not in node.view
+
+    def test_update_view_mixes_sources_and_bounds_size(self):
+        config = BrahmsConfig(view_size=6)
+        node = BrahmsNode(0, config, random_state=3)
+        node.bootstrap(range(12))
+        for identifier in (20, 21, 22):
+            node.receive_push(identifier)
+        node.update_view(pulled=[30, 31, 32, 33])
+        assert 0 < len(node.view) <= 6
+        assert len(set(node.view)) == len(node.view)
+        assert 0 not in node.view
+
+    def test_malicious_fraction_of_view(self):
+        node = BrahmsNode(0, BrahmsConfig(view_size=4), random_state=4)
+        node.view = [1, 2, 100, 101]
+        assert node.malicious_fraction_of_view({100, 101}) == pytest.approx(0.5)
+        node.view = []
+        assert node.malicious_fraction_of_view({100}) == 0.0
+
+
+class TestBrahmsSimulation:
+    def test_construction_and_bootstrap(self):
+        simulation = BrahmsSimulation(20, 5, random_state=0)
+        assert len(simulation.nodes) == 20
+        for node in simulation.nodes.values():
+            assert node.view
+
+    def test_rounds_execute(self):
+        simulation = BrahmsSimulation(15, 3, random_state=1)
+        simulation.run(5)
+        assert simulation.rounds_executed == 5
+
+    def test_no_adversary_no_poisoning(self):
+        simulation = BrahmsSimulation(15, 0, random_state=2)
+        simulation.run(5)
+        assert simulation.mean_view_poisoning() == 0.0
+        assert simulation.mean_sampler_poisoning() == 0.0
+
+    def test_push_flood_poisons_views_but_is_bounded(self):
+        # The adversary pushes every identifier to every node every round;
+        # the gamma (sampler-history) share keeps the views from being fully
+        # poisoned, which is Brahms's design goal.
+        config = BrahmsConfig(view_size=16, sampler_count=16,
+                              alpha=0.45, beta=0.45, gamma=0.1)
+        simulation = BrahmsSimulation(25, 5, config=config, random_state=3)
+        simulation.run(15)
+        poisoning = simulation.mean_view_poisoning()
+        assert 0.0 < poisoning < 1.0
+
+    def test_sampler_history_less_poisoned_than_views(self):
+        # Min-wise samplers are insensitive to repetition, so under a push
+        # flood the sampler layer contains a smaller adversarial fraction
+        # than the raw views — the property the node sampling service
+        # generalises.
+        config = BrahmsConfig(view_size=16, sampler_count=16)
+        simulation = BrahmsSimulation(25, 5, config=config, random_state=4)
+        simulation.run(15)
+        assert simulation.mean_sampler_poisoning() <= \
+            simulation.mean_view_poisoning() + 0.05
+
+    def test_gamma_share_limits_poisoning(self):
+        # Removing the sampler-history share (gamma = 0) leaves the views
+        # strictly more poisoned than with Brahms's recommended mix.
+        flood = dict(num_correct=25, num_malicious=6)
+        with_history = BrahmsSimulation(
+            config=BrahmsConfig(alpha=0.4, beta=0.4, gamma=0.2),
+            random_state=5, **flood).run(15)
+        without_history = BrahmsSimulation(
+            config=BrahmsConfig(alpha=0.5, beta=0.5, gamma=0.0),
+            random_state=5, **flood).run(15)
+        assert with_history.mean_view_poisoning() <= \
+            without_history.mean_view_poisoning() + 0.05
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BrahmsSimulation(0, 0)
+        with pytest.raises(ValueError):
+            BrahmsSimulation(5, -1)
+        with pytest.raises(ValueError):
+            BrahmsSimulation(5, 1).run(0)

@@ -1,0 +1,82 @@
+"""Tests for repro.streams.churn."""
+
+import pytest
+
+from repro.core import KnowledgeFreeStrategy
+from repro.streams.churn import ChurnEvent, ChurnModel, ChurnTrace
+
+
+class TestChurnModel:
+    def test_generates_trace_with_both_phases(self):
+        model = ChurnModel(50, join_rate=0.2, leave_rate=0.2,
+                           advertisements_per_step=4, random_state=0)
+        trace = model.generate(churn_steps=100, stable_steps=50)
+        assert isinstance(trace, ChurnTrace)
+        assert trace.stream.size == (100 + 50) * 4
+        assert trace.stability_time == 100 * 4
+        assert trace.stable_population
+
+    def test_events_recorded(self):
+        model = ChurnModel(20, join_rate=0.5, leave_rate=0.5, random_state=1)
+        trace = model.generate(churn_steps=200, stable_steps=10)
+        assert trace.events
+        assert any(event.joined for event in trace.events)
+        assert any(not event.joined for event in trace.events)
+        assert all(isinstance(event, ChurnEvent) for event in trace.events)
+
+    def test_population_evolves_consistently(self):
+        model = ChurnModel(30, join_rate=0.3, leave_rate=0.3, random_state=2)
+        trace = model.generate(churn_steps=150, stable_steps=10)
+        alive = set(range(30))
+        for event in trace.events:
+            if event.joined:
+                assert event.identifier not in alive
+                alive.add(event.identifier)
+            else:
+                assert event.identifier in alive
+                alive.discard(event.identifier)
+        assert sorted(alive) == trace.stable_population
+
+    def test_universe_contains_all_ever_alive(self):
+        model = ChurnModel(10, join_rate=0.8, leave_rate=0.1, random_state=3)
+        trace = model.generate(churn_steps=100, stable_steps=10)
+        assert set(trace.stable_population) <= set(trace.stream.universe)
+        departed = {event.identifier for event in trace.events
+                    if not event.joined}
+        assert departed <= set(trace.stream.universe)
+
+    def test_stable_suffix_only_contains_stable_nodes(self):
+        model = ChurnModel(25, join_rate=0.4, leave_rate=0.4,
+                           advertisements_per_step=3, random_state=4)
+        trace = model.generate(churn_steps=120, stable_steps=80)
+        suffix = model.stable_suffix(trace)
+        assert suffix.size == 80 * 3
+        assert set(suffix.identifiers) <= set(trace.stable_population)
+        assert suffix.universe == trace.stable_population
+
+    def test_no_churn_when_rates_zero(self):
+        model = ChurnModel(15, join_rate=0.0, leave_rate=0.0, random_state=5)
+        trace = model.generate(churn_steps=50, stable_steps=10)
+        assert trace.events == []
+        assert trace.stable_population == list(range(15))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ChurnModel(0)
+        with pytest.raises(ValueError):
+            ChurnModel(10, join_rate=1.5)
+        with pytest.raises(ValueError):
+            ChurnModel(10).generate(churn_steps=0, stable_steps=10)
+
+    def test_sampler_converges_on_stable_suffix(self):
+        # After T0 the sampler fed by the stable suffix only ever outputs
+        # members of the stable population — the setting in which the paper's
+        # Uniformity property is stated.
+        model = ChurnModel(40, join_rate=0.3, leave_rate=0.3,
+                           advertisements_per_step=5, random_state=6)
+        trace = model.generate(churn_steps=200, stable_steps=400)
+        suffix = model.stable_suffix(trace)
+        strategy = KnowledgeFreeStrategy(10, sketch_width=10, sketch_depth=4,
+                                         random_state=6)
+        output = strategy.process_stream(suffix)
+        assert set(output.identifiers) <= set(trace.stable_population)

@@ -1,0 +1,85 @@
+"""Tests for repro.cli (the python -m repro command-line interface)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        subparsers = next(action for action in parser._actions
+                          if hasattr(action, "choices") and action.choices)
+        commands = set(subparsers.choices)
+        expected = {"list", "table1", "table2", "figure3", "figure4",
+                    "figure5", "figure6", "figure7", "figure8", "figure9",
+                    "figure10", "figure11", "figure12"}
+        assert expected <= commands
+
+    def test_figure7_requires_variant(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["figure7"])
+        arguments = parser.parse_args(["figure7", "a"])
+        assert arguments.variant == "a"
+
+
+class TestMain:
+    def test_no_command_prints_help(self, capsys):
+        assert main([]) == 1
+        assert "usage" in capsys.readouterr().out.lower()
+
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "table1" in output
+        assert "figure12" in output
+
+    def test_table1_command(self, capsys):
+        assert main(["table1"]) == 0
+        output = capsys.readouterr().out
+        assert "L_ks (computed)" in output
+        assert "38" in output
+
+    def test_figure3_command_with_arguments(self, capsys):
+        assert main(["figure3", "--k", "10", "20", "--eta", "0.1",
+                     "--s", "5"]) == 0
+        output = capsys.readouterr().out
+        assert "k" in output
+        assert "38" in output  # L_{10,5}(0.1)
+
+    def test_figure4_command(self, capsys):
+        assert main(["figure4", "--k", "10", "--eta", "0.1"]) == 0
+        assert "44" in capsys.readouterr().out  # E_10(0.1)
+
+    def test_table2_command(self, capsys):
+        assert main(["table2", "--scale", "0.005"]) == 0
+        assert "NASA" in capsys.readouterr().out
+
+    def test_figure5_command(self, capsys):
+        assert main(["figure5", "--scale", "0.005"]) == 0
+        assert "Saskatchewan" in capsys.readouterr().out
+
+    def test_figure7_command_small(self, capsys):
+        assert main(["figure7", "a", "--stream-size", "3000",
+                     "--population-size", "100", "--seed", "1"]) == 0
+        output = capsys.readouterr().out
+        assert "knowledge-free" in output
+        assert "KL to uniform" in output
+
+    def test_figure8_command_small(self, capsys):
+        assert main(["figure8", "--n", "20", "50", "--stream-size", "2000",
+                     "--trials", "1", "--seed", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "omniscient" in output
+
+    def test_figure10_command_small(self, capsys):
+        assert main(["figure10", "b", "--c", "5", "20", "--stream-size",
+                     "2000", "--population-size", "100", "--trials", "1",
+                     "--seed", "3"]) == 0
+        assert "knowledge-free" in capsys.readouterr().out
+
+    def test_figure12_command_small(self, capsys):
+        assert main(["figure12", "--scale", "0.002", "--trials", "1",
+                     "--seed", "4"]) == 0
+        assert "ClarkNet" in capsys.readouterr().out

@@ -1,0 +1,163 @@
+"""Tests for repro.sketches.count_min (Algorithm 2)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.sketches.count_min import (
+    CountMinSketch,
+    ExactFrequencyCounter,
+    dimensions_from_error,
+)
+
+
+class TestDimensionsFromError:
+    def test_paper_parameterisation(self):
+        width, depth = dimensions_from_error(epsilon=0.3, delta=1e-2)
+        assert width == math.ceil(math.e / 0.3)
+        assert depth == math.ceil(math.log(1e2))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            dimensions_from_error(0.0, 0.1)
+        with pytest.raises(ValueError):
+            dimensions_from_error(0.1, 1.0)
+
+
+class TestCountMinSketch:
+    def test_estimate_never_underestimates(self):
+        sketch = CountMinSketch(width=16, depth=4, random_state=0)
+        items = [1, 2, 2, 3, 3, 3, 4, 4, 4, 4]
+        sketch.update_many(items)
+        for item, true_count in [(1, 1), (2, 2), (3, 3), (4, 4)]:
+            assert sketch.estimate(item) >= true_count
+
+    def test_exact_when_no_collision(self):
+        sketch = CountMinSketch(width=256, depth=6, random_state=1)
+        sketch.update(7, count=13)
+        assert sketch.estimate(7) == 13
+
+    def test_error_bound_holds_on_random_stream(self):
+        rng = np.random.default_rng(2)
+        sketch = CountMinSketch.from_error(epsilon=0.05, delta=0.01,
+                                           random_state=2)
+        items = rng.integers(0, 200, size=5_000)
+        true_counts = {}
+        for item in items:
+            item = int(item)
+            true_counts[item] = true_counts.get(item, 0) + 1
+            sketch.update(item)
+        bound = sketch.error_bound()
+        violations = sum(
+            1 for item, count in true_counts.items()
+            if sketch.estimate(item) > count + bound
+        )
+        # delta = 0.01: essentially no violations expected over 200 items.
+        assert violations <= 2
+
+    def test_total_tracks_updates(self):
+        sketch = CountMinSketch(width=8, depth=2, random_state=0)
+        sketch.update(1)
+        sketch.update(2, count=5)
+        assert sketch.total == 6
+        assert len(sketch) == 6
+
+    def test_min_cell_zero_when_empty(self):
+        sketch = CountMinSketch(width=8, depth=2, random_state=0)
+        assert sketch.min_cell() == 0
+
+    def test_min_cell_ignores_untouched_cells(self):
+        sketch = CountMinSketch(width=64, depth=4, random_state=0)
+        sketch.update(1, count=10)
+        sketch.update(2, count=20)
+        # Most cells are untouched but min_cell reports the smallest counter
+        # actually carrying an observed identifier.
+        assert sketch.min_cell() == 10
+
+    def test_min_cell_bounded_by_rarest_frequency(self):
+        sketch = CountMinSketch(width=32, depth=4, random_state=3)
+        sketch.update(1, count=100)
+        sketch.update(2, count=5)
+        assert 0 < sketch.min_cell() <= sketch.estimate(2)
+
+    def test_unknown_item_estimate_is_spurious_but_nonnegative(self):
+        sketch = CountMinSketch(width=16, depth=4, random_state=4)
+        sketch.update_many(range(20))
+        assert sketch.estimate(10_000) >= 0
+
+    def test_update_rejects_non_positive_count(self):
+        sketch = CountMinSketch(width=8, depth=2, random_state=0)
+        with pytest.raises(ValueError):
+            sketch.update(1, count=0)
+
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            CountMinSketch(width=0, depth=2)
+        with pytest.raises(ValueError):
+            CountMinSketch(width=2, depth=0)
+
+    def test_table_is_read_only(self):
+        sketch = CountMinSketch(width=8, depth=2, random_state=0)
+        sketch.update(1)
+        with pytest.raises(ValueError):
+            sketch.table[0, 0] = 99
+
+    def test_merge_same_hash_functions(self):
+        sketch = CountMinSketch(width=16, depth=4, random_state=5)
+        other = sketch.copy_empty()
+        sketch.update(1, count=3)
+        other.update(1, count=4)
+        sketch.merge(other)
+        assert sketch.estimate(1) >= 7
+        assert sketch.total == 7
+
+    def test_merge_rejects_different_sketches(self):
+        first = CountMinSketch(width=16, depth=4, random_state=6)
+        second = CountMinSketch(width=16, depth=4, random_state=7)
+        with pytest.raises(ValueError):
+            first.merge(second)
+        third = CountMinSketch(width=8, depth=4, random_state=6)
+        with pytest.raises(ValueError):
+            first.merge(third)
+
+    def test_epsilon_delta_properties(self):
+        sketch = CountMinSketch(width=28, depth=5, random_state=0)
+        assert sketch.epsilon == pytest.approx(math.e / 28)
+        assert sketch.delta == pytest.approx(math.exp(-5))
+
+
+class TestExactFrequencyCounter:
+    def test_exact_counts(self):
+        counter = ExactFrequencyCounter()
+        counter.update_many([1, 1, 2, 3, 3, 3])
+        assert counter.estimate(1) == 2
+        assert counter.estimate(2) == 1
+        assert counter.estimate(3) == 3
+        assert counter.estimate(99) == 0
+
+    def test_min_cell_is_rarest_frequency(self):
+        counter = ExactFrequencyCounter()
+        counter.update(1, count=10)
+        counter.update(2, count=3)
+        assert counter.min_cell() == 3
+
+    def test_min_cell_empty(self):
+        assert ExactFrequencyCounter().min_cell() == 0
+
+    def test_distinct_and_total(self):
+        counter = ExactFrequencyCounter()
+        counter.update_many([5, 5, 6])
+        assert counter.distinct == 2
+        assert counter.total == 3
+
+    def test_frequencies_returns_copy(self):
+        counter = ExactFrequencyCounter()
+        counter.update(1)
+        table = counter.frequencies()
+        table[1] = 999
+        assert counter.estimate(1) == 1
+
+    def test_rejects_non_positive_count(self):
+        with pytest.raises(ValueError):
+            ExactFrequencyCounter().update(1, count=-1)

@@ -1,0 +1,60 @@
+"""Tests for repro.sketches.count_sketch."""
+
+import numpy as np
+import pytest
+
+from repro.sketches.count_sketch import CountSketch
+
+
+class TestCountSketch:
+    def test_heavy_item_estimated_accurately(self):
+        sketch = CountSketch(width=64, depth=5, random_state=0)
+        for _ in range(500):
+            sketch.update(42)
+        for item in range(100):
+            sketch.update(item)
+        estimate = sketch.estimate(42)
+        assert 450 <= estimate <= 560
+
+    def test_estimates_are_non_negative(self):
+        sketch = CountSketch(width=16, depth=5, random_state=1)
+        sketch.update_many(range(50))
+        for item in range(60):
+            assert sketch.estimate(item) >= 0
+
+    def test_total_tracks_updates(self):
+        sketch = CountSketch(width=8, depth=3, random_state=2)
+        sketch.update(1, count=4)
+        sketch.update(2)
+        assert sketch.total == 5
+        assert len(sketch) == 5
+
+    def test_min_cell_behaviour(self):
+        sketch = CountSketch(width=8, depth=3, random_state=3)
+        assert sketch.min_cell() == 0
+        sketch.update(1)
+        assert sketch.min_cell() >= 1
+
+    def test_rejects_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            CountSketch(width=0, depth=3)
+        with pytest.raises(ValueError):
+            CountSketch(width=3, depth=0)
+
+    def test_rejects_non_positive_count(self):
+        with pytest.raises(ValueError):
+            CountSketch(width=8, depth=3, random_state=0).update(1, count=0)
+
+    def test_unbiasedness_on_average(self):
+        # Average the estimate of a mid-frequency item over many sketches:
+        # the Count sketch is unbiased, so the mean should be close to truth.
+        true_count = 50
+        estimates = []
+        for seed in range(20):
+            sketch = CountSketch(width=32, depth=5, random_state=seed)
+            for _ in range(true_count):
+                sketch.update(7)
+            for item in range(200):
+                sketch.update(item + 1000)
+            estimates.append(sketch.estimate(7))
+        assert abs(np.mean(estimates) - true_count) < 15

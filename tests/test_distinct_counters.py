@@ -1,0 +1,94 @@
+"""Tests for the distinct-count sketches (Flajolet-Martin, HyperLogLog)."""
+
+import numpy as np
+import pytest
+
+from repro.sketches.flajolet_martin import FlajoletMartinSketch, _rho
+from repro.sketches.hyperloglog import HyperLogLog
+
+
+class TestRho:
+    def test_known_values(self):
+        assert _rho(1) == 0
+        assert _rho(2) == 1
+        assert _rho(8) == 3
+        assert _rho(12) == 2
+
+    def test_zero_is_large(self):
+        assert _rho(0) >= 32
+
+
+class TestFlajoletMartin:
+    def test_empty_estimate_is_zero(self):
+        assert FlajoletMartinSketch(random_state=0).estimate() == 0.0
+
+    def test_estimate_order_of_magnitude(self):
+        sketch = FlajoletMartinSketch(num_registers=32, random_state=1)
+        distinct = 2_000
+        sketch.update_many(range(distinct))
+        estimate = sketch.estimate()
+        assert distinct / 4 <= estimate <= distinct * 4
+
+    def test_duplicates_do_not_inflate(self):
+        sketch = FlajoletMartinSketch(num_registers=32, random_state=2)
+        for _ in range(10):
+            sketch.update_many(range(100))
+        estimate = sketch.estimate()
+        assert estimate <= 100 * 4
+        assert sketch.total == 1_000
+
+    def test_rejects_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            FlajoletMartinSketch(num_registers=0)
+        with pytest.raises(ValueError):
+            FlajoletMartinSketch(register_bits=0)
+
+
+class TestHyperLogLog:
+    def test_empty_estimate_is_zero(self):
+        assert HyperLogLog(random_state=0).estimate() == 0.0
+
+    def test_estimate_accuracy(self):
+        sketch = HyperLogLog(precision=10, random_state=3)
+        distinct = 5_000
+        sketch.update_many(range(distinct))
+        estimate = sketch.estimate()
+        # 1.04/sqrt(1024) ~ 3.2% standard error; allow a generous margin.
+        assert abs(estimate - distinct) / distinct < 0.25
+
+    def test_duplicates_do_not_inflate(self):
+        sketch = HyperLogLog(precision=8, random_state=4)
+        for _ in range(5):
+            sketch.update_many(range(500))
+        assert abs(sketch.estimate() - 500) / 500 < 0.4
+        assert sketch.total == 2_500
+
+    def test_small_range_correction(self):
+        sketch = HyperLogLog(precision=10, random_state=5)
+        sketch.update_many(range(10))
+        assert 1 <= sketch.estimate() <= 30
+
+    def test_merge(self):
+        first = HyperLogLog(precision=8, random_state=6)
+        # Merge requires identical hash functions: clone via shared state.
+        second = HyperLogLog(precision=8, random_state=6)
+        second._hash_function = first._hash_function
+        first.update_many(range(0, 1_000))
+        second.update_many(range(500, 1_500))
+        first.merge(second)
+        assert abs(first.estimate() - 1_500) / 1_500 < 0.35
+
+    def test_merge_rejects_mismatched_precision(self):
+        with pytest.raises(ValueError):
+            HyperLogLog(precision=8, random_state=0).merge(
+                HyperLogLog(precision=10, random_state=0))
+
+    def test_precision_bounds(self):
+        with pytest.raises(ValueError):
+            HyperLogLog(precision=2)
+        with pytest.raises(ValueError):
+            HyperLogLog(precision=20)
+
+    def test_relative_error_formula(self):
+        sketch = HyperLogLog(precision=10)
+        assert sketch.relative_error() == pytest.approx(1.04 / 32)

@@ -1,0 +1,76 @@
+"""Tests for repro.metrics.distributions."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.distributions import FrequencyDistribution
+from repro.streams import IdentifierStream, uniform_stream
+
+
+class TestFrequencyDistribution:
+    def test_normalisation(self):
+        dist = FrequencyDistribution({1: 2.0, 2: 2.0})
+        assert dist.probability(1) == pytest.approx(0.5)
+        assert dist.probabilities.sum() == pytest.approx(1.0)
+
+    def test_support_with_zero_mass(self):
+        dist = FrequencyDistribution({1: 1.0}, support=[1, 2, 3])
+        assert dist.support == [1, 2, 3]
+        assert dist.probability(2) == 0.0
+        assert dist.effective_support_size() == 1
+
+    def test_rejects_mass_outside_support(self):
+        with pytest.raises(ValueError):
+            FrequencyDistribution({5: 1.0}, support=[1, 2])
+
+    def test_rejects_negative_mass(self):
+        with pytest.raises(ValueError):
+            FrequencyDistribution({1: -0.5, 2: 1.5})
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            FrequencyDistribution({})
+        with pytest.raises(ValueError):
+            FrequencyDistribution({1: 0.0})
+
+    def test_from_counts(self):
+        dist = FrequencyDistribution.from_counts({1: 3, 2: 1})
+        assert dist.probability(1) == pytest.approx(0.75)
+
+    def test_from_stream_uses_universe_as_support(self):
+        stream = IdentifierStream(identifiers=[1, 1, 2], universe=[1, 2, 3])
+        dist = FrequencyDistribution.from_stream(stream)
+        assert dist.support == [1, 2, 3]
+        assert dist.probability(3) == 0.0
+
+    def test_uniform_constructor(self):
+        dist = FrequencyDistribution.uniform([1, 2, 3, 4])
+        assert dist.probability(2) == pytest.approx(0.25)
+        assert dist.max_probability() == pytest.approx(0.25)
+
+    def test_uniform_rejects_empty_support(self):
+        with pytest.raises(ValueError):
+            FrequencyDistribution.uniform([])
+
+    def test_contains_and_len(self):
+        dist = FrequencyDistribution({1: 1.0, 2: 1.0})
+        assert 1 in dist
+        assert 3 not in dist
+        assert len(dist) == 2
+
+    def test_as_dict_round_trip(self):
+        dist = FrequencyDistribution({1: 0.2, 2: 0.8})
+        rebuilt = FrequencyDistribution(dist.as_dict())
+        assert np.allclose(rebuilt.probabilities, dist.probabilities)
+
+    def test_aligned_with(self):
+        first = FrequencyDistribution({1: 1.0, 2: 1.0})
+        second = FrequencyDistribution({2: 1.0, 3: 1.0})
+        mine, theirs = first.aligned_with(second)
+        assert mine.shape == theirs.shape == (3,)
+        assert mine.sum() == pytest.approx(1.0)
+        assert theirs.sum() == pytest.approx(1.0)
+
+    def test_probability_outside_support_is_zero(self):
+        dist = FrequencyDistribution({1: 1.0})
+        assert dist.probability(42) == 0.0

@@ -1,0 +1,132 @@
+"""Tests for repro.metrics.divergence (KL divergence and the gain G_KL)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.metrics.distributions import FrequencyDistribution
+from repro.metrics.divergence import (
+    chi_square_statistic,
+    cross_entropy,
+    entropy,
+    kl_divergence,
+    kl_divergence_to_uniform,
+    kl_gain,
+    max_frequency_ratio,
+    total_variation,
+)
+from repro.streams import IdentifierStream, peak_attack_stream, uniform_stream
+
+
+class TestEntropy:
+    def test_uniform_entropy(self):
+        dist = FrequencyDistribution.uniform(range(16))
+        assert entropy(dist) == pytest.approx(math.log(16))
+
+    def test_degenerate_entropy(self):
+        dist = FrequencyDistribution({1: 1.0}, support=[1, 2, 3])
+        assert entropy(dist) == pytest.approx(0.0)
+
+    def test_stream_input(self):
+        stream = IdentifierStream(identifiers=[1, 2, 3, 4])
+        assert entropy(stream) == pytest.approx(math.log(4))
+
+
+class TestKLDivergence:
+    def test_zero_for_identical_distributions(self):
+        dist = FrequencyDistribution({1: 0.3, 2: 0.7})
+        assert kl_divergence(dist, dist) == pytest.approx(0.0, abs=1e-12)
+
+    def test_known_value(self):
+        v = FrequencyDistribution({1: 0.75, 2: 0.25})
+        w = FrequencyDistribution({1: 0.5, 2: 0.5})
+        expected = 0.75 * math.log(1.5) + 0.25 * math.log(0.5)
+        assert kl_divergence(v, w) == pytest.approx(expected)
+
+    def test_non_negative(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            masses_v = rng.random(5) + 0.01
+            masses_w = rng.random(5) + 0.01
+            v = FrequencyDistribution(dict(enumerate(masses_v)))
+            w = FrequencyDistribution(dict(enumerate(masses_w)))
+            assert kl_divergence(v, w) >= -1e-12
+
+    def test_decomposition_cross_entropy_minus_entropy(self):
+        v = FrequencyDistribution({1: 0.6, 2: 0.3, 3: 0.1})
+        w = FrequencyDistribution({1: 0.2, 2: 0.4, 3: 0.4})
+        assert kl_divergence(v, w) == pytest.approx(
+            cross_entropy(v, w) - entropy(v))
+
+    def test_missing_support_penalised_not_infinite(self):
+        v = FrequencyDistribution({1: 0.5, 2: 0.5})
+        w = FrequencyDistribution({1: 1.0})
+        value = kl_divergence(v, w)
+        assert math.isfinite(value)
+        assert value > 5
+
+    def test_rejects_unknown_types(self):
+        with pytest.raises(TypeError):
+            kl_divergence({1: 0.5}, {1: 0.5})
+
+
+class TestKLToUniformAndGain:
+    def test_uniform_stream_near_zero_divergence(self):
+        stream = uniform_stream(50_000, 20, random_state=0)
+        assert kl_divergence_to_uniform(stream) < 0.01
+
+    def test_peak_stream_high_divergence(self):
+        stream = peak_attack_stream(20_000, 200, peak_fraction=0.5,
+                                    random_state=1)
+        assert kl_divergence_to_uniform(stream) > 1.0
+
+    def test_gain_is_one_for_perfectly_uniform_output(self):
+        biased = peak_attack_stream(10_000, 100, peak_fraction=0.5,
+                                    random_state=2)
+        uniform_output = IdentifierStream(
+            identifiers=list(range(100)) * 100, universe=biased.universe)
+        assert kl_gain(biased, uniform_output) == pytest.approx(1.0, abs=1e-6)
+
+    def test_gain_is_zero_for_identity_sampler(self):
+        biased = peak_attack_stream(10_000, 100, peak_fraction=0.5,
+                                    random_state=3)
+        assert kl_gain(biased, biased) == pytest.approx(0.0, abs=1e-9)
+
+    def test_gain_negative_when_output_worse(self):
+        biased = peak_attack_stream(10_000, 100, peak_fraction=0.3,
+                                    random_state=4)
+        worse = IdentifierStream(identifiers=[0] * 10_000,
+                                 universe=biased.universe)
+        assert kl_gain(biased, worse) < 0
+
+    def test_gain_of_uniform_input(self):
+        stream = uniform_stream(10_000, 10, random_state=5)
+        assert 0.0 <= kl_gain(stream, stream) <= 1.0
+
+
+class TestOtherDistances:
+    def test_total_variation_bounds(self):
+        v = FrequencyDistribution({1: 1.0}, support=[1, 2])
+        w = FrequencyDistribution({2: 1.0}, support=[1, 2])
+        assert total_variation(v, w) == pytest.approx(1.0)
+        assert total_variation(v, v) == pytest.approx(0.0)
+
+    def test_chi_square_zero_for_identical(self):
+        dist = FrequencyDistribution({1: 0.5, 2: 0.5})
+        assert chi_square_statistic(dist, dist) == pytest.approx(0.0)
+
+    def test_chi_square_scales_with_sample_size(self):
+        observed = FrequencyDistribution({1: 0.6, 2: 0.4})
+        expected = FrequencyDistribution({1: 0.5, 2: 0.5})
+        small = chi_square_statistic(observed, expected, sample_size=10)
+        large = chi_square_statistic(observed, expected, sample_size=1000)
+        assert large == pytest.approx(100 * small)
+
+    def test_max_frequency_ratio(self):
+        balanced = uniform_stream(10_000, 10, random_state=6)
+        peaked = peak_attack_stream(10_000, 10, peak_fraction=0.5,
+                                    random_state=6)
+        assert max_frequency_ratio(balanced) < 1.5
+        assert max_frequency_ratio(peaked) > 3.0
+        assert max_frequency_ratio(IdentifierStream(identifiers=[])) == 0.0

@@ -1,0 +1,78 @@
+"""Tests for repro.sketches.entropy."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.sketches.entropy import (
+    SampledEntropyEstimator,
+    StreamingEntropy,
+    shannon_entropy,
+)
+
+
+class TestShannonEntropy:
+    def test_uniform_distribution(self):
+        frequencies = {i: 10 for i in range(8)}
+        assert shannon_entropy(frequencies) == pytest.approx(math.log(8))
+
+    def test_degenerate_distribution(self):
+        assert shannon_entropy({1: 100}) == pytest.approx(0.0)
+
+    def test_empty(self):
+        assert shannon_entropy({}) == 0.0
+
+    def test_base_conversion(self):
+        frequencies = {i: 1 for i in range(4)}
+        assert shannon_entropy(frequencies, base=2) == pytest.approx(2.0)
+
+    def test_zero_counts_ignored(self):
+        assert shannon_entropy({1: 5, 2: 0}) == pytest.approx(0.0)
+
+
+class TestStreamingEntropy:
+    def test_matches_batch_entropy(self):
+        rng = np.random.default_rng(0)
+        items = rng.integers(0, 30, size=3_000)
+        streaming = StreamingEntropy()
+        frequencies = {}
+        for item in items:
+            item = int(item)
+            streaming.update(item)
+            frequencies[item] = frequencies.get(item, 0) + 1
+        assert streaming.entropy() == pytest.approx(
+            shannon_entropy(frequencies), abs=1e-9)
+
+    def test_empty_entropy_zero(self):
+        assert StreamingEntropy().entropy() == 0.0
+
+    def test_single_item_entropy_zero(self):
+        streaming = StreamingEntropy()
+        streaming.update_many([7, 7, 7])
+        assert streaming.entropy() == pytest.approx(0.0, abs=1e-12)
+
+    def test_counts(self):
+        streaming = StreamingEntropy()
+        streaming.update_many([1, 2, 2])
+        assert streaming.total == 3
+        assert streaming.distinct == 2
+
+
+class TestSampledEntropyEstimator:
+    def test_estimate_close_to_truth_on_uniform_stream(self):
+        rng = np.random.default_rng(1)
+        items = rng.integers(0, 50, size=5_000)
+        exact = StreamingEntropy()
+        estimator = SampledEntropyEstimator(num_estimators=200, random_state=1)
+        for item in items:
+            exact.update(int(item))
+            estimator.update(int(item))
+        assert abs(estimator.estimate() - exact.entropy()) < 0.8
+
+    def test_empty_estimate_zero(self):
+        assert SampledEntropyEstimator(random_state=0).estimate() == 0.0
+
+    def test_rejects_invalid_size(self):
+        with pytest.raises(ValueError):
+            SampledEntropyEstimator(num_estimators=0)

@@ -1,0 +1,149 @@
+"""Tests for repro.streams.generators."""
+
+import numpy as np
+import pytest
+
+from repro.streams.generators import (
+    peak_attack_stream,
+    peak_stream,
+    poisson_arrival_stream,
+    poisson_attack_stream,
+    truncated_poisson_probabilities,
+    truncated_poisson_stream,
+    uniform_stream,
+    zipf_probabilities,
+    zipf_stream,
+)
+
+
+class TestUniformStream:
+    def test_size_and_universe(self):
+        stream = uniform_stream(1_000, 50, random_state=0)
+        assert stream.size == 1_000
+        assert stream.universe == list(range(50))
+
+    def test_roughly_balanced(self):
+        stream = uniform_stream(20_000, 20, random_state=1)
+        frequencies = stream.frequencies()
+        assert min(frequencies.values()) > 700
+        assert max(frequencies.values()) < 1_300
+
+    def test_explicit_identifiers(self):
+        stream = uniform_stream(100, identifiers=[10, 20, 30], random_state=2)
+        assert set(stream.identifiers) <= {10, 20, 30}
+
+    def test_rejects_missing_population(self):
+        with pytest.raises(ValueError):
+            uniform_stream(100)
+
+    def test_rejects_duplicate_identifiers(self):
+        with pytest.raises(ValueError):
+            uniform_stream(100, identifiers=[1, 1, 2])
+
+
+class TestZipfStream:
+    def test_probabilities_normalised_and_decreasing(self):
+        probabilities = zipf_probabilities(100, alpha=1.5)
+        assert probabilities.sum() == pytest.approx(1.0)
+        assert np.all(np.diff(probabilities) <= 0)
+
+    def test_high_alpha_concentrates_mass(self):
+        stream = zipf_stream(10_000, 100, alpha=4.0, random_state=0)
+        top_frequency = stream.frequencies().get(0, 0)
+        assert top_frequency > 0.8 * stream.size
+
+    def test_low_alpha_spreads_mass(self):
+        stream = zipf_stream(10_000, 100, alpha=0.5, random_state=1)
+        assert len(stream.frequencies()) > 80
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            zipf_stream(100, 10, alpha=0.0)
+
+
+class TestTruncatedPoisson:
+    def test_probabilities_peak_near_lambda(self):
+        probabilities = truncated_poisson_probabilities(100, lam=50)
+        assert probabilities.sum() == pytest.approx(1.0)
+        assert 40 <= int(np.argmax(probabilities)) <= 60
+
+    def test_stream_default_lambda(self):
+        stream = truncated_poisson_stream(5_000, 100, random_state=0)
+        frequencies = stream.frequencies()
+        top = max(frequencies, key=frequencies.get)
+        assert 35 <= top <= 65
+
+    def test_invalid_lambda(self):
+        with pytest.raises(ValueError):
+            truncated_poisson_probabilities(10, lam=0)
+
+
+class TestPeakStream:
+    def test_exact_frequencies(self):
+        stream = peak_stream(10, peak_frequency=500, base_frequency=5,
+                             random_state=0)
+        frequencies = stream.frequencies()
+        assert frequencies[0] == 500
+        assert all(frequencies[i] == 5 for i in range(1, 10))
+        assert stream.malicious == [0]
+
+    def test_custom_peak_identifier(self):
+        stream = peak_stream(5, peak_frequency=50, base_frequency=1,
+                             peak_identifier=3, random_state=0)
+        assert stream.frequencies()[3] == 50
+
+    def test_peak_must_be_in_universe(self):
+        with pytest.raises(ValueError):
+            peak_stream(5, peak_identifier=99)
+
+
+class TestPeakAttackStream:
+    def test_peak_fraction_respected(self):
+        stream = peak_attack_stream(10_000, 100, peak_fraction=0.5,
+                                    random_state=0)
+        frequencies = stream.frequencies()
+        assert frequencies[0] == 5_000
+        assert len(frequencies) == 100
+        assert abs(stream.size - 10_000) <= 100
+
+    def test_every_identifier_present(self):
+        stream = peak_attack_stream(2_000, 50, random_state=1)
+        assert len(stream.frequencies()) == 50
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            peak_attack_stream(100, 10, peak_fraction=1.5)
+
+
+class TestPoissonAttackStream:
+    def test_overrepresentation_around_lambda(self):
+        stream = poisson_attack_stream(50_000, 100, random_state=0)
+        frequencies = stream.frequencies()
+        center = max(frequencies, key=frequencies.get)
+        assert 35 <= center <= 65
+        assert len(frequencies) == 100
+
+    def test_malicious_identifiers_marked(self):
+        stream = poisson_attack_stream(50_000, 100, random_state=1)
+        assert stream.malicious
+        assert all(30 <= identifier <= 70 for identifier in stream.malicious)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            poisson_attack_stream(100, 10, attack_fraction=0.0)
+
+
+class TestPoissonArrivalStream:
+    def test_burst_identifiers_overrepresented(self):
+        stream = poisson_arrival_stream(20_000, 200, burst_identifiers=5,
+                                        burst_weight=0.5, random_state=0)
+        frequencies = stream.frequencies()
+        burst_mass = sum(frequencies.get(i, 0) for i in range(5))
+        assert burst_mass > 0.4 * stream.size
+        assert stream.malicious == [0, 1, 2, 3, 4]
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            poisson_arrival_stream(100, 10, burst_identifiers=10)
+        with pytest.raises(ValueError):
+            poisson_arrival_stream(100, 10, burst_weight=1.5)

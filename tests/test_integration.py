@@ -1,0 +1,197 @@
+"""Integration tests spanning multiple subsystems.
+
+These tests exercise the paths a downstream user would actually follow:
+adversary + stream + sampler + metrics, the service facade inside a gossip
+simulation, and the full attack-analysis-to-simulation consistency story of
+the paper (Table I effort thresholds vs observed Count-Min corruption).
+"""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.adversary import (
+    AttackBudget,
+    FloodingAttack,
+    SybilIdentifierFactory,
+    TargetedAttack,
+    make_combined_adversary,
+    make_peak_adversary,
+)
+from repro.analysis import flooding_attack_effort, targeted_attack_effort
+from repro.core import (
+    KnowledgeFreeStrategy,
+    MinWiseSampler,
+    NodeSamplingService,
+    OmniscientStrategy,
+    ReservoirSampler,
+)
+from repro.metrics import kl_divergence_to_uniform, kl_gain
+from repro.network import NodeConfig, SystemConfig, SystemSimulation
+from repro.sketches import CountMinSketch
+from repro.streams import StreamOracle, uniform_stream
+
+
+class TestAdversaryPipelineIntegration:
+    def test_peak_adversary_vs_both_strategies(self):
+        legitimate = uniform_stream(20_000, 200, random_state=0)
+        adversary = make_peak_adversary(legitimate.universe,
+                                        peak_frequency=20_000, random_state=0)
+        biased = adversary.bias(legitimate)
+        input_divergence = kl_divergence_to_uniform(biased)
+        assert input_divergence > 0.5
+
+        knowledge_free = KnowledgeFreeStrategy(10, sketch_width=10,
+                                               sketch_depth=5, random_state=1)
+        omniscient = OmniscientStrategy(StreamOracle.from_stream(biased), 10,
+                                        random_state=1)
+        kf_gain = kl_gain(biased, knowledge_free.process_stream(biased))
+        omni_gain = kl_gain(biased, omniscient.process_stream(biased))
+        assert omni_gain > 0.9
+        assert kf_gain > 0.5
+        assert omni_gain >= kf_gain - 0.05
+
+    def test_combined_attack_with_insufficient_budget_fails(self):
+        # An adversary using far fewer identifiers than L_{k,s} cannot corrupt
+        # every row of the Count-Min sketch for the targeted identifier.
+        width, depth, eta = 50, 10, 1e-1
+        required = targeted_attack_effort(width, depth, eta)
+        legitimate = uniform_stream(5_000, 100, random_state=2)
+        adversary = make_combined_adversary(
+            legitimate.universe, target_identifier=0,
+            targeted_identifiers=max(2, required // 20),
+            flooding_identifiers=max(2, required // 20),
+            repetitions=5, random_state=2)
+        biased = adversary.bias(legitimate)
+
+        sketch = CountMinSketch(width=width, depth=depth, random_state=3)
+        for identifier in biased:
+            sketch.update(identifier)
+        target_estimate = sketch.estimate(0)
+        true_frequency = biased.frequencies()[0]
+        # With so few distinct malicious identifiers, at least one of the 10
+        # rows is very likely collision-free for the target.
+        assert target_estimate <= true_frequency * 3
+
+    def test_sampler_output_contains_correct_nodes_despite_attack(self):
+        legitimate = uniform_stream(10_000, 100, random_state=4)
+        factory = SybilIdentifierFactory(legitimate.universe)
+        attack = FloodingAttack(AttackBudget(50, repetitions=100), factory)
+        from repro.adversary import Adversary
+        adversary = Adversary([attack], random_state=4)
+        biased = adversary.bias(legitimate)
+
+        strategy = KnowledgeFreeStrategy(25, sketch_width=25, sketch_depth=5,
+                                         random_state=5)
+        output = strategy.process_stream(biased)
+        correct_in_output = set(output.identifiers) & set(legitimate.universe)
+        # Freshness in practice: a large share of correct identifiers still
+        # reaches the output despite the flooding attack.
+        assert len(correct_in_output) > 50
+
+
+class TestServiceInSystemSimulation:
+    def test_gossip_system_end_to_end_metrics(self):
+        config = SystemConfig(num_correct=20, num_malicious=4, rounds=30,
+                              fanout=3, malicious_fanout=9,
+                              sybil_identifiers_per_malicious=2,
+                              node_config=NodeConfig(memory_size=8,
+                                                     sketch_width=10,
+                                                     sketch_depth=4))
+        report = SystemSimulation(config, random_state=6).run().report()
+        assert report.per_node
+        # The sampling service must not amplify the adversary: the output
+        # malicious fraction stays below the input one on average.
+        input_fraction = np.mean([node.malicious_fraction_input
+                                  for node in report.per_node])
+        assert report.mean_malicious_fraction_output <= input_fraction + 0.02
+
+    def test_service_facade_matches_strategy_behaviour(self):
+        stream = uniform_stream(2_000, 50, random_state=7)
+        service = NodeSamplingService.knowledge_free(memory_size=10,
+                                                     sketch_width=10,
+                                                     sketch_depth=4,
+                                                     random_state=7)
+        service.consume(stream)
+        output = service.output_stream
+        assert output.size == stream.size
+        assert set(output.identifiers) <= set(stream.identifiers)
+        samples = service.sample_many(100)
+        assert set(samples) <= set(stream.identifiers)
+
+
+class TestBaselineComparisonIntegration:
+    def test_knowledge_free_beats_reservoir_under_attack(self):
+        legitimate = uniform_stream(15_000, 150, random_state=8)
+        adversary = make_peak_adversary(legitimate.universe,
+                                        peak_frequency=15_000, random_state=8)
+        biased = adversary.bias(legitimate)
+        support = biased.universe
+
+        knowledge_free = KnowledgeFreeStrategy(10, sketch_width=10,
+                                               sketch_depth=5, random_state=9)
+        reservoir = ReservoirSampler(10, random_state=9)
+        kf_gain = kl_gain(biased, knowledge_free.process_stream(biased),
+                          support=support)
+        reservoir_gain = kl_gain(biased, reservoir.process_stream(biased),
+                                 support=support)
+        assert kf_gain > reservoir_gain
+
+    def test_minwise_is_static_knowledge_free_is_fresh(self):
+        # After convergence the min-wise sample never changes, whereas the
+        # knowledge-free sampling memory keeps evolving (Freshness).
+        stream = uniform_stream(8_000, 100, random_state=10)
+        minwise = MinWiseSampler(10, random_state=10)
+        knowledge_free = KnowledgeFreeStrategy(10, sketch_width=10,
+                                               sketch_depth=5, random_state=10)
+        half = stream.size // 2
+        for identifier in stream.identifiers[:half]:
+            minwise.process(identifier)
+            knowledge_free.process(identifier)
+        minwise_snapshot = sorted(minwise.memory)
+        kf_snapshot = sorted(knowledge_free.memory)
+        for identifier in stream.identifiers[half:]:
+            minwise.process(identifier)
+            knowledge_free.process(identifier)
+        assert sorted(minwise.memory) == minwise_snapshot
+        assert sorted(knowledge_free.memory) != kf_snapshot
+
+
+class TestAttackEffortConsistency:
+    def test_flooding_effort_fills_sketch_in_simulation(self):
+        # Injecting E_k distinct identifiers should, with probability >= 0.9,
+        # leave no untouched cell in any single row of width k.  The urn model
+        # assumes identifiers hash independently, so the Sybil identifiers are
+        # drawn at random rather than consecutively.
+        width, eta = 20, 1e-1
+        effort = flooding_attack_effort(width, eta)
+        id_rng = np.random.default_rng(123)
+        successes = 0
+        runs = 60
+        for seed in range(runs):
+            sketch = CountMinSketch(width=width, depth=1, random_state=seed)
+            identifiers = id_rng.integers(0, 2**40, size=effort)
+            for identifier in identifiers:
+                sketch.update(int(identifier))
+            row = np.asarray(sketch.table)[0]
+            if np.all(row > 0):
+                successes += 1
+        assert successes / runs >= 0.8
+
+    def test_below_threshold_flooding_usually_fails(self):
+        width = 20
+        effort = flooding_attack_effort(width, 1e-1)
+        few = max(width, effort // 3)
+        id_rng = np.random.default_rng(321)
+        successes = 0
+        runs = 60
+        for seed in range(runs):
+            sketch = CountMinSketch(width=width, depth=1, random_state=seed)
+            identifiers = id_rng.integers(0, 2**40, size=few)
+            for identifier in identifiers:
+                sketch.update(int(identifier))
+            row = np.asarray(sketch.table)[0]
+            if np.all(row > 0):
+                successes += 1
+        assert successes / runs < 0.5

@@ -1,0 +1,109 @@
+"""Tests for repro.core.knowledge_free (Algorithm 3)."""
+
+from collections import Counter
+
+import pytest
+
+from repro.core.knowledge_free import KnowledgeFreeStrategy
+from repro.metrics import kl_gain
+from repro.sketches import CountMinSketch, ExactFrequencyCounter, SpaceSavingSummary
+from repro.streams import peak_attack_stream, uniform_stream
+
+
+class TestKnowledgeFreeStrategy:
+    def test_default_oracle_is_count_min(self):
+        strategy = KnowledgeFreeStrategy(5, sketch_width=8, sketch_depth=3,
+                                         random_state=0)
+        assert isinstance(strategy.sketch, CountMinSketch)
+        assert strategy.sketch.width == 8
+        assert strategy.sketch.depth == 3
+
+    def test_custom_frequency_oracle(self):
+        oracle = ExactFrequencyCounter()
+        strategy = KnowledgeFreeStrategy(5, frequency_oracle=oracle,
+                                         random_state=0)
+        strategy.process(1)
+        assert oracle.total == 1
+
+    def test_space_saving_oracle_accepted(self):
+        oracle = SpaceSavingSummary(capacity=32)
+        strategy = KnowledgeFreeStrategy(5, frequency_oracle=oracle,
+                                         random_state=0)
+        stream = uniform_stream(500, 20, random_state=0)
+        output = strategy.process_stream(stream)
+        assert output.size == 500
+
+    def test_output_length_matches_input(self, small_peak_stream):
+        strategy = KnowledgeFreeStrategy(10, sketch_width=10, sketch_depth=5,
+                                         random_state=1)
+        output = strategy.process_stream(small_peak_stream)
+        assert output.size == small_peak_stream.size
+
+    def test_memory_bounded_and_distinct(self, small_zipf_stream):
+        strategy = KnowledgeFreeStrategy(8, sketch_width=10, sketch_depth=5,
+                                         random_state=2)
+        for identifier in small_zipf_stream:
+            strategy.process(identifier)
+            assert len(strategy.memory) <= 8
+            assert len(set(strategy.memory)) == len(strategy.memory)
+
+    def test_insertion_probability_in_unit_interval(self, small_peak_stream):
+        strategy = KnowledgeFreeStrategy(10, sketch_width=10, sketch_depth=5,
+                                         random_state=3)
+        for identifier in small_peak_stream:
+            strategy.process(identifier)
+        for identifier in small_peak_stream.universe[:20]:
+            probability = strategy.insertion_probability(identifier)
+            assert 0.0 <= probability <= 1.0
+
+    def test_frequent_identifier_gets_low_insertion_probability(self):
+        stream = peak_attack_stream(20_000, 200, peak_fraction=0.5,
+                                    random_state=4)
+        strategy = KnowledgeFreeStrategy(10, sketch_width=20, sketch_depth=5,
+                                         random_state=4)
+        for identifier in stream:
+            strategy.process(identifier)
+        peak_probability = strategy.insertion_probability(0)
+        rare_probability = strategy.insertion_probability(150)
+        assert peak_probability < rare_probability
+
+    def test_reduces_peak_attack_bias(self):
+        stream = peak_attack_stream(30_000, 300, peak_fraction=0.5,
+                                    random_state=5)
+        strategy = KnowledgeFreeStrategy(10, sketch_width=10, sketch_depth=5,
+                                         random_state=5)
+        output = strategy.process_stream(stream)
+        assert kl_gain(stream, output) > 0.5
+
+    def test_peak_frequency_reduced_substantially(self):
+        stream = peak_attack_stream(30_000, 300, peak_fraction=0.5,
+                                    random_state=6)
+        strategy = KnowledgeFreeStrategy(10, sketch_width=10, sketch_depth=5,
+                                         random_state=6)
+        output = strategy.process_stream(stream)
+        input_peak = stream.frequencies()[0]
+        output_peak = Counter(output.identifiers).get(0, 0)
+        # The paper reports a ~50x reduction; require at least 5x here.
+        assert output_peak < input_peak / 5
+
+    def test_estimated_frequency_exposed(self):
+        strategy = KnowledgeFreeStrategy(4, sketch_width=16, sketch_depth=4,
+                                         random_state=7)
+        for _ in range(10):
+            strategy.process(3)
+        assert strategy.estimated_frequency(3) >= 10
+
+    def test_uniform_stream_stays_uniform(self, small_uniform_stream):
+        strategy = KnowledgeFreeStrategy(10, sketch_width=10, sketch_depth=5,
+                                         random_state=8)
+        output = strategy.process_stream(small_uniform_stream)
+        counts = Counter(output.identifiers)
+        assert max(counts.values()) < 0.2 * output.size
+
+    def test_sample_before_input_is_none(self):
+        strategy = KnowledgeFreeStrategy(4, random_state=0)
+        assert strategy.sample() is None
+
+    def test_rejects_invalid_memory_size(self):
+        with pytest.raises(ValueError):
+            KnowledgeFreeStrategy(0)

@@ -1,0 +1,163 @@
+"""Tests for repro.analysis.markov (Section IV Markov-chain analysis)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.markov import OmniscientChainModel, uniform_chain_model
+
+
+class TestChainConstruction:
+    def test_state_space_size(self):
+        model = uniform_chain_model(5, 2)
+        assert model.num_states == math.comb(5, 2)
+
+    def test_transition_matrix_is_stochastic(self):
+        model = uniform_chain_model(5, 2, bias={0: 0.4, 1: 0.3, 2: 0.1,
+                                                3: 0.1, 4: 0.1})
+        matrix = model.transition_matrix()
+        assert np.allclose(matrix.sum(axis=1), 1.0)
+        assert np.all(matrix >= -1e-15)
+
+    def test_transitions_only_between_adjacent_subsets(self):
+        model = uniform_chain_model(5, 2)
+        matrix = model.transition_matrix()
+        for i, source in enumerate(model.states):
+            for j, destination in enumerate(model.states):
+                if i == j:
+                    continue
+                if len(source - destination) != 1:
+                    assert matrix[i, j] == 0.0
+
+    def test_transition_probability_method_matches_matrix(self):
+        model = uniform_chain_model(4, 2, bias={0: 0.5, 1: 0.2, 2: 0.2, 3: 0.1})
+        matrix = model.transition_matrix()
+        for i, source in enumerate(model.states):
+            for j, destination in enumerate(model.states):
+                assert model.transition_probability(source, destination) == \
+                    pytest.approx(matrix[i, j], abs=1e-12)
+
+    def test_rejects_memory_not_smaller_than_population(self):
+        with pytest.raises(ValueError):
+            uniform_chain_model(3, 3)
+
+    def test_rejects_non_positive_probabilities(self):
+        with pytest.raises(ValueError):
+            OmniscientChainModel({0: 0.5, 1: 0.0, 2: 0.5}, 1)
+
+    def test_rejects_non_positive_removal_weights(self):
+        with pytest.raises(ValueError):
+            OmniscientChainModel({0: 0.5, 1: 0.3, 2: 0.2}, 1,
+                                 removal_weights={0: 0.0, 1: 1.0, 2: 1.0})
+
+
+class TestStationaryDistribution:
+    def test_theorem3_matches_power_iteration(self):
+        model = uniform_chain_model(6, 2, bias={0: 0.4, 1: 0.2, 2: 0.1,
+                                                3: 0.1, 4: 0.1, 5: 0.1})
+        theoretical = model.theoretical_stationary_distribution()
+        numerical = model.numerical_stationary_distribution()
+        assert np.allclose(theoretical, numerical, atol=1e-8)
+
+    def test_reversibility(self):
+        model = uniform_chain_model(5, 2, bias={0: 0.5, 1: 0.2, 2: 0.1,
+                                                3: 0.1, 4: 0.1})
+        assert model.is_reversible()
+
+    def test_paper_choice_gives_uniform_stationary_distribution(self):
+        # Theorem 4: with a_j = min(p)/p_j and r_j = 1/n, pi is uniform over
+        # all C(n, c) states.
+        model = uniform_chain_model(6, 3, bias={0: 0.3, 1: 0.25, 2: 0.2,
+                                                3: 0.1, 4: 0.1, 5: 0.05})
+        pi = model.theoretical_stationary_distribution()
+        assert np.allclose(pi, 1.0 / model.num_states, atol=1e-12)
+
+    def test_membership_probabilities_are_c_over_n(self):
+        # Theorem 4: gamma_l = c / n for every identifier, whatever the bias.
+        bias = {0: 0.6, 1: 0.2, 2: 0.1, 3: 0.05, 4: 0.05}
+        model = uniform_chain_model(5, 2, bias=bias)
+        gammas = model.membership_probabilities()
+        for gamma in gammas.values():
+            assert gamma == pytest.approx(2 / 5, abs=1e-10)
+
+    def test_output_probabilities_are_uniform(self):
+        # Uniformity property: P{output = j} = 1/n for every identifier.
+        bias = {0: 0.7, 1: 0.1, 2: 0.1, 3: 0.05, 4: 0.05}
+        model = uniform_chain_model(5, 2, bias=bias)
+        outputs = model.output_probabilities()
+        for probability in outputs.values():
+            assert probability == pytest.approx(1 / 5, abs=1e-10)
+
+    def test_membership_sums_to_memory_size(self):
+        model = uniform_chain_model(6, 3)
+        gammas = model.membership_probabilities()
+        assert sum(gammas.values()) == pytest.approx(3.0, abs=1e-9)
+
+    def test_non_paper_parameters_break_uniformity(self):
+        # With a_j = 1 for all j (no insertion damping), a heavily biased
+        # stream yields a non-uniform stationary membership — the defence
+        # really comes from the paper's choice of (a, r).
+        bias = {0: 0.7, 1: 0.1, 2: 0.1, 3: 0.05, 4: 0.05}
+        model = OmniscientChainModel(bias, 2,
+                                     insertion_probabilities={i: 1.0 for i in bias})
+        gammas = model.membership_probabilities()
+        values = np.array(sorted(gammas.values()))
+        assert values[-1] - values[0] > 0.1
+
+
+class TestTransientBehaviour:
+    def test_distribution_after_zero_steps_is_initial(self):
+        model = uniform_chain_model(5, 2)
+        distribution = model.distribution_after(0)
+        assert distribution.max() == pytest.approx(1.0)
+
+    def test_convergence_to_stationary(self):
+        model = uniform_chain_model(5, 2, bias={0: 0.3, 1: 0.25, 2: 0.2,
+                                                3: 0.15, 4: 0.1})
+        early = model.total_variation_to_stationary(1)
+        late = model.total_variation_to_stationary(200)
+        assert late < early
+        assert late < 1e-3
+
+    def test_custom_initial_state(self):
+        model = uniform_chain_model(5, 2)
+        distribution = model.distribution_after(0, initial_state=[3, 4])
+        index = model.states.index(frozenset({3, 4}))
+        assert distribution[index] == pytest.approx(1.0)
+
+    def test_invalid_initial_state_rejected(self):
+        model = uniform_chain_model(5, 2)
+        with pytest.raises(ValueError):
+            model.distribution_after(1, initial_state=[0, 1, 2])
+
+    def test_negative_steps_rejected(self):
+        model = uniform_chain_model(4, 2)
+        with pytest.raises(ValueError):
+            model.distribution_after(-1)
+
+
+class TestAgreementWithSimulation:
+    def test_stationary_membership_matches_algorithm1_simulation(self):
+        # Drive the actual OmniscientStrategy with a biased stream and check
+        # that each identifier occupies the memory about c/n of the time.
+        from repro.core.omniscient import OmniscientStrategy
+        from repro.streams.oracle import StreamOracle
+
+        population, memory_size = 6, 2
+        bias = {0: 0.5, 1: 0.2, 2: 0.1, 3: 0.1, 4: 0.05, 5: 0.05}
+        oracle = StreamOracle(bias)
+        strategy = OmniscientStrategy(oracle, memory_size, random_state=0)
+        rng = np.random.default_rng(0)
+        identifiers = list(bias)
+        probabilities = np.array([bias[i] for i in identifiers])
+        occupancy = np.zeros(population)
+        warmup, steps = 2_000, 40_000
+        for step in range(steps):
+            draw = identifiers[int(rng.choice(population, p=probabilities))]
+            strategy.process(draw)
+            if step >= warmup:
+                for identifier in strategy.memory:
+                    occupancy[identifier] += 1
+        shares = occupancy / occupancy.sum() * memory_size
+        assert np.allclose(shares, memory_size / population, atol=0.05)

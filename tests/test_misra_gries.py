@@ -1,0 +1,107 @@
+"""Tests for repro.sketches.misra_gries (Misra-Gries and Space-Saving)."""
+
+import numpy as np
+import pytest
+
+from repro.sketches.misra_gries import MisraGriesSummary, SpaceSavingSummary
+
+
+class TestMisraGries:
+    def test_underestimates_within_bound(self):
+        summary = MisraGriesSummary(capacity=10)
+        rng = np.random.default_rng(0)
+        items = rng.integers(0, 50, size=2_000)
+        true_counts = {}
+        for item in items:
+            item = int(item)
+            true_counts[item] = true_counts.get(item, 0) + 1
+            summary.update(item)
+        bound = len(items) / (summary.capacity + 1)
+        for item, count in true_counts.items():
+            estimate = summary.estimate(item)
+            assert estimate <= count
+            assert estimate >= count - bound
+
+    def test_tracks_heavy_hitter(self):
+        summary = MisraGriesSummary(capacity=5)
+        for _ in range(600):
+            summary.update(1)
+        for item in range(2, 200):
+            summary.update(item)
+        hitters = summary.heavy_hitters(0.5)
+        assert 1 in hitters
+
+    def test_capacity_respected(self):
+        summary = MisraGriesSummary(capacity=3)
+        summary.update_many(range(100))
+        assert len(summary._counters) <= 3
+
+    def test_heavy_hitters_threshold_validation(self):
+        summary = MisraGriesSummary(capacity=3)
+        summary.update(1)
+        with pytest.raises(ValueError):
+            summary.heavy_hitters(0.0)
+
+    def test_min_cell(self):
+        summary = MisraGriesSummary(capacity=4)
+        assert summary.min_cell() == 0
+        summary.update(1, count=3)
+        summary.update(2, count=7)
+        assert summary.min_cell() == 3
+
+    def test_rejects_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            MisraGriesSummary(capacity=0)
+        with pytest.raises(ValueError):
+            MisraGriesSummary(capacity=2).update(1, count=0)
+
+    def test_bulk_count_decrement(self):
+        summary = MisraGriesSummary(capacity=2)
+        summary.update(1, count=5)
+        summary.update(2, count=5)
+        summary.update(3, count=2)
+        assert summary.total == 12
+        assert summary.estimate(1) <= 5
+
+
+class TestSpaceSaving:
+    def test_overestimates_within_bound(self):
+        summary = SpaceSavingSummary(capacity=20)
+        rng = np.random.default_rng(1)
+        items = rng.integers(0, 60, size=2_000)
+        true_counts = {}
+        for item in items:
+            item = int(item)
+            true_counts[item] = true_counts.get(item, 0) + 1
+            summary.update(item)
+        bound = len(items) / summary.capacity
+        for item, count in true_counts.items():
+            estimate = summary.estimate(item)
+            if estimate > 0:
+                assert estimate <= count + bound
+
+    def test_heavy_item_never_lost(self):
+        summary = SpaceSavingSummary(capacity=5)
+        for _ in range(500):
+            summary.update(99)
+        for item in range(100):
+            summary.update(item)
+        assert summary.estimate(99) >= 500
+
+    def test_capacity_respected(self):
+        summary = SpaceSavingSummary(capacity=4)
+        summary.update_many(range(50))
+        assert len(summary._counters) <= 4
+
+    def test_min_cell_and_total(self):
+        summary = SpaceSavingSummary(capacity=4)
+        assert summary.min_cell() == 0
+        summary.update_many([1, 1, 2])
+        assert summary.min_cell() == 1
+        assert summary.total == 3
+
+    def test_rejects_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            SpaceSavingSummary(capacity=0)
+        with pytest.raises(ValueError):
+            SpaceSavingSummary(capacity=2).update(1, count=-2)

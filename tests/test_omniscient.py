@@ -1,0 +1,115 @@
+"""Tests for repro.core.omniscient (Algorithm 1)."""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.core.omniscient import EmpiricalOmniscientStrategy, OmniscientStrategy
+from repro.metrics import kl_gain
+from repro.streams import StreamOracle, peak_attack_stream, uniform_stream
+
+
+class TestOmniscientStrategy:
+    def test_memory_fills_with_first_distinct_ids(self):
+        oracle = StreamOracle.uniform(10)
+        strategy = OmniscientStrategy(oracle, memory_size=3, random_state=0)
+        for identifier in [0, 1, 2]:
+            strategy.process(identifier)
+        assert sorted(strategy.memory) == [0, 1, 2]
+
+    def test_insertion_probability_matches_corollary5(self):
+        oracle = StreamOracle({0: 0.5, 1: 0.25, 2: 0.25})
+        strategy = OmniscientStrategy(oracle, memory_size=2, random_state=0)
+        assert strategy.insertion_probability(0) == pytest.approx(0.5)
+        assert strategy.insertion_probability(1) == pytest.approx(1.0)
+
+    def test_output_length_matches_input(self):
+        stream = uniform_stream(500, 20, random_state=1)
+        strategy = EmpiricalOmniscientStrategy(stream, memory_size=5,
+                                               random_state=1)
+        output = strategy.process_stream(stream)
+        assert output.size == stream.size
+
+    def test_memory_never_exceeds_capacity(self):
+        stream = uniform_stream(1_000, 50, random_state=2)
+        strategy = EmpiricalOmniscientStrategy(stream, memory_size=7,
+                                               random_state=2)
+        for identifier in stream:
+            strategy.process(identifier)
+            assert len(strategy.memory) <= 7
+
+    def test_memory_holds_distinct_identifiers(self):
+        stream = uniform_stream(1_000, 30, random_state=3)
+        strategy = EmpiricalOmniscientStrategy(stream, memory_size=5,
+                                               random_state=3)
+        for identifier in stream:
+            strategy.process(identifier)
+            assert len(set(strategy.memory)) == len(strategy.memory)
+
+    def test_unbias_peak_attack(self):
+        # The headline property: the omniscient strategy removes nearly all
+        # of the peak-attack bias.
+        stream = peak_attack_stream(30_000, 300, peak_fraction=0.5,
+                                    random_state=4)
+        strategy = EmpiricalOmniscientStrategy(stream, memory_size=10,
+                                               random_state=4)
+        output = strategy.process_stream(stream)
+        assert kl_gain(stream, output) > 0.9
+
+    def test_freshness_rare_identifier_still_output(self):
+        # An identifier occurring a handful of times must still reach the
+        # output stream (Freshness).
+        frequencies = {identifier: 200 for identifier in range(20)}
+        frequencies[99] = 5
+        from repro.streams import stream_from_frequencies
+        stream = stream_from_frequencies(frequencies, random_state=5)
+        strategy = EmpiricalOmniscientStrategy(stream, memory_size=5,
+                                               random_state=5)
+        output = strategy.process_stream(stream)
+        assert 99 in set(output.identifiers)
+
+    def test_output_roughly_uniform_on_biased_stream(self):
+        stream = peak_attack_stream(40_000, 100, peak_fraction=0.5,
+                                    random_state=6)
+        strategy = EmpiricalOmniscientStrategy(stream, memory_size=10,
+                                               random_state=6)
+        output = strategy.process_stream(stream)
+        counts = Counter(output.identifiers)
+        # Discard the warm-up third of the output.
+        steady = Counter(output.identifiers[output.size // 3:])
+        peak_share = steady.get(0, 0) / sum(steady.values())
+        assert peak_share < 0.05
+
+    def test_custom_removal_weights(self):
+        oracle = StreamOracle.uniform(10)
+        strategy = OmniscientStrategy(oracle, memory_size=3,
+                                      removal_weights={i: 1.0 for i in range(10)},
+                                      random_state=0)
+        stream = uniform_stream(500, 10, random_state=0)
+        output = strategy.process_stream(stream)
+        assert output.size == 500
+
+    def test_rejects_non_positive_removal_weights(self):
+        oracle = StreamOracle.uniform(5)
+        with pytest.raises(ValueError):
+            OmniscientStrategy(oracle, memory_size=2,
+                               removal_weights={0: 0.0})
+
+    def test_sample_none_before_any_input(self):
+        oracle = StreamOracle.uniform(5)
+        strategy = OmniscientStrategy(oracle, memory_size=2, random_state=0)
+        assert strategy.sample() is None
+
+    def test_reset(self):
+        oracle = StreamOracle.uniform(5)
+        strategy = OmniscientStrategy(oracle, memory_size=2, random_state=0)
+        strategy.process(1)
+        strategy.reset()
+        assert strategy.memory == []
+        assert strategy.elements_processed == 0
+
+    def test_unknown_identifier_treated_as_rare(self):
+        oracle = StreamOracle.uniform(5)
+        strategy = OmniscientStrategy(oracle, memory_size=2, random_state=0)
+        assert strategy.insertion_probability(999) == 1.0

@@ -1,0 +1,62 @@
+"""Tests for repro.streams.oracle (StreamOracle)."""
+
+import pytest
+
+from repro.streams.oracle import StreamOracle
+from repro.streams.stream import IdentifierStream
+
+
+class TestStreamOracle:
+    def test_probabilities_renormalised(self):
+        oracle = StreamOracle({1: 2.0, 2: 2.0})
+        assert oracle.probability(1) == pytest.approx(0.5)
+        assert oracle.population_size == 2
+
+    def test_min_probability(self):
+        oracle = StreamOracle({1: 0.7, 2: 0.2, 3: 0.1})
+        assert oracle.min_probability == pytest.approx(0.1)
+
+    def test_insertion_probability_formula(self):
+        oracle = StreamOracle({1: 0.5, 2: 0.25, 3: 0.25})
+        assert oracle.insertion_probability(1) == pytest.approx(0.5)
+        assert oracle.insertion_probability(2) == pytest.approx(1.0)
+
+    def test_unknown_identifier_gets_max_insertion(self):
+        oracle = StreamOracle({1: 0.5, 2: 0.5})
+        assert oracle.insertion_probability(999) == 1.0
+        with pytest.raises(KeyError):
+            oracle.probability(999)
+
+    def test_contains_and_len(self):
+        oracle = StreamOracle({1: 0.5, 2: 0.5})
+        assert 1 in oracle
+        assert 3 not in oracle
+        assert len(oracle) == 2
+
+    def test_from_stream(self):
+        stream = IdentifierStream(identifiers=[1, 1, 1, 2])
+        oracle = StreamOracle.from_stream(stream)
+        assert oracle.probability(1) == pytest.approx(0.75)
+        assert oracle.probability(2) == pytest.approx(0.25)
+
+    def test_from_empty_stream_rejected(self):
+        with pytest.raises(ValueError):
+            StreamOracle.from_stream(IdentifierStream(identifiers=[]))
+
+    def test_uniform_constructor(self):
+        oracle = StreamOracle.uniform(10)
+        assert oracle.population_size == 10
+        assert oracle.probability(3) == pytest.approx(0.1)
+        assert oracle.insertion_probability(3) == pytest.approx(1.0)
+
+    def test_rejects_non_positive_probability(self):
+        with pytest.raises(ValueError):
+            StreamOracle({1: 0.0, 2: 1.0})
+        with pytest.raises(ValueError):
+            StreamOracle({})
+
+    def test_probabilities_copy(self):
+        oracle = StreamOracle({1: 1.0})
+        table = oracle.probabilities()
+        table[1] = 0.0
+        assert oracle.probability(1) == pytest.approx(1.0)

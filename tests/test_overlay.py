@@ -1,0 +1,117 @@
+"""Tests for repro.network.overlay."""
+
+import pytest
+
+from repro.network.overlay import (
+    OverlayGraph,
+    erdos_renyi,
+    random_regular,
+    ring_with_shortcuts,
+)
+
+
+class TestOverlayGraph:
+    def test_basic_construction(self):
+        graph = OverlayGraph([1, 2, 3])
+        assert graph.num_nodes == 3
+        assert graph.num_edges == 0
+
+    def test_duplicate_identifiers_collapsed(self):
+        graph = OverlayGraph([1, 1, 2])
+        assert graph.num_nodes == 2
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            OverlayGraph([])
+
+    def test_add_edge_and_neighbors(self):
+        graph = OverlayGraph([1, 2, 3])
+        graph.add_edge(1, 2)
+        assert graph.has_edge(1, 2)
+        assert graph.has_edge(2, 1)
+        assert graph.neighbors(1) == [2]
+        assert graph.degree(1) == 1
+        assert graph.num_edges == 1
+
+    def test_self_loops_ignored(self):
+        graph = OverlayGraph([1, 2])
+        graph.add_edge(1, 1)
+        assert graph.num_edges == 0
+
+    def test_add_edge_unknown_node_rejected(self):
+        graph = OverlayGraph([1, 2])
+        with pytest.raises(KeyError):
+            graph.add_edge(1, 99)
+
+    def test_connectivity(self):
+        graph = OverlayGraph([1, 2, 3, 4])
+        graph.add_edge(1, 2)
+        graph.add_edge(3, 4)
+        assert not graph.is_connected()
+        graph.add_edge(2, 3)
+        assert graph.is_connected()
+
+    def test_connected_component(self):
+        graph = OverlayGraph([1, 2, 3, 4])
+        graph.add_edge(1, 2)
+        assert graph.connected_component(1) == {1, 2}
+        with pytest.raises(KeyError):
+            graph.connected_component(99)
+
+    def test_restricted_connectivity(self):
+        # Correct nodes 1-3 connected only through malicious node 4.
+        graph = OverlayGraph([1, 2, 3, 4])
+        graph.add_edge(1, 4)
+        graph.add_edge(2, 4)
+        graph.add_edge(3, 4)
+        assert graph.is_connected()
+        assert not graph.is_connected(restrict_to=[1, 2, 3])
+        with pytest.raises(KeyError):
+            graph.is_connected(restrict_to=[1, 99])
+
+    def test_shortest_path_length(self):
+        graph = OverlayGraph([1, 2, 3, 4])
+        graph.add_edge(1, 2)
+        graph.add_edge(2, 3)
+        assert graph.shortest_path_length(1, 3) == 2
+        assert graph.shortest_path_length(1, 1) == 0
+        assert graph.shortest_path_length(1, 4) == -1
+
+
+class TestTopologyGenerators:
+    def test_ring_is_connected(self):
+        graph = ring_with_shortcuts(range(20), shortcuts=0)
+        assert graph.is_connected()
+        assert graph.num_edges == 20
+
+    def test_ring_shortcuts_added(self):
+        graph = ring_with_shortcuts(range(30), shortcuts=10, random_state=0)
+        assert graph.num_edges >= 30 + 5
+
+    def test_single_node_ring(self):
+        graph = ring_with_shortcuts([7])
+        assert graph.num_nodes == 1
+        assert graph.num_edges == 0
+
+    def test_erdos_renyi_connectivity_repair(self):
+        graph = erdos_renyi(range(30), edge_probability=0.01, random_state=1)
+        assert graph.is_connected()
+
+    def test_erdos_renyi_dense(self):
+        graph = erdos_renyi(range(20), edge_probability=0.5, random_state=2,
+                            ensure_connected=False)
+        assert graph.num_edges > 50
+
+    def test_erdos_renyi_invalid_probability(self):
+        with pytest.raises(ValueError):
+            erdos_renyi(range(5), edge_probability=1.5)
+
+    def test_random_regular_degree_bounded_and_connected(self):
+        graph = random_regular(range(40), degree=4, random_state=3)
+        assert graph.is_connected()
+        degrees = [graph.degree(node) for node in graph.nodes]
+        assert max(degrees) <= 4 + 2  # connectivity repair may add a ring edge
+
+    def test_random_regular_rejects_large_degree(self):
+        with pytest.raises(ValueError):
+            random_regular(range(5), degree=5)

@@ -1,0 +1,68 @@
+"""Tests for repro.experiments.reporting."""
+
+from repro.experiments.reporting import (
+    format_comparison,
+    format_series,
+    format_table,
+)
+
+
+class TestFormatTable:
+    def test_empty(self):
+        assert format_table([]) == "(empty table)"
+
+    def test_renders_columns_and_rows(self):
+        rows = [{"name": "a", "value": 1.23456}, {"name": "b", "value": 2}]
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert "name" in lines[0] and "value" in lines[0]
+        assert "1.2346" in text
+        assert len(lines) == 4  # header, separator, 2 rows
+
+    def test_explicit_column_order(self):
+        rows = [{"a": 1, "b": 2}]
+        text = format_table(rows, columns=["b", "a"])
+        header = text.splitlines()[0]
+        assert header.index("b") < header.index("a")
+
+    def test_missing_values_rendered_blank(self):
+        rows = [{"a": 1}, {"a": 2, "b": 3}]
+        text = format_table(rows, columns=["a", "b"])
+        assert text.count("\n") == 3
+
+    def test_custom_float_format(self):
+        rows = [{"x": 0.123456}]
+        text = format_table(rows, float_format="{:.1f}")
+        assert "0.1" in text
+        assert "0.12" not in text
+
+
+class TestFormatSeries:
+    def test_empty(self):
+        assert format_series({}) == "(no series)"
+
+    def test_aligns_series_on_union_of_x(self):
+        series = {
+            "first": [(1, 0.5), (2, 0.6)],
+            "second": [(2, 0.7), (3, 0.8)],
+        }
+        text = format_series(series, x_label="k")
+        lines = text.splitlines()
+        assert lines[0].startswith("k")
+        assert len(lines) == 2 + 3  # header + separator + 3 x values
+
+    def test_float_rendering(self):
+        series = {"s": [(1, 0.123456)]}
+        assert "0.1235" in format_series(series)
+
+
+class TestFormatComparison:
+    def test_paper_vs_measured(self):
+        text = format_comparison({"L_10_5": 38}, {"L_10_5": 38})
+        assert "paper" in text
+        assert "measured" in text
+        assert text.count("38") >= 2
+
+    def test_missing_measured_value(self):
+        text = format_comparison({"x": 1.0}, {})
+        assert "x" in text

@@ -1,0 +1,82 @@
+"""Tests for repro.core.service (NodeSamplingService facade)."""
+
+import pytest
+
+from repro.core.baselines import ReservoirSampler
+from repro.core.service import NodeSamplingService
+from repro.streams import StreamOracle, uniform_stream
+
+
+class TestNodeSamplingService:
+    def test_knowledge_free_constructor(self):
+        service = NodeSamplingService.knowledge_free(memory_size=5,
+                                                     sketch_width=8,
+                                                     sketch_depth=3,
+                                                     random_state=0)
+        assert service.strategy.name == "knowledge-free"
+
+    def test_omniscient_constructor(self):
+        oracle = StreamOracle.uniform(10)
+        service = NodeSamplingService.omniscient(oracle, memory_size=5,
+                                                 random_state=0)
+        assert service.strategy.name == "omniscient"
+
+    def test_on_receive_records_output(self):
+        service = NodeSamplingService.knowledge_free(memory_size=3,
+                                                     random_state=1)
+        for identifier in [1, 2, 3, 4]:
+            output = service.on_receive(identifier)
+            assert output is not None
+        assert service.output_stream.size == 4
+        assert service.elements_processed == 4
+
+    def test_consume_stream(self):
+        stream = uniform_stream(200, 20, random_state=2)
+        service = NodeSamplingService.knowledge_free(memory_size=5,
+                                                     random_state=2)
+        service.consume(stream)
+        assert service.output_stream.size == 200
+        assert sum(service.output_frequencies().values()) == 200
+
+    def test_sample_primitive(self):
+        service = NodeSamplingService.knowledge_free(memory_size=5,
+                                                     random_state=3)
+        assert service.sample() is None
+        service.consume([1, 2, 3])
+        assert service.sample() in {1, 2, 3}
+
+    def test_sample_many(self):
+        service = NodeSamplingService.knowledge_free(memory_size=5,
+                                                     random_state=4)
+        service.consume([1, 2, 3])
+        samples = service.sample_many(10)
+        assert len(samples) == 10
+        assert set(samples) <= {1, 2, 3}
+
+    def test_sample_many_rejects_non_positive(self):
+        service = NodeSamplingService.knowledge_free(memory_size=5)
+        with pytest.raises(ValueError):
+            service.sample_many(0)
+
+    def test_record_output_disabled(self):
+        service = NodeSamplingService.knowledge_free(memory_size=3,
+                                                     random_state=5,
+                                                     record_output=False)
+        service.consume([1, 2, 3, 4, 5])
+        assert service.output_stream.size == 0
+        assert service.elements_processed == 5
+
+    def test_custom_strategy(self):
+        service = NodeSamplingService(ReservoirSampler(4, random_state=6))
+        service.consume(range(20))
+        assert service.strategy.name == "reservoir"
+        assert service.output_stream.size == 20
+
+    def test_reset(self):
+        service = NodeSamplingService.knowledge_free(memory_size=3,
+                                                     random_state=7)
+        service.consume([1, 2, 3])
+        service.reset()
+        assert service.elements_processed == 0
+        assert service.output_stream.size == 0
+        assert service.sample() is None

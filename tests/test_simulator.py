@@ -1,0 +1,81 @@
+"""Tests for repro.network.simulator (the end-to-end SystemSimulation)."""
+
+import pytest
+
+from repro.network.node import NodeConfig
+from repro.network.simulator import (
+    DisseminationProtocol,
+    SystemConfig,
+    SystemSimulation,
+)
+
+
+class TestSystemConfig:
+    def test_defaults(self):
+        config = SystemConfig()
+        assert config.protocol is DisseminationProtocol.GOSSIP
+        assert config.num_correct == 50
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SystemConfig(num_correct=0)
+        with pytest.raises(ValueError):
+            SystemConfig(num_malicious=-1)
+        with pytest.raises(ValueError):
+            SystemConfig(rounds=0)
+
+
+class TestSystemSimulation:
+    def test_gossip_end_to_end(self):
+        config = SystemConfig(num_correct=15, num_malicious=3, rounds=15,
+                              node_config=NodeConfig(memory_size=5,
+                                                     sketch_width=8,
+                                                     sketch_depth=3))
+        simulation = SystemSimulation(config, random_state=0).run()
+        report = simulation.report()
+        assert len(report.per_node) == 15
+        assert report.mean_input_divergence >= 0
+        assert report.mean_output_divergence >= 0
+        assert 0 <= report.mean_malicious_fraction_output <= 1
+
+    def test_random_walk_end_to_end(self):
+        config = SystemConfig(num_correct=10, num_malicious=2, rounds=5,
+                              protocol=DisseminationProtocol.RANDOM_WALK,
+                              node_config=NodeConfig(memory_size=5,
+                                                     sketch_width=8,
+                                                     sketch_depth=3))
+        simulation = SystemSimulation(config, random_state=1).run()
+        report = simulation.report()
+        assert len(report.per_node) <= 10
+        assert report.per_node  # at least some nodes received identifiers
+
+    def test_sampler_reduces_malicious_overrepresentation(self):
+        # With malicious nodes gossiping far more aggressively than correct
+        # ones, the sampler output should contain a smaller malicious fraction
+        # than the raw input stream.
+        config = SystemConfig(num_correct=20, num_malicious=4, rounds=40,
+                              fanout=2, malicious_fanout=10,
+                              sybil_identifiers_per_malicious=2,
+                              node_config=NodeConfig(memory_size=10,
+                                                     sketch_width=10,
+                                                     sketch_depth=4))
+        simulation = SystemSimulation(config, random_state=2).run()
+        report = simulation.report()
+        mean_input_malicious = sum(
+            node.malicious_fraction_input for node in report.per_node
+        ) / len(report.per_node)
+        assert report.mean_malicious_fraction_output < mean_input_malicious
+
+    def test_run_with_explicit_rounds(self):
+        config = SystemConfig(num_correct=5, num_malicious=0, rounds=3)
+        simulation = SystemSimulation(config, random_state=3)
+        simulation.run(rounds=7)
+        assert simulation.engine.rounds_executed == 7
+
+    def test_empty_report_aggregates(self):
+        from repro.network.simulator import SystemReport
+        report = SystemReport(per_node=[])
+        assert report.mean_gain == 0.0
+        assert report.mean_input_divergence == 0.0
+        assert report.mean_output_divergence == 0.0
+        assert report.mean_malicious_fraction_output == 0.0

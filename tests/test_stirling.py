@@ -1,0 +1,96 @@
+"""Tests for repro.analysis.stirling."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.stirling import (
+    occupancy_distribution,
+    stirling_recurrence_check,
+    stirling_row,
+    stirling_second_kind,
+)
+
+
+class TestStirlingNumbers:
+    def test_known_values(self):
+        # Classic table of S(n, k).
+        assert stirling_second_kind(0, 0) == 1
+        assert stirling_second_kind(1, 1) == 1
+        assert stirling_second_kind(4, 2) == 7
+        assert stirling_second_kind(5, 3) == 25
+        assert stirling_second_kind(6, 3) == 90
+        assert stirling_second_kind(7, 4) == 350
+
+    def test_boundaries(self):
+        assert stirling_second_kind(5, 0) == 0
+        assert stirling_second_kind(0, 3) == 0
+        assert stirling_second_kind(3, 5) == 0
+        assert stirling_second_kind(6, 6) == 1
+
+    def test_negative_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            stirling_second_kind(-1, 2)
+
+    def test_recurrence_relation(self):
+        # Relation (3) of the paper for a grid of interior arguments.
+        for n in range(2, 12):
+            for k in range(1, n + 1):
+                assert stirling_recurrence_check(n, k)
+
+    def test_row_sums_are_bell_numbers(self):
+        bell = [1, 1, 2, 5, 15, 52, 203, 877]
+        for n, expected in enumerate(bell):
+            assert sum(stirling_row(n)) == expected
+
+    def test_recurrence_check_rejects_boundary(self):
+        with pytest.raises(ValueError):
+            stirling_recurrence_check(0, 1)
+
+
+class TestOccupancyDistribution:
+    def test_single_ball(self):
+        distribution = occupancy_distribution(5, 1)
+        assert distribution[1] == pytest.approx(1.0)
+
+    def test_zero_balls(self):
+        distribution = occupancy_distribution(5, 0)
+        assert distribution[0] == pytest.approx(1.0)
+
+    def test_sums_to_one(self):
+        for num_urns, num_balls in [(3, 7), (10, 25), (50, 10)]:
+            distribution = occupancy_distribution(num_urns, num_balls)
+            assert distribution.sum() == pytest.approx(1.0)
+
+    def test_matches_theorem6_formula(self):
+        # P{N_l = i} = S(l, i) k! / (k^l (k - i)!) for small arguments.
+        import math
+
+        k, l = 6, 9
+        distribution = occupancy_distribution(k, l)
+        factorial = math.factorial
+        for i in range(1, k + 1):
+            expected = (stirling_second_kind(l, i) * factorial(k)
+                        / (k ** l * factorial(k - i)))
+            assert distribution[i] == pytest.approx(expected, rel=1e-9)
+
+    def test_all_occupied_limit(self):
+        # With far more balls than urns, all urns are occupied almost surely.
+        distribution = occupancy_distribution(4, 200)
+        assert distribution[4] == pytest.approx(1.0, abs=1e-6)
+
+    def test_matches_monte_carlo(self):
+        rng = np.random.default_rng(0)
+        k, l, runs = 8, 12, 20_000
+        counts = np.zeros(k + 1)
+        for _ in range(runs):
+            occupied = len(set(rng.integers(0, k, size=l).tolist()))
+            counts[occupied] += 1
+        empirical = counts / runs
+        exact = occupancy_distribution(k, l)
+        assert np.max(np.abs(empirical - exact)) < 0.02
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            occupancy_distribution(0, 5)
+        with pytest.raises(ValueError):
+            occupancy_distribution(5, -1)

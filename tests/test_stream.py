@@ -1,0 +1,116 @@
+"""Tests for repro.streams.stream (IdentifierStream and helpers)."""
+
+import pytest
+
+from repro.streams.stream import (
+    IdentifierStream,
+    merge_streams,
+    stream_from_frequencies,
+)
+
+
+class TestIdentifierStream:
+    def test_basic_properties(self):
+        stream = IdentifierStream(identifiers=[1, 2, 2, 3])
+        assert stream.size == 4
+        assert len(stream) == 4
+        assert stream.universe == [1, 2, 3]
+        assert stream.population_size == 3
+        assert list(stream) == [1, 2, 2, 3]
+        assert stream[0] == 1
+
+    def test_explicit_universe(self):
+        stream = IdentifierStream(identifiers=[1, 1], universe=[1, 2, 3])
+        assert stream.population_size == 3
+
+    def test_frequencies_and_probabilities(self):
+        stream = IdentifierStream(identifiers=[1, 2, 2, 3, 3, 3])
+        assert stream.frequencies() == {1: 1, 2: 2, 3: 3}
+        probabilities = stream.occurrence_probabilities()
+        assert probabilities[3] == pytest.approx(0.5)
+        assert sum(probabilities.values()) == pytest.approx(1.0)
+
+    def test_max_frequency(self):
+        stream = IdentifierStream(identifiers=[5, 5, 5, 6])
+        assert stream.max_frequency() == 3
+        assert IdentifierStream(identifiers=[]).max_frequency() == 0
+
+    def test_statistics(self):
+        stream = IdentifierStream(identifiers=[1, 1, 2])
+        stats = stream.statistics()
+        assert stats == {"size": 3, "distinct": 2, "max_frequency": 2}
+
+    def test_correct_vs_malicious(self):
+        stream = IdentifierStream(identifiers=[1, 2, 3], malicious=[2])
+        assert stream.malicious == [2]
+        assert stream.correct == [1, 3]
+
+    def test_empty_probabilities(self):
+        assert IdentifierStream(identifiers=[]).occurrence_probabilities() == {}
+
+    def test_truncate(self):
+        stream = IdentifierStream(identifiers=list(range(10)))
+        prefix = stream.truncate(4)
+        assert prefix.identifiers == [0, 1, 2, 3]
+        assert prefix.universe == stream.universe
+
+    def test_truncate_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            IdentifierStream(identifiers=[1]).truncate(0)
+
+    def test_shuffled_preserves_multiset(self):
+        stream = IdentifierStream(identifiers=[1, 1, 2, 3, 3, 3])
+        shuffled = stream.shuffled(random_state=0)
+        assert sorted(shuffled.identifiers) == sorted(stream.identifiers)
+        assert shuffled.universe == stream.universe
+
+    def test_prefixes(self):
+        stream = IdentifierStream(identifiers=list(range(10)))
+        prefixes = list(stream.prefixes([3, 5, 100]))
+        assert [p.size for p in prefixes] == [3, 5, 10]
+
+
+class TestMergeStreams:
+    def test_merge_preserves_elements(self):
+        first = IdentifierStream(identifiers=[1, 1, 2])
+        second = IdentifierStream(identifiers=[3, 4])
+        merged = merge_streams([first, second], random_state=0)
+        assert sorted(merged.identifiers) == [1, 1, 2, 3, 4]
+        assert merged.universe == [1, 2, 3, 4]
+
+    def test_merge_preserves_relative_order(self):
+        first = IdentifierStream(identifiers=[10, 11, 12])
+        second = IdentifierStream(identifiers=[20])
+        merged = merge_streams([first, second], random_state=1)
+        first_positions = [merged.identifiers.index(identifier)
+                           for identifier in [10, 11, 12]]
+        assert first_positions == sorted(first_positions)
+
+    def test_merge_unions_malicious(self):
+        first = IdentifierStream(identifiers=[1], malicious=[1])
+        second = IdentifierStream(identifiers=[2], malicious=[])
+        merged = merge_streams([first, second], random_state=0)
+        assert merged.malicious == [1]
+
+    def test_merge_requires_streams(self):
+        with pytest.raises(ValueError):
+            merge_streams([])
+
+
+class TestStreamFromFrequencies:
+    def test_exact_frequencies_realised(self):
+        stream = stream_from_frequencies({1: 3, 2: 1, 3: 0}, random_state=0)
+        assert stream.frequencies() == {1: 3, 2: 1}
+        assert stream.universe == [1, 2, 3]
+
+    def test_unshuffled_is_sorted_blocks(self):
+        stream = stream_from_frequencies({2: 2, 1: 1}, shuffle=False)
+        assert stream.identifiers == [1, 2, 2]
+
+    def test_negative_frequency_rejected(self):
+        with pytest.raises(ValueError):
+            stream_from_frequencies({1: -1})
+
+    def test_malicious_marking(self):
+        stream = stream_from_frequencies({1: 1, 2: 1}, malicious=[2])
+        assert stream.malicious == [2]

@@ -1,0 +1,80 @@
+"""Tests for repro.streams.traces (Table II stand-ins)."""
+
+import pytest
+
+from repro.streams.traces import (
+    CLARKNET,
+    NASA,
+    PAPER_TRACES,
+    SASKATCHEWAN,
+    SyntheticTrace,
+    TraceSpec,
+    load_paper_traces,
+    paper_trace_table,
+)
+
+
+class TestTraceSpecs:
+    def test_published_statistics(self):
+        assert NASA.stream_size == 1_891_715
+        assert NASA.distinct_ids == 81_983
+        assert NASA.max_frequency == 17_572
+        assert CLARKNET.distinct_ids == 94_787
+        assert SASKATCHEWAN.max_frequency == 52_695
+        assert len(PAPER_TRACES) == 3
+
+    def test_paper_trace_table_rows(self):
+        rows = paper_trace_table()
+        assert [row["trace"] for row in rows] == [
+            "NASA", "ClarkNet", "Saskatchewan"]
+        assert rows[0]["size"] == NASA.stream_size
+
+
+class TestSyntheticTrace:
+    def test_full_scale_statistics_match(self):
+        trace = SyntheticTrace(NASA)
+        stats = trace.statistics()
+        assert stats["size"] == NASA.stream_size
+        assert stats["distinct"] == NASA.distinct_ids
+        # The max frequency is the fitted quantity; allow a small tolerance.
+        assert abs(stats["max_frequency"] - NASA.max_frequency) \
+            <= 0.05 * NASA.max_frequency
+
+    def test_scaled_trace_preserves_shape(self):
+        trace = SyntheticTrace(CLARKNET, scale=0.01)
+        stats = trace.statistics()
+        assert stats["distinct"] == pytest.approx(
+            CLARKNET.distinct_ids * 0.01, rel=0.02)
+        frequencies = sorted(trace.frequencies().values(), reverse=True)
+        # Zipf-like decay: top frequency well above the median frequency.
+        assert frequencies[0] > 10 * frequencies[len(frequencies) // 2]
+
+    def test_every_identifier_appears(self):
+        trace = SyntheticTrace(NASA, scale=0.005)
+        assert min(trace.frequencies().values()) >= 1
+
+    def test_materialise_matches_frequencies(self):
+        trace = SyntheticTrace(CLARKNET, scale=0.002, random_state=0)
+        stream = trace.materialise()
+        assert stream.frequencies() == trace.frequencies()
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            SyntheticTrace(NASA, scale=0.0)
+        with pytest.raises(ValueError):
+            SyntheticTrace(NASA, scale=1.5)
+
+    def test_custom_spec(self):
+        spec = TraceSpec(name="tiny", stream_size=1_000, distinct_ids=100,
+                         max_frequency=200)
+        trace = SyntheticTrace(spec)
+        stats = trace.statistics()
+        assert stats["size"] == 1_000
+        assert stats["distinct"] == 100
+        assert abs(stats["max_frequency"] - 200) <= 40
+
+    def test_load_paper_traces(self):
+        traces = load_paper_traces(scale=0.001)
+        assert len(traces) == 3
+        assert {trace.spec.name for trace in traces} == {
+            "NASA", "ClarkNet", "Saskatchewan"}

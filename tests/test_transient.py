@@ -1,0 +1,109 @@
+"""Tests for repro.analysis.transient (mixing time and convergence tracking)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.markov import uniform_chain_model
+from repro.analysis.transient import (
+    ConvergenceTracker,
+    empirical_convergence_position,
+    mixing_time,
+)
+from repro.core import EmpiricalOmniscientStrategy
+from repro.streams import peak_attack_stream, uniform_stream
+
+
+class TestMixingTime:
+    def test_returns_positive_step_count(self):
+        model = uniform_chain_model(5, 2, bias={0: 0.4, 1: 0.2, 2: 0.2,
+                                                3: 0.1, 4: 0.1})
+        steps = mixing_time(model, tolerance=0.05)
+        assert steps >= 1
+
+    def test_tighter_tolerance_needs_more_steps(self):
+        model = uniform_chain_model(5, 2, bias={0: 0.5, 1: 0.2, 2: 0.1,
+                                                3: 0.1, 4: 0.1})
+        loose = mixing_time(model, tolerance=0.2)
+        tight = mixing_time(model, tolerance=0.001)
+        assert tight >= loose
+
+    def test_stronger_bias_slows_mixing(self):
+        balanced = uniform_chain_model(5, 2)
+        skewed = uniform_chain_model(5, 2, bias={0: 0.9, 1: 0.025, 2: 0.025,
+                                                 3: 0.025, 4: 0.025})
+        assert mixing_time(skewed, tolerance=0.01) >= \
+            mixing_time(balanced, tolerance=0.01)
+
+    def test_custom_initial_state(self):
+        model = uniform_chain_model(5, 2)
+        steps = mixing_time(model, tolerance=0.05, initial_state=[3, 4])
+        assert steps >= 1
+
+    def test_unreachable_tolerance_raises(self):
+        model = uniform_chain_model(5, 2, bias={0: 0.5, 1: 0.2, 2: 0.1,
+                                                3: 0.1, 4: 0.1})
+        with pytest.raises(RuntimeError):
+            mixing_time(model, tolerance=1e-9, max_steps=2)
+
+    def test_invalid_arguments(self):
+        model = uniform_chain_model(4, 2)
+        with pytest.raises(ValueError):
+            mixing_time(model, tolerance=0)
+
+
+class TestConvergenceTracker:
+    def test_uniform_stream_converges_immediately(self):
+        rng = np.random.default_rng(0)
+        population = list(range(20))
+        tracker = ConvergenceTracker(population, window_size=500,
+                                     tolerance=0.2)
+        tracker.update_many(rng.integers(0, 20, size=2_000).tolist())
+        assert tracker.has_converged
+        assert tracker.converged_at == 500
+        assert len(tracker.divergence_series()) == 4
+
+    def test_degenerate_stream_never_converges(self):
+        tracker = ConvergenceTracker(range(20), window_size=200,
+                                     tolerance=0.2)
+        tracker.update_many([0] * 1_000)
+        assert not tracker.has_converged
+        assert tracker.converged_at is None
+        assert all(point.divergence > 0.2
+                   for point in tracker.divergence_series())
+
+    def test_convergence_after_warmup(self):
+        rng = np.random.default_rng(1)
+        population = list(range(10))
+        identifiers = [0] * 400 + rng.integers(0, 10, size=1_600).tolist()
+        position = empirical_convergence_position(identifiers, population,
+                                                  window_size=400,
+                                                  tolerance=0.2)
+        assert position is not None
+        assert position > 400
+
+    def test_incomplete_window_not_evaluated(self):
+        tracker = ConvergenceTracker(range(5), window_size=100)
+        tracker.update_many([1] * 99)
+        assert tracker.divergence_series() == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ConvergenceTracker([], window_size=10)
+        with pytest.raises(ValueError):
+            ConvergenceTracker(range(5), window_size=0)
+        with pytest.raises(ValueError):
+            ConvergenceTracker(range(5), tolerance=0)
+
+    def test_omniscient_output_converges_on_biased_stream(self):
+        # The paper's Figure 9 observation: the omniscient output reaches its
+        # stationary (uniform) regime after a few thousand identifiers.
+        stream = peak_attack_stream(20_000, 100, peak_fraction=0.5,
+                                    random_state=2)
+        strategy = EmpiricalOmniscientStrategy(stream, memory_size=10,
+                                               random_state=2)
+        output = strategy.process_stream(stream)
+        position = empirical_convergence_position(
+            output.identifiers, stream.universe, window_size=2_000,
+            tolerance=0.25)
+        assert position is not None
+        assert position <= 10_000

@@ -1,0 +1,113 @@
+"""Tests for repro.metrics.uniformity."""
+
+import numpy as np
+import pytest
+
+from repro.core import KnowledgeFreeStrategy
+from repro.metrics.uniformity import (
+    UniformityReport,
+    chi_square_uniformity_test,
+    uniformity_of_output,
+)
+from repro.streams import IdentifierStream, peak_attack_stream, uniform_stream
+
+
+class TestChiSquareUniformityTest:
+    def test_uniform_samples_accepted(self):
+        rng = np.random.default_rng(0)
+        population = list(range(50))
+        samples = rng.integers(0, 50, size=10_000).tolist()
+        report = chi_square_uniformity_test(samples, population)
+        assert report.is_uniform
+        assert report.p_value > 0.01
+        assert report.coverage == 1.0
+        assert report.sample_size == 10_000
+
+    def test_heavily_biased_samples_rejected(self):
+        population = list(range(50))
+        samples = [0] * 5_000 + list(range(50)) * 10
+        report = chi_square_uniformity_test(samples, population)
+        assert not report.is_uniform
+        assert report.p_value < 0.01
+        assert report.max_relative_deviation > 5
+
+    def test_moderately_biased_samples_rejected(self):
+        rng = np.random.default_rng(1)
+        population = list(range(20))
+        weights = np.ones(20)
+        weights[:5] = 3.0
+        probabilities = weights / weights.sum()
+        samples = rng.choice(20, size=20_000, p=probabilities).tolist()
+        report = chi_square_uniformity_test(samples, population)
+        assert not report.is_uniform
+
+    def test_samples_outside_population_counted(self):
+        report = chi_square_uniformity_test([1, 2, 99, 98], [1, 2, 3])
+        assert report.sample_size == 4
+        assert report.coverage == pytest.approx(2 / 3)
+
+    def test_all_samples_outside_population(self):
+        report = chi_square_uniformity_test([99, 98], [1, 2, 3])
+        assert not report.is_uniform
+        assert report.p_value == 0.0
+        assert report.coverage == 0.0
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            chi_square_uniformity_test([], [1, 2])
+        with pytest.raises(ValueError):
+            chi_square_uniformity_test([1], [])
+
+    def test_invalid_significance(self):
+        with pytest.raises(ValueError):
+            chi_square_uniformity_test([1], [1, 2], significance=0.0)
+
+    def test_report_is_dataclass(self):
+        report = chi_square_uniformity_test([1, 2, 1, 2], [1, 2])
+        assert isinstance(report, UniformityReport)
+        assert report.population_size == 2
+
+
+class TestUniformityOfOutput:
+    def test_omniscient_like_uniform_output_accepted(self):
+        rng = np.random.default_rng(2)
+        population = list(range(40))
+        output = IdentifierStream(
+            identifiers=rng.integers(0, 40, size=8_000).tolist(),
+            universe=population,
+        )
+        report = uniformity_of_output(output)
+        assert report.is_uniform
+
+    def test_biased_input_stream_rejected(self):
+        stream = peak_attack_stream(10_000, 40, peak_fraction=0.5,
+                                    random_state=3)
+        report = uniformity_of_output(stream)
+        assert not report.is_uniform
+
+    def test_warm_up_discarded(self):
+        # A stream whose first quarter is degenerate but whose remainder is
+        # uniform should pass once the warm-up is discarded.
+        rng = np.random.default_rng(4)
+        population = list(range(30))
+        identifiers = [0] * 2_000 + rng.integers(0, 30, size=6_000).tolist()
+        stream = IdentifierStream(identifiers=identifiers, universe=population)
+        assert uniformity_of_output(stream, discard_fraction=0.25).is_uniform
+        assert not uniformity_of_output(stream, discard_fraction=0.0).is_uniform
+
+    def test_invalid_discard_fraction(self):
+        stream = uniform_stream(100, 10, random_state=5)
+        with pytest.raises(ValueError):
+            uniformity_of_output(stream, discard_fraction=1.0)
+
+    def test_knowledge_free_output_on_uniform_input_is_uniform(self):
+        stream = uniform_stream(20_000, 40, random_state=6)
+        strategy = KnowledgeFreeStrategy(10, sketch_width=10, sketch_depth=5,
+                                         random_state=6)
+        output = strategy.process_stream(stream)
+        report = uniformity_of_output(output, population=stream.universe,
+                                      significance=0.001)
+        # The output may retain slight autocorrelation; require that it is not
+        # grossly non-uniform (deviation bounded) and covers the population.
+        assert report.coverage == 1.0
+        assert report.max_relative_deviation < 3.0

@@ -1,0 +1,185 @@
+"""Tests for repro.analysis.urns (Section V attack-effort analysis)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.urns import (
+    PAPER_TABLE1_SETTINGS,
+    PAPER_TABLE1_VALUES,
+    UrnOccupancyProcess,
+    coupon_collector_pmf,
+    effort_table,
+    flooding_attack_effort,
+    occupancy_pmf,
+    probability_collision_at,
+    targeted_attack_effort,
+)
+
+
+class TestUrnOccupancyProcess:
+    def test_initial_state(self):
+        process = UrnOccupancyProcess(5)
+        assert process.balls_thrown == 0
+        assert process.distribution[0] == pytest.approx(1.0)
+
+    def test_expected_occupied_formula(self):
+        # E(N_l) = k (1 - (1 - 1/k)^l)
+        process = UrnOccupancyProcess(10)
+        for _ in range(7):
+            process.throw()
+        expected = 10 * (1 - (1 - 1 / 10) ** 7)
+        assert process.expected_occupied() == pytest.approx(expected, rel=1e-9)
+
+    def test_probability_no_new_urn_equals_expectation_over_k(self):
+        process = UrnOccupancyProcess(6)
+        for _ in range(4):
+            process.throw()
+        assert process.probability_no_new_urn() == pytest.approx(
+            process.expected_occupied() / 6)
+
+    def test_probability_all_occupied_monotone(self):
+        process = UrnOccupancyProcess(4)
+        previous = 0.0
+        for _ in range(40):
+            process.throw()
+            current = process.probability_all_occupied()
+            assert current >= previous - 1e-12
+            previous = current
+
+    def test_rejects_invalid_urn_count(self):
+        with pytest.raises(ValueError):
+            UrnOccupancyProcess(0)
+
+
+class TestCollisionProbability:
+    def test_first_ball_never_collides(self):
+        assert probability_collision_at(10, 1) == pytest.approx(0.0)
+
+    def test_second_ball_collides_with_probability_one_over_k(self):
+        assert probability_collision_at(10, 2) == pytest.approx(0.1)
+
+    def test_monotone_in_num_balls(self):
+        values = [probability_collision_at(20, l) for l in range(1, 50)]
+        assert all(b >= a - 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            probability_collision_at(10, 0)
+
+
+class TestTargetedAttackEffort:
+    @pytest.mark.parametrize("k,s,eta,expected", [
+        (10, 5, 1e-1, 38),
+        (10, 5, 1e-4, 104),
+        (50, 5, 1e-1, 193),
+        (50, 10, 1e-1, 227),
+        (50, 40, 1e-1, 296),
+        (50, 5, 1e-4, 537),
+        (50, 10, 1e-4, 571),
+        (50, 40, 1e-4, 640),
+    ])
+    def test_matches_table1(self, k, s, eta, expected):
+        assert targeted_attack_effort(k, s, eta) == expected
+
+    def test_large_k_close_to_paper(self):
+        # The k=250 rows of Table I differ by a couple of units, most likely
+        # due to numerical evaluation differences in the original paper; we
+        # require agreement within 0.5%.
+        assert abs(targeted_attack_effort(250, 10, 1e-1) - 1138) <= 6
+        assert abs(targeted_attack_effort(250, 10, 1e-4) - 2871) <= 15
+
+    def test_linear_in_k(self):
+        small = targeted_attack_effort(50, 10, 1e-1)
+        large = targeted_attack_effort(100, 10, 1e-1)
+        assert 1.7 <= large / small <= 2.3
+
+    def test_increasing_in_confidence(self):
+        low = targeted_attack_effort(50, 10, 1e-1)
+        high = targeted_attack_effort(50, 10, 1e-4)
+        assert high > low
+
+    def test_increasing_in_rows(self):
+        few = targeted_attack_effort(50, 5, 1e-1)
+        many = targeted_attack_effort(50, 40, 1e-1)
+        assert many > few
+
+    def test_figure3_example_from_text(self):
+        # "when k = 50 and s = 10, the adversary has to inject 150 distinct
+        # node identifiers to have no more than 50% of chance" (Section V-A).
+        # The exact value of Relation (2) is 135; the text rounds to ~150.
+        assert 125 <= targeted_attack_effort(50, 10, 0.5) <= 160
+
+    def test_invalid_eta(self):
+        with pytest.raises(ValueError):
+            targeted_attack_effort(10, 5, 0.0)
+        with pytest.raises(ValueError):
+            targeted_attack_effort(10, 5, 1.0)
+
+
+class TestFloodingAttackEffort:
+    @pytest.mark.parametrize("k,eta,expected", [
+        (10, 1e-1, 44),
+        (10, 1e-4, 110),
+        (50, 1e-1, 306),
+        # The paper's Table I reports 651 for (50, 1e-4); exact rational
+        # evaluation of Relation (5) gives 650 — a boundary rounding
+        # difference, so agreement within one unit is required.
+        (50, 1e-4, 651),
+    ])
+    def test_matches_table1(self, k, eta, expected):
+        assert abs(flooding_attack_effort(k, eta) - expected) <= 1
+
+    def test_exceeds_targeted_effort(self):
+        # A flooding attack always needs at least as many identifiers as a
+        # targeted attack with the same parameters (Section V-B).
+        for k, s, eta in [(10, 5, 1e-1), (50, 10, 1e-1), (50, 40, 1e-4)]:
+            assert flooding_attack_effort(k, eta) >= targeted_attack_effort(
+                k, s, eta)
+
+    def test_single_urn(self):
+        assert flooding_attack_effort(1, 0.5) == 1
+
+    def test_monotone_in_k(self):
+        values = [flooding_attack_effort(k, 1e-1) for k in (10, 20, 40, 80)]
+        assert all(b > a for a, b in zip(values, values[1:]))
+
+    def test_matches_coupon_collector_cdf(self):
+        k, eta = 12, 1e-2
+        effort = flooding_attack_effort(k, eta)
+        pmf = coupon_collector_pmf(k, effort + 5)
+        assert pmf[:effort + 1].sum() > 1 - eta
+        assert pmf[:effort].sum() <= 1 - eta
+
+    def test_invalid_eta(self):
+        with pytest.raises(ValueError):
+            flooding_attack_effort(10, 0.0)
+
+
+class TestCouponCollectorPmf:
+    def test_sums_to_one_with_enough_balls(self):
+        pmf = coupon_collector_pmf(5, 200)
+        assert pmf.sum() == pytest.approx(1.0, abs=1e-9)
+
+    def test_no_mass_before_k(self):
+        pmf = coupon_collector_pmf(6, 30)
+        assert np.all(pmf[:6] == 0)
+
+    def test_mean_close_to_harmonic_formula(self):
+        k = 8
+        pmf = coupon_collector_pmf(k, 500)
+        mean = float(np.dot(np.arange(len(pmf)), pmf))
+        harmonic = k * sum(1 / i for i in range(1, k + 1))
+        assert mean == pytest.approx(harmonic, rel=1e-3)
+
+    def test_single_urn(self):
+        pmf = coupon_collector_pmf(1, 10)
+        assert pmf[1] == pytest.approx(1.0)
+
+
+class TestEffortTable:
+    def test_reproduces_paper_rows(self):
+        rows = effort_table(PAPER_TABLE1_SETTINGS[:4])
+        for row in rows:
+            published = PAPER_TABLE1_VALUES[(row.num_urns, row.num_rows, row.eta)]
+            assert row.targeted_effort == published["targeted"]
+            assert row.flooding_effort == published["flooding"]

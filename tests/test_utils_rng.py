@@ -1,0 +1,54 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import ensure_rng, spawn_children
+
+
+class TestEnsureRng:
+    def test_none_returns_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        first = ensure_rng(42).integers(0, 1_000_000, size=5)
+        second = ensure_rng(42).integers(0, 1_000_000, size=5)
+        assert np.array_equal(first, second)
+
+    def test_different_seeds_differ(self):
+        first = ensure_rng(1).integers(0, 1_000_000, size=10)
+        second = ensure_rng(2).integers(0, 1_000_000, size=10)
+        assert not np.array_equal(first, second)
+
+    def test_generator_passthrough(self):
+        generator = np.random.default_rng(7)
+        assert ensure_rng(generator) is generator
+
+    def test_numpy_integer_seed(self):
+        assert isinstance(ensure_rng(np.int64(3)), np.random.Generator)
+
+    def test_invalid_type_raises(self):
+        with pytest.raises(TypeError):
+            ensure_rng("not-a-seed")
+
+
+class TestSpawnChildren:
+    def test_count_is_respected(self):
+        children = spawn_children(0, 5)
+        assert len(children) == 5
+
+    def test_children_are_independent_generators(self):
+        children = spawn_children(0, 3)
+        draws = [child.integers(0, 2**31, size=8) for child in children]
+        assert not np.array_equal(draws[0], draws[1])
+        assert not np.array_equal(draws[1], draws[2])
+
+    def test_deterministic_given_seed(self):
+        first = [c.integers(0, 1000, size=4) for c in spawn_children(9, 2)]
+        second = [c.integers(0, 1000, size=4) for c in spawn_children(9, 2)]
+        for a, b in zip(first, second):
+            assert np.array_equal(a, b)
+
+    def test_non_positive_count_raises(self):
+        with pytest.raises(ValueError):
+            spawn_children(0, 0)

@@ -1,0 +1,66 @@
+"""Tests for repro.utils.validation."""
+
+import pytest
+
+from repro.utils.validation import (
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_probability,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        check_positive("x", 1)
+        check_positive("x", 0.001)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError, match="x"):
+            check_positive("x", 0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_positive("x", -3)
+
+
+class TestCheckNonNegative:
+    def test_accepts_zero(self):
+        check_non_negative("x", 0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_non_negative("x", -0.5)
+
+
+class TestCheckProbability:
+    def test_accepts_interior(self):
+        check_probability("p", 0.5)
+
+    def test_endpoints_default_allowed(self):
+        check_probability("p", 0.0)
+        check_probability("p", 1.0)
+
+    def test_endpoints_can_be_excluded(self):
+        with pytest.raises(ValueError):
+            check_probability("p", 0.0, allow_zero=False)
+        with pytest.raises(ValueError):
+            check_probability("p", 1.0, allow_one=False)
+
+    def test_rejects_outside(self):
+        with pytest.raises(ValueError):
+            check_probability("p", 1.5)
+        with pytest.raises(ValueError):
+            check_probability("p", -0.1)
+
+
+class TestCheckInRange:
+    def test_accepts_bounds(self):
+        check_in_range("x", 4, 4, 18)
+        check_in_range("x", 18, 4, 18)
+
+    def test_rejects_outside(self):
+        with pytest.raises(ValueError):
+            check_in_range("x", 3, 4, 18)
+        with pytest.raises(ValueError):
+            check_in_range("x", 19, 4, 18)
