@@ -1,0 +1,109 @@
+"""Throughput tier — elements/second of the streaming drivers.
+
+Not a paper figure: this tier tracks the engine-level quantity the paper's
+system model demands ("node sampling ... must keep pace with the input
+stream", Section III-A) on a million-element Zipf-biased stream:
+
+* ``scalar``  — the per-element reference driver (one Python call per id);
+* ``batch``   — the vectorised chunk driver of :mod:`repro.engine.batch`;
+* ``sharded`` — the batch driver over a hash-partitioned 4-shard ensemble.
+
+The recorded ``elements_per_second`` extra-info gives the benchmark JSON its
+throughput trajectory, and the final test asserts the engine's headline
+guarantee: the batch driver is at least 5x faster than the scalar path on
+the same workload (it also re-checks that both produce identical outputs, so
+the speed never comes at the cost of the exactness contract).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import KnowledgeFreeStrategy
+from repro.engine import ShardedSamplingService, run_stream, run_stream_scalar
+from repro.streams import zipf_stream
+
+#: The paper-scale workload: a million identifiers, Zipf-biased as in the
+#: attack scenarios, over a population far larger than the sketch.
+STREAM_SIZE = 1_000_000
+POPULATION_SIZE = 100_000
+ALPHA = 1.1
+MEMORY_SIZE = 50
+SKETCH_WIDTH = 200
+SKETCH_DEPTH = 5
+BATCH_SIZE = 8192
+SHARDS = 4
+SEED = 99
+
+#: elements/second per driver, filled by the benchmarks and read by the
+#: speedup assertion at the end of the module (tests run in file order).
+RECORDED = {}
+
+
+@pytest.fixture(scope="module")
+def identifiers():
+    stream = zipf_stream(STREAM_SIZE, POPULATION_SIZE, alpha=ALPHA,
+                         random_state=SEED)
+    return np.asarray(stream.identifiers, dtype=np.int64)
+
+
+def _strategy():
+    return KnowledgeFreeStrategy(MEMORY_SIZE, sketch_width=SKETCH_WIDTH,
+                                 sketch_depth=SKETCH_DEPTH, random_state=SEED)
+
+
+def _sharded():
+    return ShardedSamplingService.knowledge_free(
+        shards=SHARDS, memory_size=MEMORY_SIZE, sketch_width=SKETCH_WIDTH,
+        sketch_depth=SKETCH_DEPTH, random_state=SEED)
+
+
+def _record(benchmark, print_result, name, result):
+    throughput = result.throughput
+    RECORDED[name] = (throughput, result.outputs)
+    benchmark.extra_info["elements_per_second"] = int(throughput)
+    benchmark.extra_info["elements"] = result.elements
+    print_result(f"engine throughput: {name}",
+                 f"{result.elements:,} elements in "
+                 f"{result.elapsed_seconds:.2f}s -> {throughput:,.0f} elem/s")
+
+
+@pytest.mark.figure("throughput")
+def test_scalar_driver_throughput(benchmark, print_result, identifiers):
+    result = benchmark.pedantic(
+        lambda: run_stream_scalar(_strategy(), identifiers),
+        rounds=1, iterations=1)
+    _record(benchmark, print_result, "scalar", result)
+
+
+@pytest.mark.figure("throughput")
+def test_batch_driver_throughput(benchmark, print_result, identifiers):
+    result = benchmark.pedantic(
+        lambda: run_stream(_strategy(), identifiers, batch_size=BATCH_SIZE),
+        rounds=1, iterations=1)
+    _record(benchmark, print_result, "batch", result)
+
+
+@pytest.mark.figure("throughput")
+def test_sharded_driver_throughput(benchmark, print_result, identifiers):
+    result = benchmark.pedantic(
+        lambda: run_stream(_sharded(), identifiers, batch_size=BATCH_SIZE),
+        rounds=1, iterations=1)
+    _record(benchmark, print_result, "sharded", result)
+
+
+@pytest.mark.figure("throughput")
+def test_batch_driver_at_least_5x_faster_than_scalar(print_result):
+    if "scalar" not in RECORDED or "batch" not in RECORDED:
+        pytest.skip("throughput benchmarks did not run before this test")
+    scalar_eps, scalar_outputs = RECORDED["scalar"]
+    batch_eps, batch_outputs = RECORDED["batch"]
+    speedup = batch_eps / scalar_eps
+    print_result("engine speedup",
+                 f"batch is {speedup:.1f}x the scalar driver "
+                 f"({batch_eps:,.0f} vs {scalar_eps:,.0f} elem/s)")
+    # exactness first: same seed, same outputs, element for element
+    assert np.array_equal(scalar_outputs, batch_outputs)
+    assert speedup >= 5.0, (
+        f"batch driver only {speedup:.2f}x the scalar path "
+        f"({batch_eps:,.0f} vs {scalar_eps:,.0f} elem/s)"
+    )

@@ -19,7 +19,9 @@ The package provides:
   (:mod:`repro.analysis`);
 * KL-divergence metrics and the experiment harness regenerating every table
   and figure of the evaluation (:mod:`repro.metrics`,
-  :mod:`repro.experiments`).
+  :mod:`repro.experiments`);
+* the batch streaming execution engine — vectorised chunked drivers and
+  hash-sharded sampling ensembles (:mod:`repro.engine`).
 
 Quickstart
 ----------
@@ -55,6 +57,11 @@ from repro.core import (
     ReservoirSampler,
     SamplingStrategy,
 )
+from repro.engine import (
+    BatchResult,
+    ShardedSamplingService,
+    run_stream,
+)
 from repro.metrics import (
     FrequencyDistribution,
     kl_divergence,
@@ -84,6 +91,10 @@ __all__ = [
     "ReservoirSampler",
     "FullMemorySampler",
     "NodeSamplingService",
+    # engine
+    "BatchResult",
+    "run_stream",
+    "ShardedSamplingService",
     # sketches
     "CountMinSketch",
     "ExactFrequencyCounter",

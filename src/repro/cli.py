@@ -24,6 +24,57 @@ from repro.experiments import figures
 from repro.experiments.reporting import format_series, format_table
 
 
+def _cmd_throughput(arguments: argparse.Namespace) -> None:
+    """Compare the scalar, batch and sharded drivers on one Zipf stream."""
+    from repro.core import KnowledgeFreeStrategy
+    from repro.engine import (
+        ShardedSamplingService,
+        run_stream,
+        run_stream_scalar,
+    )
+    from repro.streams import zipf_stream
+
+    stream = zipf_stream(arguments.stream_size, arguments.population_size,
+                         alpha=arguments.alpha, random_state=arguments.seed)
+
+    def make_strategy():
+        return KnowledgeFreeStrategy(
+            arguments.memory_size,
+            sketch_width=arguments.sketch_width,
+            sketch_depth=arguments.sketch_depth,
+            random_state=arguments.seed,
+        )
+
+    scalar_limit = min(arguments.scalar_limit, stream.size)
+    scalar = run_stream_scalar(make_strategy(),
+                               stream.identifiers[:scalar_limit])
+    batch = run_stream(make_strategy(), stream,
+                       batch_size=arguments.batch_size)
+    sharded_service = ShardedSamplingService.knowledge_free(
+        shards=arguments.shards,
+        memory_size=arguments.memory_size,
+        sketch_width=arguments.sketch_width,
+        sketch_depth=arguments.sketch_depth,
+        random_state=arguments.seed,
+    )
+    sharded = run_stream(sharded_service, stream,
+                         batch_size=arguments.batch_size)
+
+    rows = []
+    for name, result in (("scalar", scalar), ("batch", batch),
+                         (f"sharded x{arguments.shards}", sharded)):
+        rows.append({
+            "driver": name,
+            "elements": result.elements,
+            "seconds": round(result.elapsed_seconds, 3),
+            "elements/s": int(result.throughput),
+            "vs scalar": (round(result.throughput / scalar.throughput, 2)
+                          if scalar.throughput else float("nan")),
+        })
+    print(format_table(rows, columns=["driver", "elements", "seconds",
+                                      "elements/s", "vs scalar"]))
+
+
 def _print_series(series, x_label: str) -> None:
     print(format_series(series, x_label=x_label))
 
@@ -214,6 +265,24 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common_simulation_arguments(figure11, stream_size=60_000)
     figure11.set_defaults(handler=_cmd_figure11)
 
+    throughput = subparsers.add_parser(
+        "throughput",
+        help="benchmark the scalar / batch / sharded streaming drivers")
+    throughput.add_argument("--stream-size", type=int, default=200_000)
+    throughput.add_argument("--population-size", type=int, default=50_000)
+    throughput.add_argument("--alpha", type=float, default=1.1,
+                            help="Zipf bias of the benchmark stream")
+    throughput.add_argument("--memory-size", type=int, default=50)
+    throughput.add_argument("--sketch-width", type=int, default=200)
+    throughput.add_argument("--sketch-depth", type=int, default=5)
+    throughput.add_argument("--batch-size", type=int, default=8192)
+    throughput.add_argument("--shards", type=int, default=4)
+    throughput.add_argument("--scalar-limit", type=int, default=100_000,
+                            help="cap on elements fed to the slow "
+                                 "per-element reference driver")
+    throughput.add_argument("--seed", type=int, default=2013)
+    throughput.set_defaults(handler=_cmd_throughput)
+
     figure12 = subparsers.add_parser("figure12", help="KL divergence on traces")
     figure12.add_argument("--scale", type=float, default=0.01)
     figure12.add_argument("--trials", type=int, default=1)
@@ -233,7 +302,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if arguments.command == "list":
         for name in ("table1", "table2", "figure3", "figure4", "figure5",
                      "figure6", "figure7 a|b", "figure8", "figure9",
-                     "figure10 a|b", "figure11", "figure12"):
+                     "figure10 a|b", "figure11", "figure12", "throughput"):
             print(name)
         return 0
     arguments.handler(arguments)

@@ -14,7 +14,7 @@ All strategies keep at most ``memory_size`` (the paper's ``c``) identifiers in
 from __future__ import annotations
 
 import abc
-from typing import Iterable, List, Optional, Set
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -44,6 +44,7 @@ class SamplingStrategy(abc.ABC):
         self._rng = ensure_rng(random_state)
         self._memory: List[int] = []
         self._memory_set: Set[int] = set()
+        self._memory_snapshot: Optional[Tuple[int, ...]] = None
         self._elements_processed = 0
 
     # ------------------------------------------------------------------ #
@@ -52,7 +53,21 @@ class SamplingStrategy(abc.ABC):
     @property
     def memory(self) -> List[int]:
         """A copy of the current content of the sampling memory ``Gamma``."""
-        return list(self._memory)
+        return list(self.memory_view)
+
+    @property
+    def memory_view(self) -> Tuple[int, ...]:
+        """A read-only snapshot of ``Gamma``, copied lazily.
+
+        The tuple is rebuilt only when the memory has actually changed since
+        the last access, so drivers that read the memory every element or
+        every round (the gossip simulator, the sharded service) do not pay a
+        fresh copy each time.  Callers must not rely on identity across
+        mutations — only on contents.
+        """
+        if self._memory_snapshot is None:
+            self._memory_snapshot = tuple(self._memory)
+        return self._memory_snapshot
 
     @property
     def memory_is_full(self) -> bool:
@@ -71,6 +86,7 @@ class SamplingStrategy(abc.ABC):
         """Append ``identifier`` to ``Gamma`` (caller checks capacity)."""
         self._memory.append(identifier)
         self._memory_set.add(identifier)
+        self._memory_snapshot = None
 
     def _replace(self, index: int, identifier: int) -> None:
         """Replace the identifier at ``index`` in ``Gamma`` by ``identifier``."""
@@ -78,6 +94,7 @@ class SamplingStrategy(abc.ABC):
         self._memory_set.discard(victim)
         self._memory[index] = identifier
         self._memory_set.add(identifier)
+        self._memory_snapshot = None
 
     # ------------------------------------------------------------------ #
     # Core online interface
@@ -98,6 +115,24 @@ class SamplingStrategy(abc.ABC):
         self._elements_processed += 1
         self._admit(int(identifier))
         return self.sample()
+
+    def process_batch(self, identifiers: Sequence[int]) -> np.ndarray:
+        """Process a chunk of stream elements and return the output chunk.
+
+        The generic implementation simply loops over :meth:`process`, so every
+        strategy is batch-drivable and produces exactly the same output stream
+        under the batch driver as under per-element calls.  Strategies with a
+        vectorisable hot path (the knowledge-free strategy) override this with
+        an amortised implementation that is *bit-identical* to the loop.
+        """
+        outputs: List[int] = []
+        append = outputs.append
+        process = self.process
+        for identifier in np.atleast_1d(np.asarray(identifiers)).tolist():
+            output = process(identifier)
+            if output is not None:
+                append(output)
+        return np.asarray(outputs, dtype=np.int64)
 
     def process_stream(self, stream: Iterable[int]) -> IdentifierStream:
         """Process a whole input stream and return the produced output stream."""
@@ -133,6 +168,7 @@ class SamplingStrategy(abc.ABC):
         """Clear the sampling memory and the processed-element counter."""
         self._memory.clear()
         self._memory_set.clear()
+        self._memory_snapshot = None
         self._elements_processed = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper

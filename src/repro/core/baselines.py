@@ -44,24 +44,47 @@ class MinWiseSampler(SamplingStrategy):
         self._hash_functions = family.draw_many(self.memory_size)
         self._best_values: List[Optional[int]] = [None] * self.memory_size
         self._best_identifiers: List[Optional[int]] = [None] * self.memory_size
+        self._slot_positions: List[Optional[int]] = [None] * self.memory_size
+        self._member_counts: Dict[int, int] = {}
 
     def _admit(self, identifier: int) -> None:
+        # Gamma holds the slot winners in slot order (duplicates are possible
+        # when the same identifier wins several slots, as in Brahms).  Each
+        # slot owns a fixed position in Gamma, updated in place when its
+        # winner changes — rebuilding the list and set per element would cost
+        # O(memory_size) on every stream element.
         for slot, hash_function in enumerate(self._hash_functions):
             value = hash_function(identifier)
             best = self._best_values[slot]
-            if best is None or value < best:
-                self._best_values[slot] = value
-                self._best_identifiers[slot] = identifier
-        # Rebuild Gamma from the slot winners (duplicates are possible when
-        # the same identifier wins several slots, as in Brahms).
-        self._memory = [identifier for identifier in self._best_identifiers
-                        if identifier is not None]
-        self._memory_set = set(self._memory)
+            if best is not None and value >= best:
+                continue
+            self._best_values[slot] = value
+            previous = self._best_identifiers[slot]
+            self._best_identifiers[slot] = identifier
+            position = self._slot_positions[slot]
+            if position is None:
+                self._slot_positions[slot] = len(self._memory)
+                self._memory.append(identifier)
+            else:
+                self._memory[position] = identifier
+            if previous is not None:
+                remaining = self._member_counts[previous] - 1
+                if remaining:
+                    self._member_counts[previous] = remaining
+                else:
+                    del self._member_counts[previous]
+                    self._memory_set.discard(previous)
+            self._member_counts[identifier] = \
+                self._member_counts.get(identifier, 0) + 1
+            self._memory_set.add(identifier)
+            self._memory_snapshot = None
 
     def reset(self) -> None:
         super().reset()
         self._best_values = [None] * self.memory_size
         self._best_identifiers = [None] * self.memory_size
+        self._slot_positions = [None] * self.memory_size
+        self._member_counts = {}
 
 
 class ReservoirSampler(SamplingStrategy):

@@ -17,15 +17,32 @@ identifier ``j``:
 The frequency oracle is pluggable (any object exposing ``update``,
 ``estimate`` and ``min_cell``): the sketch-choice ablation drives the same
 strategy with a Count sketch or a Space-Saving summary instead of Count-Min.
+
+Randomness
+----------
+The strategy's three kinds of coin flips — eviction acceptance, victim
+choice, and the ``sample()`` primitive — are drawn from three independent
+:class:`~repro.utils.rng.BufferedUniforms` streams spawned from the node's
+local generator.  Buffering amortises the per-draw cost, and because each
+stream is consumed strictly sequentially the scalar path (:meth:`process`)
+and the batch path (:meth:`process_batch`) produce **bit-identical** output
+streams for the same seed, whatever the chunking.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Protocol, runtime_checkable
+from typing import List, Optional, Protocol, runtime_checkable
+
+import numpy as np
 
 from repro.core.base import SamplingStrategy
 from repro.sketches.count_min import CountMinSketch
-from repro.utils.rng import RandomState, ensure_rng
+from repro.utils.rng import (
+    BufferedUniforms,
+    RandomState,
+    ensure_rng,
+    spawn_children,
+)
 
 
 @runtime_checkable
@@ -87,6 +104,10 @@ class KnowledgeFreeStrategy(SamplingStrategy):
                                               depth=sketch_depth,
                                               random_state=rng)
         self.frequency_oracle = frequency_oracle
+        accept_rng, victim_rng, sample_rng = spawn_children(rng, 3)
+        self._accept_coins = BufferedUniforms(accept_rng)
+        self._victim_coins = BufferedUniforms(victim_rng)
+        self._sample_coins = BufferedUniforms(sample_rng)
 
     # ------------------------------------------------------------------ #
     # Algorithm 3 internals
@@ -114,9 +135,124 @@ class KnowledgeFreeStrategy(SamplingStrategy):
         if identifier in self._memory_set:
             return
         acceptance = self.insertion_probability(identifier)
-        if acceptance > 0 and self._rng.random() < acceptance:
-            victim_index = int(self._rng.integers(0, len(self._memory)))
+        if acceptance > 0 and self._accept_coins.next() < acceptance:
+            victim_index = int(self._victim_coins.next() * len(self._memory))
             self._replace(victim_index, identifier)
+
+    def sample(self) -> Optional[int]:
+        """Return an identifier chosen uniformly at random from ``Gamma``."""
+        if not self._memory:
+            return None
+        return self._memory[int(self._sample_coins.next() * len(self._memory))]
+
+    # ------------------------------------------------------------------ #
+    # Batch fast path (the streaming engine's per-chunk workhorse)
+    # ------------------------------------------------------------------ #
+    def process_batch(self, identifiers) -> np.ndarray:
+        """Process a chunk of identifiers, vectorising the per-element costs.
+
+        Bit-identical to calling :meth:`process` once per element: the
+        admission logic, coin-flip consumption and outputs are exactly those
+        of the scalar path.  The speed-up comes from (a) hashing the whole
+        chunk at once through the sketch's vectorised hash functions,
+        (b) mutating the counter matrix as Python lists inside the loop and
+        writing it back once per chunk, and (c) maintaining ``min_sigma``
+        incrementally instead of re-scanning the matrix per element.
+
+        Subclasses that override the admission logic (e.g. the adaptive
+        strategy) and strategies driven by a non-Count-Min oracle fall back
+        to the generic per-element loop, which is equally exact.
+        """
+        ids = np.atleast_1d(np.asarray(identifiers, dtype=np.int64))
+        if ids.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        cls = type(self)
+        if (cls._admit is not KnowledgeFreeStrategy._admit
+                or cls.sample is not KnowledgeFreeStrategy.sample
+                or cls.insertion_probability
+                is not KnowledgeFreeStrategy.insertion_probability
+                or cls.memory_is_full is not SamplingStrategy.memory_is_full
+                or not isinstance(self.frequency_oracle, CountMinSketch)):
+            return super().process_batch(ids)
+        return self._process_chunk_count_min(ids)
+
+    def _process_chunk_count_min(self, ids: np.ndarray) -> np.ndarray:
+        """Amortised Algorithm 3 over one chunk, Count-Min oracle only."""
+        sketch = self.frequency_oracle
+        size = int(ids.size)
+        # (a) vectorised hashing: one column list per sketch row.
+        columns = [cols.tolist() for cols in sketch.hash_columns(ids)]
+        ids_list = ids.tolist()
+        # (b) counter matrix as Python lists for loop-speed mutation.
+        table = sketch.export_rows()
+        row_pairs = list(zip(table, columns))
+        total = sketch.total
+        # (c) incremental min_sigma: the current minimum over non-empty cells
+        # and how many cells sit at that minimum.  A cell leaving the minimum
+        # triggers the (rare) upward rescan; a cell filling from zero resets
+        # the minimum to one.
+        min_sigma, count_at_min = sketch.min_cell_state()
+        memory = self._memory
+        memory_set = self._memory_set
+        capacity = self.memory_size
+        accept_next = self._accept_coins.next
+        victim_next = self._victim_coins.next
+        # The sample coin is consumed exactly once per element, so the whole
+        # chunk's worth can be prefetched from the dedicated stream.
+        sample_coins = self._sample_coins.take(size)
+        outputs: List[int] = []
+        append = outputs.append
+        infinity = float("inf")
+        for index in range(size):
+            identifier = ids_list[index]
+            estimate = infinity
+            for row, cols in row_pairs:
+                column = cols[index]
+                value = row[column]
+                updated = value + 1
+                row[column] = updated
+                if updated < estimate:
+                    estimate = updated
+                if value == 0:
+                    if min_sigma == 1:
+                        count_at_min += 1
+                    else:
+                        min_sigma = 1
+                        count_at_min = 1
+                elif value == min_sigma:
+                    count_at_min -= 1
+                    if count_at_min == 0:
+                        min_sigma = infinity
+                        for scan_row, _ in row_pairs:
+                            for cell in scan_row:
+                                if 0 < cell < min_sigma:
+                                    min_sigma = cell
+                        count_at_min = sum(scan_row.count(min_sigma)
+                                           for scan_row, _ in row_pairs)
+            total += 1
+            occupancy = len(memory)
+            if occupancy < capacity:
+                if identifier not in memory_set:
+                    memory.append(identifier)
+                    memory_set.add(identifier)
+            elif identifier not in memory_set:
+                if estimate <= 0:
+                    acceptance = 1.0
+                elif min_sigma > 0:
+                    ratio = min_sigma / estimate
+                    acceptance = ratio if ratio < 1.0 else 1.0
+                else:
+                    acceptance = 0.0
+                if acceptance > 0 and accept_next() < acceptance:
+                    victim_index = int(victim_next() * occupancy)
+                    memory_set.discard(memory[victim_index])
+                    memory[victim_index] = identifier
+                    memory_set.add(identifier)
+            append(memory[int(sample_coins[index] * len(memory))])
+        sketch.import_rows(table, total)
+        self._memory_snapshot = None
+        self._elements_processed += size
+        return np.asarray(outputs, dtype=np.int64)
 
     # ------------------------------------------------------------------ #
     # Introspection helpers used by experiments and tests

@@ -13,6 +13,8 @@ from __future__ import annotations
 from collections import Counter
 from typing import Dict, Iterable, List, Optional
 
+import numpy as np
+
 from repro.core.base import SamplingStrategy
 from repro.core.knowledge_free import KnowledgeFreeStrategy
 from repro.core.omniscient import OmniscientStrategy
@@ -54,7 +56,10 @@ class NodeSamplingService:
         self.strategy = strategy
         self.record_output = record_output
         self._output: List[int] = []
+        # Output frequencies are folded lazily: on_receive is the per-element
+        # hot path and must not pay a Counter update per element.
         self._output_counts: Counter = Counter()
+        self._counted_up_to = 0
 
     # ------------------------------------------------------------------ #
     # Convenience constructors
@@ -90,11 +95,38 @@ class NodeSamplingService:
         output = self.strategy.process(identifier)
         if output is not None and self.record_output:
             self._output.append(output)
-            self._output_counts[output] += 1
         return output
 
-    def consume(self, stream: Iterable[int]) -> None:
-        """Feed a whole input stream to the service."""
+    def on_receive_batch(self, identifiers) -> np.ndarray:
+        """Feed a chunk of identifiers; return the output chunk.
+
+        Delegates to the strategy's (possibly vectorised)
+        :meth:`~repro.core.base.SamplingStrategy.process_batch`, so the
+        output stream is identical to feeding the elements one by one
+        through :meth:`on_receive`.
+        """
+        outputs = self.strategy.process_batch(identifiers)
+        if self.record_output and outputs.size:
+            self._output.extend(outputs.tolist())
+        return outputs
+
+    def consume(self, stream: Iterable[int], *,
+                batch_size: Optional[int] = None) -> None:
+        """Feed a whole input stream to the service.
+
+        With ``batch_size`` set, the stream is chunked through
+        :meth:`on_receive_batch` — same outputs, amortised cost.
+        """
+        if batch_size is not None:
+            if batch_size <= 0:
+                raise ValueError(
+                    f"batch_size must be positive, got {batch_size}")
+            identifiers = np.asarray(
+                stream.identifiers if isinstance(stream, IdentifierStream)
+                else list(stream))
+            for start in range(0, len(identifiers), batch_size):
+                self.on_receive_batch(identifiers[start:start + batch_size])
+            return
         for identifier in stream:
             self.on_receive(identifier)
 
@@ -126,6 +158,9 @@ class NodeSamplingService:
 
     def output_frequencies(self) -> Dict[int, int]:
         """Return the frequency of every identifier in the output stream."""
+        if self._counted_up_to < len(self._output):
+            self._output_counts.update(self._output[self._counted_up_to:])
+            self._counted_up_to = len(self._output)
         return dict(self._output_counts)
 
     @property
@@ -138,3 +173,4 @@ class NodeSamplingService:
         self.strategy.reset()
         self._output.clear()
         self._output_counts.clear()
+        self._counted_up_to = 0

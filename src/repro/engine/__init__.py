@@ -1,0 +1,29 @@
+"""Batch streaming execution engine.
+
+* :mod:`repro.engine.batch` — chunked drivers feeding NumPy identifier
+  arrays to sampling strategies and services, with per-run throughput
+  accounting (:class:`BatchResult`);
+* :mod:`repro.engine.sharded` — hash-partitioned ensembles of independent
+  sampling services, the first concrete scaling scenario beyond a single
+  node.
+"""
+
+from repro.engine.batch import (
+    DEFAULT_BATCH_SIZE,
+    BatchResult,
+    as_identifier_array,
+    iter_batches,
+    run_stream,
+    run_stream_scalar,
+)
+from repro.engine.sharded import ShardedSamplingService
+
+__all__ = [
+    "DEFAULT_BATCH_SIZE",
+    "BatchResult",
+    "as_identifier_array",
+    "iter_batches",
+    "run_stream",
+    "run_stream_scalar",
+    "ShardedSamplingService",
+]

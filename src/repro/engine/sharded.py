@@ -1,0 +1,189 @@
+"""Hash-sharded node sampling: the first beyond-one-node scaling scenario.
+
+A single sampler is bounded by one core; a deployment serving "heavy traffic
+from millions of users" partitions the input stream across ``S`` independent
+:class:`~repro.core.service.NodeSamplingService` instances and merges their
+samples.  :class:`ShardedSamplingService` implements that composition:
+
+* **Partitioning** uses a hash function drawn from the same 2-universal
+  family as the sketches (Section III-D) with the node's local coins, so the
+  adversary cannot aim its over-represented identifiers at a single shard —
+  each shard sees a 1/S slice of both correct and malicious traffic and runs
+  the full Byzantine-tolerant strategy on it.
+* **Sampling** draws a shard uniformly and then asks that shard's strategy
+  for a sample.  Identifiers are partitioned disjointly across shards, so
+  with a balanced partition the composition stays close to uniform over the
+  whole population; per-shard occupancy is exposed for monitoring.
+* **Batching**: a chunk is split by shard with one vectorised hash pass and
+  each shard consumes its sub-chunk through the batch engine; the merged
+  output preserves the arrival order of the input chunk.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.service import NodeSamplingService
+from repro.sketches.hashing import UniversalHashFamily
+from repro.utils.rng import BufferedUniforms, RandomState, ensure_rng, \
+    spawn_children
+from repro.utils.validation import check_positive
+
+#: Builds the service of one shard from its index and its private generator.
+ShardFactory = Callable[[int, np.random.Generator], NodeSamplingService]
+
+
+class ShardedSamplingService:
+    """Hash-partitioned ensemble of independent node sampling services.
+
+    Parameters
+    ----------
+    shards:
+        Number ``S`` of partitions.
+    shard_factory:
+        Builds the service of one shard; receives the shard index and a
+        generator spawned independently per shard (the paper's "one local
+        coin per node" requirement).
+    random_state:
+        Coins for the partitioning hash, the shard-choice draws, and the
+        per-shard generators.
+
+    Examples
+    --------
+    >>> service = ShardedSamplingService.knowledge_free(
+    ...     shards=4, memory_size=10, sketch_width=16, sketch_depth=4,
+    ...     random_state=11)
+    >>> _ = service.on_receive_batch(range(1000))
+    >>> 0 <= service.sample() < 1000
+    True
+    """
+
+    def __init__(self, shards: int, shard_factory: ShardFactory, *,
+                 random_state: RandomState = None) -> None:
+        check_positive("shards", shards)
+        self.shards = int(shards)
+        rng = ensure_rng(random_state)
+        family = UniversalHashFamily(self.shards, random_state=rng)
+        self._partition_hash = family.draw()
+        child_rngs = spawn_children(rng, self.shards + 1)
+        self._shard_coins = BufferedUniforms(child_rngs[-1])
+        self._services: List[NodeSamplingService] = [
+            shard_factory(index, child_rngs[index])
+            for index in range(self.shards)
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Convenience constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def knowledge_free(cls, shards: int, memory_size: int, *,
+                       sketch_width: int = 10, sketch_depth: int = 5,
+                       random_state: RandomState = None,
+                       record_output: bool = False) -> "ShardedSamplingService":
+        """Build an ensemble of knowledge-free services (Algorithm 3)."""
+
+        def factory(index: int,
+                    rng: np.random.Generator) -> NodeSamplingService:
+            return NodeSamplingService.knowledge_free(
+                memory_size,
+                sketch_width=sketch_width,
+                sketch_depth=sketch_depth,
+                random_state=rng,
+                record_output=record_output,
+            )
+
+        return cls(shards, factory, random_state=random_state)
+
+    # ------------------------------------------------------------------ #
+    # Online interface
+    # ------------------------------------------------------------------ #
+    def shard_of(self, identifier: int) -> int:
+        """Return the shard index an identifier is routed to."""
+        return int(self._partition_hash(identifier))
+
+    def on_receive(self, identifier: int) -> Optional[int]:
+        """Route one identifier to its shard; return that shard's output."""
+        return self._services[self.shard_of(identifier)].on_receive(identifier)
+
+    def on_receive_batch(self, identifiers) -> np.ndarray:
+        """Route a chunk by shard with one vectorised hash pass.
+
+        The returned output chunk is ordered by input arrival position:
+        ``outputs[i]`` is the output the shard of ``identifiers[i]`` produced
+        for it, exactly as per-element routing would have interleaved them.
+        """
+        ids = np.atleast_1d(np.asarray(identifiers, dtype=np.int64))
+        if ids.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        shard_indices = self._partition_hash.hash_many(ids)
+        outputs = np.empty(ids.size, dtype=np.int64)
+        for shard, service in enumerate(self._services):
+            mask = shard_indices == shard
+            if not mask.any():
+                continue
+            outputs[mask] = service.on_receive_batch(ids[mask])
+        return outputs
+
+    def sample(self) -> Optional[int]:
+        """Return a sample from a uniformly chosen non-empty shard.
+
+        The draw is uniform over the shards that have received traffic —
+        drawing over all shards and probing forward from an empty one would
+        bias towards shards that follow runs of empty ones.
+        """
+        candidates = [service for service in self._services
+                      if service.elements_processed > 0]
+        while candidates:
+            index = int(self._shard_coins.next() * len(candidates))
+            sample = candidates[index].sample()
+            if sample is not None:
+                return sample
+            # A shard with traffic but an empty memory is only possible for
+            # custom strategies; drop it and redraw among the rest.
+            del candidates[index]
+        return None
+
+    def sample_many(self, count: int) -> List[int]:
+        """Return ``count`` independent samples from the ensemble."""
+        check_positive("count", count)
+        samples = []
+        for _ in range(count):
+            sample = self.sample()
+            if sample is not None:
+                samples.append(sample)
+        return samples
+
+    # ------------------------------------------------------------------ #
+    # Inspection
+    # ------------------------------------------------------------------ #
+    @property
+    def services(self) -> Tuple[NodeSamplingService, ...]:
+        """The per-shard services (read-only view)."""
+        return tuple(self._services)
+
+    @property
+    def elements_processed(self) -> int:
+        """Total number of input elements processed across all shards."""
+        return sum(service.elements_processed for service in self._services)
+
+    def shard_loads(self) -> List[int]:
+        """Per-shard processed-element counts (partition balance check)."""
+        return [service.elements_processed for service in self._services]
+
+    def merged_memory(self) -> List[int]:
+        """Concatenation of every shard's sampling memory ``Gamma``."""
+        merged: List[int] = []
+        for service in self._services:
+            merged.extend(service.strategy.memory_view)
+        return merged
+
+    def reset(self) -> None:
+        """Reset every shard."""
+        for service in self._services:
+            service.reset()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (f"ShardedSamplingService(shards={self.shards}, "
+                f"processed={self.elements_processed})")

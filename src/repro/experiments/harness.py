@@ -17,6 +17,7 @@ import numpy as np
 from repro.core.base import SamplingStrategy
 from repro.core.knowledge_free import KnowledgeFreeStrategy
 from repro.core.omniscient import OmniscientStrategy
+from repro.engine.batch import DEFAULT_BATCH_SIZE, run_stream
 from repro.metrics.divergence import kl_divergence_to_uniform, kl_gain
 from repro.streams.oracle import StreamOracle
 from repro.streams.stream import IdentifierStream
@@ -137,19 +138,39 @@ class ExperimentHarness:
         Number of independent repetitions.
     random_state:
         Master seed from which per-trial seeds are derived.
+    batch_size:
+        Chunk size handed to the batch streaming engine
+        (:func:`repro.engine.batch.run_stream`), which since the engine's
+        introduction is the harness's driver.  Every strategy produces the
+        same output stream under the batch driver as per-element (the
+        engine's exactness contract), so this only changes speed; pass
+        ``None`` to force the legacy per-element ``process_stream`` loop.
     """
 
     def __init__(self, stream_factory: StreamFactory,
                  strategy_factories: Dict[str, StrategyFactory], *,
                  trials: int = 10,
-                 random_state: RandomState = None) -> None:
+                 random_state: RandomState = None,
+                 batch_size: Optional[int] = DEFAULT_BATCH_SIZE) -> None:
         check_positive("trials", trials)
         if not strategy_factories:
             raise ValueError("at least one strategy factory is required")
+        if batch_size is not None:
+            check_positive("batch_size", batch_size)
         self.stream_factory = stream_factory
         self.strategy_factories = dict(strategy_factories)
         self.trials = int(trials)
+        self.batch_size = batch_size
         self._rng = ensure_rng(random_state)
+
+    def _drive(self, strategy: SamplingStrategy,
+               stream: IdentifierStream) -> IdentifierStream:
+        """Feed the stream to the strategy and return its output stream."""
+        if self.batch_size is None:
+            return strategy.process_stream(stream)
+        result = run_stream(strategy, stream, batch_size=self.batch_size)
+        return result.output_stream(
+            stream, label=f"{strategy.name}({stream.label})")
 
     def run(self) -> ExperimentResult:
         """Run all trials and return the collected results."""
@@ -161,7 +182,7 @@ class ExperimentHarness:
             input_divergence = kl_divergence_to_uniform(stream, support=support)
             for name, factory in self.strategy_factories.items():
                 strategy = factory(stream, trial_rng)
-                output = strategy.process_stream(stream)
+                output = self._drive(strategy, stream)
                 output_divergence = kl_divergence_to_uniform(output,
                                                              support=support)
                 gain = kl_gain(stream, output, support=support)

@@ -124,7 +124,8 @@ class BrahmsNode:
         next_view: List[int] = []
         next_view.extend(self._sample_slice(self._pending_pushes, push_quota))
         next_view.extend(self._sample_slice(pulled, pull_quota))
-        history: List[int] = [identifier for identifier in self.sampler.memory
+        history: List[int] = [identifier for identifier
+                              in self.sampler.memory_view
                               if identifier != self.identifier]
         next_view.extend(self._sample_slice(history, history_quota))
         # Top up from the previous view if any quota could not be filled.
@@ -239,7 +240,7 @@ class BrahmsSimulation:
         malicious = set(self.malicious_ids)
         fractions = []
         for node in self.nodes.values():
-            memory = node.sampler.memory
+            memory = node.sampler.memory_view
             if not memory:
                 continue
             fractions.append(sum(1 for identifier in memory

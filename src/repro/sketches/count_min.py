@@ -21,7 +21,11 @@ import numpy as np
 
 from repro.sketches.hashing import UniversalHashFamily, UniversalHashFunction
 from repro.utils.rng import RandomState, ensure_rng
-from repro.utils.validation import check_positive, check_probability
+from repro.utils.validation import (
+    check_batch,
+    check_positive,
+    check_probability,
+)
 
 
 def dimensions_from_error(epsilon: float, delta: float) -> Tuple[int, int]:
@@ -86,8 +90,17 @@ class CountMinSketch:
     # ------------------------------------------------------------------ #
     # Streaming interface
     # ------------------------------------------------------------------ #
+    #: Below this batch size the vectorised path loses to plain Python: the
+    #: fixed cost of the numpy calls exceeds the per-element savings.
+    _VECTOR_THRESHOLD = 32
+
     def update(self, item: int, count: int = 1) -> None:
-        """Record ``count`` occurrences of ``item`` (Algorithm 2, lines 5-7)."""
+        """Record ``count`` occurrences of ``item`` (Algorithm 2, lines 5-7).
+
+        This is the single-element specialisation of :meth:`update_batch`,
+        kept as a direct loop because per-element callers (the gossip
+        simulator, the scalar reference driver) are themselves hot paths.
+        """
         if count <= 0:
             raise ValueError(f"count must be positive, got {count}")
         for row, hash_function in enumerate(self._hash_functions):
@@ -96,8 +109,41 @@ class CountMinSketch:
 
     def update_many(self, items: Iterable[int]) -> None:
         """Record a batch of single occurrences."""
-        for item in items:
-            self.update(item)
+        self.update_batch(np.fromiter(items, dtype=np.int64))
+
+    def update_batch(self, items, counts=None) -> None:
+        """Record a batch of occurrences with amortised vectorised hashing.
+
+        Parameters
+        ----------
+        items:
+            Array-like of identifiers.
+        counts:
+            Optional array-like of positive integer per-item multiplicities
+            (default: every item counts once).
+
+        Equivalent to calling :meth:`update` once per item — the sketch state
+        after the batch is identical because counter increments commute.
+        """
+        items, counts = check_batch(items, counts)
+        size = int(items.size)
+        if size == 0:
+            return
+        if size < self._VECTOR_THRESHOLD:
+            item_list = items.tolist()
+            count_list = counts.tolist() if counts is not None else [1] * size
+            for item, count in zip(item_list, count_list):
+                for row, hash_function in enumerate(self._hash_functions):
+                    self._table[row, hash_function(item)] += count
+            self._total += sum(count_list)
+            return
+        for row, hash_function in enumerate(self._hash_functions):
+            columns = hash_function.hash_many(items)
+            if counts is None:
+                self._table[row] += np.bincount(columns, minlength=self.width)
+            else:
+                np.add.at(self._table[row], columns, counts)
+        self._total += size if counts is None else int(counts.sum())
 
     def estimate(self, item: int) -> int:
         """Return ``f̂_item``, the Count-Min estimate of the item's frequency."""
@@ -105,6 +151,21 @@ class CountMinSketch:
             self._table[row, hash_function(item)]
             for row, hash_function in enumerate(self._hash_functions)
         ))
+
+    def estimate_batch(self, items) -> np.ndarray:
+        """Return the Count-Min estimates for a whole batch of identifiers.
+
+        Agrees element-wise with repeated :meth:`estimate` calls on the same
+        sketch state; hashing is vectorised across the batch.
+        """
+        items = np.atleast_1d(np.asarray(items))
+        if items.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        estimates = self._table[0, self._hash_functions[0].hash_many(items)]
+        for row in range(1, self.depth):
+            columns = self._hash_functions[row].hash_many(items)
+            estimates = np.minimum(estimates, self._table[row, columns])
+        return estimates.astype(np.int64, copy=False)
 
     # ------------------------------------------------------------------ #
     # Quantities used by the knowledge-free strategy
@@ -127,6 +188,54 @@ class CountMinSketch:
         if non_zero.size == 0:
             return 0
         return int(non_zero.min())
+
+    # ------------------------------------------------------------------ #
+    # Chunk-processing hooks (used by the batch streaming engine)
+    # ------------------------------------------------------------------ #
+    def hash_columns(self, items) -> list:
+        """Return one int64 column array per row for a batch of identifiers.
+
+        ``result[row][i]`` is the column that ``items[i]`` hashes to in
+        ``row`` — the per-element work the knowledge-free batch processor
+        amortises across a chunk.
+        """
+        items = np.atleast_1d(np.asarray(items))
+        return [hash_function.hash_many(items)
+                for hash_function in self._hash_functions]
+
+    def export_rows(self) -> list:
+        """Return the counter matrix as plain Python lists (one per row).
+
+        Together with :meth:`import_rows` this lets a sequential chunk
+        processor mutate the counters at Python-loop speed and write the
+        result back once per chunk instead of once per element.
+        """
+        return [row.tolist() for row in self._table]
+
+    def import_rows(self, rows, total: int) -> None:
+        """Replace the counter matrix and total with chunk-processed state."""
+        matrix = np.asarray(rows, dtype=np.int64)
+        if matrix.shape != self._table.shape:
+            raise ValueError(
+                f"rows shape {matrix.shape} does not match sketch shape "
+                f"{self._table.shape}"
+            )
+        self._table[:, :] = matrix
+        self._total = int(total)
+
+    def min_cell_state(self) -> Tuple[int, int]:
+        """Return ``(min_cell, count_at_min)`` over the non-empty counters.
+
+        Seeds the incremental ``min_sigma`` tracking of the batch processor;
+        ``(0, 0)`` when the sketch is empty.
+        """
+        if self._total == 0:
+            return 0, 0
+        non_zero = self._table[self._table > 0]
+        if non_zero.size == 0:
+            return 0, 0
+        minimum = int(non_zero.min())
+        return minimum, int(np.count_nonzero(self._table == minimum))
 
     @property
     def total(self) -> int:
@@ -223,9 +332,26 @@ class ExactFrequencyCounter:
         for item in items:
             self.update(item)
 
+    def update_batch(self, items, counts=None) -> None:
+        """Record a batch of occurrences (interface parity with the sketch)."""
+        items, counts = check_batch(items, counts)
+        if counts is None:
+            for item in items.tolist():
+                self.update(item)
+            return
+        for item, count in zip(items.tolist(), counts.tolist()):
+            self.update(item, count)
+
     def estimate(self, item: int) -> int:
         """Return the exact frequency of ``item`` (0 if never seen)."""
         return self._counts.get(item, 0)
+
+    def estimate_batch(self, items) -> np.ndarray:
+        """Return the exact frequencies for a batch of identifiers."""
+        item_list = np.atleast_1d(np.asarray(items)).tolist()
+        get = self._counts.get
+        return np.fromiter((get(item, 0) for item in item_list),
+                           dtype=np.int64, count=len(item_list))
 
     def min_cell(self) -> int:
         """Return the frequency of the rarest identifier seen so far (0 if none)."""

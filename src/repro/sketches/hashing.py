@@ -27,6 +27,48 @@ from repro.utils.validation import check_positive
 #: 61 bits and large enough for the universes used in simulations.
 MERSENNE_PRIME_61 = (1 << 61) - 1
 
+# Pre-boxed numpy constants of the vectorised Mersenne-61 modular arithmetic.
+_P61 = np.uint64(MERSENNE_PRIME_61)
+_U61 = np.uint64(61)
+_U31 = np.uint64(31)
+_U30 = np.uint64(30)
+_U1 = np.uint64(1)
+_MASK31 = np.uint64(0x7FFF_FFFF)
+_MASK30 = np.uint64(0x3FFF_FFFF)
+
+
+def _mod_mersenne61(values: np.ndarray) -> np.ndarray:
+    """Reduce ``values`` (``uint64``, < 2^63 + 2^61) modulo ``2^61 - 1``.
+
+    Uses the Mersenne identity ``2^61 ≡ 1 (mod p)``: splitting a value as
+    ``q * 2^61 + r`` gives the congruent ``q + r``, which a single conditional
+    subtraction brings below ``p``.
+    """
+    values = (values >> _U61) + (values & _P61)
+    return np.where(values >= _P61, values - _P61, values)
+
+
+def _mulmod_mersenne61(multiplier: int, values: np.ndarray) -> np.ndarray:
+    """Return ``(multiplier * values) mod (2^61 - 1)`` without overflow.
+
+    ``uint64`` cannot hold the 122-bit product, so both operands are split
+    into 30/31-bit halves; each partial product fits comfortably in 64 bits
+    and the powers ``2^62`` and ``2^31`` are folded back with the Mersenne
+    identity.  The result is bit-identical to Python's arbitrary-precision
+    ``(multiplier * int(x)) % p``.
+    """
+    a_hi = np.uint64(multiplier >> 31)
+    a_lo = np.uint64(multiplier & 0x7FFF_FFFF)
+    x = _mod_mersenne61(values)
+    x_hi = x >> _U31
+    x_lo = x & _MASK31
+    # a*x = a_hi*x_hi*2^62 + (a_hi*x_lo + a_lo*x_hi)*2^31 + a_lo*x_lo
+    high = _mod_mersenne61((a_hi * x_hi) << _U1)          # 2^62 ≡ 2
+    mid = _mod_mersenne61(a_hi * x_lo + a_lo * x_hi)
+    mid = _mod_mersenne61((mid >> _U30) + ((mid & _MASK30) << _U31))
+    low = _mod_mersenne61(a_lo * x_lo)
+    return _mod_mersenne61(high + mid + low)
+
 
 @dataclass(frozen=True)
 class UniversalHashFunction:
@@ -62,11 +104,24 @@ class UniversalHashFunction:
     def hash_many(self, items: Sequence[int]) -> np.ndarray:
         """Vectorised hashing of a sequence of identifiers.
 
-        Uses Python integers (object dtype) for the intermediate product so the
-        multiplication never overflows, then converts back to ``int64``.
+        For the default Mersenne modulus ``2^61 - 1`` and non-negative integer
+        inputs, the whole batch is hashed with split-multiplication ``uint64``
+        arithmetic (:func:`_mulmod_mersenne61`) — bit-identical to the scalar
+        ``__call__`` but two orders of magnitude faster per element.  Other
+        moduli (and exotic inputs) fall back to exact arbitrary-precision
+        arithmetic through an object-dtype array.
         """
-        arr = np.asarray(items, dtype=object)
-        hashed = ((self.a * arr + self.b) % self.prime) % self.range_size
+        arr = np.asarray(items)
+        if (self.prime == MERSENNE_PRIME_61 and arr.dtype.kind in "iu"
+                and (arr.dtype.kind == "u" or arr.size == 0
+                     or int(arr.min()) >= 0)):
+            hashed = _mod_mersenne61(
+                _mulmod_mersenne61(self.a, arr.astype(np.uint64, copy=False))
+                + np.uint64(self.b)
+            )
+            return (hashed % np.uint64(self.range_size)).astype(np.int64)
+        obj = np.asarray(items, dtype=object)
+        hashed = ((self.a * obj + self.b) % self.prime) % self.range_size
         return hashed.astype(np.int64)
 
 

@@ -1,0 +1,171 @@
+"""Tests for repro.engine.batch (the batch streaming execution engine).
+
+The engine's central contract — the batch driver produces exactly the output
+stream the per-element driver produces for the same seed — is what makes it
+safe for the experiment harness to run every figure on the vectorised path.
+The seed-determinism tests below are the regression guard for that contract.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AdaptiveKnowledgeFreeStrategy,
+    KnowledgeFreeStrategy,
+    MinWiseSampler,
+    NodeSamplingService,
+    ReservoirSampler,
+)
+from repro.engine import (
+    BatchResult,
+    as_identifier_array,
+    iter_batches,
+    run_stream,
+    run_stream_scalar,
+)
+from repro.sketches import CountSketch, ExactFrequencyCounter
+from repro.streams import zipf_stream
+
+STREAM = zipf_stream(8_000, 1_000, alpha=1.5, random_state=17)
+
+
+def _knowledge_free(seed=5):
+    return KnowledgeFreeStrategy(12, sketch_width=32, sketch_depth=4,
+                                 random_state=seed)
+
+
+class TestSeedDeterminism:
+    """Same random_state => identical outputs through both drivers."""
+
+    def test_knowledge_free_scalar_equals_batch(self):
+        scalar = run_stream_scalar(_knowledge_free(), STREAM)
+        batch = run_stream(_knowledge_free(), STREAM, batch_size=1024)
+        assert np.array_equal(scalar.outputs, batch.outputs)
+
+    def test_knowledge_free_sketch_state_matches(self):
+        scalar_strategy = _knowledge_free()
+        batch_strategy = _knowledge_free()
+        run_stream_scalar(scalar_strategy, STREAM)
+        run_stream(batch_strategy, STREAM, batch_size=512)
+        assert np.array_equal(scalar_strategy.frequency_oracle.table,
+                              batch_strategy.frequency_oracle.table)
+        assert (scalar_strategy.frequency_oracle.min_cell()
+                == batch_strategy.frequency_oracle.min_cell())
+        assert scalar_strategy.memory == batch_strategy.memory
+
+    def test_chunk_size_invariance(self):
+        reference = run_stream(_knowledge_free(), STREAM, batch_size=4096)
+        for batch_size in (1, 7, 97, 1000):
+            result = run_stream(_knowledge_free(), STREAM,
+                                batch_size=batch_size)
+            assert np.array_equal(reference.outputs, result.outputs), batch_size
+
+    @pytest.mark.parametrize("factory", [
+        lambda: ReservoirSampler(12, random_state=5),
+        lambda: MinWiseSampler(8, random_state=5),
+        lambda: AdaptiveKnowledgeFreeStrategy(12, initial_sketch_width=16,
+                                              sketch_depth=4, random_state=5),
+    ], ids=["reservoir", "minwise", "adaptive"])
+    def test_fallback_strategies_scalar_equals_batch(self, factory):
+        scalar = run_stream_scalar(factory(), STREAM)
+        batch = run_stream(factory(), STREAM, batch_size=640)
+        assert np.array_equal(scalar.outputs, batch.outputs)
+
+    @pytest.mark.parametrize("oracle_factory", [
+        lambda: CountSketch(width=32, depth=5, random_state=3),
+        lambda: ExactFrequencyCounter(),
+    ], ids=["count-sketch", "exact"])
+    def test_alternative_oracles_fall_back_exactly(self, oracle_factory):
+        def build():
+            return KnowledgeFreeStrategy(
+                10, frequency_oracle=oracle_factory(), random_state=23)
+
+        scalar = run_stream_scalar(build(), STREAM)
+        batch = run_stream(build(), STREAM, batch_size=256)
+        assert np.array_equal(scalar.outputs, batch.outputs)
+
+    def test_elements_processed_advances_identically(self):
+        strategy = _knowledge_free()
+        run_stream(strategy, STREAM, batch_size=300)
+        assert strategy.elements_processed == STREAM.size
+
+
+class TestRunStream:
+    def test_batch_result_accounting(self):
+        result = run_stream(_knowledge_free(), STREAM, batch_size=1000)
+        assert isinstance(result, BatchResult)
+        assert result.elements == STREAM.size
+        assert result.batches == (STREAM.size + 999) // 1000
+        assert result.batch_size == 1000
+        assert result.outputs.dtype == np.int64
+        assert result.outputs.size == STREAM.size
+        assert result.elapsed_seconds > 0
+        assert result.throughput > 0
+
+    def test_output_stream_propagates_metadata(self):
+        result = run_stream(_knowledge_free(), STREAM, batch_size=512)
+        output = result.output_stream(STREAM, label="kf(test)")
+        assert output.universe == STREAM.universe
+        assert output.label == "kf(test)"
+        assert output.size == STREAM.size
+
+    def test_empty_stream(self):
+        result = run_stream(_knowledge_free(), [], batch_size=64)
+        assert result.elements == 0
+        assert result.batches == 0
+        assert result.outputs.size == 0
+        assert result.throughput == 0.0
+
+    def test_drives_service_through_on_receive_batch(self):
+        service = NodeSamplingService(_knowledge_free())
+        result = run_stream(service, STREAM, batch_size=2048)
+        assert result.outputs.size == STREAM.size
+        assert service.output_stream.size == STREAM.size
+        # the recorded output is exactly what the driver returned
+        assert service.output_stream.identifiers == result.outputs.tolist()
+
+    def test_rejects_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            run_stream(_knowledge_free(), STREAM, batch_size=0)
+
+    def test_rejects_target_without_batch_interface(self):
+        with pytest.raises(TypeError):
+            run_stream(object(), STREAM)
+        with pytest.raises(TypeError):
+            run_stream_scalar(object(), STREAM)
+
+
+class TestHelpers:
+    def test_as_identifier_array(self):
+        assert as_identifier_array(STREAM).dtype == np.int64
+        assert as_identifier_array([1, 2, 3]).tolist() == [1, 2, 3]
+        arr = np.array([4, 5], dtype=np.int32)
+        assert as_identifier_array(arr).dtype == np.int64
+
+    def test_iter_batches_covers_stream(self):
+        identifiers = as_identifier_array(range(10))
+        chunks = list(iter_batches(identifiers, 4))
+        assert [len(chunk) for chunk in chunks] == [4, 4, 2]
+        assert np.concatenate(chunks).tolist() == list(range(10))
+
+    def test_iter_batches_validates(self):
+        with pytest.raises(ValueError):
+            list(iter_batches(as_identifier_array([1]), 0))
+
+
+class TestServiceBatchInterface:
+    def test_on_receive_batch_equals_on_receive_loop(self):
+        scalar_service = NodeSamplingService(_knowledge_free())
+        batch_service = NodeSamplingService(_knowledge_free())
+        for identifier in STREAM:
+            scalar_service.on_receive(identifier)
+        batch_service.consume(STREAM, batch_size=777)
+        assert (scalar_service.output_stream.identifiers
+                == batch_service.output_stream.identifiers)
+        assert (scalar_service.output_frequencies()
+                == batch_service.output_frequencies())
+
+    def test_consume_rejects_bad_batch_size(self):
+        service = NodeSamplingService(_knowledge_free())
+        with pytest.raises(ValueError):
+            service.consume(STREAM, batch_size=0)

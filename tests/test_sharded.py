@@ -1,0 +1,139 @@
+"""Tests for repro.engine.sharded (hash-partitioned sampling ensembles)."""
+
+import numpy as np
+import pytest
+
+from repro.core import NodeSamplingService, ReservoirSampler
+from repro.engine import ShardedSamplingService, run_stream
+from repro.streams import uniform_stream, zipf_stream
+
+STREAM = zipf_stream(6_000, 800, alpha=1.4, random_state=29)
+
+
+def _sharded(shards=4, seed=11, **kwargs):
+    return ShardedSamplingService.knowledge_free(
+        shards=shards, memory_size=10, sketch_width=32, sketch_depth=4,
+        random_state=seed, **kwargs)
+
+
+class TestPartitioning:
+    def test_routing_is_stable_and_disjoint(self):
+        service = _sharded()
+        for identifier in [1, 17, 423, 799]:
+            shard = service.shard_of(identifier)
+            assert 0 <= shard < service.shards
+            assert shard == service.shard_of(identifier)
+
+    def test_batch_routing_matches_scalar_routing(self):
+        batch_service = _sharded(seed=31)
+        scalar_service = _sharded(seed=31)
+        batch_outputs = batch_service.on_receive_batch(STREAM.identifiers)
+        scalar_outputs = [scalar_service.on_receive(identifier)
+                         for identifier in STREAM]
+        assert batch_outputs.tolist() == scalar_outputs
+
+    def test_chunked_driver_equals_single_batch(self):
+        reference = _sharded(seed=37)
+        chunked = _sharded(seed=37)
+        expected = reference.on_receive_batch(STREAM.identifiers)
+        result = run_stream(chunked, STREAM, batch_size=512)
+        assert np.array_equal(expected, result.outputs)
+
+    def test_loads_cover_whole_stream(self):
+        service = _sharded()
+        service.on_receive_batch(STREAM.identifiers)
+        assert sum(service.shard_loads()) == STREAM.size
+        assert service.elements_processed == STREAM.size
+        # a universal hash over 800 identifiers should touch every shard
+        assert all(load > 0 for load in service.shard_loads())
+
+    def test_each_shard_sees_only_its_identifiers(self):
+        service = _sharded()
+        service.on_receive_batch(STREAM.identifiers)
+        for shard, node_service in enumerate(service.services):
+            for identifier in node_service.strategy.memory_view:
+                assert service.shard_of(identifier) == shard
+
+
+class TestSampling:
+    def test_sample_returns_stream_identifier(self):
+        service = _sharded()
+        service.on_receive_batch(STREAM.identifiers)
+        seen = set(STREAM.identifiers)
+        for _ in range(50):
+            assert service.sample() in seen
+
+    def test_sample_empty_service(self):
+        assert _sharded().sample() is None
+
+    def test_sample_uniform_over_non_empty_shards(self):
+        # regression: probing forward from an empty shard used to bias the
+        # draw towards shards that follow runs of empty ones
+        service = _sharded(seed=1)
+        by_shard = {}
+        for identifier in range(10_000):
+            by_shard.setdefault(service.shard_of(identifier), []).append(
+                identifier)
+        populated = sorted(by_shard)[-2:]
+        service.on_receive_batch(
+            by_shard[populated[0]][:400] + by_shard[populated[1]][:400])
+        counts = {shard: 0 for shard in populated}
+        for _ in range(4_000):
+            counts[service.shard_of(service.sample())] += 1
+        for shard in populated:
+            assert 1_700 <= counts[shard] <= 2_300, counts
+
+    def test_sample_many(self):
+        service = _sharded()
+        service.on_receive_batch(STREAM.identifiers)
+        samples = service.sample_many(100)
+        assert len(samples) == 100
+        with pytest.raises(ValueError):
+            service.sample_many(0)
+
+    def test_samples_spread_over_population(self):
+        service = _sharded(shards=8, seed=3)
+        stream = uniform_stream(20_000, 200, random_state=3)
+        service.on_receive_batch(stream.identifiers)
+        distinct = set(service.sample_many(2_000))
+        # 8 shards x 10 slots hold up to 80 identifiers; samples should mix
+        # across shards instead of sticking to one.
+        assert len(distinct) > 30
+
+    def test_merged_memory(self):
+        service = _sharded()
+        service.on_receive_batch(STREAM.identifiers)
+        merged = service.merged_memory()
+        assert 0 < len(merged) <= service.shards * 10
+        assert set(merged) <= set(STREAM.identifiers)
+
+
+class TestLifecycle:
+    def test_reset(self):
+        service = _sharded()
+        service.on_receive_batch(STREAM.identifiers)
+        service.reset()
+        assert service.elements_processed == 0
+        assert service.sample() is None
+
+    def test_custom_factory_and_validation(self):
+        def factory(index, rng):
+            return NodeSamplingService(ReservoirSampler(5, random_state=rng))
+
+        service = ShardedSamplingService(3, factory, random_state=7)
+        service.on_receive_batch(STREAM.identifiers)
+        assert service.elements_processed == STREAM.size
+        with pytest.raises(ValueError):
+            ShardedSamplingService(0, factory)
+
+    def test_empty_batch(self):
+        service = _sharded()
+        assert service.on_receive_batch([]).size == 0
+
+    def test_deterministic_given_seed(self):
+        first = _sharded(seed=77)
+        second = _sharded(seed=77)
+        a = first.on_receive_batch(STREAM.identifiers)
+        b = second.on_receive_batch(STREAM.identifiers)
+        assert np.array_equal(a, b)
+        assert first.sample_many(20) == second.sample_many(20)
