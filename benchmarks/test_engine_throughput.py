@@ -8,6 +8,11 @@ stream", Section III-A) on a million-element Zipf-biased stream:
 * ``batch``   — the vectorised chunk driver of :mod:`repro.engine.batch`;
 * ``sharded`` — the batch driver over a hash-partitioned 4-shard ensemble.
 
+A second group replays the paper's Table II trace stand-ins (NASA, ClarkNet,
+Saskatchewan) through the batch driver and records elements/sec per trace —
+the trace-replay workload tier, covering realistic HTTP-log frequency
+profiles rather than only synthetic Zipf bias.
+
 The recorded ``elements_per_second`` extra-info gives the benchmark JSON its
 throughput trajectory, and the final test asserts the engine's headline
 guarantee: the batch driver is at least 5x faster than the scalar path on
@@ -20,7 +25,7 @@ import pytest
 
 from repro.core import KnowledgeFreeStrategy
 from repro.engine import ShardedSamplingService, run_stream, run_stream_scalar
-from repro.streams import zipf_stream
+from repro.streams import PAPER_TRACES, SyntheticTrace, zipf_stream
 
 #: The paper-scale workload: a million identifiers, Zipf-biased as in the
 #: attack scenarios, over a population far larger than the sketch.
@@ -89,6 +94,27 @@ def test_sharded_driver_throughput(benchmark, print_result, identifiers):
         lambda: run_stream(_sharded(), identifiers, batch_size=BATCH_SIZE),
         rounds=1, iterations=1)
     _record(benchmark, print_result, "sharded", result)
+
+
+#: Down-scaling applied to the multi-million-element traces so the replay
+#: tier finishes in seconds while preserving each trace's frequency law.
+TRACE_SCALE = 0.25
+
+
+@pytest.mark.figure("throughput")
+@pytest.mark.parametrize("spec", PAPER_TRACES,
+                         ids=[spec.name for spec in PAPER_TRACES])
+def test_trace_replay_throughput(benchmark, print_result, spec):
+    """Batch-driver elements/sec on each Table II trace stand-in."""
+    trace = SyntheticTrace(spec, scale=TRACE_SCALE, random_state=SEED)
+    identifiers = np.asarray(trace.materialise().identifiers, dtype=np.int64)
+    result = benchmark.pedantic(
+        lambda: run_stream(_strategy(), identifiers, batch_size=BATCH_SIZE),
+        rounds=1, iterations=1)
+    _record(benchmark, print_result, f"trace:{spec.name}", result)
+    benchmark.extra_info["trace"] = spec.name
+    benchmark.extra_info["scale"] = TRACE_SCALE
+    assert result.outputs.size == identifiers.size
 
 
 @pytest.mark.figure("throughput")

@@ -21,7 +21,11 @@ The package provides:
   and figure of the evaluation (:mod:`repro.metrics`,
   :mod:`repro.experiments`);
 * the batch streaming execution engine — vectorised chunked drivers and
-  hash-sharded sampling ensembles (:mod:`repro.engine`).
+  hash-sharded sampling ensembles (:mod:`repro.engine`);
+* the unified scenario API — declarative JSON-round-trippable scenario
+  specs, pluggable component registries and the batch-driven scenario
+  runner behind the harness, the system simulator and the CLI
+  (:mod:`repro.scenarios`).
 
 Quickstart
 ----------
@@ -68,6 +72,16 @@ from repro.metrics import (
     kl_divergence_to_uniform,
     kl_gain,
 )
+from repro.scenarios import (
+    ScenarioResult,
+    ScenarioRunner,
+    ScenarioSpec,
+    register_adversary,
+    register_sketch,
+    register_strategy,
+    register_stream,
+    run_scenario,
+)
 from repro.sketches import CountMinSketch, ExactFrequencyCounter
 from repro.streams import (
     IdentifierStream,
@@ -95,6 +109,15 @@ __all__ = [
     "BatchResult",
     "run_stream",
     "ShardedSamplingService",
+    # scenarios
+    "ScenarioSpec",
+    "ScenarioRunner",
+    "ScenarioResult",
+    "run_scenario",
+    "register_strategy",
+    "register_stream",
+    "register_sketch",
+    "register_adversary",
     # sketches
     "CountMinSketch",
     "ExactFrequencyCounter",

@@ -1,27 +1,70 @@
-"""Command-line interface: regenerate the paper's tables and figures.
+"""Command-line interface: run declarative scenarios, tables and figures.
 
 Usage (after ``pip install -e .``)::
 
     python -m repro list
+    python -m repro run examples/scenarios/zipf_ablation.json
+    python -m repro run --components
     python -m repro table1
     python -m repro figure3 --k 10 50 100 --eta 0.1 0.0001
     python -m repro figure8 --stream-size 20000 --trials 2
     python -m repro figure12 --scale 0.01
 
-Every sub-command prints the same rows/series the corresponding benchmark
-prints, using the drivers in :mod:`repro.experiments.figures`; simulation
-figures accept their main size parameters so they can be run anywhere between
-"seconds on a laptop" and the paper's full scale.
+``repro run`` is the general entry point: it executes any experiment
+declared as a JSON :class:`~repro.scenarios.spec.ScenarioSpec` through the
+:class:`~repro.scenarios.runner.ScenarioRunner` (the batch-driven execution
+path everything else is an adapter over).  The figure sub-commands print the
+same rows/series the corresponding benchmark prints, using the drivers in
+:mod:`repro.experiments.figures`; simulation figures accept their main size
+parameters so they can be run anywhere between "seconds on a laptop" and the
+paper's full scale.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from dataclasses import replace
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.experiments import figures
 from repro.experiments.reporting import format_series, format_table
+
+
+def _cmd_run(arguments: argparse.Namespace) -> None:
+    """Execute a declarative scenario spec through the ScenarioRunner."""
+    from repro.scenarios import (
+        ScenarioRunner,
+        ScenarioSpec,
+        available_components,
+    )
+
+    if arguments.components:
+        for kind, keys in available_components().items():
+            print(f"{kind}: {', '.join(keys)}")
+        return
+    if arguments.spec is None:
+        raise SystemExit("repro run: a scenario JSON path is required "
+                         "(or pass --components)")
+    spec = ScenarioSpec.load(arguments.spec)
+    overrides = {}
+    if arguments.trials is not None:
+        overrides["trials"] = arguments.trials
+    if arguments.seed is not None:
+        overrides["seed"] = arguments.seed
+    if overrides:
+        spec = replace(spec, **overrides)
+    result = ScenarioRunner(spec).run()
+    if arguments.json:
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+        return
+    print(f"scenario: {result.name} ({result.mode} mode, "
+          f"seed={spec.seed}, trials={spec.trials})")
+    print(format_table(result.summaries))
+    if arguments.details:
+        print()
+        print(format_table(result.details))
 
 
 def _cmd_throughput(arguments: argparse.Namespace) -> None:
@@ -200,6 +243,24 @@ def build_parser() -> argparse.ArgumentParser:
 
     subparsers.add_parser("list", help="list the available experiments")
 
+    run = subparsers.add_parser(
+        "run",
+        help="execute a declarative scenario from a JSON spec file")
+    run.add_argument("spec", nargs="?", default=None,
+                     help="path to a scenario JSON file "
+                          "(see examples/scenarios/)")
+    run.add_argument("--trials", type=int, default=None,
+                     help="override the spec's trial count")
+    run.add_argument("--seed", type=int, default=None,
+                     help="override the spec's master seed")
+    run.add_argument("--json", action="store_true",
+                     help="print the full result as JSON instead of tables")
+    run.add_argument("--details", action="store_true",
+                     help="also print the per-trial / per-node rows")
+    run.add_argument("--components", action="store_true",
+                     help="list the registered scenario components and exit")
+    run.set_defaults(handler=_cmd_run)
+
     table1 = subparsers.add_parser("table1", help="Table I: L_{k,s} and E_k")
     table1.set_defaults(handler=_cmd_table1)
 
@@ -300,9 +361,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         parser.print_help()
         return 1
     if arguments.command == "list":
-        for name in ("table1", "table2", "figure3", "figure4", "figure5",
-                     "figure6", "figure7 a|b", "figure8", "figure9",
-                     "figure10 a|b", "figure11", "figure12", "throughput"):
+        for name in ("run <scenario.json>", "table1", "table2", "figure3",
+                     "figure4", "figure5", "figure6", "figure7 a|b",
+                     "figure8", "figure9", "figure10 a|b", "figure11",
+                     "figure12", "throughput"):
             print(name)
         return 0
     arguments.handler(arguments)

@@ -22,6 +22,8 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+import numpy as np
+
 from repro.core.knowledge_free import KnowledgeFreeStrategy
 from repro.sketches.count_min import CountMinSketch
 from repro.sketches.hyperloglog import HyperLogLog
@@ -92,18 +94,22 @@ class AdaptiveKnowledgeFreeStrategy(KnowledgeFreeStrategy):
         """Current estimate of the number of distinct identifiers observed."""
         return self._distinct_estimator.estimate()
 
+    def _grow(self) -> None:
+        """Start the next epoch: fresh Count-Min matrix at double the width."""
+        new_width = min(self.max_width, self.current_width * 2)
+        self.frequency_oracle = CountMinSketch(width=new_width,
+                                               depth=self.sketch_depth,
+                                               random_state=self._rng)
+        self._epoch += 1
+        self._epoch_history.append(new_width)
+
     def _maybe_grow(self) -> None:
         width = self.current_width
         if width >= self.max_width:
             return
         if self.estimated_distinct() <= self.load_factor * width:
             return
-        new_width = min(self.max_width, width * 2)
-        self.frequency_oracle = CountMinSketch(width=new_width,
-                                               depth=self.sketch_depth,
-                                               random_state=self._rng)
-        self._epoch += 1
-        self._epoch_history.append(new_width)
+        self._grow()
 
     # ------------------------------------------------------------------ #
     # Online interface
@@ -112,3 +118,82 @@ class AdaptiveKnowledgeFreeStrategy(KnowledgeFreeStrategy):
         self._distinct_estimator.update(identifier)
         self._maybe_grow()
         super()._admit(identifier)
+
+    # ------------------------------------------------------------------ #
+    # Batch fast path: chunk-level epoch scan
+    # ------------------------------------------------------------------ #
+    def process_batch(self, identifiers) -> np.ndarray:
+        """Process a chunk, splitting it at epoch boundaries.
+
+        The scalar path re-estimates the distinct count (a full pass over
+        the HyperLogLog registers) for *every* element, which is what forced
+        this strategy onto the generic per-element fallback.  The batch path
+        instead hashes the whole chunk through the HyperLogLog once, scans
+        for the (rare) register changes, and re-evaluates the growth
+        condition only when the estimate can actually have moved.  Elements
+        between two epoch boundaries are admitted through the parent's
+        vectorised Count-Min chunk processor; at a boundary the chunk is
+        split, the sketch regrown, and the scan resumes under the new width.
+
+        Bit-identical to the scalar path: the HyperLogLog state, the growth
+        decisions (one check per element, growth before the element's
+        admission), the coin-flip consumption and the outputs all match the
+        per-element loop for the same seed.
+        """
+        ids = np.atleast_1d(np.asarray(identifiers, dtype=np.int64))
+        if ids.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        if (type(self) is not AdaptiveKnowledgeFreeStrategy
+                or not isinstance(self.frequency_oracle, CountMinSketch)):
+            return super().process_batch(ids)
+        size = int(ids.size)
+        estimator = self._distinct_estimator
+        indices, ranks = estimator.hash_batch(ids)
+        index_list = indices.tolist()
+        rank_list = ranks.tolist()
+        registers = estimator._registers
+        register_list = registers.tolist()
+        base_total = estimator.total
+        load_factor = self.load_factor
+        outputs: List[np.ndarray] = []
+        segment_from = 0
+        scan_from = 0
+        # The estimate only changes when a register changes, so the cached
+        # value stays valid (and the per-element check is a float compare)
+        # until the scan hits a register update.
+        estimate_cache: Optional[float] = None
+        while True:
+            width = self.current_width
+            threshold = load_factor * width
+            growable = width < self.max_width
+            grow_at = -1
+            for i in range(scan_from, size):
+                register_index = index_list[i]
+                rank = rank_list[i]
+                if rank > register_list[register_index]:
+                    register_list[register_index] = rank
+                    registers[register_index] = rank
+                    estimate_cache = None
+                if growable:
+                    if estimate_cache is None:
+                        # estimate() reads the live register array; the
+                        # element counter must reflect this element's update
+                        # exactly as the scalar path would have it.
+                        estimator._total = base_total + i + 1
+                        estimate_cache = estimator.estimate()
+                    if estimate_cache > threshold:
+                        grow_at = i
+                        break
+            stop = size if grow_at < 0 else grow_at
+            if stop > segment_from:
+                outputs.append(
+                    self._process_chunk_count_min(ids[segment_from:stop]))
+            if grow_at < 0:
+                break
+            self._grow()
+            segment_from = grow_at
+            scan_from = grow_at + 1
+        estimator._total = base_total + size
+        if not outputs:
+            return np.zeros(0, dtype=np.int64)
+        return outputs[0] if len(outputs) == 1 else np.concatenate(outputs)

@@ -164,6 +164,18 @@ class SamplingStrategy(abc.ABC):
         index = int(self._rng.integers(0, len(self._memory)))
         return self._memory[index]
 
+    def _coin_sample(self, coins) -> Optional[int]:
+        """Uniform draw from ``Gamma`` using a buffered coin stream.
+
+        Shared by the strategies whose scalar and batch paths consume the
+        same :class:`~repro.utils.rng.BufferedUniforms` stream — the
+        chunking-invariance of that stream is what makes their batch
+        processing bit-identical to the per-element loop.
+        """
+        if not self._memory:
+            return None
+        return self._memory[int(coins.next() * len(self._memory))]
+
     def reset(self) -> None:
         """Clear the sampling memory and the processed-element counter."""
         self._memory.clear()

@@ -20,9 +20,16 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+import numpy as np
+
 from repro.core.base import SamplingStrategy
 from repro.sketches.hashing import MERSENNE_PRIME_61, UniversalHashFamily
-from repro.utils.rng import RandomState, ensure_rng
+from repro.utils.rng import (
+    BufferedUniforms,
+    RandomState,
+    ensure_rng,
+    spawn_children,
+)
 
 
 class MinWiseSampler(SamplingStrategy):
@@ -46,38 +53,108 @@ class MinWiseSampler(SamplingStrategy):
         self._best_identifiers: List[Optional[int]] = [None] * self.memory_size
         self._slot_positions: List[Optional[int]] = [None] * self.memory_size
         self._member_counts: Dict[int, int] = {}
+        # sample() coins come from a dedicated buffered stream (as in the
+        # knowledge-free strategy): the sequence of consumed values is a
+        # fixed function of the seed regardless of chunking, which is what
+        # makes the batch path below bit-identical to the scalar path.
+        self._sample_coins = BufferedUniforms(spawn_children(rng, 1)[0])
+
+    def _apply_slot_win(self, slot: int, value: int, identifier: int) -> None:
+        """Install ``identifier`` as the new winner of ``slot``.
+
+        Gamma holds the slot winners in slot order (duplicates are possible
+        when the same identifier wins several slots, as in Brahms).  Each
+        slot owns a fixed position in Gamma, updated in place when its
+        winner changes — rebuilding the list and set per element would cost
+        O(memory_size) on every stream element.
+        """
+        self._best_values[slot] = value
+        previous = self._best_identifiers[slot]
+        self._best_identifiers[slot] = identifier
+        position = self._slot_positions[slot]
+        if position is None:
+            self._slot_positions[slot] = len(self._memory)
+            self._memory.append(identifier)
+        else:
+            self._memory[position] = identifier
+        if previous is not None:
+            remaining = self._member_counts[previous] - 1
+            if remaining:
+                self._member_counts[previous] = remaining
+            else:
+                del self._member_counts[previous]
+                self._memory_set.discard(previous)
+        self._member_counts[identifier] = \
+            self._member_counts.get(identifier, 0) + 1
+        self._memory_set.add(identifier)
+        self._memory_snapshot = None
 
     def _admit(self, identifier: int) -> None:
-        # Gamma holds the slot winners in slot order (duplicates are possible
-        # when the same identifier wins several slots, as in Brahms).  Each
-        # slot owns a fixed position in Gamma, updated in place when its
-        # winner changes — rebuilding the list and set per element would cost
-        # O(memory_size) on every stream element.
         for slot, hash_function in enumerate(self._hash_functions):
             value = hash_function(identifier)
             best = self._best_values[slot]
             if best is not None and value >= best:
                 continue
-            self._best_values[slot] = value
-            previous = self._best_identifiers[slot]
-            self._best_identifiers[slot] = identifier
-            position = self._slot_positions[slot]
-            if position is None:
-                self._slot_positions[slot] = len(self._memory)
-                self._memory.append(identifier)
-            else:
-                self._memory[position] = identifier
-            if previous is not None:
-                remaining = self._member_counts[previous] - 1
-                if remaining:
-                    self._member_counts[previous] = remaining
-                else:
-                    del self._member_counts[previous]
-                    self._memory_set.discard(previous)
-            self._member_counts[identifier] = \
-                self._member_counts.get(identifier, 0) + 1
-            self._memory_set.add(identifier)
-            self._memory_snapshot = None
+            self._apply_slot_win(slot, value, identifier)
+
+    def sample(self) -> Optional[int]:
+        """Return an identifier chosen uniformly at random from ``Gamma``."""
+        return self._coin_sample(self._sample_coins)
+
+    def process_batch(self, identifiers) -> np.ndarray:
+        """Process a chunk with per-slot running minima, vectorised.
+
+        Bit-identical to the per-element loop: each slot hashes the whole
+        chunk in one vectorised pass, a prefix-minimum scan locates the rare
+        elements where the slot's winner changes, and only those winner
+        changes are replayed in arrival order while the per-element sample
+        coins are consumed from the dedicated buffered stream.  The scalar
+        path pays ``memory_size`` hash evaluations per element; here they
+        are amortised across the chunk.
+        """
+        ids = np.atleast_1d(np.asarray(identifiers, dtype=np.int64))
+        if ids.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        if type(self) is not MinWiseSampler:
+            return super().process_batch(ids)
+        size = int(ids.size)
+        ids_list = ids.tolist()
+        # Hash values approach 2^61, beyond float64's exact-integer range,
+        # so the running-minimum comparison stays in int64 throughout (with
+        # the int64 maximum standing in for "no winner yet").
+        sentinel = np.iinfo(np.int64).max
+        # (element index, slot, hash value) for every winner change, in the
+        # order the scalar loop would apply them: element-major, slot-minor.
+        events: List[tuple] = []
+        for slot, hash_function in enumerate(self._hash_functions):
+            values = hash_function.hash_many(ids)
+            prefix = np.minimum.accumulate(values)
+            best = self._best_values[slot]
+            previous_best = np.empty(size, dtype=np.int64)
+            previous_best[0] = sentinel if best is None else best
+            previous_best[1:] = prefix[:-1]
+            if best is not None:
+                np.minimum(previous_best, np.int64(best), out=previous_best)
+            winners = np.nonzero(values < previous_best)[0]
+            if winners.size:
+                winner_values = values[winners]
+                events.extend(zip(winners.tolist(),
+                                  [slot] * winners.size,
+                                  winner_values.tolist()))
+        events.sort()
+        coins = self._sample_coins.take(size)
+        outputs = np.empty(size, dtype=np.int64)
+        memory = self._memory
+        cursor = 0
+        total_events = len(events)
+        for index in range(size):
+            while cursor < total_events and events[cursor][0] == index:
+                _, slot, value = events[cursor]
+                cursor += 1
+                self._apply_slot_win(slot, int(value), ids_list[index])
+            outputs[index] = memory[int(coins[index] * len(memory))]
+        self._elements_processed += size
+        return outputs
 
     def reset(self) -> None:
         super().reset()
@@ -98,15 +175,80 @@ class ReservoirSampler(SamplingStrategy):
 
     name = "reservoir"
 
+    def __init__(self, memory_size: int, *,
+                 random_state: RandomState = None) -> None:
+        rng = ensure_rng(random_state)
+        super().__init__(memory_size, random_state=rng)
+        # Admission and sample coins come from independent buffered streams
+        # (the knowledge-free strategy's idiom): their consumption order is
+        # chunking-invariant, so the vectorised batch path below is
+        # bit-identical to the per-element loop for the same seed.
+        admit_rng, sample_rng = spawn_children(rng, 2)
+        self._admit_coins = BufferedUniforms(admit_rng)
+        self._sample_coins = BufferedUniforms(sample_rng)
+
     def _admit(self, identifier: int) -> None:
         if not self.memory_is_full:
             self._insert(identifier)
             return
         # Element number `elements_processed` (1-based) replaces a random slot
         # with probability memory_size / elements_processed.
-        position = int(self._rng.integers(0, self._elements_processed))
+        position = int(self._admit_coins.next() * self._elements_processed)
         if position < self.memory_size:
             self._replace(position, identifier)
+
+    def sample(self) -> Optional[int]:
+        """Return an identifier chosen uniformly at random from ``Gamma``."""
+        return self._coin_sample(self._sample_coins)
+
+    def process_batch(self, identifiers) -> np.ndarray:
+        """Process a chunk with the admission coins drawn in bulk.
+
+        Bit-identical to the per-element loop: the initial fill (while the
+        reservoir is below capacity) runs through :meth:`process`, then the
+        steady state draws the whole chunk's admission positions and sample
+        indices from the two buffered coin streams in one vectorised pass
+        and only replays the (rare) slot replacements element by element.
+        """
+        ids = np.atleast_1d(np.asarray(identifiers, dtype=np.int64))
+        if ids.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        if type(self) is not ReservoirSampler:
+            return super().process_batch(ids)
+        size = int(ids.size)
+        outputs = np.empty(size, dtype=np.int64)
+        start = 0
+        while start < size and not self.memory_is_full:
+            outputs[start] = self.process(int(ids[start]))
+            start += 1
+        remaining = size - start
+        if remaining == 0:
+            return outputs
+        capacity = self.memory_size
+        # Inside process() the element counter is incremented before _admit,
+        # so element j of the tail sees bound elements_processed + j + 1.
+        bounds = np.arange(self._elements_processed + 1,
+                           self._elements_processed + remaining + 1,
+                           dtype=np.float64)
+        admit = np.asarray(self._admit_coins.take(remaining))
+        positions = (admit * bounds).astype(np.int64)
+        sample_coins = self._sample_coins.take(remaining)
+        ids_list = ids[start:].tolist()
+        positions_list = positions.tolist()
+        memory = self._memory
+        memory_set = self._memory_set
+        for index in range(remaining):
+            position = positions_list[index]
+            if position < capacity:
+                memory_set.discard(memory[position])
+                identifier = ids_list[index]
+                memory[position] = identifier
+                memory_set.add(identifier)
+            outputs[start + index] = \
+                memory[int(sample_coins[index] * capacity)]
+        self._memory_snapshot = None
+        self._elements_processed += remaining
+        return outputs
 
 
 class FullMemorySampler(SamplingStrategy):

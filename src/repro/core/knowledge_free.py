@@ -141,9 +141,7 @@ class KnowledgeFreeStrategy(SamplingStrategy):
 
     def sample(self) -> Optional[int]:
         """Return an identifier chosen uniformly at random from ``Gamma``."""
-        if not self._memory:
-            return None
-        return self._memory[int(self._sample_coins.next() * len(self._memory))]
+        return self._coin_sample(self._sample_coins)
 
     # ------------------------------------------------------------------ #
     # Batch fast path (the streaming engine's per-chunk workhorse)

@@ -163,14 +163,31 @@ class ExperimentHarness:
         self.batch_size = batch_size
         self._rng = ensure_rng(random_state)
 
+    @classmethod
+    def from_scenario(cls, spec) -> "ExperimentHarness":
+        """Compile a declarative scenario spec into a ready harness.
+
+        ``spec`` is anything :class:`~repro.scenarios.runner.ScenarioRunner`
+        accepts (a :class:`~repro.scenarios.spec.ScenarioSpec`, a dict, or a
+        JSON string) in stream mode.  This is the preferred wiring path:
+        hand-built factory dictionaries remain supported for programmatic
+        use, but every scenario expressible as data should be declared as a
+        spec and compiled here (or run directly through
+        :func:`repro.scenarios.run_scenario`).
+        """
+        from repro.scenarios.runner import ScenarioRunner
+
+        return ScenarioRunner(spec).compile()
+
     def _drive(self, strategy: SamplingStrategy,
                stream: IdentifierStream) -> IdentifierStream:
         """Feed the stream to the strategy and return its output stream."""
         if self.batch_size is None:
             return strategy.process_stream(stream)
         result = run_stream(strategy, stream, batch_size=self.batch_size)
+        label = getattr(strategy, "name", type(strategy).__name__)
         return result.output_stream(
-            stream, label=f"{strategy.name}({stream.label})")
+            stream, label=f"{label}({stream.label})")
 
     def run(self) -> ExperimentResult:
         """Run all trials and return the collected results."""

@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
+import numpy as np
+
 from repro.core.base import SamplingStrategy
 from repro.core.knowledge_free import KnowledgeFreeStrategy
 from repro.core.service import NodeSamplingService
@@ -95,6 +97,28 @@ class CorrectNode(Node):
         if identifier not in self.view and identifier != self.identifier:
             self.view.append(identifier)
 
+    def receive_batch(self, identifiers: Sequence[int]) -> None:
+        """Receive a round's worth of identifiers as one chunk.
+
+        Feeds the sampling service through its vectorised
+        :meth:`~repro.core.service.NodeSamplingService.on_receive_batch`
+        path; because the engine's batch processing is bit-identical to
+        per-element processing for the same coins, the node ends in exactly
+        the state ``receive`` called once per identifier would produce.
+        """
+        identifiers = [int(identifier) for identifier in identifiers]
+        if not identifiers:
+            return
+        self.received.extend(identifiers)
+        self.sampling_service.on_receive_batch(
+            np.asarray(identifiers, dtype=np.int64))
+        view = self.view
+        seen = set(view)
+        for identifier in identifiers:
+            if identifier not in seen and identifier != self.identifier:
+                view.append(identifier)
+                seen.add(identifier)
+
     def sample(self) -> Optional[int]:
         """Return a uniformly sampled node identifier (the service primitive)."""
         return self.sampling_service.sample()
@@ -153,6 +177,10 @@ class MaliciousNode(Node):
     def receive(self, identifier: int) -> None:
         """Malicious nodes observe the traffic but do not run the protocol."""
         self.view.append(int(identifier))
+
+    def receive_batch(self, identifiers: Sequence[int]) -> None:
+        """Observe a round's worth of identifiers (no sampling service)."""
+        self.view.extend(int(identifier) for identifier in identifiers)
 
     def advertisement(self) -> int:
         """Return the next adversary-chosen identifier to advertise."""

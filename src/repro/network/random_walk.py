@@ -34,6 +34,12 @@ class RandomWalkConfig:
     malicious_walks_per_node: int = 3
     #: Sampling-service configuration of every correct node.
     node_config: NodeConfig = None
+    #: Buffer each round's walk deliveries per visited node and ingest them
+    #: as one chunk at the end of the round through the batch engine.
+    #: Bit-identical to immediate per-hop delivery (walk routing never reads
+    #: the receivers' state); per-hop delivery is kept for the equivalence
+    #: regression tests.
+    batch_delivery: bool = True
 
     def __post_init__(self) -> None:
         check_positive("walk_length", self.walk_length)
@@ -137,8 +143,14 @@ class RandomWalkSimulation:
         index = int(self._rng.integers(0, len(neighbors)))
         return neighbors[index]
 
-    def _run_walk(self, initiator: int, advertised: int) -> None:
-        """Run one walk carrying ``advertised`` starting from ``initiator``."""
+    def _run_walk(self, initiator: int, advertised: int,
+                  sink: Optional[Dict[int, List[int]]] = None) -> None:
+        """Run one walk carrying ``advertised`` starting from ``initiator``.
+
+        With ``sink`` given, deliveries are buffered per visited node (in
+        visit order) instead of being applied immediately; the caller
+        flushes them as per-node chunks at the end of the round.
+        """
         malicious_identifiers = set(self.malicious_ids) | set(
             self.sybil_identifiers)
         carrying_malicious = advertised in malicious_identifiers
@@ -147,16 +159,31 @@ class RandomWalkSimulation:
             next_hop = self._next_hop(current, carrying_malicious)
             if next_hop is None:
                 return
-            self.nodes[next_hop].receive(advertised)
+            if sink is None:
+                self.nodes[next_hop].receive(advertised)
+            else:
+                sink.setdefault(next_hop, []).append(advertised)
             current = next_hop
 
     def run_round(self) -> None:
-        """Every node initiates its per-round walks."""
+        """Every node initiates its per-round walks.
+
+        Walk routing depends only on the overlay and the simulation
+        generator — never on the receivers' state — so buffering a round's
+        deliveries and ingesting them as one batch chunk per node produces
+        exactly the per-node streams (and sampler states) immediate
+        delivery would.
+        """
+        sink: Optional[Dict[int, List[int]]] = (
+            {} if self.config.batch_delivery else None)
         for identifier, node in self.nodes.items():
             walks = (self.config.malicious_walks_per_node if node.is_malicious
                      else self.config.walks_per_node)
             for _ in range(walks):
-                self._run_walk(identifier, node.advertisement())
+                self._run_walk(identifier, node.advertisement(), sink)
+        if sink is not None:
+            for target, chunk in sink.items():
+                self.nodes[target].receive_batch(chunk)
         self.rounds_executed += 1
 
     def run(self, rounds: int) -> None:

@@ -42,6 +42,11 @@ class SystemConfig:
     node_config: NodeConfig = field(default_factory=NodeConfig)
     fanout: int = 3
     malicious_fanout: int = 6
+    #: Ingest each round's dissemination traffic per node as one chunk
+    #: through the batch engine (default).  Bit-identical to per-element
+    #: delivery — the False setting exists for the equivalence regression
+    #: tests and as an escape hatch for exotic custom strategies.
+    batch_delivery: bool = True
 
     def __post_init__(self) -> None:
         check_positive("num_correct", self.num_correct)
@@ -124,6 +129,7 @@ class SystemSimulation:
                     fanout=self.config.fanout,
                     malicious_fanout=self.config.malicious_fanout,
                     node_config=self.config.node_config,
+                    batch_delivery=self.config.batch_delivery,
                 ),
                 random_state=random_state,
             )
@@ -133,9 +139,27 @@ class SystemSimulation:
                 self.config.num_malicious,
                 sybil_identifiers_per_malicious=(
                     self.config.sybil_identifiers_per_malicious),
-                config=RandomWalkConfig(node_config=self.config.node_config),
+                config=RandomWalkConfig(
+                    node_config=self.config.node_config,
+                    batch_delivery=self.config.batch_delivery,
+                ),
                 random_state=random_state,
             )
+
+    @classmethod
+    def from_scenario(cls, spec, *, random_state=None) -> "SystemSimulation":
+        """Build a simulation from a declarative scenario spec.
+
+        ``spec`` is anything :class:`~repro.scenarios.runner.ScenarioRunner`
+        accepts (a :class:`~repro.scenarios.spec.ScenarioSpec`, a dict, or a
+        JSON string) whose ``network`` section describes this simulation.
+        This is the preferred wiring path; constructing :class:`SystemConfig`
+        by hand remains supported for programmatic use.
+        """
+        from repro.scenarios.runner import ScenarioRunner
+
+        return ScenarioRunner(spec).system_simulation(
+            random_state=random_state)
 
     @property
     def engine(self):

@@ -1,0 +1,112 @@
+"""Built-in component registrations of the scenario API.
+
+Importing this module (done automatically by :mod:`repro.scenarios`)
+registers the library's stock streams, strategies, sketches and adversaries
+under the string keys a :class:`~repro.scenarios.spec.ScenarioSpec` uses.
+Applications extend the same registries with the ``register_*`` decorators.
+"""
+
+from __future__ import annotations
+
+from repro.adversary.adversary import (
+    make_combined_adversary,
+    make_flooding_adversary,
+    make_peak_adversary,
+    make_targeted_adversary,
+)
+from repro.core.adaptive import AdaptiveKnowledgeFreeStrategy
+from repro.core.baselines import (
+    FullMemorySampler,
+    MinWiseSampler,
+    ReservoirSampler,
+)
+from repro.core.knowledge_free import KnowledgeFreeStrategy
+from repro.core.omniscient import OmniscientStrategy
+from repro.scenarios.registry import (
+    ScenarioError,
+    register_adversary,
+    register_sketch,
+    register_strategy,
+    register_stream,
+)
+from repro.sketches.count_min import CountMinSketch, ExactFrequencyCounter
+from repro.sketches.count_sketch import CountSketch
+from repro.sketches.misra_gries import SpaceSavingSummary
+from repro.streams.generators import (
+    peak_attack_stream,
+    peak_stream,
+    poisson_arrival_stream,
+    poisson_attack_stream,
+    truncated_poisson_stream,
+    uniform_stream,
+    zipf_stream,
+)
+from repro.streams.oracle import StreamOracle
+from repro.streams.traces import PAPER_TRACES, SyntheticTrace
+from repro.utils.rng import RandomState
+
+# --------------------------------------------------------------------- #
+# Streams
+# --------------------------------------------------------------------- #
+register_stream("uniform", uniform_stream)
+register_stream("zipf", zipf_stream)
+register_stream("truncated-poisson", truncated_poisson_stream)
+register_stream("peak", peak_stream)
+register_stream("peak-attack", peak_attack_stream)
+register_stream("poisson-attack", poisson_attack_stream)
+register_stream("bursty", poisson_arrival_stream)
+
+
+@register_stream("trace")
+def _trace_stream(name: str, scale: float = 0.01, *,
+                  random_state: RandomState = None):
+    """One of the paper's Table II trace stand-ins, down-scaled for replay."""
+    specs = {spec.name.lower(): spec for spec in PAPER_TRACES}
+    try:
+        spec = specs[str(name).lower()]
+    except KeyError:
+        raise ScenarioError(
+            f"unknown trace {name!r}; available: "
+            f"{', '.join(sorted(specs))}") from None
+    trace = SyntheticTrace(spec, scale=scale, random_state=random_state)
+    return trace.materialise()
+
+
+# --------------------------------------------------------------------- #
+# Strategies
+# --------------------------------------------------------------------- #
+register_strategy("knowledge-free", KnowledgeFreeStrategy)
+register_strategy("adaptive-knowledge-free", AdaptiveKnowledgeFreeStrategy)
+register_strategy("minwise", MinWiseSampler)
+register_strategy("reservoir", ReservoirSampler)
+register_strategy("full-memory", FullMemorySampler)
+
+
+@register_strategy("omniscient")
+def _omniscient_strategy(memory_size: int, *, stream=None,
+                         random_state: RandomState = None):
+    """Algorithm 1 with an oracle built from the trial's exact frequencies."""
+    if stream is None:
+        raise ScenarioError(
+            "the omniscient strategy needs the trial's input stream to build "
+            "its oracle; it can only run inside a scenario")
+    oracle = StreamOracle.from_stream(stream)
+    return OmniscientStrategy(oracle, memory_size, random_state=random_state)
+
+
+# --------------------------------------------------------------------- #
+# Sketches (frequency oracles for the knowledge-free strategy)
+# --------------------------------------------------------------------- #
+register_sketch("count-min", CountMinSketch)
+register_sketch("count-sketch", CountSketch)
+register_sketch("space-saving", SpaceSavingSummary)
+register_sketch("exact", ExactFrequencyCounter)
+
+
+# --------------------------------------------------------------------- #
+# Adversaries
+# --------------------------------------------------------------------- #
+register_adversary("peak", make_peak_adversary)
+register_adversary("targeted", make_targeted_adversary)
+register_adversary("flooding", make_flooding_adversary)
+register_adversary("combined", make_combined_adversary)

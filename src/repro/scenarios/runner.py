@@ -1,0 +1,340 @@
+"""Compile and execute declarative scenarios on the batch engine.
+
+:class:`ScenarioRunner` is the single execution path behind the experiment
+harness, the CLI and the example applications: it resolves a
+:class:`~repro.scenarios.spec.ScenarioSpec` against the component
+registries, compiles it into a ready experiment — an
+:class:`~repro.experiments.harness.ExperimentHarness` for stream scenarios,
+a :class:`~repro.network.simulator.SystemSimulation` per trial for network
+scenarios — and runs it on the batch streaming driver.
+
+Determinism: all per-trial randomness is spawned from the spec's master
+``seed``, and every component consumes the batch-invariant coin streams of
+the engine, so re-running the same spec (including after a JSON round-trip)
+reproduces bit-identical :class:`ScenarioResult` contents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.core.service import NodeSamplingService
+from repro.engine.sharded import ShardedSamplingService
+from repro.network.node import NodeConfig
+from repro.network.simulator import (
+    DisseminationProtocol,
+    SystemConfig,
+    SystemReport,
+    SystemSimulation,
+)
+from repro.scenarios import registry as registries
+from repro.scenarios.registry import ComponentRegistry, ScenarioError
+from repro.scenarios.spec import ScenarioSpec, StrategySpec
+from repro.streams.stream import IdentifierStream
+from repro.utils.rng import ensure_rng, spawn_children
+
+
+@dataclass
+class ScenarioResult:
+    """The serializable outcome of one scenario run.
+
+    Attributes
+    ----------
+    name, mode:
+        Copied from the spec (``mode`` is ``"stream"`` or ``"network"``).
+    summaries:
+        One aggregate row per strategy (stream mode) or per trial (network
+        mode), restricted to the spec's requested metric groups.
+    details:
+        One row per (strategy, trial) in stream mode, one per (trial,
+        correct node) in network mode.
+    """
+
+    name: str
+    mode: str
+    summaries: List[Dict[str, Any]] = field(default_factory=list)
+    details: List[Dict[str, Any]] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Return the JSON-serializable form of the result."""
+        return {
+            "name": self.name,
+            "mode": self.mode,
+            "summaries": [dict(row) for row in self.summaries],
+            "details": [dict(row) for row in self.details],
+        }
+
+
+class ScenarioRunner:
+    """Compile a :class:`ScenarioSpec` and execute it on the batch driver.
+
+    Parameters
+    ----------
+    spec:
+        The scenario to run (an already-parsed spec, a plain dict, or a JSON
+        string are all accepted).
+    strategies, streams, sketches, adversaries:
+        Component registries; default to the global ones so registered
+        extensions are visible without plumbing.
+    """
+
+    def __init__(self, spec, *,
+                 strategies: Optional[ComponentRegistry] = None,
+                 streams: Optional[ComponentRegistry] = None,
+                 sketches: Optional[ComponentRegistry] = None,
+                 adversaries: Optional[ComponentRegistry] = None) -> None:
+        if isinstance(spec, str):
+            spec = ScenarioSpec.from_json(spec)
+        elif isinstance(spec, dict):
+            spec = ScenarioSpec.from_dict(spec)
+        if not isinstance(spec, ScenarioSpec):
+            raise ScenarioError(
+                f"spec must be a ScenarioSpec, dict or JSON string, "
+                f"got {type(spec).__name__}")
+        self.spec = spec
+        self._strategies = strategies or registries.STRATEGIES
+        self._streams = streams or registries.STREAMS
+        self._sketches = sketches or registries.SKETCHES
+        self._adversaries = adversaries or registries.ADVERSARIES
+
+    # ------------------------------------------------------------------ #
+    # Compilation
+    # ------------------------------------------------------------------ #
+    def validate(self) -> None:
+        """Resolve every component key and parameter name, without running.
+
+        Raises :class:`~repro.scenarios.registry.UnknownComponentError` for
+        unregistered keys and :class:`ScenarioError` for parameters a
+        builder does not accept — before any trial starts.
+        """
+        spec = self.spec
+        if spec.mode == "network":
+            return
+        self._streams.check_params(spec.stream.kind, spec.stream.params)
+        if spec.adversary is not None:
+            self._adversaries.check_params(spec.adversary.kind,
+                                           spec.adversary.params)
+        for strategy in spec.strategies:
+            self._strategies.check_params(strategy.kind, strategy.params)
+            if strategy.sketch is not None:
+                self._sketches.check_params(strategy.sketch.kind,
+                                            strategy.sketch.params)
+                if not self._strategies.accepts(strategy.kind,
+                                                "frequency_oracle"):
+                    raise ScenarioError(
+                        f"strategy {strategy.kind!r} does not accept a "
+                        "frequency oracle; remove the 'sketch' section of "
+                        f"{strategy.label!r}")
+
+    def stream_factory(self):
+        """Return the harness stream factory compiled from the spec.
+
+        The factory builds the trial's base stream from the stream registry
+        and, when an adversary section is present, biases it with the
+        composed attacks (the adversary's Sybil identifiers extend the
+        stream universe through :meth:`Adversary.bias`).
+        """
+        spec = self.spec
+
+        def factory(rng: np.random.Generator) -> IdentifierStream:
+            stream = self._streams.build(spec.stream.kind, spec.stream.params,
+                                         random_state=rng)
+            if spec.adversary is not None:
+                adversary = self._adversaries.build(
+                    spec.adversary.kind, spec.adversary.params,
+                    correct_identifiers=stream.universe, random_state=rng)
+                stream = adversary.bias(stream)
+            return stream
+
+        return factory
+
+    def _strategy_builder(self, strategy: StrategySpec):
+        """Return a ``(stream, rng) -> strategy`` builder for one spec entry."""
+
+        def build(stream: IdentifierStream,
+                  rng: np.random.Generator):
+            context: Dict[str, Any] = {"random_state": rng, "stream": stream}
+            if strategy.sketch is not None:
+                context["frequency_oracle"] = self._sketches.build(
+                    strategy.sketch.kind, strategy.sketch.params,
+                    random_state=rng)
+            return self._strategies.build(strategy.kind, strategy.params,
+                                          **context)
+
+        return build
+
+    def strategy_factories(self) -> Dict[str, Any]:
+        """Return the harness strategy factories, keyed by report label.
+
+        With ``engine.shards`` set, each strategy is wrapped in a
+        :class:`~repro.engine.sharded.ShardedSamplingService` whose shards
+        run independent clones built from per-shard spawned generators.
+        """
+        spec = self.spec
+        factories: Dict[str, Any] = {}
+        for strategy in spec.strategies:
+            inner = self._strategy_builder(strategy)
+            if spec.engine.shards is None:
+                factories[strategy.label] = inner
+                continue
+
+            def sharded(stream: IdentifierStream, rng: np.random.Generator,
+                        *, _inner=inner) -> ShardedSamplingService:
+                def shard_factory(index: int,
+                                  shard_rng: np.random.Generator
+                                  ) -> NodeSamplingService:
+                    return NodeSamplingService(_inner(stream, shard_rng),
+                                               record_output=False)
+                return ShardedSamplingService(spec.engine.shards,
+                                              shard_factory, random_state=rng)
+
+            factories[strategy.label] = sharded
+        return factories
+
+    def compile(self):
+        """Compile a stream scenario into a ready experiment harness."""
+        from repro.experiments.harness import ExperimentHarness
+
+        spec = self.spec
+        if spec.mode != "stream":
+            raise ScenarioError(
+                f"scenario {spec.name!r} is a network scenario; use run() "
+                "or system_simulation()")
+        self.validate()
+        batch_size = (spec.engine.batch_size
+                      if spec.engine.driver == "batch" else None)
+        return ExperimentHarness(
+            self.stream_factory(),
+            self.strategy_factories(),
+            trials=spec.trials,
+            random_state=spec.seed,
+            batch_size=batch_size,
+        )
+
+    def system_config(self) -> SystemConfig:
+        """Build the :class:`SystemConfig` of a network scenario."""
+        network = self.spec.network
+        if network is None:
+            raise ScenarioError(
+                f"scenario {self.spec.name!r} has no network section")
+        return SystemConfig(
+            num_correct=network.num_correct,
+            num_malicious=network.num_malicious,
+            sybil_identifiers_per_malicious=(
+                network.sybil_identifiers_per_malicious),
+            protocol=DisseminationProtocol(network.protocol),
+            rounds=network.rounds,
+            node_config=NodeConfig(
+                memory_size=network.memory_size,
+                sketch_width=network.sketch_width,
+                sketch_depth=network.sketch_depth,
+            ),
+            fanout=network.fanout,
+            malicious_fanout=network.malicious_fanout,
+            batch_delivery=network.batch_delivery,
+        )
+
+    def system_simulation(self, *, random_state=None) -> SystemSimulation:
+        """Build one ready-to-run :class:`SystemSimulation` from the spec."""
+        return SystemSimulation(
+            self.system_config(),
+            random_state=(self.spec.seed
+                          if random_state is None else random_state),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def run(self) -> ScenarioResult:
+        """Execute the scenario and return its serializable result."""
+        if self.spec.mode == "network":
+            return self._run_network()
+        return self._run_stream()
+
+    def _run_stream(self) -> ScenarioResult:
+        spec = self.spec
+        harness = self.compile()
+        result = harness.run()
+        collect = set(spec.metrics.collect)
+        summaries: List[Dict[str, Any]] = []
+        for name, summary in result.summaries().items():
+            row: Dict[str, Any] = {"strategy": name, "trials": summary.trials}
+            if "gain" in collect:
+                row["mean_gain"] = summary.mean_gain
+                row["std_gain"] = summary.std_gain
+            if "divergence" in collect:
+                row["mean_input_divergence"] = summary.mean_input_divergence
+                row["mean_output_divergence"] = summary.mean_output_divergence
+            if "max_frequency" in collect:
+                row["mean_output_max_frequency"] = (
+                    summary.mean_output_max_frequency)
+            summaries.append(row)
+        details: List[Dict[str, Any]] = []
+        for trial in result.trials:
+            row = {"strategy": trial.strategy, "trial": trial.trial,
+                   "stream_size": trial.stream_size}
+            if "gain" in collect:
+                row["gain"] = trial.gain
+            if "divergence" in collect:
+                row["input_divergence"] = trial.input_divergence
+                row["output_divergence"] = trial.output_divergence
+            if "max_frequency" in collect:
+                row["input_max_frequency"] = trial.input_max_frequency
+                row["output_max_frequency"] = trial.output_max_frequency
+            details.append(row)
+        return ScenarioResult(name=spec.name, mode=spec.mode,
+                              summaries=summaries, details=details)
+
+    def _network_rows(self, trial: int, report: SystemReport):
+        collect = set(self.spec.metrics.collect)
+        summary: Dict[str, Any] = {"trial": trial,
+                                   "nodes": len(report.per_node)}
+        if "gain" in collect:
+            summary["mean_gain"] = report.mean_gain
+        if "divergence" in collect:
+            summary["mean_input_divergence"] = report.mean_input_divergence
+            summary["mean_output_divergence"] = report.mean_output_divergence
+        if "malicious_fraction" in collect:
+            summary["mean_malicious_fraction_output"] = (
+                report.mean_malicious_fraction_output)
+        details = []
+        for node in report.per_node:
+            row: Dict[str, Any] = {
+                "trial": trial,
+                "node_id": node.node_id,
+                "stream_length": node.stream_length,
+                "distinct_received": node.distinct_received,
+            }
+            if "gain" in collect:
+                row["gain"] = node.gain
+            if "divergence" in collect:
+                row["input_divergence"] = node.input_divergence
+                row["output_divergence"] = node.output_divergence
+            if "malicious_fraction" in collect:
+                row["malicious_fraction_input"] = node.malicious_fraction_input
+                row["malicious_fraction_output"] = (
+                    node.malicious_fraction_output)
+            details.append(row)
+        return summary, details
+
+    def _run_network(self) -> ScenarioResult:
+        spec = self.spec
+        config = self.system_config()
+        trial_rngs = spawn_children(ensure_rng(spec.seed), spec.trials)
+        summaries: List[Dict[str, Any]] = []
+        details: List[Dict[str, Any]] = []
+        for trial, rng in enumerate(trial_rngs):
+            simulation = SystemSimulation(config, random_state=rng).run()
+            summary, rows = self._network_rows(trial, simulation.report())
+            summaries.append(summary)
+            details.extend(rows)
+        return ScenarioResult(name=spec.name, mode=spec.mode,
+                              summaries=summaries, details=details)
+
+
+def run_scenario(spec, **kwargs) -> ScenarioResult:
+    """One-call convenience: build a runner for ``spec`` and run it."""
+    return ScenarioRunner(spec, **kwargs).run()

@@ -1,0 +1,386 @@
+"""Declarative scenario specifications.
+
+A :class:`ScenarioSpec` is the single description of one experiment of the
+paper's evaluation space: which input stream (or which simulated network)
+feeds the samplers, which strategy ensemble processes it, what the adversary
+does, how the batch engine drives it and which metrics are reported.  Specs
+are plain nested dataclasses that round-trip losslessly through
+``to_dict``/``from_dict`` (and JSON), so a scenario can be stored next to its
+results, shipped to a worker, or committed under ``examples/scenarios/`` —
+and re-running a reloaded spec with the same seed reproduces bit-identical
+results.
+
+The component sections (``stream``, ``sketch``, ``adversary``) reference the
+string keys of the :mod:`repro.scenarios.registry` registries; the
+:class:`~repro.scenarios.runner.ScenarioRunner` resolves and validates them
+at compile time.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.engine.batch import DEFAULT_BATCH_SIZE
+from repro.scenarios.registry import ScenarioError
+from repro.utils.validation import check_positive
+
+#: Engine drivers a spec may request.
+DRIVERS = ("batch", "scalar")
+
+#: Metric groups a spec may collect.
+METRIC_GROUPS = ("gain", "divergence", "max_frequency", "malicious_fraction")
+
+
+def _require_mapping(kind: str, data: Any) -> Dict[str, Any]:
+    if not isinstance(data, dict):
+        raise ScenarioError(
+            f"{kind} section must be a mapping, got {type(data).__name__}")
+    return data
+
+
+def _check_known_keys(kind: str, data: Dict[str, Any],
+                      known: List[str]) -> None:
+    unknown = sorted(set(data) - set(known))
+    if unknown:
+        raise ScenarioError(
+            f"{kind} section has unknown key(s) {', '.join(unknown)}; "
+            f"accepted: {', '.join(known)}")
+
+
+@dataclass
+class ComponentSpec:
+    """One registry-resolved component: a string key plus its parameters."""
+
+    kind: str
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.kind or not isinstance(self.kind, str):
+            raise ScenarioError(
+                f"component kind must be a non-empty string, got {self.kind!r}")
+        self.params = dict(self.params or {})
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Return the JSON-serializable form of the component."""
+        return {"kind": self.kind, "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any],
+                  section: str = "component") -> "ComponentSpec":
+        """Rebuild a component from its :meth:`to_dict` form."""
+        data = _require_mapping(section, data)
+        _check_known_keys(section, data, ["kind", "params"])
+        if "kind" not in data:
+            raise ScenarioError(f"{section} section requires a 'kind' key")
+        return cls(kind=data["kind"], params=dict(data.get("params") or {}))
+
+
+@dataclass
+class StrategySpec:
+    """One member of the scenario's strategy ensemble.
+
+    Attributes
+    ----------
+    kind:
+        Registry key of the strategy builder.
+    params:
+        Builder parameters (``memory_size``, ...).
+    sketch:
+        Optional frequency-oracle component handed to strategies that accept
+        a ``frequency_oracle`` (the sketch-choice ablation axis).
+    label:
+        Name used in reports; defaults to ``kind``.
+    """
+
+    kind: str
+    params: Dict[str, Any] = field(default_factory=dict)
+    sketch: Optional[ComponentSpec] = None
+    label: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.kind or not isinstance(self.kind, str):
+            raise ScenarioError(
+                f"strategy kind must be a non-empty string, got {self.kind!r}")
+        self.params = dict(self.params or {})
+        if self.label is None:
+            self.label = self.kind
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Return the JSON-serializable form of the strategy entry."""
+        data: Dict[str, Any] = {"kind": self.kind, "params": dict(self.params),
+                                "label": self.label}
+        if self.sketch is not None:
+            data["sketch"] = self.sketch.to_dict()
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "StrategySpec":
+        """Rebuild a strategy entry from its :meth:`to_dict` form."""
+        data = _require_mapping("strategy", data)
+        _check_known_keys("strategy", data,
+                          ["kind", "params", "sketch", "label"])
+        if "kind" not in data:
+            raise ScenarioError("strategy section requires a 'kind' key")
+        sketch = data.get("sketch")
+        return cls(
+            kind=data["kind"],
+            params=dict(data.get("params") or {}),
+            sketch=(ComponentSpec.from_dict(sketch, "sketch")
+                    if sketch is not None else None),
+            label=data.get("label"),
+        )
+
+
+@dataclass
+class NetworkSpec:
+    """System-simulation section: overlay dissemination feeds the samplers.
+
+    Mirrors :class:`~repro.network.simulator.SystemConfig` plus the per-node
+    sampling-service dimensions; when present, the scenario runs the
+    end-to-end :class:`~repro.network.simulator.SystemSimulation` instead of
+    a synthetic stream.
+    """
+
+    protocol: str = "gossip"
+    num_correct: int = 50
+    num_malicious: int = 5
+    sybil_identifiers_per_malicious: int = 1
+    rounds: int = 50
+    fanout: int = 3
+    malicious_fanout: int = 6
+    memory_size: int = 10
+    sketch_width: int = 10
+    sketch_depth: int = 5
+    batch_delivery: bool = True
+
+    def __post_init__(self) -> None:
+        if self.protocol not in ("gossip", "random-walk"):
+            raise ScenarioError(
+                f"network protocol must be 'gossip' or 'random-walk', "
+                f"got {self.protocol!r}")
+        check_positive("num_correct", self.num_correct)
+        if self.num_malicious < 0:
+            raise ScenarioError("num_malicious must be non-negative")
+        check_positive("rounds", self.rounds)
+        check_positive("memory_size", self.memory_size)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Return the JSON-serializable form of the network section."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "NetworkSpec":
+        """Rebuild a network section from its :meth:`to_dict` form."""
+        data = _require_mapping("network", data)
+        _check_known_keys("network", data,
+                          [f.name for f in cls.__dataclass_fields__.values()])
+        return cls(**data)
+
+
+@dataclass
+class EngineSpec:
+    """How the scenario is executed: driver, chunk size, optional sharding."""
+
+    driver: str = "batch"
+    batch_size: int = DEFAULT_BATCH_SIZE
+    shards: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.driver not in DRIVERS:
+            raise ScenarioError(
+                f"engine driver must be one of {', '.join(DRIVERS)}, "
+                f"got {self.driver!r}")
+        check_positive("batch_size", self.batch_size)
+        if self.shards is not None:
+            check_positive("shards", self.shards)
+            if self.driver != "batch":
+                raise ScenarioError(
+                    "sharded scenarios require the batch driver")
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Return the JSON-serializable form of the engine section."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "EngineSpec":
+        """Rebuild an engine section from its :meth:`to_dict` form."""
+        data = _require_mapping("engine", data)
+        _check_known_keys("engine", data, ["driver", "batch_size", "shards"])
+        return cls(**data)
+
+
+@dataclass
+class MetricsSpec:
+    """Which metric groups the scenario report includes."""
+
+    collect: List[str] = field(
+        default_factory=lambda: ["gain", "divergence", "max_frequency"])
+
+    def __post_init__(self) -> None:
+        unknown = sorted(set(self.collect) - set(METRIC_GROUPS))
+        if unknown:
+            raise ScenarioError(
+                f"unknown metric group(s) {', '.join(unknown)}; "
+                f"accepted: {', '.join(METRIC_GROUPS)}")
+        if not self.collect:
+            raise ScenarioError("metrics.collect must not be empty")
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Return the JSON-serializable form of the metrics section."""
+        return {"collect": list(self.collect)}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "MetricsSpec":
+        """Rebuild a metrics section from its :meth:`to_dict` form.
+
+        A metrics section without a ``collect`` key falls back to the
+        default metric groups, matching an omitted metrics section; an
+        explicit empty list is still rejected by ``__post_init__``.
+        """
+        data = _require_mapping("metrics", data)
+        _check_known_keys("metrics", data, ["collect"])
+        if "collect" not in data:
+            return cls()
+        return cls(collect=list(data["collect"]))
+
+
+@dataclass
+class ScenarioSpec:
+    """A complete, serializable description of one experiment.
+
+    Exactly one of two modes applies:
+
+    * **stream mode** (``network is None``) — a synthetic/trace stream,
+      optionally biased by an adversary, processed by every strategy in the
+      ensemble over ``trials`` independent repetitions;
+    * **network mode** (``network`` set) — the end-to-end system simulation,
+      whose per-node sampler outputs are reported.
+
+    ``seed`` is the master random seed: per-trial generators are spawned
+    from it, so re-running the same spec (even after a JSON round-trip)
+    reproduces bit-identical results.
+    """
+
+    name: str
+    seed: int = 2013
+    trials: int = 1
+    stream: Optional[ComponentSpec] = None
+    strategies: List[StrategySpec] = field(default_factory=list)
+    adversary: Optional[ComponentSpec] = None
+    network: Optional[NetworkSpec] = None
+    engine: EngineSpec = field(default_factory=EngineSpec)
+    metrics: MetricsSpec = field(default_factory=MetricsSpec)
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise ScenarioError(
+                f"scenario name must be a non-empty string, got {self.name!r}")
+        check_positive("trials", self.trials)
+        if self.network is None:
+            if self.stream is None:
+                raise ScenarioError(
+                    f"scenario {self.name!r} needs a stream section "
+                    "(or a network section)")
+            if not self.strategies:
+                raise ScenarioError(
+                    f"scenario {self.name!r} needs at least one strategy")
+            labels = [strategy.label for strategy in self.strategies]
+            if len(set(labels)) != len(labels):
+                raise ScenarioError(
+                    f"scenario {self.name!r} has duplicate strategy labels; "
+                    "set distinct 'label' fields")
+        else:
+            if self.stream is not None or self.adversary is not None:
+                raise ScenarioError(
+                    f"scenario {self.name!r} is a network scenario; the "
+                    "dissemination protocol generates the streams, so "
+                    "stream/adversary sections are not allowed")
+            if self.strategies:
+                raise ScenarioError(
+                    f"scenario {self.name!r} is a network scenario; per-node "
+                    "samplers are configured through the network section")
+
+    @property
+    def mode(self) -> str:
+        """``"network"`` when a network section is present, else ``"stream"``."""
+        return "network" if self.network is not None else "stream"
+
+    # ------------------------------------------------------------------ #
+    # Serialization
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, Any]:
+        """Return the JSON-serializable form of the whole scenario."""
+        data: Dict[str, Any] = {
+            "name": self.name,
+            "seed": self.seed,
+            "trials": self.trials,
+            "engine": self.engine.to_dict(),
+            "metrics": self.metrics.to_dict(),
+        }
+        if self.network is not None:
+            data["network"] = self.network.to_dict()
+        else:
+            data["stream"] = self.stream.to_dict()
+            data["strategies"] = [strategy.to_dict()
+                                  for strategy in self.strategies]
+            if self.adversary is not None:
+                data["adversary"] = self.adversary.to_dict()
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ScenarioSpec":
+        """Rebuild a scenario from its :meth:`to_dict` form (strictly)."""
+        data = _require_mapping("scenario", data)
+        _check_known_keys("scenario", data,
+                          ["name", "seed", "trials", "stream", "strategies",
+                           "adversary", "network", "engine", "metrics"])
+        if "name" not in data:
+            raise ScenarioError("scenario requires a 'name' key")
+        stream = data.get("stream")
+        adversary = data.get("adversary")
+        network = data.get("network")
+        strategies = data.get("strategies") or []
+        if not isinstance(strategies, list):
+            raise ScenarioError("'strategies' must be a list")
+        return cls(
+            name=data["name"],
+            seed=int(data.get("seed", 2013)),
+            trials=int(data.get("trials", 1)),
+            stream=(ComponentSpec.from_dict(stream, "stream")
+                    if stream is not None else None),
+            strategies=[StrategySpec.from_dict(entry) for entry in strategies],
+            adversary=(ComponentSpec.from_dict(adversary, "adversary")
+                       if adversary is not None else None),
+            network=(NetworkSpec.from_dict(network)
+                     if network is not None else None),
+            engine=(EngineSpec.from_dict(data["engine"])
+                    if "engine" in data else EngineSpec()),
+            metrics=(MetricsSpec.from_dict(data["metrics"])
+                     if "metrics" in data else MetricsSpec()),
+        )
+
+    def to_json(self, *, indent: int = 2) -> str:
+        """Serialize the scenario to a JSON string."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSpec":
+        """Parse a scenario from a JSON string."""
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise ScenarioError(f"invalid scenario JSON: {error}") from error
+        return cls.from_dict(data)
+
+    def save(self, path) -> None:
+        """Write the scenario as JSON to ``path``."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json() + "\n")
+
+    @classmethod
+    def load(cls, path) -> "ScenarioSpec":
+        """Read a scenario from a JSON file at ``path``."""
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_json(handle.read())

@@ -13,7 +13,7 @@ strategy.
 from __future__ import annotations
 
 import math
-from typing import Iterable
+from typing import Iterable, Tuple
 
 import numpy as np
 
@@ -38,6 +38,33 @@ def _mix64(value: int) -> int:
     value = (value ^ (value >> 30)) * 0xBF58476D1CE4E5B9 & _MASK_64
     value = (value ^ (value >> 27)) * 0x94D049BB133111EB & _MASK_64
     return value ^ (value >> 31)
+
+
+def _mix64_batch(values: np.ndarray) -> np.ndarray:
+    """Vectorised :func:`_mix64` over a ``uint64`` array (wrapping multiply)."""
+    values = values.astype(np.uint64, copy=True)
+    values ^= values >> np.uint64(30)
+    values *= np.uint64(0xBF58476D1CE4E5B9)
+    values ^= values >> np.uint64(27)
+    values *= np.uint64(0x94D049BB133111EB)
+    return values ^ (values >> np.uint64(31))
+
+
+def _bit_lengths(values: np.ndarray) -> np.ndarray:
+    """Exact vectorised ``int.bit_length`` for a non-negative ``uint64`` array.
+
+    Six shift-and-mask passes; stays in integer arithmetic because float
+    logarithms are inexact near powers of two (and values may exceed the
+    53-bit float mantissa).
+    """
+    values = values.astype(np.uint64, copy=True)
+    lengths = np.zeros(values.shape, dtype=np.int64)
+    for shift in (32, 16, 8, 4, 2, 1):
+        mask = values >= np.uint64(1 << shift)
+        lengths[mask] += shift
+        values[mask] >>= np.uint64(shift)
+    lengths[values > 0] += 1
+    return lengths
 
 
 def _alpha(num_registers: int) -> float:
@@ -101,6 +128,38 @@ class HyperLogLog:
         """Record a batch of occurrences."""
         for item in items:
             self.update(item)
+
+    def hash_batch(self, items) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorised ``(register index, rank)`` for a batch of identifiers.
+
+        ``registers[indices[i]] = max(registers[indices[i]], ranks[i])`` is
+        exactly the state change :meth:`update` applies for ``items[i]`` —
+        bit-identical to the scalar computation, which is what lets chunked
+        consumers (the adaptive strategy's epoch scan) interleave register
+        updates with per-element decisions.
+        """
+        items = np.atleast_1d(np.asarray(items))
+        hashed = self._hash_function.hash_many(items).astype(np.uint64)
+        mixed = (_mix64_batch(hashed)
+                 & np.uint64((1 << self.HASH_BITS) - 1))
+        remaining_bits = self.HASH_BITS - self.precision
+        indices = (mixed >> np.uint64(remaining_bits)).astype(np.int64)
+        remaining = mixed & np.uint64((1 << remaining_bits) - 1)
+        ranks = remaining_bits - _bit_lengths(remaining) + 1
+        return indices, ranks
+
+    def update_batch(self, items) -> None:
+        """Record a batch of occurrences with amortised vectorised hashing.
+
+        Equivalent to calling :meth:`update` once per item — register maxima
+        commute, so the final sketch state is identical.
+        """
+        items = np.atleast_1d(np.asarray(items))
+        if items.size == 0:
+            return
+        indices, ranks = self.hash_batch(items)
+        np.maximum.at(self._registers, indices, ranks.astype(np.uint8))
+        self._total += int(items.size)
 
     def estimate(self) -> float:
         """Return the estimated number of distinct identifiers seen."""

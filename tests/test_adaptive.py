@@ -84,3 +84,70 @@ class TestAdaptiveKnowledgeFreeStrategy:
 
     def test_name(self):
         assert AdaptiveKnowledgeFreeStrategy(5).name == "adaptive-knowledge-free"
+
+
+class TestEpochSplitBatchPath:
+    """The chunk-level epoch scan is bit-identical to the scalar loop.
+
+    The adaptive strategy used to fall back to the generic per-element loop
+    because it overrides ``_admit``; the dedicated batch path splits chunks
+    at epoch boundaries instead, and must reproduce the scalar path exactly
+    — including *where* each regrowth happens.
+    """
+
+    def _factory(self, seed=5):
+        return AdaptiveKnowledgeFreeStrategy(
+            12, initial_sketch_width=8, sketch_depth=4, load_factor=2.0,
+            random_state=seed)
+
+    def test_outputs_and_epochs_match_scalar_across_growths(self):
+        import numpy as np
+        from repro.engine import run_stream, run_stream_scalar
+
+        stream = uniform_stream(20_000, 2_000, random_state=11)
+        scalar = self._factory()
+        batch = self._factory()
+        scalar_result = run_stream_scalar(scalar, stream)
+        batch_result = run_stream(batch, stream, batch_size=1024)
+        assert scalar.epoch >= 3  # the scan crossed several boundaries
+        assert np.array_equal(scalar_result.outputs, batch_result.outputs)
+        assert scalar.epoch_widths == batch.epoch_widths
+        assert scalar.memory == batch.memory
+        assert np.array_equal(scalar.frequency_oracle.table,
+                              batch.frequency_oracle.table)
+        assert scalar.estimated_distinct() == batch.estimated_distinct()
+
+    def test_chunk_size_invariance(self):
+        import numpy as np
+        from repro.engine import run_stream
+
+        stream = uniform_stream(8_000, 900, random_state=13)
+        reference = run_stream(self._factory(), stream, batch_size=4096)
+        for batch_size in (1, 13, 777, 8000):
+            result = run_stream(self._factory(), stream,
+                                batch_size=batch_size)
+            assert np.array_equal(reference.outputs,
+                                  result.outputs), batch_size
+
+    def test_width_cap_respected_in_batch_path(self):
+        from repro.engine import run_stream
+
+        strategy = AdaptiveKnowledgeFreeStrategy(
+            5, initial_sketch_width=8, load_factor=1.0, max_width=32,
+            random_state=3)
+        run_stream(strategy, uniform_stream(4_000, 1_000, random_state=3),
+                   batch_size=512)
+        assert strategy.current_width <= 32
+
+    def test_subclasses_fall_back_to_generic_loop(self):
+        import numpy as np
+        from repro.engine import run_stream, run_stream_scalar
+
+        class Tweaked(AdaptiveKnowledgeFreeStrategy):
+            def _admit(self, identifier):
+                super()._admit(identifier)
+
+        stream = uniform_stream(3_000, 400, random_state=9)
+        scalar = run_stream_scalar(Tweaked(8, random_state=1), stream)
+        batch = run_stream(Tweaked(8, random_state=1), stream, batch_size=256)
+        assert np.array_equal(scalar.outputs, batch.outputs)

@@ -6,7 +6,8 @@ import numpy as np
 import pytest
 
 from repro.core.baselines import FullMemorySampler, MinWiseSampler, ReservoirSampler
-from repro.streams import peak_attack_stream, uniform_stream
+from repro.engine import run_stream, run_stream_scalar
+from repro.streams import peak_attack_stream, uniform_stream, zipf_stream
 
 
 class TestMinWiseSampler:
@@ -84,6 +85,66 @@ class TestReservoirSampler:
         for identifier in range(100):
             sampler.process(identifier)
             assert len(sampler.memory) <= 3
+
+
+class TestVectorisedBatchPaths:
+    """The min-wise / reservoir chunk processors are bit-identical to scalar.
+
+    The generic scalar-equals-batch regression lives in test_engine_batch;
+    these tests additionally pin the *internal* state (memory content, slot
+    bookkeeping) and the chunk-size invariance of the dedicated fast paths.
+    """
+
+    STREAM = zipf_stream(6_000, 800, alpha=1.3, random_state=21)
+
+    @pytest.mark.parametrize("factory", [
+        lambda: MinWiseSampler(12, random_state=5),
+        lambda: ReservoirSampler(12, random_state=5),
+    ], ids=["minwise", "reservoir"])
+    def test_state_matches_scalar_path(self, factory):
+        scalar = factory()
+        batch = factory()
+        scalar_result = run_stream_scalar(scalar, self.STREAM)
+        batch_result = run_stream(batch, self.STREAM, batch_size=512)
+        assert np.array_equal(scalar_result.outputs, batch_result.outputs)
+        assert scalar.memory == batch.memory
+        assert scalar._memory_set == batch._memory_set
+        assert scalar.elements_processed == batch.elements_processed
+
+    def test_minwise_slot_bookkeeping_matches_scalar(self):
+        scalar = MinWiseSampler(8, random_state=3)
+        batch = MinWiseSampler(8, random_state=3)
+        run_stream_scalar(scalar, self.STREAM)
+        run_stream(batch, self.STREAM, batch_size=333)
+        assert scalar._best_values == batch._best_values
+        assert scalar._best_identifiers == batch._best_identifiers
+        assert scalar._slot_positions == batch._slot_positions
+        assert scalar._member_counts == batch._member_counts
+
+    @pytest.mark.parametrize("factory", [
+        lambda: MinWiseSampler(10, random_state=7),
+        lambda: ReservoirSampler(10, random_state=7),
+    ], ids=["minwise", "reservoir"])
+    def test_chunk_size_invariance(self, factory):
+        reference = run_stream(factory(), self.STREAM, batch_size=2048)
+        for batch_size in (1, 7, 97, 1000):
+            result = run_stream(factory(), self.STREAM, batch_size=batch_size)
+            assert np.array_equal(reference.outputs, result.outputs), batch_size
+
+    def test_subclasses_fall_back_to_generic_loop(self):
+        class TweakedReservoir(ReservoirSampler):
+            def _admit(self, identifier):
+                super()._admit(identifier)
+
+        scalar = run_stream_scalar(TweakedReservoir(6, random_state=2),
+                                   self.STREAM.identifiers[:2000])
+        batch = run_stream(TweakedReservoir(6, random_state=2),
+                           self.STREAM.identifiers[:2000], batch_size=128)
+        assert np.array_equal(scalar.outputs, batch.outputs)
+
+    def test_empty_chunk(self):
+        assert MinWiseSampler(4, random_state=0).process_batch([]).size == 0
+        assert ReservoirSampler(4, random_state=0).process_batch([]).size == 0
 
 
 class TestFullMemorySampler:

@@ -83,3 +83,58 @@ class TestMain:
         assert main(["figure12", "--scale", "0.002", "--trials", "1",
                      "--seed", "4"]) == 0
         assert "ClarkNet" in capsys.readouterr().out
+
+
+class TestRunCommand:
+    """The `repro run` scenario entry point."""
+
+    def _write_spec(self, tmp_path):
+        from repro.scenarios import ScenarioSpec
+        spec = ScenarioSpec.from_dict({
+            "name": "cli-smoke",
+            "seed": 3,
+            "trials": 1,
+            "stream": {"kind": "zipf",
+                       "params": {"stream_size": 2000,
+                                  "population_size": 100, "alpha": 4}},
+            "strategies": [{"kind": "knowledge-free",
+                            "params": {"memory_size": 5, "sketch_width": 8,
+                                       "sketch_depth": 3}}],
+        })
+        path = tmp_path / "scenario.json"
+        spec.save(path)
+        return path
+
+    def test_run_prints_summary_table(self, tmp_path, capsys):
+        assert main(["run", str(self._write_spec(tmp_path))]) == 0
+        output = capsys.readouterr().out
+        assert "cli-smoke" in output
+        assert "mean_gain" in output
+
+    def test_run_json_output_round_trips(self, tmp_path, capsys):
+        import json
+        assert main(["run", str(self._write_spec(tmp_path)), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["name"] == "cli-smoke"
+        assert payload["summaries"][0]["strategy"] == "knowledge-free"
+
+    def test_run_overrides_trials_and_seed(self, tmp_path, capsys):
+        assert main(["run", str(self._write_spec(tmp_path)),
+                     "--trials", "2", "--seed", "9", "--details"]) == 0
+        output = capsys.readouterr().out
+        assert "trials=2" in output
+        assert "seed=9" in output
+
+    def test_run_components_listing(self, capsys):
+        assert main(["run", "--components"]) == 0
+        output = capsys.readouterr().out
+        assert "strategies:" in output
+        assert "knowledge-free" in output
+
+    def test_run_without_spec_errors(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run"])
+
+    def test_list_mentions_run(self, capsys):
+        assert main(["list"]) == 0
+        assert "run <scenario.json>" in capsys.readouterr().out

@@ -1,5 +1,7 @@
 """Tests for repro.network.simulator (the end-to-end SystemSimulation)."""
 
+from dataclasses import replace
+
 import pytest
 
 from repro.network.node import NodeConfig
@@ -79,3 +81,42 @@ class TestSystemSimulation:
         assert report.mean_input_divergence == 0.0
         assert report.mean_output_divergence == 0.0
         assert report.mean_malicious_fraction_output == 0.0
+
+
+class TestBatchDeliveryEquivalence:
+    """Batch ingestion must reproduce the scalar delivery path exactly.
+
+    The simulator now feeds each node's sampling service one chunk per round
+    through ``on_receive_batch``; because the engine's batch processing is
+    bit-identical to per-element processing for the same coins, the whole
+    simulation — per-node input streams, sampler outputs and uniformity
+    reports — must match per-element delivery bit for bit.
+    """
+
+    @pytest.mark.parametrize("protocol", [DisseminationProtocol.GOSSIP,
+                                          DisseminationProtocol.RANDOM_WALK])
+    def test_reports_and_streams_match_scalar_path(self, protocol):
+        base = SystemConfig(num_correct=12, num_malicious=3, rounds=12,
+                            protocol=protocol,
+                            sybil_identifiers_per_malicious=2,
+                            node_config=NodeConfig(memory_size=5,
+                                                   sketch_width=8,
+                                                   sketch_depth=3))
+        batch = SystemSimulation(replace(base, batch_delivery=True),
+                                 random_state=42).run()
+        scalar = SystemSimulation(replace(base, batch_delivery=False),
+                                  random_state=42).run()
+        batch_report = batch.report()
+        scalar_report = scalar.report()
+        assert len(batch_report.per_node) == len(scalar_report.per_node)
+        for batch_node, scalar_node in zip(batch_report.per_node,
+                                           scalar_report.per_node):
+            assert batch_node == scalar_node
+        for node_id in batch.engine.correct_ids:
+            assert (batch.engine.input_stream_of(node_id).identifiers
+                    == scalar.engine.input_stream_of(node_id).identifiers)
+            assert (batch.engine.output_stream_of(node_id).identifiers
+                    == scalar.engine.output_stream_of(node_id).identifiers)
+
+    def test_batch_delivery_is_the_default(self):
+        assert SystemConfig().batch_delivery is True
