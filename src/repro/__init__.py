@@ -76,11 +76,13 @@ from repro.scenarios import (
     ScenarioResult,
     ScenarioRunner,
     ScenarioSpec,
+    SweepResult,
     register_adversary,
     register_sketch,
     register_strategy,
     register_stream,
     run_scenario,
+    run_sweep,
 )
 from repro.sketches import CountMinSketch, ExactFrequencyCounter
 from repro.streams import (
@@ -113,7 +115,9 @@ __all__ = [
     "ScenarioSpec",
     "ScenarioRunner",
     "ScenarioResult",
+    "SweepResult",
     "run_scenario",
+    "run_sweep",
     "register_strategy",
     "register_stream",
     "register_sketch",

@@ -51,10 +51,20 @@ def _cmd_run(arguments: argparse.Namespace) -> None:
     overrides = {}
     if arguments.trials is not None:
         overrides["trials"] = arguments.trials
+        if spec.sweep is not None and spec.sweep.trials is not None:
+            # the sweep's per-point trial count would silently shadow the
+            # explicit flag otherwise
+            overrides["sweep"] = replace(spec.sweep, trials=arguments.trials)
     if arguments.seed is not None:
         overrides["seed"] = arguments.seed
     if overrides:
         spec = replace(spec, **overrides)
+    if spec.sweep is not None:
+        _run_sweep_spec(spec, arguments)
+        return
+    if arguments.sweep_summary:
+        raise SystemExit("repro run: --sweep-summary needs a scenario with "
+                         "a sweep section")
     result = ScenarioRunner(spec).run()
     if arguments.json:
         print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
@@ -65,6 +75,29 @@ def _cmd_run(arguments: argparse.Namespace) -> None:
     if arguments.details:
         print()
         print(format_table(result.details))
+
+
+def _run_sweep_spec(spec, arguments: argparse.Namespace) -> None:
+    """Execute a sweep-carrying scenario and print its family of results."""
+    from repro.scenarios import ScenarioRunner
+
+    sweep = ScenarioRunner(spec).run_sweep()
+    if arguments.json:
+        print(json.dumps(sweep.to_dict(), indent=2, sort_keys=True))
+        return
+    print(f"scenario sweep: {sweep.name} "
+          f"({spec.mode} mode, axis {sweep.parameter}, "
+          f"{len(sweep.points)} points, seed={spec.seed})")
+    if arguments.sweep_summary:
+        print(format_table(sweep.summary_rows()))
+        return
+    for point in sweep.points:
+        print()
+        print(f"{sweep.label} = {point.value}")
+        print(format_table(point.result.summaries))
+        if arguments.details:
+            print()
+            print(format_table(point.result.details))
 
 
 def _cmd_throughput(arguments: argparse.Namespace) -> None:
@@ -257,6 +290,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="print the full result as JSON instead of tables")
     run.add_argument("--details", action="store_true",
                      help="also print the per-trial / per-node rows")
+    run.add_argument("--sweep-summary", action="store_true",
+                     help="condense a sweep into one row per (value, "
+                          "strategy) instead of one block per point")
     run.add_argument("--components", action="store_true",
                      help="list the registered scenario components and exit")
     run.set_defaults(handler=_cmd_run)

@@ -134,15 +134,30 @@ class NodeSamplingService:
         """Return a uniformly chosen node identifier — the service primitive."""
         return self.strategy.sample()
 
-    def sample_many(self, count: int) -> List[int]:
-        """Return ``count`` independent samples from the service."""
+    def sample_many(self, count: int, *, strict: bool = True) -> List[int]:
+        """Return ``count`` independent samples from the service.
+
+        With ``strict`` (the default) a service whose sampling memory is
+        empty raises ``RuntimeError`` instead of silently returning fewer
+        than ``count`` samples; pass ``strict=False`` to accept the partial
+        (possibly empty) list.  Mirrors
+        :meth:`repro.engine.sharded.ShardedSamplingService.sample_many` so
+        the two contracts cannot drift apart.
+        """
         if count <= 0:
             raise ValueError(f"count must be positive, got {count}")
-        samples = []
+        samples: List[int] = []
         for _ in range(count):
             sample = self.sample()
-            if sample is not None:
-                samples.append(sample)
+            if sample is None:
+                if strict:
+                    raise RuntimeError(
+                        f"sample_many({count}) produced only {len(samples)} "
+                        "sample(s): the sampling memory is empty (has the "
+                        "service received any traffic?); pass strict=False "
+                        "to accept a partial result")
+                break
+            samples.append(sample)
         return samples
 
     # ------------------------------------------------------------------ #

@@ -145,14 +145,30 @@ class ShardedSamplingService:
             del candidates[index]
         return None
 
-    def sample_many(self, count: int) -> List[int]:
-        """Return ``count`` independent samples from the ensemble."""
+    def sample_many(self, count: int, *, strict: bool = True) -> List[int]:
+        """Return ``count`` independent samples from the ensemble.
+
+        Every shard draws from its own sampling memory, so an ensemble that
+        has received no traffic (or whose custom strategies all hold empty
+        memories) cannot produce a sample.  With ``strict`` (the default)
+        that shortfall raises ``RuntimeError`` instead of silently returning
+        fewer than ``count`` samples — a short list would skew any
+        uniformity statistic computed over it.  Pass ``strict=False`` to get
+        the partial list (possibly empty) when a best-effort drain is wanted.
+        """
         check_positive("count", count)
-        samples = []
+        samples: List[int] = []
         for _ in range(count):
             sample = self.sample()
-            if sample is not None:
-                samples.append(sample)
+            if sample is None:
+                if strict:
+                    raise RuntimeError(
+                        f"sample_many({count}) produced only {len(samples)} "
+                        f"sample(s): every shard's sampling memory is empty "
+                        "(has the ensemble received any traffic?); pass "
+                        "strict=False to accept a partial result")
+                break
+            samples.append(sample)
         return samples
 
     # ------------------------------------------------------------------ #

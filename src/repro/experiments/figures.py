@@ -12,6 +12,8 @@ experiments; pass the paper's parameters to reproduce them at full scale.
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -24,20 +26,11 @@ from repro.analysis.urns import (
 )
 from repro.core.knowledge_free import KnowledgeFreeStrategy
 from repro.core.omniscient import OmniscientStrategy
-from repro.experiments.harness import (
-    ExperimentHarness,
-    ExperimentResult,
-    default_strategy_factories,
-)
-from repro.metrics.divergence import kl_divergence_to_uniform, kl_gain
+from repro.metrics.divergence import kl_divergence_to_uniform
 from repro.streams.generators import (
     peak_attack_stream,
-    peak_stream,
     poisson_arrival_stream,
     poisson_attack_stream,
-    truncated_poisson_stream,
-    uniform_stream,
-    zipf_stream,
 )
 from repro.streams.oracle import StreamOracle
 from repro.streams.stream import IdentifierStream
@@ -45,6 +38,37 @@ from repro.streams.traces import PAPER_TRACES, SyntheticTrace, paper_trace_table
 from repro.utils.rng import RandomState, ensure_rng, spawn_children
 
 Series = Dict[str, List[Tuple[float, float]]]
+
+#: The bundled scenario templates the gain-sweep figures are declared in.
+SCENARIO_TEMPLATE_DIR = (
+    Path(__file__).resolve().parents[3] / "examples" / "scenarios")
+
+
+def _load_figure_template(filename: str) -> Dict[str, object]:
+    """Load one of the bundled figure sweep templates as a plain dict."""
+    path = SCENARIO_TEMPLATE_DIR / filename
+    try:
+        text = path.read_text(encoding="utf-8")
+    except FileNotFoundError:
+        raise FileNotFoundError(
+            f"figure scenario template {path} not found; the gain-sweep "
+            "figures are data-driven and need the bundled examples/scenarios "
+            "directory next to the source tree") from None
+    return json.loads(text)
+
+
+def _run_figure_sweep(data: Dict[str, object], *,
+                      random_state: RandomState) -> Series:
+    """Run a figure's sweep spec and return the legacy per-strategy series.
+
+    The master generator flows through every sweep point exactly as the
+    retired per-figure driver loops did, so a figure regenerated from its
+    template is bit-identical to the loop it replaced.
+    """
+    from repro.scenarios import ScenarioRunner, ScenarioSpec
+
+    runner = ScenarioRunner(ScenarioSpec.from_dict(data))
+    return runner.run_sweep(random_state=ensure_rng(random_state)).series()
 
 
 # ---------------------------------------------------------------------- #
@@ -309,28 +333,26 @@ def figure7b(stream_size: int = 100_000, population_size: int = 1_000, *,
 
 
 # ---------------------------------------------------------------------- #
-# Figures 8-11 — KL gain sweeps
+# Figures 8-11 — KL gain sweeps (declared as scenario templates)
 # ---------------------------------------------------------------------- #
-def _gain_sweep(parameter_values: Sequence,
-                stream_for, *,
-                memory_size: int, sketch_width: int, sketch_depth: int,
-                trials: int, random_state: RandomState) -> Series:
-    """Shared machinery of Figures 8-10: sweep a parameter, report mean gains."""
-    rng = ensure_rng(random_state)
-    series: Series = {"knowledge-free": [], "omniscient": []}
-    for value in parameter_values:
-        harness = ExperimentHarness(
-            stream_factory=lambda trial_rng, value=value: stream_for(value,
-                                                                     trial_rng),
-            strategy_factories=default_strategy_factories(
-                memory_size, sketch_width, sketch_depth),
-            trials=trials,
-            random_state=rng,
-        )
-        result = harness.run()
-        for name in series:
-            series[name].append((float(value), result.mean_gain(name)))
-    return series
+# Each of these figures is one-axis data: a ScenarioSpec with a sweep
+# section, stored under examples/scenarios/, executed by
+# ScenarioRunner.run_sweep.  The functions below only apply the caller's
+# size overrides to the template before running it.
+
+def _override_strategies(data: Dict[str, object], *,
+                         memory_size: Optional[int] = None,
+                         sketch_width: Optional[int] = None,
+                         sketch_depth: Optional[int] = None) -> None:
+    """Apply memory/sketch size overrides to a template's strategy list."""
+    for strategy in data["strategies"]:
+        if memory_size is not None:
+            strategy["params"]["memory_size"] = int(memory_size)
+        if strategy["kind"] == "knowledge-free":
+            if sketch_width is not None:
+                strategy["params"]["sketch_width"] = int(sketch_width)
+            if sketch_depth is not None:
+                strategy["params"]["sketch_depth"] = int(sketch_depth)
 
 
 def figure8(population_sizes: Sequence[int] = (10, 30, 100, 300, 1000), *,
@@ -341,16 +363,18 @@ def figure8(population_sizes: Sequence[int] = (10, 30, 100, 300, 1000), *,
     """Figure 8: gain ``G_KL`` as a function of the population size ``n``.
 
     The input stream is biased by a peak attack (the "Zipfian alpha=4" bias
-    of the paper); settings m=100,000, k=10, c=10, s=17.
+    of the paper); settings m=100,000, k=10, c=10, s=17.  Declared as the
+    ``figure8_gain_vs_n.json`` sweep template.
     """
-    def stream_for(population_size: int, rng) -> IdentifierStream:
-        return peak_attack_stream(stream_size, int(population_size),
-                                  peak_fraction=peak_fraction,
-                                  random_state=rng)
-
-    return _gain_sweep(population_sizes, stream_for, memory_size=memory_size,
-                       sketch_width=sketch_width, sketch_depth=sketch_depth,
-                       trials=trials, random_state=random_state)
+    data = _load_figure_template("figure8_gain_vs_n.json")
+    data["trials"] = int(trials)
+    data["stream"]["params"]["stream_size"] = int(stream_size)
+    data["stream"]["params"]["peak_fraction"] = float(peak_fraction)
+    _override_strategies(data, memory_size=memory_size,
+                         sketch_width=sketch_width,
+                         sketch_depth=sketch_depth)
+    data["sweep"]["values"] = [int(value) for value in population_sizes]
+    return _run_figure_sweep(data, random_state=random_state)
 
 
 def figure9(stream_sizes: Sequence[int] = (10_000, 30_000, 100_000, 300_000,
@@ -361,16 +385,18 @@ def figure9(stream_sizes: Sequence[int] = (10_000, 30_000, 100_000, 300_000,
             random_state: RandomState = None) -> Series:
     """Figure 9: gain ``G_KL`` as a function of the stream size ``m``.
 
-    Peak-attack bias, paper settings n=1,000, k=10, c=10, s=17.
+    Peak-attack bias, paper settings n=1,000, k=10, c=10, s=17.  Declared as
+    the ``figure9_gain_vs_m.json`` sweep template.
     """
-    def stream_for(stream_size: int, rng) -> IdentifierStream:
-        return peak_attack_stream(int(stream_size), population_size,
-                                  peak_fraction=peak_fraction,
-                                  random_state=rng)
-
-    return _gain_sweep(stream_sizes, stream_for, memory_size=memory_size,
-                       sketch_width=sketch_width, sketch_depth=sketch_depth,
-                       trials=trials, random_state=random_state)
+    data = _load_figure_template("figure9_gain_vs_m.json")
+    data["trials"] = int(trials)
+    data["stream"]["params"]["population_size"] = int(population_size)
+    data["stream"]["params"]["peak_fraction"] = float(peak_fraction)
+    _override_strategies(data, memory_size=memory_size,
+                         sketch_width=sketch_width,
+                         sketch_depth=sketch_depth)
+    data["sweep"]["values"] = [int(value) for value in stream_sizes]
+    return _run_figure_sweep(data, random_state=random_state)
 
 
 def figure10a(memory_sizes: Sequence[int] = (10, 50, 100, 300, 500, 700, 1000),
@@ -378,45 +404,39 @@ def figure10a(memory_sizes: Sequence[int] = (10, 50, 100, 300, 500, 700, 1000),
               sketch_width: int = 10, sketch_depth: int = 17,
               peak_fraction: float = 0.5, trials: int = 3,
               random_state: RandomState = None) -> Series:
-    """Figure 10(a): gain vs sampling-memory size ``c`` under a peak attack."""
-    rng = ensure_rng(random_state)
-    series: Series = {"knowledge-free": [], "omniscient": []}
-    for memory_size in memory_sizes:
-        harness = ExperimentHarness(
-            stream_factory=lambda trial_rng: peak_attack_stream(
-                stream_size, population_size, peak_fraction=peak_fraction,
-                random_state=trial_rng),
-            strategy_factories=default_strategy_factories(
-                int(memory_size), sketch_width, sketch_depth),
-            trials=trials,
-            random_state=rng,
-        )
-        result = harness.run()
-        for name in series:
-            series[name].append((float(memory_size), result.mean_gain(name)))
-    return series
+    """Figure 10(a): gain vs sampling-memory size ``c`` under a peak attack.
+
+    Declared as the ``figure10a_gain_vs_c.json`` sweep template — the axis
+    addresses every strategy's ``memory_size`` at once
+    (``strategies.*.params.memory_size``).
+    """
+    data = _load_figure_template("figure10a_gain_vs_c.json")
+    data["trials"] = int(trials)
+    data["stream"]["params"]["stream_size"] = int(stream_size)
+    data["stream"]["params"]["population_size"] = int(population_size)
+    data["stream"]["params"]["peak_fraction"] = float(peak_fraction)
+    _override_strategies(data, sketch_width=sketch_width,
+                         sketch_depth=sketch_depth)
+    data["sweep"]["values"] = [int(value) for value in memory_sizes]
+    return _run_figure_sweep(data, random_state=random_state)
 
 
 def figure10b(memory_sizes: Sequence[int] = (10, 50, 100, 300, 500, 700, 1000),
               *, stream_size: int = 100_000, population_size: int = 1_000,
               sketch_width: int = 10, sketch_depth: int = 17, trials: int = 3,
               random_state: RandomState = None) -> Series:
-    """Figure 10(b): gain vs ``c`` under targeted + flooding (Poisson) bias."""
-    rng = ensure_rng(random_state)
-    series: Series = {"knowledge-free": [], "omniscient": []}
-    for memory_size in memory_sizes:
-        harness = ExperimentHarness(
-            stream_factory=lambda trial_rng: poisson_attack_stream(
-                stream_size, population_size, random_state=trial_rng),
-            strategy_factories=default_strategy_factories(
-                int(memory_size), sketch_width, sketch_depth),
-            trials=trials,
-            random_state=rng,
-        )
-        result = harness.run()
-        for name in series:
-            series[name].append((float(memory_size), result.mean_gain(name)))
-    return series
+    """Figure 10(b): gain vs ``c`` under targeted + flooding (Poisson) bias.
+
+    Declared as the ``figure10b_gain_vs_c.json`` sweep template.
+    """
+    data = _load_figure_template("figure10b_gain_vs_c.json")
+    data["trials"] = int(trials)
+    data["stream"]["params"]["stream_size"] = int(stream_size)
+    data["stream"]["params"]["population_size"] = int(population_size)
+    _override_strategies(data, sketch_width=sketch_width,
+                         sketch_depth=sketch_depth)
+    data["sweep"]["values"] = [int(value) for value in memory_sizes]
+    return _run_figure_sweep(data, random_state=random_state)
 
 
 def figure11(malicious_counts: Sequence[int] = (10, 30, 100, 300, 1000), *,
@@ -431,40 +451,19 @@ def figure11(malicious_counts: Sequence[int] = (10, 30, 100, 300, 1000), *,
     stream (the rest of the probability mass is uniform).  The paper observes
     that the knowledge-free strategy degrades once the malicious identifiers
     reach about 10% of the population (paper settings: m=100,000, n=1,000,
-    c=50, k=50, s=10).
+    c=50, k=50, s=10).  Declared as the ``figure11_gain_vs_malicious.json``
+    sweep template over the ``overrepresented`` stream component.
     """
-    rng = ensure_rng(random_state)
-    series: Series = {"knowledge-free": []}
-
-    def stream_for(num_malicious: int, trial_rng) -> IdentifierStream:
-        num_malicious = int(num_malicious)
-        weights = np.ones(population_size + num_malicious, dtype=np.float64)
-        weights[population_size:] = float(overrepresentation)
-        probabilities = weights / weights.sum()
-        draws = trial_rng.choice(len(weights), size=stream_size, p=probabilities)
-        identifiers = draws.tolist()
-        return IdentifierStream(
-            identifiers=identifiers,
-            universe=list(range(population_size + num_malicious)),
-            malicious=list(range(population_size, population_size + num_malicious)),
-            label=f"figure11(l={num_malicious})",
-        )
-
-    for num_malicious in malicious_counts:
-        harness = ExperimentHarness(
-            stream_factory=lambda trial_rng, value=num_malicious: stream_for(
-                value, trial_rng),
-            strategy_factories={
-                "knowledge-free": default_strategy_factories(
-                    memory_size, sketch_width, sketch_depth)["knowledge-free"],
-            },
-            trials=trials,
-            random_state=rng,
-        )
-        result = harness.run()
-        series["knowledge-free"].append(
-            (float(num_malicious), result.mean_gain("knowledge-free")))
-    return series
+    data = _load_figure_template("figure11_gain_vs_malicious.json")
+    data["trials"] = int(trials)
+    data["stream"]["params"]["stream_size"] = int(stream_size)
+    data["stream"]["params"]["population_size"] = int(population_size)
+    data["stream"]["params"]["overrepresentation"] = float(overrepresentation)
+    _override_strategies(data, memory_size=memory_size,
+                         sketch_width=sketch_width,
+                         sketch_depth=sketch_depth)
+    data["sweep"]["values"] = [int(value) for value in malicious_counts]
+    return _run_figure_sweep(data, random_state=random_state)
 
 
 # ---------------------------------------------------------------------- #

@@ -32,6 +32,13 @@ StreamFactory = Callable[[np.random.Generator], IdentifierStream]
 #: strategies to build their oracle).
 StrategyFactory = Callable[[IdentifierStream, np.random.Generator], SamplingStrategy]
 
+#: A metrics view maps the (input, output) stream pair of one strategy run to
+#: the pair the metrics are computed over — e.g. the post-T0 suffixes over
+#: the stable population for churn scenarios.  The identity view is used when
+#: absent.
+MetricsView = Callable[[IdentifierStream, IdentifierStream],
+                       "tuple[IdentifierStream, IdentifierStream]"]
+
 
 @dataclass
 class TrialResult:
@@ -145,13 +152,20 @@ class ExperimentHarness:
         same output stream under the batch driver as per-element (the
         engine's exactness contract), so this only changes speed; pass
         ``None`` to force the legacy per-element ``process_stream`` loop.
+    metrics_view:
+        Optional view applied to each (input, output) stream pair before
+        any metric is computed.  The strategies still process the *full*
+        input stream; the view only narrows what is measured — churn
+        scenarios use it to report uniformity over the post-``T0`` suffix
+        and the stable population only.
     """
 
     def __init__(self, stream_factory: StreamFactory,
                  strategy_factories: Dict[str, StrategyFactory], *,
                  trials: int = 10,
                  random_state: RandomState = None,
-                 batch_size: Optional[int] = DEFAULT_BATCH_SIZE) -> None:
+                 batch_size: Optional[int] = DEFAULT_BATCH_SIZE,
+                 metrics_view: Optional[MetricsView] = None) -> None:
         check_positive("trials", trials)
         if not strategy_factories:
             raise ValueError("at least one strategy factory is required")
@@ -161,6 +175,7 @@ class ExperimentHarness:
         self.strategy_factories = dict(strategy_factories)
         self.trials = int(trials)
         self.batch_size = batch_size
+        self.metrics_view = metrics_view
         self._rng = ensure_rng(random_state)
 
     @classmethod
@@ -195,22 +210,46 @@ class ExperimentHarness:
         trial_rngs = spawn_children(self._rng, self.trials)
         for trial_index, trial_rng in enumerate(trial_rngs):
             stream = self.stream_factory(trial_rng)
-            support = stream.universe
-            input_divergence = kl_divergence_to_uniform(stream, support=support)
+            if self.metrics_view is None:
+                # the input-side metrics are shared by every strategy of the
+                # trial; with a view they depend on the (input, output) pair
+                shared_support = stream.universe
+                shared_input_divergence = kl_divergence_to_uniform(
+                    stream, support=shared_support)
+                shared_input_max_frequency = stream.max_frequency()
             for name, factory in self.strategy_factories.items():
                 strategy = factory(stream, trial_rng)
                 output = self._drive(strategy, stream)
-                output_divergence = kl_divergence_to_uniform(output,
-                                                             support=support)
-                gain = kl_gain(stream, output, support=support)
+                if self.metrics_view is None:
+                    metric_input, metric_output = stream, output
+                    support = shared_support
+                    input_divergence = shared_input_divergence
+                    input_max_frequency = shared_input_max_frequency
+                else:
+                    metric_input, metric_output = self.metrics_view(stream,
+                                                                    output)
+                    support = metric_input.universe
+                    input_divergence = kl_divergence_to_uniform(
+                        metric_input, support=support,
+                        penalise_out_of_support=True)
+                    input_max_frequency = metric_input.max_frequency()
+                # a metrics view narrows the measured support (e.g. to the
+                # stable population), so out-of-support outputs are scored
+                # as uniformity violations rather than rejected
+                penalise = self.metrics_view is not None
+                output_divergence = kl_divergence_to_uniform(
+                    metric_output, support=support,
+                    penalise_out_of_support=penalise)
+                gain = kl_gain(metric_input, metric_output, support=support,
+                               penalise_out_of_support=penalise)
                 result.trials.append(TrialResult(
                     strategy=name,
                     trial=trial_index,
                     input_divergence=input_divergence,
                     output_divergence=output_divergence,
                     gain=gain,
-                    input_max_frequency=stream.max_frequency(),
-                    output_max_frequency=output.max_frequency(),
+                    input_max_frequency=input_max_frequency,
+                    output_max_frequency=metric_output.max_frequency(),
                     stream_size=stream.size,
                 ))
         return result
@@ -221,11 +260,16 @@ def sweep(parameter_values: Sequence,
           ) -> Dict[object, ExperimentResult]:
     """Run a harness for every value of a swept parameter.
 
+    This is the programmatic escape hatch for sweeps over hand-built
+    harnesses; sweeps expressible as data should be declared through a
+    ``sweep`` section on a :class:`~repro.scenarios.spec.ScenarioSpec` and
+    run with :meth:`~repro.scenarios.runner.ScenarioRunner.run_sweep` (the
+    path the paper figures use).
+
     Parameters
     ----------
     parameter_values:
-        The values of the swept parameter (e.g. memory sizes ``c`` for
-        Figure 10, population sizes ``n`` for Figure 8).
+        The values of the swept parameter.
     harness_factory:
         Builds the harness for one parameter value.
 

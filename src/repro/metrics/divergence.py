@@ -85,20 +85,39 @@ def kl_divergence(first: DistributionLike, second: DistributionLike) -> float:
     return float((v_probabilities[mask] * np.log(ratios)).sum())
 
 
-def kl_divergence_to_uniform(stream: DistributionLike, *,
-                             support=None) -> float:
+def kl_divergence_to_uniform(stream: DistributionLike, *, support=None,
+                             penalise_out_of_support: bool = False) -> float:
     """Return ``D_KL(stream || U)`` where ``U`` is uniform over the support.
 
     The support defaults to the stream's universe (for streams) or the
     distribution's support.
+
+    With ``penalise_out_of_support``, a stream may contain identifiers
+    outside an explicit support — e.g. nodes that departed before ``T0``
+    but still linger in a sampler's memory: their mass is kept and scored
+    against the floored uniform target (a heavy, finite penalty), since
+    emitting them is precisely a uniformity violation.  Without the flag
+    (the default) such identifiers raise ``ValueError``, preserving the
+    support-mismatch check for ordinary callers.
     """
+    if (penalise_out_of_support and support is not None
+            and isinstance(stream, IdentifierStream)):
+        support = list(support)
+        try:
+            dist = FrequencyDistribution.from_stream(stream, support=support)
+        except ValueError:
+            # only streams that actually carry out-of-support identifiers
+            # pay for the extended-support construction
+            extended = sorted(set(support) | set(stream.identifiers))
+            dist = FrequencyDistribution.from_stream(stream, support=extended)
+        return kl_divergence(dist, FrequencyDistribution.uniform(support))
     dist = _as_distribution(stream, support=support)
     uniform = FrequencyDistribution.uniform(dist.support)
     return kl_divergence(dist, uniform)
 
 
 def kl_gain(input_stream: DistributionLike, output_stream: DistributionLike, *,
-            support=None) -> float:
+            support=None, penalise_out_of_support: bool = False) -> float:
     """Return the paper's gain ``G_KL = 1 - D(sigma'||U) / D(sigma||U)``.
 
     Parameters
@@ -110,6 +129,10 @@ def kl_gain(input_stream: DistributionLike, output_stream: DistributionLike, *,
     support:
         Optional common support; defaults to the input stream's universe so
         both divergences are taken against the same uniform distribution.
+    penalise_out_of_support:
+        Forwarded to :func:`kl_divergence_to_uniform` — stable-population
+        metrics use it so identifiers outside the support count against
+        uniformity instead of raising.
 
     Notes
     -----
@@ -119,8 +142,12 @@ def kl_gain(input_stream: DistributionLike, output_stream: DistributionLike, *,
     """
     if support is None and isinstance(input_stream, IdentifierStream):
         support = input_stream.universe
-    input_divergence = kl_divergence_to_uniform(input_stream, support=support)
-    output_divergence = kl_divergence_to_uniform(output_stream, support=support)
+    input_divergence = kl_divergence_to_uniform(
+        input_stream, support=support,
+        penalise_out_of_support=penalise_out_of_support)
+    output_divergence = kl_divergence_to_uniform(
+        output_stream, support=support,
+        penalise_out_of_support=penalise_out_of_support)
     if input_divergence <= 1e-12:
         return 1.0 if output_divergence <= input_divergence + 1e-12 else 0.0
     return 1.0 - output_divergence / input_divergence

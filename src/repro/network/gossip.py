@@ -129,10 +129,24 @@ class GossipSimulation:
     # Simulation
     # ------------------------------------------------------------------ #
     def run_round(self) -> None:
-        """Execute one synchronous gossip round."""
+        """Execute one synchronous gossip round.
+
+        Inactive nodes (dynamic membership, see the churn-aware system
+        simulation) neither advertise nor receive; when every node is active
+        the round is identical — draw for draw — to a churn-free one.
+        """
         deliveries: List[tuple] = []
+        # Checking membership once keeps the per-edge filter off the hot
+        # path of churn-free rounds (the common case, and the one the
+        # overlay throughput benchmark tracks).
+        all_active = all(node.active for node in self.nodes.values())
         for identifier, node in self.nodes.items():
+            if not node.active:
+                continue
             neighbors = self.overlay.neighbors(identifier)
+            if not all_active:
+                neighbors = [neighbor for neighbor in neighbors
+                             if self.nodes[neighbor].active]
             if not neighbors:
                 continue
             if node.is_malicious:

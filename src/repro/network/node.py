@@ -51,6 +51,11 @@ class Node:
         self.identifier = int(identifier)
         #: Identifiers this node currently knows about (its partial view).
         self.view: List[int] = []
+        #: Whether the node currently participates in the system.  Inactive
+        #: nodes neither send nor receive; the churn-aware system simulation
+        #: toggles this flag to model joins (a node provisioned up front that
+        #: activates at its join round) and leaves.
+        self.active: bool = True
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         kind = "malicious" if self.is_malicious else "correct"

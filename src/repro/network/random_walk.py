@@ -112,6 +112,7 @@ class RandomWalkSimulation:
             )
         self.overlay = overlay
         self.rounds_executed = 0
+        self._all_active = True
 
     # ------------------------------------------------------------------ #
     # Walk mechanics
@@ -127,6 +128,9 @@ class RandomWalkSimulation:
         suppress its dissemination) whenever such neighbours exist.
         """
         neighbors = self.overlay.neighbors(current)
+        if not self._all_active:
+            neighbors = [neighbor for neighbor in neighbors
+                         if self.nodes[neighbor].active]
         if not neighbors:
             return None
         node = self.nodes[current]
@@ -176,7 +180,12 @@ class RandomWalkSimulation:
         """
         sink: Optional[Dict[int, List[int]]] = (
             {} if self.config.batch_delivery else None)
+        # Evaluated once per round so churn-free walks skip the per-hop
+        # active filter (membership is fixed within a round).
+        self._all_active = all(node.active for node in self.nodes.values())
         for identifier, node in self.nodes.items():
+            if not node.active:
+                continue
             walks = (self.config.malicious_walks_per_node if node.is_malicious
                      else self.config.walks_per_node)
             for _ in range(walks):

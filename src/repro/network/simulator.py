@@ -19,8 +19,13 @@ from repro.metrics.divergence import kl_divergence_to_uniform, kl_gain
 from repro.network.gossip import GossipConfig, GossipSimulation
 from repro.network.node import NodeConfig
 from repro.network.random_walk import RandomWalkConfig, RandomWalkSimulation
-from repro.utils.rng import RandomState
-from repro.utils.validation import check_positive
+from repro.streams.stream import IdentifierStream
+from repro.utils.rng import RandomState, ensure_rng, spawn_children
+from repro.utils.validation import (
+    check_non_negative,
+    check_positive,
+    check_probability,
+)
 
 
 class DisseminationProtocol(str, Enum):
@@ -28,6 +33,55 @@ class DisseminationProtocol(str, Enum):
 
     GOSSIP = "gossip"
     RANDOM_WALK = "random-walk"
+
+
+@dataclass
+class ChurnConfig:
+    """Dynamic-membership parameters of a system simulation.
+
+    During the first ``churn_rounds`` dissemination rounds, correct nodes
+    join (with probability ``join_rate`` per round) and leave (with
+    probability ``leave_rate`` per round, a uniformly chosen alive node).
+    After that point — the paper's stability time ``T0`` — the membership
+    freezes and the simulation runs ``stable_rounds`` further rounds.
+    Malicious nodes do not churn: the adversary's ``l`` identifiers are
+    fixed (Section III-B).
+
+    With ``stable_only`` (the default) the report restricts every metric to
+    the post-``T0`` portion of each stream and to the stable population —
+    the setting of the paper's Uniformity property.
+    """
+
+    churn_rounds: int = 25
+    stable_rounds: int = 25
+    join_rate: float = 0.05
+    leave_rate: float = 0.05
+    stable_only: bool = True
+
+    def __post_init__(self) -> None:
+        check_positive("churn_rounds", self.churn_rounds)
+        check_non_negative("stable_rounds", self.stable_rounds)
+        check_probability("join_rate", self.join_rate)
+        check_probability("leave_rate", self.leave_rate)
+        if self.stable_only and self.stable_rounds == 0:
+            raise ValueError(
+                "stable_only needs a non-empty stable phase (the report "
+                "would cover zero post-T0 traffic); set stable_rounds > 0 "
+                "or stable_only to False")
+
+    @property
+    def total_rounds(self) -> int:
+        """Total number of dissemination rounds (churn then stable phase)."""
+        return self.churn_rounds + self.stable_rounds
+
+
+@dataclass(frozen=True)
+class MembershipEvent:
+    """One scheduled membership change of the churn phase."""
+
+    round: int
+    node_id: int
+    joined: bool
 
 
 @dataclass
@@ -47,6 +101,10 @@ class SystemConfig:
     #: delivery — the False setting exists for the equivalence regression
     #: tests and as an escape hatch for exotic custom strategies.
     batch_delivery: bool = True
+    #: Optional dynamic membership; when set, ``num_correct`` is the
+    #: population at round 0 and the simulation runs
+    #: ``churn.total_rounds`` rounds (the ``rounds`` field is ignored).
+    churn: Optional[ChurnConfig] = None
 
     def __post_init__(self) -> None:
         check_positive("num_correct", self.num_correct)
@@ -119,9 +177,27 @@ class SystemSimulation:
     def __init__(self, config: Optional[SystemConfig] = None, *,
                  random_state: RandomState = None) -> None:
         self.config = config or SystemConfig()
+        num_correct = self.config.num_correct
+        self._membership_events: List[MembershipEvent] = []
+        self._initially_inactive: List[int] = []
+        self.stable_correct_ids: List[int] = list(range(num_correct))
+        self._t0_marks: Optional[Dict[int, int]] = None
+        if self.config.churn is not None:
+            # The churn schedule is drawn before the engine is built so the
+            # final population size (initial nodes plus every joiner) is
+            # known up front: joiners are provisioned in the overlay from the
+            # start but stay inactive until their join round.  The engine
+            # gets its own child generator so a churn-free configuration is
+            # untouched (it still receives ``random_state`` directly).
+            master = ensure_rng(random_state)
+            schedule_rng, random_state = spawn_children(master, 2)
+            (self._membership_events,
+             self.stable_correct_ids,
+             num_correct) = self._draw_schedule(
+                num_correct, self.config.churn, schedule_rng)
         if self.config.protocol is DisseminationProtocol.GOSSIP:
             self._engine = GossipSimulation(
-                self.config.num_correct,
+                num_correct,
                 self.config.num_malicious,
                 sybil_identifiers_per_malicious=(
                     self.config.sybil_identifiers_per_malicious),
@@ -135,7 +211,7 @@ class SystemSimulation:
             )
         else:
             self._engine = RandomWalkSimulation(
-                self.config.num_correct,
+                num_correct,
                 self.config.num_malicious,
                 sybil_identifiers_per_malicious=(
                     self.config.sybil_identifiers_per_malicious),
@@ -145,6 +221,41 @@ class SystemSimulation:
                 ),
                 random_state=random_state,
             )
+        if self.config.churn is not None:
+            self._initially_inactive = [
+                event.node_id for event in self._membership_events
+                if event.joined]
+            for identifier in self._initially_inactive:
+                self._engine.nodes[identifier].active = False
+
+    @staticmethod
+    def _draw_schedule(initial: int, churn: ChurnConfig, rng):
+        """Draw the membership schedule of the churn phase.
+
+        Mirrors the event model of :class:`~repro.streams.churn.ChurnModel`:
+        at most one join and one leave per round, the leaver drawn uniformly
+        from the currently alive correct nodes.  Returns the events, the
+        stable correct population (alive at ``T0``) and the total number of
+        correct node slots to provision (initial plus every joiner).
+        """
+        alive: List[int] = list(range(initial))
+        next_identifier = initial
+        events: List[MembershipEvent] = []
+        for round_index in range(churn.churn_rounds):
+            if rng.random() < churn.join_rate:
+                alive.append(next_identifier)
+                events.append(MembershipEvent(round=round_index,
+                                              node_id=next_identifier,
+                                              joined=True))
+                next_identifier += 1
+            if len(alive) > 1 and rng.random() < churn.leave_rate:
+                victim_index = int(rng.integers(0, len(alive)))
+                victim = alive[victim_index]
+                del alive[victim_index]
+                events.append(MembershipEvent(round=round_index,
+                                              node_id=victim,
+                                              joined=False))
+        return events, list(alive), next_identifier
 
     @classmethod
     def from_scenario(cls, spec, *, random_state=None) -> "SystemSimulation":
@@ -166,9 +277,51 @@ class SystemSimulation:
         """The underlying dissemination simulation (gossip or random walk)."""
         return self._engine
 
+    @property
+    def membership_events(self) -> List[MembershipEvent]:
+        """The scheduled join/leave events (empty without a churn config)."""
+        return list(self._membership_events)
+
+    @property
+    def stability_round(self) -> Optional[int]:
+        """The round index ``T0`` at which churn ceases (None without churn)."""
+        if self.config.churn is None:
+            return None
+        return self.config.churn.churn_rounds
+
     def run(self, rounds: Optional[int] = None) -> "SystemSimulation":
-        """Run the dissemination for ``rounds`` rounds (default: config.rounds)."""
-        self._engine.run(rounds if rounds is not None else self.config.rounds)
+        """Run the dissemination.
+
+        Without a churn config this runs ``rounds`` rounds (default:
+        ``config.rounds``).  With one, the membership events are applied
+        round by round for ``churn.churn_rounds`` rounds, the per-node
+        stream positions at ``T0`` are recorded, and the simulation
+        continues for ``churn.stable_rounds`` rounds with a frozen
+        membership (``rounds`` must then be None — the churn config owns
+        the schedule).
+        """
+        churn = self.config.churn
+        if churn is None:
+            self._engine.run(rounds if rounds is not None
+                             else self.config.rounds)
+            return self
+        if rounds is not None:
+            raise ValueError(
+                "a churn-configured simulation derives its round count from "
+                "churn_rounds + stable_rounds; do not pass rounds to run()")
+        by_round: Dict[int, List[MembershipEvent]] = {}
+        for event in self._membership_events:
+            by_round.setdefault(event.round, []).append(event)
+        for round_index in range(churn.churn_rounds):
+            for event in by_round.get(round_index, ()):
+                self._engine.nodes[event.node_id].active = event.joined
+            self._engine.run_round()
+        self._t0_marks = {
+            identifier: len(self._engine.nodes[identifier].received)
+            for identifier in self.stable_correct_ids
+        }
+        if churn.stable_rounds > 0:
+            self._engine.run(churn.stable_rounds)
         return self
 
     # ------------------------------------------------------------------ #
@@ -182,20 +335,84 @@ class SystemSimulation:
         hits = sum(1 for identifier in identifiers if identifier in malicious)
         return hits / len(identifiers)
 
+    def _stable_universe(self):
+        """Return the (universe, malicious) pair of the stable population.
+
+        Node-independent — computed once per report, not per node.
+        """
+        malicious = sorted(set(self._engine.malicious_ids)
+                           | set(self._engine.sybil_identifiers))
+        universe = sorted(set(self.stable_correct_ids) | set(malicious))
+        return universe, malicious
+
+    def _stable_streams(self, identifier: int, universe: List[int],
+                        malicious: List[int]):
+        """Return the post-``T0`` input/output streams of a stable node.
+
+        Both streams are truncated at the node's stream position at ``T0``
+        and carry the *stable* universe (stable correct nodes plus the
+        adversary's identifiers) — uniformity is measured over the population
+        that remains after churn ceases, as the paper defines it.
+        """
+        input_stream = self._engine.input_stream_of(identifier)
+        output_stream = self._engine.output_stream_of(identifier)
+        if len(output_stream.identifiers) != len(input_stream.identifiers):
+            raise ValueError(
+                f"node {identifier} emitted "
+                f"{len(output_stream.identifiers)} outputs for "
+                f"{len(input_stream.identifiers)} inputs; the stable-only "
+                "report slices both streams at the node's T0 input position "
+                "and needs one output per input element")
+        mark = self._t0_marks[identifier]
+        stable_input = IdentifierStream(
+            identifiers=input_stream.identifiers[mark:],
+            universe=universe,
+            malicious=malicious,
+            label=f"{input_stream.label}+stable",
+        )
+        stable_output = IdentifierStream(
+            identifiers=output_stream.identifiers[mark:],
+            universe=universe,
+            malicious=malicious,
+            label=f"{output_stream.label}+stable",
+        )
+        return stable_input, stable_output
+
     def report(self) -> SystemReport:
-        """Return per-node and aggregate uniformity metrics."""
+        """Return per-node and aggregate uniformity metrics.
+
+        With a churn config whose ``stable_only`` flag is set (the default),
+        only the nodes alive at ``T0`` are reported and their metrics cover
+        the post-``T0`` portion of the streams over the stable population.
+        """
+        churn = self.config.churn
+        stable_only = (churn is not None and churn.stable_only
+                       and self._t0_marks is not None)
         reports: List[NodeReport] = []
-        for identifier in self._engine.correct_ids:
-            input_stream = self._engine.input_stream_of(identifier)
-            output_stream = self._engine.output_stream_of(identifier)
+        node_ids = (self.stable_correct_ids if stable_only
+                    else self._engine.correct_ids)
+        if stable_only:
+            stable_universe, stable_malicious = self._stable_universe()
+        for identifier in node_ids:
+            if stable_only:
+                input_stream, output_stream = self._stable_streams(
+                    identifier, stable_universe, stable_malicious)
+            else:
+                input_stream = self._engine.input_stream_of(identifier)
+                output_stream = self._engine.output_stream_of(identifier)
             if input_stream.size == 0:
                 continue
             support = input_stream.universe
-            input_divergence = kl_divergence_to_uniform(input_stream,
-                                                        support=support)
-            output_divergence = kl_divergence_to_uniform(output_stream,
-                                                         support=support)
-            gain = kl_gain(input_stream, output_stream, support=support)
+            # stable-only metrics score identifiers that departed before T0
+            # (but linger in sampler memories) as uniformity violations
+            input_divergence = kl_divergence_to_uniform(
+                input_stream, support=support,
+                penalise_out_of_support=stable_only)
+            output_divergence = kl_divergence_to_uniform(
+                output_stream, support=support,
+                penalise_out_of_support=stable_only)
+            gain = kl_gain(input_stream, output_stream, support=support,
+                           penalise_out_of_support=stable_only)
             reports.append(NodeReport(
                 node_id=identifier,
                 stream_length=input_stream.size,

@@ -43,12 +43,14 @@ from repro.scenarios.registry import (
     register_stream,
 )
 from repro.scenarios.spec import (
+    ChurnSpec,
     ComponentSpec,
     EngineSpec,
     MetricsSpec,
     NetworkSpec,
     ScenarioSpec,
     StrategySpec,
+    SweepSpec,
 )
 
 # Importing the builtins registers the stock components on the global
@@ -57,7 +59,9 @@ import repro.scenarios.builtins  # noqa: E402,F401  (import for side effect)
 from repro.scenarios.runner import (  # noqa: E402
     ScenarioResult,
     ScenarioRunner,
+    SweepResult,
     run_scenario,
+    run_sweep,
 )
 
 
@@ -86,11 +90,15 @@ __all__ = [
     "ComponentSpec",
     "StrategySpec",
     "NetworkSpec",
+    "ChurnSpec",
+    "SweepSpec",
     "EngineSpec",
     "MetricsSpec",
     "ScenarioSpec",
     "ScenarioResult",
+    "SweepResult",
     "ScenarioRunner",
     "run_scenario",
+    "run_sweep",
     "available_components",
 ]

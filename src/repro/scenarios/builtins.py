@@ -32,7 +32,9 @@ from repro.scenarios.registry import (
 from repro.sketches.count_min import CountMinSketch, ExactFrequencyCounter
 from repro.sketches.count_sketch import CountSketch
 from repro.sketches.misra_gries import SpaceSavingSummary
+from repro.streams.churn import ChurnModel
 from repro.streams.generators import (
+    overrepresented_stream,
     peak_attack_stream,
     peak_stream,
     poisson_arrival_stream,
@@ -55,6 +57,31 @@ register_stream("peak", peak_stream)
 register_stream("peak-attack", peak_attack_stream)
 register_stream("poisson-attack", poisson_attack_stream)
 register_stream("bursty", poisson_arrival_stream)
+register_stream("overrepresented", overrepresented_stream)
+
+
+@register_stream("churn")
+def churn_stream(initial_population: int, churn_steps: int = 100,
+                 stable_steps: int = 100, *, join_rate: float = 0.05,
+                 leave_rate: float = 0.05, advertisements_per_step: int = 5,
+                 random_state: RandomState = None):
+    """Full churn-phase-plus-stable-phase stream of a dynamic population.
+
+    The returned stream carries the pre-/post-``T0`` split as metadata
+    (``stability_time``, the index at which churn ceased, and
+    ``stable_population``): scenarios with a ``churn`` section use it to
+    measure uniformity over the stable population only, as the paper's
+    Uniformity property requires.
+    """
+    model = ChurnModel(initial_population, join_rate=join_rate,
+                       leave_rate=leave_rate,
+                       advertisements_per_step=advertisements_per_step,
+                       random_state=random_state)
+    trace = model.generate(churn_steps, stable_steps)
+    stream = trace.stream
+    stream.stability_time = trace.stability_time
+    stream.stable_population = trace.stable_population
+    return stream
 
 
 @register_stream("trace")

@@ -25,6 +25,7 @@ from repro.core.service import NodeSamplingService
 from repro.engine.sharded import ShardedSamplingService
 from repro.network.node import NodeConfig
 from repro.network.simulator import (
+    ChurnConfig,
     DisseminationProtocol,
     SystemConfig,
     SystemReport,
@@ -32,9 +33,9 @@ from repro.network.simulator import (
 )
 from repro.scenarios import registry as registries
 from repro.scenarios.registry import ComponentRegistry, ScenarioError
-from repro.scenarios.spec import ScenarioSpec, StrategySpec
+from repro.scenarios.spec import ChurnSpec, ScenarioSpec, StrategySpec
 from repro.streams.stream import IdentifierStream
-from repro.utils.rng import ensure_rng, spawn_children
+from repro.utils.rng import RandomState, ensure_rng, spawn_children
 
 
 @dataclass
@@ -66,6 +67,135 @@ class ScenarioResult:
             "summaries": [dict(row) for row in self.summaries],
             "details": [dict(row) for row in self.details],
         }
+
+
+@dataclass
+class SweepPoint:
+    """The result of one point of a parameter sweep."""
+
+    value: Any
+    result: ScenarioResult
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Return the JSON-serializable form of the point."""
+        return {"value": self.value, "result": self.result.to_dict()}
+
+
+@dataclass
+class SweepResult:
+    """The serializable outcome of a one-axis scenario sweep.
+
+    Attributes
+    ----------
+    name, parameter, label:
+        Copied from the spec (``label`` is the axis name used in reports).
+    points:
+        One :class:`SweepPoint` per swept value, in sweep order.
+    """
+
+    name: str
+    parameter: str
+    label: str
+    points: List[SweepPoint] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Return the JSON-serializable form of the sweep."""
+        return {
+            "name": self.name,
+            "parameter": self.parameter,
+            "label": self.label,
+            "points": [point.to_dict() for point in self.points],
+        }
+
+    def summary_rows(self) -> List[Dict[str, Any]]:
+        """Flatten the per-point summaries into one table.
+
+        Each row is a point summary prefixed with the axis value — the
+        condensed view the CLI prints with ``--sweep-summary``.
+        """
+        rows: List[Dict[str, Any]] = []
+        for point in self.points:
+            for summary in point.result.summaries:
+                rows.append({self.label: point.value, **summary})
+        return rows
+
+    def series(self, metric: str = "mean_gain"
+               ) -> Dict[str, List[tuple]]:
+        """Return per-strategy ``(value, metric)`` curves (stream sweeps).
+
+        This is the shape the figure drivers report: one series per strategy
+        label, one point per swept value.
+        """
+        series: Dict[str, List[tuple]] = {}
+        for point in self.points:
+            for summary in point.result.summaries:
+                if "strategy" not in summary:
+                    raise ScenarioError(
+                        "series() requires a stream-mode sweep; network "
+                        "sweeps have per-trial summaries — read "
+                        "summary_rows() instead")
+                if metric not in summary:
+                    raise ScenarioError(
+                        f"metric {metric!r} was not collected; available: "
+                        f"{', '.join(sorted(summary))}")
+                series.setdefault(summary["strategy"], []).append(
+                    (float(point.value), summary[metric]))
+        return series
+
+
+def _set_axis_value(data: Dict[str, Any], path: str, value: Any) -> None:
+    """Assign ``value`` at a dotted ``path`` inside a serialized scenario.
+
+    Dict segments descend by key (the final key may be absent — parameters
+    left at their defaults are created); list segments take a numeric index
+    or ``*`` for every entry.  Raises :class:`ScenarioError` with the full
+    path when a segment cannot be resolved.
+    """
+    segments = path.split(".")
+
+    def descend(node: Any, index: int) -> None:
+        segment = segments[index]
+        last = index == len(segments) - 1
+        if isinstance(node, list):
+            if segment == "*":
+                if not node:
+                    raise ScenarioError(
+                        f"sweep parameter {path!r}: '*' matched an empty "
+                        "list")
+                positions = range(len(node))
+            else:
+                try:
+                    position = int(segment)
+                except ValueError:
+                    raise ScenarioError(
+                        f"sweep parameter {path!r}: {segment!r} is not a "
+                        "list index (use a number or '*')") from None
+                if not 0 <= position < len(node):
+                    raise ScenarioError(
+                        f"sweep parameter {path!r}: index {position} out of "
+                        f"range for a list of {len(node)}")
+                positions = range(position, position + 1)
+            for position in positions:
+                if last:
+                    node[position] = value
+                else:
+                    descend(node[position], index + 1)
+        elif isinstance(node, dict):
+            if last:
+                node[segment] = value
+            elif segment not in node:
+                raise ScenarioError(
+                    f"sweep parameter {path!r}: section {segment!r} is not "
+                    f"present in the scenario (has: "
+                    f"{', '.join(sorted(node)) or '(empty)'})")
+            else:
+                descend(node[segment], index + 1)
+        else:
+            raise ScenarioError(
+                f"sweep parameter {path!r}: cannot descend into a "
+                f"{type(node).__name__} at segment {segment!r}")
+
+    descend(data, 0)
 
 
 class ScenarioRunner:
@@ -111,9 +241,17 @@ class ScenarioRunner:
         builder does not accept — before any trial starts.
         """
         spec = self.spec
+        if spec.sweep is not None:
+            # Applying every axis value catches bad paths and out-of-domain
+            # values before any trial starts.
+            for value in spec.sweep.values:
+                self.point_spec(value)
         if spec.mode == "network":
             return
-        self._streams.check_params(spec.stream.kind, spec.stream.params)
+        if spec.churn is not None:
+            self._streams.check_params("churn", self._churn_params(spec.churn))
+        else:
+            self._streams.check_params(spec.stream.kind, spec.stream.params)
         if spec.adversary is not None:
             self._adversaries.check_params(spec.adversary.kind,
                                            spec.adversary.params)
@@ -129,15 +267,38 @@ class ScenarioRunner:
                         "frequency oracle; remove the 'sketch' section of "
                         f"{strategy.label!r}")
 
+    @staticmethod
+    def _churn_params(churn: ChurnSpec) -> Dict[str, Any]:
+        """Map a stream-mode churn section onto the churn stream component."""
+        params: Dict[str, Any] = {
+            "initial_population": churn.initial_population,
+            "churn_steps": churn.churn_steps,
+            "stable_steps": churn.stable_steps,
+            "join_rate": churn.join_rate,
+            "leave_rate": churn.leave_rate,
+        }
+        if churn.advertisements_per_step is not None:
+            params["advertisements_per_step"] = churn.advertisements_per_step
+        return params
+
     def stream_factory(self):
         """Return the harness stream factory compiled from the spec.
 
         The factory builds the trial's base stream from the stream registry
-        and, when an adversary section is present, biases it with the
-        composed attacks (the adversary's Sybil identifiers extend the
-        stream universe through :meth:`Adversary.bias`).
+        (the churn component when a ``churn`` section is present) and, when
+        an adversary section is present, biases it with the composed attacks
+        (the adversary's Sybil identifiers extend the stream universe
+        through :meth:`Adversary.bias`).
         """
         spec = self.spec
+        if spec.churn is not None:
+            churn_params = self._churn_params(spec.churn)
+
+            def churn_factory(rng: np.random.Generator) -> IdentifierStream:
+                return self._streams.build("churn", churn_params,
+                                           random_state=rng)
+
+            return churn_factory
 
         def factory(rng: np.random.Generator) -> IdentifierStream:
             stream = self._streams.build(spec.stream.kind, spec.stream.params,
@@ -150,6 +311,40 @@ class ScenarioRunner:
             return stream
 
         return factory
+
+    @staticmethod
+    def _stable_metrics_view(stream: IdentifierStream,
+                             output: IdentifierStream):
+        """Restrict a (input, output) pair to the post-``T0`` stable view.
+
+        The sampler processed the whole stream — churn-phase poison included
+        — but uniformity is measured on what it emitted after ``T0``,
+        against the stable population only (Section III-C).
+        """
+        stability_time = getattr(stream, "stability_time", None)
+        stable_population = getattr(stream, "stable_population", None)
+        if stability_time is None or stable_population is None:
+            raise ScenarioError(
+                "stable-only churn metrics need a stream carrying "
+                "stability_time/stable_population metadata (produced by the "
+                "'churn' stream component)")
+        if len(output.identifiers) != len(stream.identifiers):
+            raise ScenarioError(
+                f"strategy emitted {len(output.identifiers)} outputs for "
+                f"{len(stream.identifiers)} inputs; the stable-only view "
+                "slices both streams at the input's T0 position and needs "
+                "one output per input element")
+        metric_input = IdentifierStream(
+            identifiers=stream.identifiers[stability_time:],
+            universe=stable_population,
+            label=f"{stream.label}+stable",
+        )
+        metric_output = IdentifierStream(
+            identifiers=output.identifiers[stability_time:],
+            universe=stable_population,
+            label=f"{output.label}+stable",
+        )
+        return metric_input, metric_output
 
     def _strategy_builder(self, strategy: StrategySpec):
         """Return a ``(stream, rng) -> strategy`` builder for one spec entry."""
@@ -194,8 +389,13 @@ class ScenarioRunner:
             factories[strategy.label] = sharded
         return factories
 
-    def compile(self):
-        """Compile a stream scenario into a ready experiment harness."""
+    def compile(self, *, random_state: RandomState = None):
+        """Compile a stream scenario into a ready experiment harness.
+
+        ``random_state`` defaults to the spec's master seed; ``run_sweep``
+        passes a shared generator instead so successive sweep points draw
+        successive per-trial children from one master stream.
+        """
         from repro.experiments.harness import ExperimentHarness
 
         spec = self.spec
@@ -206,21 +406,42 @@ class ScenarioRunner:
         self.validate()
         batch_size = (spec.engine.batch_size
                       if spec.engine.driver == "batch" else None)
+        metrics_view = (self._stable_metrics_view
+                        if spec.churn is not None and spec.churn.stable_only
+                        else None)
         return ExperimentHarness(
             self.stream_factory(),
             self.strategy_factories(),
             trials=spec.trials,
-            random_state=spec.seed,
+            random_state=(spec.seed if random_state is None else random_state),
             batch_size=batch_size,
+            metrics_view=metrics_view,
         )
 
     def system_config(self) -> SystemConfig:
-        """Build the :class:`SystemConfig` of a network scenario."""
+        """Build the :class:`SystemConfig` of a network scenario.
+
+        A ``churn`` section maps onto :class:`ChurnConfig`: the membership
+        is dynamic for ``churn_steps`` rounds, then frozen for
+        ``stable_steps`` rounds (the network ``rounds`` field is ignored),
+        and with ``stable_only`` the report covers the stable population
+        only.
+        """
         network = self.spec.network
         if network is None:
             raise ScenarioError(
                 f"scenario {self.spec.name!r} has no network section")
+        churn = None
+        if self.spec.churn is not None:
+            churn = ChurnConfig(
+                churn_rounds=self.spec.churn.churn_steps,
+                stable_rounds=self.spec.churn.stable_steps,
+                join_rate=self.spec.churn.join_rate,
+                leave_rate=self.spec.churn.leave_rate,
+                stable_only=self.spec.churn.stable_only,
+            )
         return SystemConfig(
+            churn=churn,
             num_correct=network.num_correct,
             num_malicious=network.num_malicious,
             sybil_identifiers_per_malicious=(
@@ -249,14 +470,80 @@ class ScenarioRunner:
     # Execution
     # ------------------------------------------------------------------ #
     def run(self) -> ScenarioResult:
-        """Execute the scenario and return its serializable result."""
+        """Execute the scenario and return its serializable result.
+
+        Scenarios carrying a ``sweep`` section are one-axis families, not
+        single experiments — run those through :meth:`run_sweep`.
+        """
+        if self.spec.sweep is not None:
+            raise ScenarioError(
+                f"scenario {self.spec.name!r} has a sweep section; "
+                "use run_sweep()")
         if self.spec.mode == "network":
             return self._run_network()
         return self._run_stream()
 
-    def _run_stream(self) -> ScenarioResult:
+    def point_spec(self, value: Any) -> ScenarioSpec:
+        """Return the scenario of one sweep point (axis set to ``value``).
+
+        The point keeps the base scenario's every other field, drops the
+        sweep section, applies the sweep's per-point ``trials`` override and
+        renames itself ``name[label=value]``.
+        """
+        sweep = self.spec.sweep
+        if sweep is None:
+            raise ScenarioError(
+                f"scenario {self.spec.name!r} has no sweep section")
+        data = self.spec.to_dict()
+        data.pop("sweep", None)
+        if sweep.trials is not None:
+            data["trials"] = sweep.trials
+        _set_axis_value(data, sweep.parameter, value)
+        data["name"] = f"{self.spec.name}[{sweep.label}={value}]"
+        return ScenarioSpec.from_dict(data)
+
+    def run_sweep(self, *, random_state: RandomState = None) -> SweepResult:
+        """Execute every point of the sweep and return the collected results.
+
+        All points draw from one master generator seeded by the spec's
+        ``seed`` (or ``random_state``): point ``i+1`` continues where point
+        ``i`` stopped spawning per-trial children.  This is exactly the seed
+        flow of the retired per-figure driver loops, so a figure rebuilt as
+        a sweep reproduces its legacy output bit for bit — and re-running a
+        serialized sweep spec reproduces the whole family.
+        """
+        sweep = self.spec.sweep
+        if sweep is None:
+            raise ScenarioError(
+                f"scenario {self.spec.name!r} has no sweep section; "
+                "use run()")
+        # Fail on a bad axis path or an out-of-spec value at any point
+        # before the first point starts running (validate applies every
+        # sweep value), not halfway through the family.
+        self.validate()
+        master = ensure_rng(self.spec.seed
+                            if random_state is None else random_state)
+        points: List[SweepPoint] = []
+        for value in sweep.values:
+            runner = ScenarioRunner(
+                self.point_spec(value),
+                strategies=self._strategies,
+                streams=self._streams,
+                sketches=self._sketches,
+                adversaries=self._adversaries,
+            )
+            if runner.spec.mode == "network":
+                result = runner._run_network(random_state=master)
+            else:
+                result = runner._run_stream(random_state=master)
+            points.append(SweepPoint(value=value, result=result))
+        return SweepResult(name=self.spec.name, parameter=sweep.parameter,
+                           label=sweep.label, points=points)
+
+    def _run_stream(self, *, random_state: RandomState = None
+                    ) -> ScenarioResult:
         spec = self.spec
-        harness = self.compile()
+        harness = self.compile(random_state=random_state)
         result = harness.run()
         collect = set(spec.metrics.collect)
         summaries: List[Dict[str, Any]] = []
@@ -320,10 +607,13 @@ class ScenarioRunner:
             details.append(row)
         return summary, details
 
-    def _run_network(self) -> ScenarioResult:
+    def _run_network(self, *, random_state: RandomState = None
+                     ) -> ScenarioResult:
         spec = self.spec
         config = self.system_config()
-        trial_rngs = spawn_children(ensure_rng(spec.seed), spec.trials)
+        master = ensure_rng(spec.seed if random_state is None
+                            else random_state)
+        trial_rngs = spawn_children(master, spec.trials)
         summaries: List[Dict[str, Any]] = []
         details: List[Dict[str, Any]] = []
         for trial, rng in enumerate(trial_rngs):
@@ -338,3 +628,8 @@ class ScenarioRunner:
 def run_scenario(spec, **kwargs) -> ScenarioResult:
     """One-call convenience: build a runner for ``spec`` and run it."""
     return ScenarioRunner(spec, **kwargs).run()
+
+
+def run_sweep(spec, **kwargs) -> SweepResult:
+    """One-call convenience: build a runner for ``spec`` and run its sweep."""
+    return ScenarioRunner(spec, **kwargs).run_sweep()

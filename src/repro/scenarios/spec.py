@@ -24,7 +24,11 @@ from typing import Any, Dict, List, Optional
 
 from repro.engine.batch import DEFAULT_BATCH_SIZE
 from repro.scenarios.registry import ScenarioError
-from repro.utils.validation import check_positive
+from repro.utils.validation import (
+    check_non_negative,
+    check_positive,
+    check_probability,
+)
 
 #: Engine drivers a spec may request.
 DRIVERS = ("batch", "scalar")
@@ -212,6 +216,148 @@ class EngineSpec:
 
 
 @dataclass
+class SweepSpec:
+    """One-axis parameter sweep over a scenario.
+
+    A sweep turns a scenario into a family of experiments: for every entry of
+    ``values``, the dotted ``parameter`` path is set on a copy of the
+    scenario and the copy is run.  This is the declarative form of the
+    paper's one-axis figures (gain vs ``n``, ``m``, ``c``, ``l``).
+
+    Attributes
+    ----------
+    parameter:
+        Dotted path into the scenario's serialized form, e.g.
+        ``"stream.params.population_size"`` or ``"network.num_malicious"``.
+        List sections take a numeric index (``"strategies.0.params.
+        memory_size"``) or ``*`` to address every entry
+        (``"strategies.*.params.memory_size"``).
+    values:
+        The swept values, one scenario run per entry (non-empty).
+    trials:
+        Optional per-point trial count, overriding the scenario's ``trials``.
+    label:
+        Axis name used in reports; defaults to the last path segment.
+    """
+
+    parameter: str
+    values: List[Any] = field(default_factory=list)
+    trials: Optional[int] = None
+    label: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.parameter or not isinstance(self.parameter, str):
+            raise ScenarioError(
+                f"sweep parameter must be a non-empty dotted path, "
+                f"got {self.parameter!r}")
+        segments = self.parameter.split(".")
+        if any(not segment for segment in segments):
+            raise ScenarioError(
+                f"sweep parameter {self.parameter!r} has an empty segment")
+        if segments[0] in ("sweep", "name", "seed"):
+            raise ScenarioError(
+                f"sweep parameter must not address the {segments[0]!r} "
+                "section; sweep a stream/strategy/network/churn field")
+        self.values = list(self.values)
+        if not self.values:
+            raise ScenarioError("sweep.values must not be empty")
+        if self.trials is not None:
+            check_positive("sweep.trials", self.trials)
+        if self.label is None:
+            self.label = segments[-1]
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Return the JSON-serializable form of the sweep section."""
+        data: Dict[str, Any] = {"parameter": self.parameter,
+                                "values": list(self.values),
+                                "label": self.label}
+        if self.trials is not None:
+            data["trials"] = self.trials
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SweepSpec":
+        """Rebuild a sweep section from its :meth:`to_dict` form."""
+        data = _require_mapping("sweep", data)
+        _check_known_keys("sweep", data,
+                          ["parameter", "values", "trials", "label"])
+        if "parameter" not in data:
+            raise ScenarioError("sweep section requires a 'parameter' key")
+        values = data.get("values")
+        if not isinstance(values, list):
+            raise ScenarioError("sweep.values must be a list")
+        return cls(parameter=data["parameter"], values=list(values),
+                   trials=data.get("trials"), label=data.get("label"))
+
+
+@dataclass
+class ChurnSpec:
+    """Dynamic-membership section: the population changes until ``T0``.
+
+    In **stream mode** the section replaces the ``stream`` section: the
+    input stream is generated by :class:`~repro.streams.churn.ChurnModel`
+    (``initial_population`` nodes, join/leave events for ``churn_steps``
+    steps, then ``stable_steps`` without churn).  In **network mode** the
+    section rides along the ``network`` section and feeds the system
+    simulation with join/leave events: correct nodes enter and depart the
+    overlay during the first ``churn_steps`` rounds, then the membership
+    freezes for ``stable_steps`` rounds (and the network's ``rounds`` field
+    is ignored).
+
+    With ``stable_only`` (the default) every uniformity metric is computed
+    over the post-``T0`` portion of the streams against the *stable*
+    population only — the setting in which the paper's Uniformity property
+    is stated (Section III-C).
+    """
+
+    churn_steps: int = 100
+    stable_steps: int = 100
+    join_rate: float = 0.05
+    leave_rate: float = 0.05
+    initial_population: Optional[int] = None
+    advertisements_per_step: Optional[int] = None
+    stable_only: bool = True
+
+    def __post_init__(self) -> None:
+        check_positive("churn.churn_steps", self.churn_steps)
+        check_non_negative("churn.stable_steps", self.stable_steps)
+        if self.stable_only and self.stable_steps == 0:
+            raise ScenarioError(
+                "churn.stable_only needs a non-empty stable phase; set "
+                "stable_steps > 0 or stable_only to false")
+        check_probability("churn.join_rate", self.join_rate)
+        check_probability("churn.leave_rate", self.leave_rate)
+        if self.initial_population is not None:
+            check_positive("churn.initial_population", self.initial_population)
+        if self.advertisements_per_step is not None:
+            check_positive("churn.advertisements_per_step",
+                           self.advertisements_per_step)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Return the JSON-serializable form of the churn section."""
+        data: Dict[str, Any] = {
+            "churn_steps": self.churn_steps,
+            "stable_steps": self.stable_steps,
+            "join_rate": self.join_rate,
+            "leave_rate": self.leave_rate,
+            "stable_only": self.stable_only,
+        }
+        if self.initial_population is not None:
+            data["initial_population"] = self.initial_population
+        if self.advertisements_per_step is not None:
+            data["advertisements_per_step"] = self.advertisements_per_step
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ChurnSpec":
+        """Rebuild a churn section from its :meth:`to_dict` form."""
+        data = _require_mapping("churn", data)
+        _check_known_keys("churn", data,
+                          [f.name for f in cls.__dataclass_fields__.values()])
+        return cls(**data)
+
+
+@dataclass
 class MetricsSpec:
     """Which metric groups the scenario report includes."""
 
@@ -252,11 +398,16 @@ class ScenarioSpec:
 
     Exactly one of two modes applies:
 
-    * **stream mode** (``network is None``) — a synthetic/trace stream,
+    * **stream mode** (``network is None``) — a synthetic/trace stream (or a
+      churn-generated one when a ``churn`` section replaces ``stream``),
       optionally biased by an adversary, processed by every strategy in the
       ensemble over ``trials`` independent repetitions;
     * **network mode** (``network`` set) — the end-to-end system simulation,
-      whose per-node sampler outputs are reported.
+      whose per-node sampler outputs are reported; an optional ``churn``
+      section makes the membership dynamic until ``T0``.
+
+    A ``sweep`` section turns the scenario into a one-axis family of
+    experiments run by :meth:`~repro.scenarios.runner.ScenarioRunner.run_sweep`.
 
     ``seed`` is the master random seed: per-trial generators are spawned
     from it, so re-running the same spec (even after a JSON round-trip)
@@ -270,6 +421,8 @@ class ScenarioSpec:
     strategies: List[StrategySpec] = field(default_factory=list)
     adversary: Optional[ComponentSpec] = None
     network: Optional[NetworkSpec] = None
+    churn: Optional[ChurnSpec] = None
+    sweep: Optional[SweepSpec] = None
     engine: EngineSpec = field(default_factory=EngineSpec)
     metrics: MetricsSpec = field(default_factory=MetricsSpec)
 
@@ -279,10 +432,24 @@ class ScenarioSpec:
                 f"scenario name must be a non-empty string, got {self.name!r}")
         check_positive("trials", self.trials)
         if self.network is None:
-            if self.stream is None:
+            if self.stream is None and self.churn is None:
                 raise ScenarioError(
                     f"scenario {self.name!r} needs a stream section "
-                    "(or a network section)")
+                    "(or a churn or network section)")
+            if self.stream is not None and self.churn is not None:
+                raise ScenarioError(
+                    f"scenario {self.name!r} has both a stream and a churn "
+                    "section; the churn section generates the stream, so "
+                    "declare only one")
+            if self.churn is not None and self.churn.initial_population is None:
+                raise ScenarioError(
+                    f"scenario {self.name!r} is a churn stream scenario; the "
+                    "churn section requires 'initial_population'")
+            if self.churn is not None and self.adversary is not None:
+                raise ScenarioError(
+                    f"scenario {self.name!r} combines churn and adversary "
+                    "sections; an adversary would rewrite the stream and "
+                    "invalidate its pre-/post-T0 split")
             if not self.strategies:
                 raise ScenarioError(
                     f"scenario {self.name!r} needs at least one strategy")
@@ -301,6 +468,19 @@ class ScenarioSpec:
                 raise ScenarioError(
                     f"scenario {self.name!r} is a network scenario; per-node "
                     "samplers are configured through the network section")
+            if self.churn is not None:
+                # In network mode the initial population and advertisement
+                # cadence come from the network section / protocol.
+                if self.churn.initial_population is not None:
+                    raise ScenarioError(
+                        f"scenario {self.name!r} is a network scenario; the "
+                        "initial population is network.num_correct, so the "
+                        "churn section must not set 'initial_population'")
+                if self.churn.advertisements_per_step is not None:
+                    raise ScenarioError(
+                        f"scenario {self.name!r} is a network scenario; the "
+                        "dissemination protocol paces advertisements, so the "
+                        "churn section must not set 'advertisements_per_step'")
 
     @property
     def mode(self) -> str:
@@ -322,11 +502,16 @@ class ScenarioSpec:
         if self.network is not None:
             data["network"] = self.network.to_dict()
         else:
-            data["stream"] = self.stream.to_dict()
+            if self.stream is not None:
+                data["stream"] = self.stream.to_dict()
             data["strategies"] = [strategy.to_dict()
                                   for strategy in self.strategies]
             if self.adversary is not None:
                 data["adversary"] = self.adversary.to_dict()
+        if self.churn is not None:
+            data["churn"] = self.churn.to_dict()
+        if self.sweep is not None:
+            data["sweep"] = self.sweep.to_dict()
         return data
 
     @classmethod
@@ -335,12 +520,15 @@ class ScenarioSpec:
         data = _require_mapping("scenario", data)
         _check_known_keys("scenario", data,
                           ["name", "seed", "trials", "stream", "strategies",
-                           "adversary", "network", "engine", "metrics"])
+                           "adversary", "network", "churn", "sweep",
+                           "engine", "metrics"])
         if "name" not in data:
             raise ScenarioError("scenario requires a 'name' key")
         stream = data.get("stream")
         adversary = data.get("adversary")
         network = data.get("network")
+        churn = data.get("churn")
+        sweep = data.get("sweep")
         strategies = data.get("strategies") or []
         if not isinstance(strategies, list):
             raise ScenarioError("'strategies' must be a list")
@@ -355,6 +543,10 @@ class ScenarioSpec:
                        if adversary is not None else None),
             network=(NetworkSpec.from_dict(network)
                      if network is not None else None),
+            churn=(ChurnSpec.from_dict(churn)
+                   if churn is not None else None),
+            sweep=(SweepSpec.from_dict(sweep)
+                   if sweep is not None else None),
             engine=(EngineSpec.from_dict(data["engine"])
                     if "engine" in data else EngineSpec()),
             metrics=(MetricsSpec.from_dict(data["metrics"])

@@ -11,6 +11,7 @@
 """
 
 from repro.streams.generators import (
+    overrepresented_stream,
     peak_attack_stream,
     peak_stream,
     poisson_arrival_stream,
@@ -56,6 +57,7 @@ __all__ = [
     "peak_attack_stream",
     "poisson_attack_stream",
     "poisson_arrival_stream",
+    "overrepresented_stream",
     "SyntheticTrace",
     "TraceSpec",
     "NASA",

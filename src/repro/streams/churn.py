@@ -20,7 +20,11 @@ from typing import List, Optional, Set
 
 from repro.streams.stream import IdentifierStream
 from repro.utils.rng import RandomState, ensure_rng
-from repro.utils.validation import check_positive, check_probability
+from repro.utils.validation import (
+    check_non_negative,
+    check_positive,
+    check_probability,
+)
 
 
 @dataclass(frozen=True)
@@ -92,10 +96,17 @@ class ChurnModel:
 
         Returns the full stream (churn phase then stable phase), the events,
         the stable population, and the stream index corresponding to ``T0``.
+        ``stable_steps`` may be zero — a pure-churn trace whose ``T0`` falls
+        at the very end of the stream.
         """
         check_positive("churn_steps", churn_steps)
-        check_positive("stable_steps", stable_steps)
-        alive: Set[int] = set(range(self.initial_population))
+        check_non_negative("stable_steps", stable_steps)
+        # The alive population is kept as a sorted list, maintained
+        # incrementally: joins always receive a fresh identifier larger than
+        # every previous one (so they append at the tail), and leaves remove
+        # by position.  Draws are therefore identical to re-sorting a set at
+        # every step, without the per-step O(n log n) sort.
+        alive: List[int] = list(range(self.initial_population))
         next_identifier = self.initial_population
         events: List[ChurnEvent] = []
         identifiers: List[int] = []
@@ -104,29 +115,28 @@ class ChurnModel:
         def advertise() -> None:
             if not alive:
                 return
-            alive_list = sorted(alive)
-            draws = self._rng.integers(0, len(alive_list),
+            draws = self._rng.integers(0, len(alive),
                                        size=self.advertisements_per_step)
             for draw in draws:
-                identifiers.append(alive_list[int(draw)])
+                identifiers.append(alive[int(draw)])
 
         for step in range(int(churn_steps)):
             if self._rng.random() < self.join_rate:
-                alive.add(next_identifier)
+                alive.append(next_identifier)
                 ever_alive.add(next_identifier)
                 events.append(ChurnEvent(time=step, identifier=next_identifier,
                                          joined=True))
                 next_identifier += 1
             if len(alive) > 1 and self._rng.random() < self.leave_rate:
-                alive_list = sorted(alive)
-                victim = alive_list[int(self._rng.integers(0, len(alive_list)))]
-                alive.discard(victim)
+                victim_index = int(self._rng.integers(0, len(alive)))
+                victim = alive[victim_index]
+                del alive[victim_index]
                 events.append(ChurnEvent(time=step, identifier=victim,
                                          joined=False))
             advertise()
 
         stability_time = len(identifiers)
-        stable_population = sorted(alive)
+        stable_population = list(alive)
         for _ in range(int(stable_steps)):
             advertise()
 

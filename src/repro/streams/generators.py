@@ -249,6 +249,38 @@ def poisson_attack_stream(stream_size: int,
     )
 
 
+def overrepresented_stream(stream_size: int, population_size: int, *,
+                           num_malicious: int = 10,
+                           overrepresentation: float = 20.0,
+                           random_state: RandomState = None
+                           ) -> IdentifierStream:
+    """Generate the Figure 11 bias: ``l`` malicious ids pushed harder.
+
+    ``num_malicious`` adversary-controlled identifiers are appended to the
+    population and over-represented by a factor ``overrepresentation``
+    relative to every correct identifier; the rest of the probability mass is
+    uniform.  The paper uses this stream to locate the point (around
+    ``l = 0.1 n``) where the knowledge-free strategy starts to degrade.
+    """
+    check_positive("stream_size", stream_size)
+    check_positive("population_size", population_size)
+    check_positive("num_malicious", num_malicious)
+    check_positive("overrepresentation", overrepresentation)
+    rng = ensure_rng(random_state)
+    num_malicious = int(num_malicious)
+    total = int(population_size) + num_malicious
+    weights = np.ones(total, dtype=np.float64)
+    weights[population_size:] = float(overrepresentation)
+    probabilities = weights / weights.sum()
+    draws = rng.choice(total, size=int(stream_size), p=probabilities)
+    return IdentifierStream(
+        identifiers=draws.tolist(),
+        universe=list(range(total)),
+        malicious=list(range(int(population_size), total)),
+        label=f"overrepresented(l={num_malicious}, x{overrepresentation:g})",
+    )
+
+
 def poisson_arrival_stream(stream_size: int,
                            population_size: Optional[int] = None, *,
                            burst_identifiers: int = 10,

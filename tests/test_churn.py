@@ -67,6 +67,73 @@ class TestChurnModel:
             ChurnModel(10, join_rate=1.5)
         with pytest.raises(ValueError):
             ChurnModel(10).generate(churn_steps=0, stable_steps=10)
+        with pytest.raises(ValueError):
+            ChurnModel(10).generate(churn_steps=10, stable_steps=-1)
+
+    def test_zero_stable_steps_gives_pure_churn_trace(self):
+        # stable_steps=0 is a legal pure-churn trace: T0 falls at the end of
+        # the stream and the stable suffix is empty.
+        model = ChurnModel(30, join_rate=0.3, leave_rate=0.3,
+                           advertisements_per_step=4, random_state=8)
+        trace = model.generate(churn_steps=120, stable_steps=0)
+        assert trace.stream.size == 120 * 4
+        assert trace.stability_time == trace.stream.size
+        assert trace.stable_population
+        suffix = model.stable_suffix(trace)
+        assert suffix.size == 0
+        assert suffix.universe == trace.stable_population
+
+    def test_generation_matches_resorting_reference(self):
+        # Regression for the incremental sorted-alive-list optimisation: the
+        # draws must be bit-identical to the original implementation, which
+        # re-sorted the alive set before every advertisement and every leave.
+        import numpy as np
+
+        def reference(seed, initial, join_rate, leave_rate, ads, churn, stable):
+            rng = np.random.default_rng(seed)
+            alive = set(range(initial))
+            next_identifier = initial
+            identifiers = []
+
+            def advertise():
+                if not alive:
+                    return
+                alive_list = sorted(alive)
+                draws = rng.integers(0, len(alive_list), size=ads)
+                for draw in draws:
+                    identifiers.append(alive_list[int(draw)])
+
+            for _ in range(churn):
+                if rng.random() < join_rate:
+                    alive.add(next_identifier)
+                    next_identifier += 1
+                if len(alive) > 1 and rng.random() < leave_rate:
+                    alive_list = sorted(alive)
+                    victim = alive_list[int(rng.integers(0, len(alive_list)))]
+                    alive.discard(victim)
+                advertise()
+            stable_population = sorted(alive)
+            for _ in range(stable):
+                advertise()
+            return identifiers, stable_population
+
+        for seed in (0, 7, 2013):
+            model = ChurnModel(25, join_rate=0.4, leave_rate=0.35,
+                               advertisements_per_step=3, random_state=seed)
+            trace = model.generate(churn_steps=150, stable_steps=40)
+            expected_ids, expected_stable = reference(
+                seed, 25, 0.4, 0.35, 3, 150, 40)
+            assert trace.stream.identifiers == expected_ids
+            assert trace.stable_population == expected_stable
+
+    def test_generation_deterministic_per_seed(self):
+        kwargs = dict(join_rate=0.25, leave_rate=0.25,
+                      advertisements_per_step=5)
+        first = ChurnModel(40, random_state=123, **kwargs).generate(100, 50)
+        second = ChurnModel(40, random_state=123, **kwargs).generate(100, 50)
+        assert first.stream.identifiers == second.stream.identifiers
+        assert first.events == second.events
+        assert first.stable_population == second.stable_population
 
     def test_sampler_converges_on_stable_suffix(self):
         # After T0 the sampler fed by the stable suffix only ever outputs

@@ -138,3 +138,79 @@ class TestRunCommand:
     def test_list_mentions_run(self, capsys):
         assert main(["list"]) == 0
         assert "run <scenario.json>" in capsys.readouterr().out
+
+    def _write_sweep_spec(self, tmp_path):
+        from repro.scenarios import ScenarioSpec
+        spec = ScenarioSpec.from_dict({
+            "name": "cli-sweep",
+            "seed": 3,
+            "trials": 1,
+            "stream": {"kind": "zipf",
+                       "params": {"stream_size": 1500,
+                                  "population_size": 100, "alpha": 4}},
+            "strategies": [{"kind": "knowledge-free",
+                            "params": {"memory_size": 5, "sketch_width": 8,
+                                       "sketch_depth": 3}}],
+            "sweep": {"parameter": "stream.params.population_size",
+                      "values": [50, 100], "label": "n"},
+        })
+        path = tmp_path / "sweep.json"
+        spec.save(path)
+        return path
+
+    def test_run_sweep_prints_per_point_blocks(self, tmp_path, capsys):
+        assert main(["run", str(self._write_sweep_spec(tmp_path))]) == 0
+        output = capsys.readouterr().out
+        assert "scenario sweep: cli-sweep" in output
+        assert "n = 50" in output
+        assert "n = 100" in output
+
+    def test_run_sweep_summary_table(self, tmp_path, capsys):
+        assert main(["run", str(self._write_sweep_spec(tmp_path)),
+                     "--sweep-summary"]) == 0
+        output = capsys.readouterr().out
+        assert "n " in output
+        assert "mean_gain" in output
+
+    def test_run_sweep_json_round_trips(self, tmp_path, capsys):
+        import json
+        assert main(["run", str(self._write_sweep_spec(tmp_path)),
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["name"] == "cli-sweep"
+        assert [point["value"] for point in payload["points"]] == [50, 100]
+
+    def test_run_trials_flag_overrides_sweep_trials(self, tmp_path, capsys):
+        import json
+        path = self._write_sweep_spec(tmp_path)
+        data = json.loads(path.read_text())
+        data["sweep"]["trials"] = 1
+        path.write_text(json.dumps(data))
+        assert main(["run", str(path), "--trials", "2", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        for point in payload["points"]:
+            assert point["result"]["summaries"][0]["trials"] == 2
+
+    def test_sweep_summary_requires_sweep_section(self, tmp_path):
+        with pytest.raises(SystemExit, match="sweep section"):
+            main(["run", str(self._write_spec(tmp_path)), "--sweep-summary"])
+
+    def test_run_churn_scenario(self, tmp_path, capsys):
+        from repro.scenarios import ScenarioSpec
+        spec = ScenarioSpec.from_dict({
+            "name": "cli-churn",
+            "seed": 2,
+            "trials": 1,
+            "churn": {"initial_population": 30, "churn_steps": 60,
+                      "stable_steps": 80, "join_rate": 0.3,
+                      "leave_rate": 0.3},
+            "strategies": [{"kind": "knowledge-free",
+                            "params": {"memory_size": 5, "sketch_width": 8,
+                                       "sketch_depth": 3}}],
+        })
+        path = tmp_path / "churn.json"
+        spec.save(path)
+        assert main(["run", str(path)]) == 0
+        output = capsys.readouterr().out
+        assert "cli-churn" in output
+        assert "mean_gain" in output

@@ -104,6 +104,24 @@ class TestKLToUniformAndGain:
         stream = uniform_stream(10_000, 10, random_state=5)
         assert 0.0 <= kl_gain(stream, stream) <= 1.0
 
+    def test_out_of_support_identifiers_penalised_not_rejected(self):
+        # a stream may carry identifiers outside an explicit support (nodes
+        # that departed before T0 lingering in a sampler memory); their mass
+        # is a uniformity violation and must score a heavy finite penalty
+        from repro.streams.stream import IdentifierStream
+
+        clean = IdentifierStream([0, 0, 1, 1], universe=[0, 1])
+        stale = IdentifierStream([0, 0, 1, 99], universe=[0, 1, 99])
+        clean_divergence = kl_divergence_to_uniform(clean, support=[0, 1])
+        stale_divergence = kl_divergence_to_uniform(
+            stale, support=[0, 1], penalise_out_of_support=True)
+        assert np.isfinite(stale_divergence)
+        assert stale_divergence > clean_divergence + 1.0
+        # without the opt-in, a support mismatch keeps raising (the check
+        # that catches forgotten sybil/universe extensions library-wide)
+        with pytest.raises(ValueError, match="outside the support"):
+            kl_divergence_to_uniform(stale, support=[0, 1])
+
 
 class TestOtherDistances:
     def test_total_variation_bounds(self):

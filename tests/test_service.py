@@ -58,6 +58,12 @@ class TestNodeSamplingService:
         with pytest.raises(ValueError):
             service.sample_many(0)
 
+    def test_sample_many_empty_service_raises_unless_lenient(self):
+        service = NodeSamplingService.knowledge_free(memory_size=5)
+        with pytest.raises(RuntimeError, match="0 sample"):
+            service.sample_many(3)
+        assert service.sample_many(3, strict=False) == []
+
     def test_record_output_disabled(self):
         service = NodeSamplingService.knowledge_free(memory_size=3,
                                                      random_state=5,

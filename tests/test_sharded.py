@@ -91,6 +91,19 @@ class TestSampling:
         with pytest.raises(ValueError):
             service.sample_many(0)
 
+    def test_sample_many_empty_ensemble_raises(self):
+        # regression: an empty ensemble used to silently return fewer than
+        # `count` samples (here: none at all), skewing downstream statistics
+        service = _sharded()
+        with pytest.raises(RuntimeError, match="0 sample"):
+            service.sample_many(10)
+
+    def test_sample_many_empty_ensemble_non_strict(self):
+        service = _sharded()
+        assert service.sample_many(10, strict=False) == []
+        service.on_receive_batch(STREAM.identifiers)
+        assert len(service.sample_many(10, strict=False)) == 10
+
     def test_samples_spread_over_population(self):
         service = _sharded(shards=8, seed=3)
         stream = uniform_stream(20_000, 200, random_state=3)
