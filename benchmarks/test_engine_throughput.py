@@ -6,7 +6,20 @@ stream", Section III-A) on a million-element Zipf-biased stream:
 
 * ``scalar``  — the per-element reference driver (one Python call per id);
 * ``batch``   — the vectorised chunk driver of :mod:`repro.engine.batch`;
-* ``sharded`` — the batch driver over a hash-partitioned 4-shard ensemble.
+* ``sharded`` — the batch driver over a hash-partitioned 4-shard ensemble
+  on the serial execution backend (every shard in this process);
+* ``process`` — the same ensemble on the process backend (shard groups
+  pinned to worker processes), the parallel tier.  Its outputs and merged
+  memory are asserted bit-identical to the serial ensemble's, and on a
+  machine with enough cores it must reach at least 2x the serial ensemble's
+  throughput.
+
+The workload and the parallel tier scale down through environment variables
+(the same pattern as ``OVERLAY_BENCH_NODES``): ``ENGINE_BENCH_STREAM_SIZE``
+shrinks the stream for CI smoke runs and ``ENGINE_BENCH_WORKERS`` sets the
+worker count of the process tier; the 2x speedup assertion only arms when
+the machine actually has at least 4 cores to parallelise over (CI smoke
+boxes keep the bit-identity check, which holds on any core count).
 
 A second group replays the paper's Table II trace stand-ins (NASA, ClarkNet,
 Saskatchewan) through the batch driver and records elements/sec per trace —
@@ -20,6 +33,9 @@ the same workload (it also re-checks that both produce identical outputs, so
 the speed never comes at the cost of the exactness contract).
 """
 
+import multiprocessing
+import os
+
 import numpy as np
 import pytest
 
@@ -28,15 +44,18 @@ from repro.engine import ShardedSamplingService, run_stream, run_stream_scalar
 from repro.streams import PAPER_TRACES, SyntheticTrace, zipf_stream
 
 #: The paper-scale workload: a million identifiers, Zipf-biased as in the
-#: attack scenarios, over a population far larger than the sketch.
-STREAM_SIZE = 1_000_000
-POPULATION_SIZE = 100_000
+#: attack scenarios, over a population far larger than the sketch.  CI smoke
+#: runs export ENGINE_BENCH_STREAM_SIZE to shrink it.
+STREAM_SIZE = int(os.environ.get("ENGINE_BENCH_STREAM_SIZE", 1_000_000))
+POPULATION_SIZE = max(1, STREAM_SIZE // 10)
 ALPHA = 1.1
 MEMORY_SIZE = 50
 SKETCH_WIDTH = 200
 SKETCH_DEPTH = 5
 BATCH_SIZE = 8192
 SHARDS = 4
+#: Worker processes of the parallel tier (scaled down in CI smoke runs).
+WORKERS = int(os.environ.get("ENGINE_BENCH_WORKERS", 4))
 SEED = 99
 
 #: elements/second per driver, filled by the benchmarks and read by the
@@ -56,10 +75,16 @@ def _strategy():
                                  sketch_depth=SKETCH_DEPTH, random_state=SEED)
 
 
-def _sharded():
+def _sharded(backend="serial", **kwargs):
     return ShardedSamplingService.knowledge_free(
         shards=SHARDS, memory_size=MEMORY_SIZE, sketch_width=SKETCH_WIDTH,
-        sketch_depth=SKETCH_DEPTH, random_state=SEED)
+        sketch_depth=SKETCH_DEPTH, random_state=SEED, backend=backend,
+        **kwargs)
+
+
+#: Merged sampling memories of the sharded tiers, read by the cross-backend
+#: bit-identity assertion (tests run in file order).
+MERGED_MEMORY = {}
 
 
 def _record(benchmark, print_result, name, result):
@@ -90,10 +115,65 @@ def test_batch_driver_throughput(benchmark, print_result, identifiers):
 
 @pytest.mark.figure("throughput")
 def test_sharded_driver_throughput(benchmark, print_result, identifiers):
+    service = _sharded()
     result = benchmark.pedantic(
-        lambda: run_stream(_sharded(), identifiers, batch_size=BATCH_SIZE),
+        lambda: run_stream(service, identifiers, batch_size=BATCH_SIZE),
         rounds=1, iterations=1)
+    MERGED_MEMORY["sharded"] = service.merged_memory()
     _record(benchmark, print_result, "sharded", result)
+
+
+@pytest.mark.figure("throughput")
+def test_process_backend_throughput(benchmark, print_result, identifiers):
+    """The parallel tier: the sharded ensemble on the process backend."""
+    service = _sharded("process", workers=WORKERS)
+    try:
+        result = benchmark.pedantic(
+            lambda: run_stream(service, identifiers, batch_size=BATCH_SIZE),
+            rounds=1, iterations=1)
+        MERGED_MEMORY["process"] = service.merged_memory()
+    finally:
+        service.close()
+    benchmark.extra_info["workers"] = service.backend.workers
+    _record(benchmark, print_result, "process", result)
+
+
+@pytest.mark.figure("throughput")
+def test_process_backend_bit_identical_to_serial(print_result):
+    """Cross-backend exactness: same outputs, same merged memory, per seed."""
+    if "sharded" not in RECORDED or "process" not in RECORDED:
+        pytest.skip("sharded benchmarks did not run before this test")
+    _, serial_outputs = RECORDED["sharded"]
+    _, process_outputs = RECORDED["process"]
+    assert np.array_equal(serial_outputs, process_outputs)
+    assert MERGED_MEMORY["sharded"] == MERGED_MEMORY["process"]
+    print_result("backend exactness",
+                 f"process backend bit-identical to serial over "
+                 f"{serial_outputs.size:,} outputs and "
+                 f"{len(MERGED_MEMORY['sharded'])} memory slots")
+
+
+@pytest.mark.figure("throughput")
+def test_process_backend_at_least_2x_serial_sharded(print_result):
+    """>= 2x serial-ensemble throughput with 4 workers (needs >= 4 cores)."""
+    if "sharded" not in RECORDED or "process" not in RECORDED:
+        pytest.skip("sharded benchmarks did not run before this test")
+    serial_eps, _ = RECORDED["sharded"]
+    process_eps, _ = RECORDED["process"]
+    speedup = process_eps / serial_eps
+    print_result("parallel speedup",
+                 f"process backend is {speedup:.2f}x the serial ensemble "
+                 f"({process_eps:,.0f} vs {serial_eps:,.0f} elem/s, "
+                 f"{WORKERS} workers, {multiprocessing.cpu_count()} cores)")
+    if multiprocessing.cpu_count() < 4 or WORKERS < 4:
+        pytest.skip(
+            f"speedup assertion needs >= 4 cores and >= 4 workers "
+            f"(have {multiprocessing.cpu_count()} cores, {WORKERS} workers); "
+            "bit-identity was still asserted")
+    assert speedup >= 2.0, (
+        f"process backend only {speedup:.2f}x the serial ensemble "
+        f"({process_eps:,.0f} vs {serial_eps:,.0f} elem/s)"
+    )
 
 
 #: Down-scaling applied to the multi-million-element traces so the replay

@@ -57,6 +57,16 @@ def _cmd_run(arguments: argparse.Namespace) -> None:
             overrides["sweep"] = replace(spec.sweep, trials=arguments.trials)
     if arguments.seed is not None:
         overrides["seed"] = arguments.seed
+    if arguments.backend is not None or arguments.workers is not None:
+        engine_overrides = {}
+        if arguments.backend is not None:
+            engine_overrides["backend"] = arguments.backend
+        if arguments.workers is not None:
+            engine_overrides["workers"] = arguments.workers
+        # replace() re-runs the engine section's validation, so an override
+        # that contradicts the spec (e.g. --workers on a serial backend)
+        # fails with the same error a hand-written spec would
+        overrides["engine"] = replace(spec.engine, **engine_overrides)
     if overrides:
         spec = replace(spec, **overrides)
     if spec.sweep is not None:
@@ -132,13 +142,22 @@ def _cmd_throughput(arguments: argparse.Namespace) -> None:
         sketch_width=arguments.sketch_width,
         sketch_depth=arguments.sketch_depth,
         random_state=arguments.seed,
+        backend=arguments.backend,
+        workers=arguments.workers,
     )
-    sharded = run_stream(sharded_service, stream,
-                         batch_size=arguments.batch_size)
+    try:
+        sharded = run_stream(sharded_service, stream,
+                             batch_size=arguments.batch_size)
+    finally:
+        sharded_service.close()
+    sharded_label = f"sharded x{arguments.shards}"
+    if arguments.backend != "serial":
+        sharded_label += (f" [{arguments.backend}"
+                          f" w={sharded_service.backend.workers}]")
 
     rows = []
     for name, result in (("scalar", scalar), ("batch", batch),
-                         (f"sharded x{arguments.shards}", sharded)):
+                         (sharded_label, sharded)):
         rows.append({
             "driver": name,
             "elements": result.elements,
@@ -293,6 +312,13 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--sweep-summary", action="store_true",
                      help="condense a sweep into one row per (value, "
                           "strategy) instead of one block per point")
+    run.add_argument("--backend", choices=["serial", "process"], default=None,
+                     help="override the spec's execution backend (sharded "
+                          "scenarios; results are bit-identical per seed)")
+    run.add_argument("--workers", type=int, default=None,
+                     help="worker processes of the process backend "
+                          "(default: one per shard, capped at the core "
+                          "count)")
     run.add_argument("--components", action="store_true",
                      help="list the registered scenario components and exit")
     run.set_defaults(handler=_cmd_run)
@@ -374,6 +400,11 @@ def build_parser() -> argparse.ArgumentParser:
     throughput.add_argument("--sketch-depth", type=int, default=5)
     throughput.add_argument("--batch-size", type=int, default=8192)
     throughput.add_argument("--shards", type=int, default=4)
+    throughput.add_argument("--backend", choices=["serial", "process"],
+                            default="serial",
+                            help="execution backend of the sharded driver")
+    throughput.add_argument("--workers", type=int, default=None,
+                            help="worker processes of the process backend")
     throughput.add_argument("--scalar-limit", type=int, default=100_000,
                             help="cap on elements fed to the slow "
                                  "per-element reference driver")

@@ -5,9 +5,22 @@
   accounting (:class:`BatchResult`);
 * :mod:`repro.engine.sharded` — hash-partitioned ensembles of independent
   sampling services, the first concrete scaling scenario beyond a single
-  node.
+  node;
+* :mod:`repro.engine.backends` — pluggable execution backends for the
+  sharded ensemble: ``serial`` (in-process) and ``process`` (shard groups
+  pinned to worker processes), bit-identical per master seed.
 """
 
+from repro.engine.backends import (
+    BACKENDS,
+    BackendError,
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    WorkerCrashError,
+    WorkerTimeoutError,
+    make_backend,
+)
 from repro.engine.batch import (
     DEFAULT_BATCH_SIZE,
     BatchResult,
@@ -16,14 +29,26 @@ from repro.engine.batch import (
     run_stream,
     run_stream_scalar,
 )
-from repro.engine.sharded import ShardedSamplingService
+from repro.engine.sharded import (
+    KnowledgeFreeShardFactory,
+    ShardedSamplingService,
+)
 
 __all__ = [
+    "BACKENDS",
+    "BackendError",
     "DEFAULT_BATCH_SIZE",
     "BatchResult",
+    "ExecutionBackend",
+    "KnowledgeFreeShardFactory",
+    "ProcessBackend",
+    "SerialBackend",
+    "ShardedSamplingService",
+    "WorkerCrashError",
+    "WorkerTimeoutError",
     "as_identifier_array",
     "iter_batches",
+    "make_backend",
     "run_stream",
     "run_stream_scalar",
-    "ShardedSamplingService",
 ]

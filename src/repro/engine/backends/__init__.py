@@ -1,0 +1,31 @@
+"""Pluggable execution backends of the sharded sampling service.
+
+* :mod:`repro.engine.backends.base` — the :class:`ExecutionBackend`
+  contract and the :func:`make_backend` resolver;
+* :mod:`repro.engine.backends.serial` — every shard in the calling process
+  (the original behaviour, bit-identical);
+* :mod:`repro.engine.backends.process` — shard groups pinned to worker
+  processes, bit-identical to serial per master seed.
+"""
+
+from repro.engine.backends.base import (
+    BACKENDS,
+    BackendError,
+    ExecutionBackend,
+    WorkerCrashError,
+    WorkerTimeoutError,
+    make_backend,
+)
+from repro.engine.backends.process import ProcessBackend
+from repro.engine.backends.serial import SerialBackend
+
+__all__ = [
+    "BACKENDS",
+    "BackendError",
+    "ExecutionBackend",
+    "ProcessBackend",
+    "SerialBackend",
+    "WorkerCrashError",
+    "WorkerTimeoutError",
+    "make_backend",
+]

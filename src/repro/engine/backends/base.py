@@ -1,0 +1,178 @@
+"""Execution-backend abstraction of the sharded sampling service.
+
+A :class:`~repro.engine.sharded.ShardedSamplingService` is the composition of
+``S`` independent per-shard services behind one hash partition.  *Where* those
+shard services execute is an orthogonal choice: in the calling process (the
+:class:`~repro.engine.backends.serial.SerialBackend`, the original behaviour)
+or spread over worker processes pinned to cores (the
+:class:`~repro.engine.backends.process.ProcessBackend`).  This module defines
+the contract both implement.
+
+The contract is shaped by the library's determinism guarantee: per master
+seed, every backend must produce **bit-identical** outputs and merged
+memories.  The sharded service therefore keeps all *shared* randomness
+(partition hash, shard-choice coins) on the caller's side and hands each
+backend the already-spawned per-shard generators; a backend only decides
+where each shard's service lives and routes sub-chunks and sample calls to
+it.  Per-shard processing is independent, so relocating a shard to another
+process cannot change what it computes.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+#: Builds the service of one shard from its index and its private generator.
+#: Process backends pickle the factory into their workers, so factories must
+#: be picklable (module-level functions or classes, not closures).
+ShardFactory = Callable[[int, np.random.Generator], object]
+
+#: The backend names :func:`make_backend` resolves.
+BACKENDS = ("serial", "process")
+
+
+class BackendError(RuntimeError):
+    """An execution backend failed to run a shard operation."""
+
+
+class WorkerCrashError(BackendError):
+    """A worker process died while an operation was in flight."""
+
+
+class WorkerTimeoutError(BackendError):
+    """A worker process did not answer within the configured timeout."""
+
+
+class ExecutionBackend(abc.ABC):
+    """Executes the per-shard services of a sharded sampling ensemble.
+
+    Parameters
+    ----------
+    shards:
+        Number of partitions ``S``.
+    shard_factory:
+        Builds one shard's service from its index and private generator.
+    shard_rngs:
+        One already-spawned generator per shard (the paper's "one local coin
+        per node" requirement).  Spawning happens in the caller so every
+        backend consumes exactly the same child sequence — the root of the
+        cross-backend bit-identity guarantee.
+    """
+
+    #: Registry key of the backend ("serial", "process").
+    name = "abstract"
+
+    def __init__(self, shards: int, shard_factory: ShardFactory,
+                 shard_rngs: Sequence[np.random.Generator]) -> None:
+        if shards <= 0:
+            raise ValueError(f"shards must be positive, got {shards}")
+        if len(shard_rngs) != shards:
+            raise ValueError(
+                f"expected {shards} shard generators, got {len(shard_rngs)}")
+        self.shards = int(shards)
+
+    # ------------------------------------------------------------------ #
+    # Streaming
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def dispatch(self, identifiers: np.ndarray,
+                 shard_indices: np.ndarray) -> np.ndarray:
+        """Feed a hash-partitioned chunk and return the merged output chunk.
+
+        ``shard_indices[i]`` is the shard ``identifiers[i]`` is routed to
+        (the caller computed it with one vectorised hash pass).  The returned
+        chunk is ordered by input arrival position: ``outputs[i]`` is the
+        output the shard of ``identifiers[i]`` produced for it, exactly as
+        per-element routing would have interleaved them.
+        """
+
+    # ------------------------------------------------------------------ #
+    # Sampling
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def sample_shard(self, shard: int) -> Optional[int]:
+        """Draw one sample from one shard's service."""
+
+    @abc.abstractmethod
+    def sample_shards_many(self, counts: Dict[int, int]
+                           ) -> Dict[int, List[Optional[int]]]:
+        """Draw ``counts[shard]`` consecutive samples from each listed shard.
+
+        Each shard consumes its own coin stream in call order, so the draws
+        are exactly the ones ``counts[shard]`` successive
+        :meth:`sample_shard` calls would have produced.
+        """
+
+    # ------------------------------------------------------------------ #
+    # Inspection and lifecycle
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def shard_loads(self) -> List[int]:
+        """Per-shard processed-element counts (partition balance check)."""
+
+    def cached_loads(self) -> List[int]:
+        """Per-shard loads without a worker round-trip (hot-path variant).
+
+        Backends that can answer :meth:`shard_loads` locally simply reuse it;
+        the process backend overrides this with a caller-side counter so the
+        per-sample candidate computation does not pay one IPC round-trip per
+        draw.
+        """
+        return self.shard_loads()
+
+    @abc.abstractmethod
+    def memory_sizes(self) -> List[int]:
+        """Per-shard sampling-memory sizes (``len(Gamma)`` per shard)."""
+
+    @abc.abstractmethod
+    def merged_memory(self) -> List[int]:
+        """Concatenation of every shard's sampling memory, in shard order."""
+
+    @abc.abstractmethod
+    def reset(self) -> None:
+        """Reset every shard's service."""
+
+    def close(self) -> None:
+        """Release backend resources (worker processes); idempotent."""
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"{type(self).__name__}(shards={self.shards})"
+
+
+def make_backend(name: str, shards: int, shard_factory: ShardFactory,
+                 shard_rngs: Sequence[np.random.Generator], *,
+                 workers: Optional[int] = None,
+                 worker_timeout: Optional[float] = None) -> ExecutionBackend:
+    """Build the execution backend registered under ``name``.
+
+    Parameters
+    ----------
+    name:
+        One of :data:`BACKENDS` (``"serial"`` or ``"process"``).
+    workers, worker_timeout:
+        Process-backend tuning; rejected for backends that do not take them.
+    """
+    from repro.engine.backends.process import ProcessBackend
+    from repro.engine.backends.serial import SerialBackend
+
+    if name == "serial":
+        if workers is not None:
+            raise ValueError(
+                "the serial backend runs in-process and takes no 'workers'; "
+                "choose backend='process' to parallelise")
+        return SerialBackend(shards, shard_factory, shard_rngs)
+    if name == "process":
+        return ProcessBackend(shards, shard_factory, shard_rngs,
+                              workers=workers, worker_timeout=worker_timeout)
+    raise ValueError(
+        f"unknown execution backend {name!r}; available: "
+        f"{', '.join(BACKENDS)}")

@@ -1,0 +1,334 @@
+"""Multi-process execution backend: shard groups pinned to worker processes.
+
+The hash partition makes the sharded sampling service embarrassingly
+parallel: each shard runs the full Byzantine-tolerant strategy on a disjoint
+``1/S`` slice of the stream and never reads another shard's state.  This
+backend exploits that by pinning shard *groups* to long-lived worker
+processes (shard ``s`` lives in worker ``s % workers``): the caller
+hash-partitions each chunk once, the backend ships every worker its shards'
+sub-chunks in one message, the workers ingest them through the ordinary
+batch engine, and the parent scatters the returned outputs back into the
+chunk's arrival order.
+
+Determinism: the per-shard generators are spawned in the parent (exactly as
+the serial backend consumes them) and shipped to the workers at start-up, so
+each shard's service is constructed from — and keeps drawing — the same coin
+stream it would in-process.  Per master seed, outputs and merged memory are
+bit-identical to the serial backend's, which the regression tests assert.
+
+Worker protocol: one duplex pipe per worker carrying ``(command, payload)``
+requests and ``(ok, result)`` replies.  ``sample`` / ``sample_many`` /
+``shard_loads`` / ``memory_sizes`` / ``merged_memory`` / ``reset`` are all
+proxied through it; a worker that raises replies with the formatted
+traceback, which the parent re-raises as :class:`BackendError`.  A worker
+that dies or stalls is detected by the reply poll loop
+(:class:`WorkerCrashError` / :class:`WorkerTimeoutError`).
+
+Start method: ``fork`` where available (cheap, and shard factories need not
+be picklable), ``spawn`` otherwise — under ``spawn`` the factory and the
+per-shard generators travel through pickle, so factories must be
+module-level callables such as
+:class:`~repro.engine.sharded.KnowledgeFreeShardFactory`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+import traceback
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.engine.backends.base import (
+    ExecutionBackend,
+    ShardFactory,
+    WorkerCrashError,
+    WorkerTimeoutError,
+)
+
+#: Seconds granted to a worker to build its shard services and report ready.
+_STARTUP_TIMEOUT = 120.0
+
+#: Poll interval of the reply loop (liveness checks between polls).
+_POLL_INTERVAL = 0.05
+
+
+def _worker_main(connection, shard_ids: List[int], shard_factory: ShardFactory,
+                 shard_rngs: List[np.random.Generator]) -> None:
+    """Run one worker: build the assigned shards, then serve the protocol."""
+    try:
+        services = {shard: shard_factory(shard, rng)
+                    for shard, rng in zip(shard_ids, shard_rngs)}
+    except BaseException:
+        connection.send((False, traceback.format_exc()))
+        return
+    connection.send((True, shard_ids))
+    while True:
+        try:
+            command, payload = connection.recv()
+        except (EOFError, OSError):
+            return
+        if command == "close":
+            return
+        try:
+            if command == "batch":
+                result = {shard: services[shard].on_receive_batch(chunk)
+                          for shard, chunk in payload.items()}
+            elif command == "sample":
+                result = services[payload].sample()
+            elif command == "sample_many":
+                result = {shard: [services[shard].sample()
+                                  for _ in range(count)]
+                          for shard, count in payload.items()}
+            elif command == "loads":
+                result = {shard: service.elements_processed
+                          for shard, service in services.items()}
+            elif command == "memory_sizes":
+                result = {shard: len(service.strategy.memory_view)
+                          for shard, service in services.items()}
+            elif command == "memory":
+                result = {shard: list(service.strategy.memory_view)
+                          for shard, service in services.items()}
+            elif command == "reset":
+                for service in services.values():
+                    service.reset()
+                result = None
+            else:
+                raise ValueError(f"unknown worker command {command!r}")
+            connection.send((True, result))
+        except BaseException:
+            connection.send((False, traceback.format_exc()))
+
+
+class ProcessBackend(ExecutionBackend):
+    """Runs shard groups in pinned worker processes.
+
+    Parameters
+    ----------
+    workers:
+        Number of worker processes; defaults to ``min(shards, cpu_count)``
+        and is clamped to ``shards`` (an idle worker would own no shard).
+    worker_timeout:
+        Optional per-request timeout in seconds; ``None`` (default) waits as
+        long as the worker process stays alive.
+    """
+
+    name = "process"
+
+    def __init__(self, shards: int, shard_factory: ShardFactory,
+                 shard_rngs: Sequence[np.random.Generator], *,
+                 workers: Optional[int] = None,
+                 worker_timeout: Optional[float] = None) -> None:
+        super().__init__(shards, shard_factory, shard_rngs)
+        if workers is None:
+            workers = min(self.shards, multiprocessing.cpu_count() or 1)
+        if workers <= 0:
+            raise ValueError(f"workers must be positive, got {workers}")
+        if worker_timeout is not None and worker_timeout <= 0:
+            raise ValueError(
+                f"worker_timeout must be positive, got {worker_timeout}")
+        self.workers = min(int(workers), self.shards)
+        self.worker_timeout = worker_timeout
+        self._worker_of = [shard % self.workers for shard in range(self.shards)]
+        self._loads = [0] * self.shards
+        self._closed = False
+        self._broken = False
+        methods = multiprocessing.get_all_start_methods()
+        self._context = multiprocessing.get_context(
+            "fork" if "fork" in methods else "spawn")
+        self._connections = []
+        self._processes = []
+        for worker in range(self.workers):
+            owned = [shard for shard in range(self.shards)
+                     if self._worker_of[shard] == worker]
+            parent_end, child_end = self._context.Pipe(duplex=True)
+            process = self._context.Process(
+                target=_worker_main,
+                args=(child_end, owned, shard_factory,
+                      [shard_rngs[shard] for shard in owned]),
+                daemon=True,
+                name=f"repro-shard-worker-{worker}",
+            )
+            process.start()
+            child_end.close()
+            self._connections.append(parent_end)
+            self._processes.append(process)
+        for worker in range(self.workers):
+            self._receive(worker, timeout=_STARTUP_TIMEOUT)
+
+    # ------------------------------------------------------------------ #
+    # Worker protocol plumbing
+    # ------------------------------------------------------------------ #
+    def _send(self, worker: int, command: str, payload) -> None:
+        if self._closed:
+            raise WorkerCrashError(
+                "the process backend is closed; build a new service")
+        if self._broken:
+            raise WorkerCrashError(
+                "a previous worker failure desynchronised the worker "
+                "protocol (a reply may still be in flight); build a new "
+                "service")
+        try:
+            self._connections[worker].send((command, payload))
+        except (BrokenPipeError, OSError) as error:
+            self._broken = True
+            raise WorkerCrashError(
+                f"worker {worker} is gone (pipe closed while sending "
+                f"{command!r}): {error}") from error
+
+    def _receive(self, worker: int, *, timeout: Optional[float] = None):
+        connection = self._connections[worker]
+        process = self._processes[worker]
+        timeout = self.worker_timeout if timeout is None else timeout
+        deadline = None if timeout is None else time.monotonic() + timeout
+        # Any failure below leaves this request's reply (or a sibling
+        # worker's reply collected by the same dispatch/broadcast) unread in
+        # a pipe; mark the backend broken so later requests fail fast
+        # instead of consuming a stale reply.
+        while not connection.poll(_POLL_INTERVAL):
+            if not process.is_alive():
+                self._broken = True
+                raise WorkerCrashError(
+                    f"worker {worker} died (exit code "
+                    f"{process.exitcode}) before replying; its shards "
+                    f"{[s for s, w in enumerate(self._worker_of) if w == worker]} "
+                    "are lost — build a new service to recover")
+            if deadline is not None and time.monotonic() > deadline:
+                self._broken = True
+                raise WorkerTimeoutError(
+                    f"worker {worker} did not reply within {timeout:.3g}s; "
+                    "the backend is now unusable (the late reply would "
+                    "desynchronise the protocol) — build a new service")
+        try:
+            ok, result = connection.recv()
+        except (EOFError, OSError) as error:
+            self._broken = True
+            raise WorkerCrashError(
+                f"worker {worker} closed its pipe mid-reply: {error}"
+            ) from error
+        if not ok:
+            # mid-collection, sibling workers' replies are still queued, and
+            # the raising worker's shard state is partially updated — poison
+            # the backend rather than risk serving stale replies
+            self._broken = True
+            raise WorkerCrashError(
+                f"worker {worker} raised while serving a request (build a "
+                f"new service):\n{result}")
+        return result
+
+    def _request(self, worker: int, command: str, payload=None):
+        self._send(worker, command, payload)
+        return self._receive(worker)
+
+    def _broadcast(self, command: str, payload=None) -> Dict[int, object]:
+        """Send one command to every worker, then collect per-shard replies."""
+        for worker in range(self.workers):
+            self._send(worker, command, payload)
+        merged: Dict[int, object] = {}
+        for worker in range(self.workers):
+            reply = self._receive(worker)
+            if reply:
+                merged.update(reply)
+        return merged
+
+    # ------------------------------------------------------------------ #
+    # Streaming
+    # ------------------------------------------------------------------ #
+    def dispatch(self, identifiers: np.ndarray,
+                 shard_indices: np.ndarray) -> np.ndarray:
+        outputs = np.empty(identifiers.size, dtype=np.int64)
+        masks: Dict[int, np.ndarray] = {}
+        per_worker: List[Dict[int, np.ndarray]] = [
+            {} for _ in range(self.workers)]
+        for shard in range(self.shards):
+            mask = shard_indices == shard
+            if not mask.any():
+                continue
+            masks[shard] = mask
+            per_worker[self._worker_of[shard]][shard] = identifiers[mask]
+        involved = [worker for worker in range(self.workers)
+                    if per_worker[worker]]
+        for worker in involved:
+            self._send(worker, "batch", per_worker[worker])
+        for worker in involved:
+            for shard, shard_outputs in self._receive(worker).items():
+                outputs[masks[shard]] = shard_outputs
+                self._loads[shard] += int(masks[shard].sum())
+        return outputs
+
+    # ------------------------------------------------------------------ #
+    # Sampling
+    # ------------------------------------------------------------------ #
+    def sample_shard(self, shard: int) -> Optional[int]:
+        return self._request(self._worker_of[shard], "sample", shard)
+
+    def sample_shards_many(self, counts: Dict[int, int]
+                           ) -> Dict[int, List[Optional[int]]]:
+        per_worker: List[Dict[int, int]] = [{} for _ in range(self.workers)]
+        for shard, count in counts.items():
+            per_worker[self._worker_of[shard]][shard] = count
+        involved = [worker for worker in range(self.workers)
+                    if per_worker[worker]]
+        for worker in involved:
+            self._send(worker, "sample_many", per_worker[worker])
+        merged: Dict[int, List[Optional[int]]] = {}
+        for worker in involved:
+            merged.update(self._receive(worker))
+        return merged
+
+    # ------------------------------------------------------------------ #
+    # Inspection and lifecycle
+    # ------------------------------------------------------------------ #
+    def shard_loads(self) -> List[int]:
+        by_shard = self._broadcast("loads")
+        return [by_shard[shard] for shard in range(self.shards)]
+
+    def cached_loads(self) -> List[int]:
+        # The parent-side counter (updated at dispatch, zeroed at reset) is
+        # provably equal to the worker-side elements_processed — a shard
+        # processes exactly the elements dispatched to it — so the per-sample
+        # candidate computation skips the IPC round-trip.
+        return list(self._loads)
+
+    def memory_sizes(self) -> List[int]:
+        by_shard = self._broadcast("memory_sizes")
+        return [by_shard[shard] for shard in range(self.shards)]
+
+    def merged_memory(self) -> List[int]:
+        by_shard = self._broadcast("memory")
+        merged: List[int] = []
+        for shard in range(self.shards):
+            merged.extend(by_shard[shard])
+        return merged
+
+    def reset(self) -> None:
+        self._broadcast("reset")
+        self._loads = [0] * self.shards
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for worker, connection in enumerate(self._connections):
+            try:
+                connection.send(("close", None))
+            except (BrokenPipeError, OSError):
+                pass
+        for process in self._processes:
+            process.join(timeout=5.0)
+            if process.is_alive():  # pragma: no cover - stuck worker
+                process.terminate()
+                process.join(timeout=5.0)
+        for connection in self._connections:
+            connection.close()
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter-dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (f"ProcessBackend(shards={self.shards}, "
+                f"workers={self.workers})")

@@ -1,0 +1,76 @@
+"""In-process execution backend: every shard runs in the calling process.
+
+This is the partition/dispatch/merge logic that lived inside
+:class:`~repro.engine.sharded.ShardedSamplingService` before the backend
+layer existed, extracted verbatim — the sharded service with a serial
+backend is bit-identical, draw for draw, to the pre-backend implementation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.engine.backends.base import ExecutionBackend, ShardFactory
+
+
+class SerialBackend(ExecutionBackend):
+    """Runs every shard's service in the calling process, one after another."""
+
+    name = "serial"
+
+    def __init__(self, shards: int, shard_factory: ShardFactory,
+                 shard_rngs: Sequence[np.random.Generator]) -> None:
+        super().__init__(shards, shard_factory, shard_rngs)
+        self._services = [shard_factory(index, shard_rngs[index])
+                          for index in range(self.shards)]
+
+    @property
+    def services(self) -> Tuple[object, ...]:
+        """The per-shard services (read-only view); serial backend only."""
+        return tuple(self._services)
+
+    # ------------------------------------------------------------------ #
+    # Streaming
+    # ------------------------------------------------------------------ #
+    def dispatch(self, identifiers: np.ndarray,
+                 shard_indices: np.ndarray) -> np.ndarray:
+        outputs = np.empty(identifiers.size, dtype=np.int64)
+        for shard, service in enumerate(self._services):
+            mask = shard_indices == shard
+            if not mask.any():
+                continue
+            outputs[mask] = service.on_receive_batch(identifiers[mask])
+        return outputs
+
+    # ------------------------------------------------------------------ #
+    # Sampling
+    # ------------------------------------------------------------------ #
+    def sample_shard(self, shard: int) -> Optional[int]:
+        return self._services[shard].sample()
+
+    def sample_shards_many(self, counts: Dict[int, int]
+                           ) -> Dict[int, List[Optional[int]]]:
+        return {shard: [self._services[shard].sample() for _ in range(count)]
+                for shard, count in counts.items()}
+
+    # ------------------------------------------------------------------ #
+    # Inspection and lifecycle
+    # ------------------------------------------------------------------ #
+    def shard_loads(self) -> List[int]:
+        return [service.elements_processed for service in self._services]
+
+    def memory_sizes(self) -> List[int]:
+        return [len(service.strategy.memory_view)
+                for service in self._services]
+
+    def merged_memory(self) -> List[int]:
+        merged: List[int] = []
+        for service in self._services:
+            merged.extend(service.strategy.memory_view)
+        return merged
+
+    def reset(self) -> None:
+        for service in self._services:
+            service.reset()

@@ -17,22 +17,60 @@ samples.  :class:`ShardedSamplingService` implements that composition:
 * **Batching**: a chunk is split by shard with one vectorised hash pass and
   each shard consumes its sub-chunk through the batch engine; the merged
   output preserves the arrival order of the input chunk.
+* **Execution** is delegated to a pluggable
+  :class:`~repro.engine.backends.base.ExecutionBackend`: ``"serial"`` runs
+  every shard in this process (the original behaviour), ``"process"`` pins
+  shard groups to worker processes.  Per master seed, both backends produce
+  bit-identical outputs and merged memories — the partition hash, the
+  shard-choice coins and the per-shard generator spawning all live here, on
+  the caller's side, so a backend only decides *where* each shard executes.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.core.service import NodeSamplingService
+from repro.engine.backends.base import (
+    BackendError,
+    ExecutionBackend,
+    ShardFactory,
+    make_backend,
+)
 from repro.sketches.hashing import UniversalHashFamily
 from repro.utils.rng import BufferedUniforms, RandomState, ensure_rng, \
     spawn_children
 from repro.utils.validation import check_positive
 
-#: Builds the service of one shard from its index and its private generator.
-ShardFactory = Callable[[int, np.random.Generator], NodeSamplingService]
+__all__ = ["KnowledgeFreeShardFactory", "ShardFactory",
+           "ShardedSamplingService"]
+
+
+@dataclass(frozen=True)
+class KnowledgeFreeShardFactory:
+    """Builds one knowledge-free shard service (Algorithm 3) per index.
+
+    A module-level class rather than a closure so that process backends can
+    pickle it into their workers under any start method.
+    """
+
+    memory_size: int
+    sketch_width: int = 10
+    sketch_depth: int = 5
+    record_output: bool = False
+
+    def __call__(self, index: int,
+                 rng: np.random.Generator) -> NodeSamplingService:
+        return NodeSamplingService.knowledge_free(
+            self.memory_size,
+            sketch_width=self.sketch_width,
+            sketch_depth=self.sketch_depth,
+            random_state=rng,
+            record_output=self.record_output,
+        )
 
 
 class ShardedSamplingService:
@@ -45,10 +83,20 @@ class ShardedSamplingService:
     shard_factory:
         Builds the service of one shard; receives the shard index and a
         generator spawned independently per shard (the paper's "one local
-        coin per node" requirement).
+        coin per node" requirement).  Process backends ship the factory to
+        their workers, so it must be picklable under the ``spawn`` start
+        method (any callable works under ``fork``).
     random_state:
         Coins for the partitioning hash, the shard-choice draws, and the
         per-shard generators.
+    backend:
+        Execution backend: ``"serial"`` (default, every shard in this
+        process) or ``"process"`` (shard groups pinned to worker processes).
+        Outputs and merged memory are bit-identical across backends per
+        seed.
+    workers, worker_timeout:
+        Process-backend tuning (worker count, per-request timeout); see
+        :class:`~repro.engine.backends.process.ProcessBackend`.
 
     Examples
     --------
@@ -61,7 +109,10 @@ class ShardedSamplingService:
     """
 
     def __init__(self, shards: int, shard_factory: ShardFactory, *,
-                 random_state: RandomState = None) -> None:
+                 random_state: RandomState = None,
+                 backend: str = "serial",
+                 workers: Optional[int] = None,
+                 worker_timeout: Optional[float] = None) -> None:
         check_positive("shards", shards)
         self.shards = int(shards)
         rng = ensure_rng(random_state)
@@ -69,10 +120,9 @@ class ShardedSamplingService:
         self._partition_hash = family.draw()
         child_rngs = spawn_children(rng, self.shards + 1)
         self._shard_coins = BufferedUniforms(child_rngs[-1])
-        self._services: List[NodeSamplingService] = [
-            shard_factory(index, child_rngs[index])
-            for index in range(self.shards)
-        ]
+        self._backend = make_backend(
+            backend, self.shards, shard_factory, child_rngs[:self.shards],
+            workers=workers, worker_timeout=worker_timeout)
 
     # ------------------------------------------------------------------ #
     # Convenience constructors
@@ -81,20 +131,21 @@ class ShardedSamplingService:
     def knowledge_free(cls, shards: int, memory_size: int, *,
                        sketch_width: int = 10, sketch_depth: int = 5,
                        random_state: RandomState = None,
-                       record_output: bool = False) -> "ShardedSamplingService":
+                       record_output: bool = False,
+                       backend: str = "serial",
+                       workers: Optional[int] = None,
+                       worker_timeout: Optional[float] = None
+                       ) -> "ShardedSamplingService":
         """Build an ensemble of knowledge-free services (Algorithm 3)."""
-
-        def factory(index: int,
-                    rng: np.random.Generator) -> NodeSamplingService:
-            return NodeSamplingService.knowledge_free(
-                memory_size,
-                sketch_width=sketch_width,
-                sketch_depth=sketch_depth,
-                random_state=rng,
-                record_output=record_output,
-            )
-
-        return cls(shards, factory, random_state=random_state)
+        factory = KnowledgeFreeShardFactory(
+            memory_size,
+            sketch_width=sketch_width,
+            sketch_depth=sketch_depth,
+            record_output=record_output,
+        )
+        return cls(shards, factory, random_state=random_state,
+                   backend=backend, workers=workers,
+                   worker_timeout=worker_timeout)
 
     # ------------------------------------------------------------------ #
     # Online interface
@@ -105,7 +156,8 @@ class ShardedSamplingService:
 
     def on_receive(self, identifier: int) -> Optional[int]:
         """Route one identifier to its shard; return that shard's output."""
-        return self._services[self.shard_of(identifier)].on_receive(identifier)
+        outputs = self.on_receive_batch([identifier])
+        return int(outputs[0]) if outputs.size else None
 
     def on_receive_batch(self, identifiers) -> np.ndarray:
         """Route a chunk by shard with one vectorised hash pass.
@@ -118,13 +170,7 @@ class ShardedSamplingService:
         if ids.size == 0:
             return np.zeros(0, dtype=np.int64)
         shard_indices = self._partition_hash.hash_many(ids)
-        outputs = np.empty(ids.size, dtype=np.int64)
-        for shard, service in enumerate(self._services):
-            mask = shard_indices == shard
-            if not mask.any():
-                continue
-            outputs[mask] = service.on_receive_batch(ids[mask])
-        return outputs
+        return self._backend.dispatch(ids, shard_indices)
 
     def sample(self) -> Optional[int]:
         """Return a sample from a uniformly chosen non-empty shard.
@@ -133,11 +179,11 @@ class ShardedSamplingService:
         drawing over all shards and probing forward from an empty one would
         bias towards shards that follow runs of empty ones.
         """
-        candidates = [service for service in self._services
-                      if service.elements_processed > 0]
+        loads = self._backend.cached_loads()
+        candidates = [shard for shard, load in enumerate(loads) if load > 0]
         while candidates:
             index = int(self._shard_coins.next() * len(candidates))
-            sample = candidates[index].sample()
+            sample = self._backend.sample_shard(candidates[index])
             if sample is not None:
                 return sample
             # A shard with traffic but an empty memory is only possible for
@@ -148,6 +194,14 @@ class ShardedSamplingService:
     def sample_many(self, count: int, *, strict: bool = True) -> List[int]:
         """Return ``count`` independent samples from the ensemble.
 
+        The common case — every shard with traffic holds a non-empty
+        sampling memory — takes a bulk path: one vectorised shard-choice
+        draw for the whole batch, then one grouped request per shard (per
+        worker, for process backends).  The bulk path consumes exactly the
+        coin stream of ``count`` successive :meth:`sample` calls and each
+        shard serves its draws in the same order, so the returned samples
+        are bit-identical to the per-sample loop.
+
         Every shard draws from its own sampling memory, so an ensemble that
         has received no traffic (or whose custom strategies all hold empty
         memories) cannot produce a sample.  With ``strict`` (the default)
@@ -157,6 +211,15 @@ class ShardedSamplingService:
         the partial list (possibly empty) when a best-effort drain is wanted.
         """
         check_positive("count", count)
+        loads = self._backend.cached_loads()
+        candidates = [shard for shard, load in enumerate(loads) if load > 0]
+        if candidates:
+            sizes = self._backend.memory_sizes()
+            if all(sizes[shard] > 0 for shard in candidates):
+                return self._sample_many_bulk(candidates, count)
+        # Slow path: some shard saw traffic but holds an empty memory (only
+        # possible for custom strategies), where the per-sample redraw logic
+        # decides which coins are consumed.
         samples: List[int] = []
         for _ in range(count):
             sample = self.sample()
@@ -171,35 +234,81 @@ class ShardedSamplingService:
             samples.append(sample)
         return samples
 
+    def _sample_many_bulk(self, candidates: List[int],
+                          count: int) -> List[int]:
+        """Draw ``count`` samples with one shard-choice pass over the batch."""
+        coins = np.asarray(self._shard_coins.take(count))
+        chosen = np.asarray(candidates, dtype=np.int64)[
+            (coins * len(candidates)).astype(np.int64)]
+        positions_by_shard: Dict[int, List[int]] = {}
+        for position, shard in enumerate(chosen.tolist()):
+            positions_by_shard.setdefault(shard, []).append(position)
+        draws = self._backend.sample_shards_many(
+            {shard: len(positions)
+             for shard, positions in positions_by_shard.items()})
+        samples: List[int] = [0] * count
+        for shard, positions in positions_by_shard.items():
+            for position, value in zip(positions, draws[shard]):
+                if value is None:
+                    raise RuntimeError(
+                        f"shard {shard} returned no sample despite a "
+                        "non-empty sampling memory; its strategy breaks the "
+                        "sample() contract")
+                samples[position] = value
+        return samples
+
     # ------------------------------------------------------------------ #
     # Inspection
     # ------------------------------------------------------------------ #
     @property
+    def backend(self) -> ExecutionBackend:
+        """The execution backend running the shard services."""
+        return self._backend
+
+    @property
+    def backend_name(self) -> str:
+        """Registry key of the execution backend ("serial", "process")."""
+        return self._backend.name
+
+    @property
     def services(self) -> Tuple[NodeSamplingService, ...]:
-        """The per-shard services (read-only view)."""
-        return tuple(self._services)
+        """The per-shard services (read-only view); serial backends only."""
+        services = getattr(self._backend, "services", None)
+        if services is None:
+            raise BackendError(
+                f"the {self._backend.name!r} backend keeps its shard "
+                "services in worker processes; inspect shard_loads() / "
+                "merged_memory() instead, or use the serial backend")
+        return services
 
     @property
     def elements_processed(self) -> int:
         """Total number of input elements processed across all shards."""
-        return sum(service.elements_processed for service in self._services)
+        return sum(self._backend.cached_loads())
 
     def shard_loads(self) -> List[int]:
         """Per-shard processed-element counts (partition balance check)."""
-        return [service.elements_processed for service in self._services]
+        return self._backend.shard_loads()
 
     def merged_memory(self) -> List[int]:
         """Concatenation of every shard's sampling memory ``Gamma``."""
-        merged: List[int] = []
-        for service in self._services:
-            merged.extend(service.strategy.memory_view)
-        return merged
+        return self._backend.merged_memory()
 
     def reset(self) -> None:
         """Reset every shard."""
-        for service in self._services:
-            service.reset()
+        self._backend.reset()
+
+    def close(self) -> None:
+        """Release backend resources (worker processes); idempotent."""
+        self._backend.close()
+
+    def __enter__(self) -> "ShardedSamplingService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return (f"ShardedSamplingService(shards={self.shards}, "
+                f"backend={self._backend.name!r}, "
                 f"processed={self.elements_processed})")

@@ -219,7 +219,14 @@ class ExperimentHarness:
                 shared_input_max_frequency = stream.max_frequency()
             for name, factory in self.strategy_factories.items():
                 strategy = factory(stream, trial_rng)
-                output = self._drive(strategy, stream)
+                try:
+                    output = self._drive(strategy, stream)
+                finally:
+                    # process-backed sharded services hold worker processes;
+                    # release them as soon as the trial's outputs are read
+                    closer = getattr(strategy, "close", None)
+                    if callable(closer):
+                        closer()
                 if self.metrics_view is None:
                     metric_input, metric_output = stream, output
                     support = shared_support

@@ -18,6 +18,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+import numpy as np
+
 from repro.network.node import CorrectNode, MaliciousNode, Node, NodeConfig
 from repro.network.overlay import OverlayGraph, ring_with_shortcuts
 from repro.streams.stream import IdentifierStream
@@ -165,18 +167,26 @@ class GossipSimulation:
                 deliveries.append((target, node.advertisement()))
         # Deliver after all sends so the round is synchronous.
         self._rng.shuffle(deliveries)
-        if self.config.batch_delivery:
-            # Group the round's traffic by receiver, preserving each
-            # receiver's arrival order, and ingest it as one chunk per node.
-            # Per-node input streams — and therefore sampler states — are
-            # identical to per-element delivery: the engine's batch path is
-            # bit-identical and nodes do not interact within a round.
-            by_target: Dict[int, List[int]] = {}
-            for target, advertised in deliveries:
-                by_target.setdefault(target, []).append(advertised)
-            for target, chunk in by_target.items():
-                self.nodes[target].receive_batch(chunk)
-        else:
+        if self.config.batch_delivery and deliveries:
+            # Group the round's traffic by receiver with one stable argsort
+            # (stability preserves each receiver's arrival order) and ingest
+            # it as one chunk per node.  Per-node input streams — and
+            # therefore sampler states — are identical to per-element
+            # delivery: the engine's batch path is bit-identical and nodes
+            # do not interact within a round.
+            targets = np.fromiter((target for target, _ in deliveries),
+                                  dtype=np.int64, count=len(deliveries))
+            payloads = np.fromiter((advertised for _, advertised in deliveries),
+                                   dtype=np.int64, count=len(deliveries))
+            order = np.argsort(targets, kind="stable")
+            targets = targets[order]
+            payloads = payloads[order]
+            boundaries = np.flatnonzero(np.diff(targets)) + 1
+            starts = np.concatenate(([0], boundaries))
+            for start, chunk in zip(starts,
+                                    np.split(payloads, boundaries)):
+                self.nodes[int(targets[start])].receive_batch(chunk)
+        elif not self.config.batch_delivery:
             for target, advertised in deliveries:
                 self.nodes[target].receive(advertised)
         self.rounds_executed += 1

@@ -111,15 +111,15 @@ class CorrectNode(Node):
         per-element processing for the same coins, the node ends in exactly
         the state ``receive`` called once per identifier would produce.
         """
-        identifiers = [int(identifier) for identifier in identifiers]
-        if not identifiers:
+        chunk = np.asarray(identifiers, dtype=np.int64)
+        if chunk.size == 0:
             return
-        self.received.extend(identifiers)
-        self.sampling_service.on_receive_batch(
-            np.asarray(identifiers, dtype=np.int64))
+        id_list = chunk.tolist()
+        self.received.extend(id_list)
+        self.sampling_service.on_receive_batch(chunk)
         view = self.view
         seen = set(view)
-        for identifier in identifiers:
+        for identifier in id_list:
             if identifier not in seen and identifier != self.identifier:
                 view.append(identifier)
                 seen.add(identifier)
@@ -185,7 +185,7 @@ class MaliciousNode(Node):
 
     def receive_batch(self, identifiers: Sequence[int]) -> None:
         """Observe a round's worth of identifiers (no sampling service)."""
-        self.view.extend(int(identifier) for identifier in identifiers)
+        self.view.extend(np.asarray(identifiers, dtype=np.int64).tolist())
 
     def advertisement(self) -> int:
         """Return the next adversary-chosen identifier to advertise."""

@@ -35,6 +35,12 @@ class OverlayGraph:
             raise ValueError("an overlay needs at least one node")
         self._adjacency: Dict[int, Set[int]] = {identifier: set()
                                                 for identifier in unique}
+        # Sorted-adjacency cache: the simulators read neighbors() for every
+        # node every round, and re-sorting the same sets dominated the
+        # 10k-node hot path.  Entries are invalidated edge by edge on
+        # add_edge (the only mutation the graph supports; membership churn
+        # toggles node activity without touching the overlay).
+        self._neighbor_cache: Dict[int, List[int]] = {}
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -63,10 +69,21 @@ class OverlayGraph:
             raise KeyError("both endpoints must be nodes of the overlay")
         self._adjacency[first].add(second)
         self._adjacency[second].add(first)
+        self._neighbor_cache.pop(first, None)
+        self._neighbor_cache.pop(second, None)
 
     def neighbors(self, identifier: int) -> List[int]:
-        """Return the neighbors of ``identifier``."""
-        return sorted(self._adjacency[int(identifier)])
+        """Return the neighbors of ``identifier``, sorted.
+
+        The returned list is a cached snapshot shared between calls — treat
+        it as read-only (copy before mutating).
+        """
+        identifier = int(identifier)
+        cached = self._neighbor_cache.get(identifier)
+        if cached is None:
+            cached = sorted(self._adjacency[identifier])
+            self._neighbor_cache[identifier] = cached
+        return cached
 
     def degree(self, identifier: int) -> int:
         """Return the degree of ``identifier``."""

@@ -102,6 +102,11 @@ class RandomWalkSimulation:
             for node in self.nodes.values() if node.is_malicious
             for identifier in node.controlled_identifiers
         ]
+        # The adversary's identifier set is fixed at construction; walks
+        # test membership once per initiation, so build the set once instead
+        # of once per walk.
+        self._malicious_identifiers = set(self.malicious_ids) | set(
+            self.sybil_identifiers)
         if overlay is None:
             # Scatter malicious nodes around the ring (see GossipSimulation).
             node_order = list(self.nodes)
@@ -155,9 +160,7 @@ class RandomWalkSimulation:
         visit order) instead of being applied immediately; the caller
         flushes them as per-node chunks at the end of the round.
         """
-        malicious_identifiers = set(self.malicious_ids) | set(
-            self.sybil_identifiers)
-        carrying_malicious = advertised in malicious_identifiers
+        carrying_malicious = advertised in self._malicious_identifiers
         current = initiator
         for _ in range(self.config.walk_length):
             next_hop = self._next_hop(current, carrying_malicious)

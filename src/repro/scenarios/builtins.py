@@ -32,7 +32,7 @@ from repro.scenarios.registry import (
 from repro.sketches.count_min import CountMinSketch, ExactFrequencyCounter
 from repro.sketches.count_sketch import CountSketch
 from repro.sketches.misra_gries import SpaceSavingSummary
-from repro.streams.churn import ChurnModel
+from repro.streams.churn import ChurnModel, ParetoChurnModel
 from repro.streams.generators import (
     overrepresented_stream,
     peak_attack_stream,
@@ -77,6 +77,32 @@ def churn_stream(initial_population: int, churn_steps: int = 100,
                        leave_rate=leave_rate,
                        advertisements_per_step=advertisements_per_step,
                        random_state=random_state)
+    trace = model.generate(churn_steps, stable_steps)
+    stream = trace.stream
+    stream.stability_time = trace.stability_time
+    stream.stable_population = trace.stable_population
+    return stream
+
+
+@register_stream("pareto_churn")
+def pareto_churn_stream(initial_population: int, churn_steps: int = 100,
+                        stable_steps: int = 100, *, join_rate: float = 0.05,
+                        lifetime_shape: float = 1.5,
+                        lifetime_scale: float = 10.0,
+                        advertisements_per_step: int = 5,
+                        random_state: RandomState = None):
+    """Churn stream with heavy-tailed (Pareto) session lifetimes.
+
+    Same pre-/post-``T0`` metadata contract as the ``churn`` component, but
+    departures are driven by per-node Pareto lifetimes instead of a constant
+    leave rate — the session-time law peer-to-peer measurement studies
+    report (most sessions short, a few near-immortal).
+    """
+    model = ParetoChurnModel(initial_population, join_rate=join_rate,
+                             lifetime_shape=lifetime_shape,
+                             lifetime_scale=lifetime_scale,
+                             advertisements_per_step=advertisements_per_step,
+                             random_state=random_state)
     trace = model.generate(churn_steps, stable_steps)
     stream = trace.stream
     stream.stability_time = trace.stability_time

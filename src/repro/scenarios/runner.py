@@ -143,6 +143,34 @@ class SweepResult:
         return series
 
 
+@dataclass
+class ScenarioShardFactory:
+    """Builds one shard's service of a sharded scenario strategy.
+
+    A module-level dataclass rather than a closure so that process backends
+    can ship it to their worker processes: it carries the strategy spec, the
+    trial's input stream (needed by omniscient oracles) and the component
+    registries, all of which pickle.  Each shard builds an independent clone
+    of the strategy from its private spawned generator.
+    """
+
+    strategy: StrategySpec
+    stream: IdentifierStream
+    strategies: ComponentRegistry
+    sketches: ComponentRegistry
+
+    def __call__(self, index: int,
+                 rng: np.random.Generator) -> NodeSamplingService:
+        context: Dict[str, Any] = {"random_state": rng, "stream": self.stream}
+        if self.strategy.sketch is not None:
+            context["frequency_oracle"] = self.sketches.build(
+                self.strategy.sketch.kind, self.strategy.sketch.params,
+                random_state=rng)
+        built = self.strategies.build(self.strategy.kind,
+                                      self.strategy.params, **context)
+        return NodeSamplingService(built, record_output=False)
+
+
 def _set_axis_value(data: Dict[str, Any], path: str, value: Any) -> None:
     """Assign ``value`` at a dotted ``path`` inside a serialized scenario.
 
@@ -366,25 +394,30 @@ class ScenarioRunner:
 
         With ``engine.shards`` set, each strategy is wrapped in a
         :class:`~repro.engine.sharded.ShardedSamplingService` whose shards
-        run independent clones built from per-shard spawned generators.
+        run independent clones built from per-shard spawned generators, on
+        the execution backend the engine section selects
+        (``engine.backend`` / ``engine.workers``).  The shard factory is the
+        picklable :class:`ScenarioShardFactory`, so process backends can
+        ship it to their workers under any start method.
         """
         spec = self.spec
         factories: Dict[str, Any] = {}
         for strategy in spec.strategies:
-            inner = self._strategy_builder(strategy)
             if spec.engine.shards is None:
-                factories[strategy.label] = inner
+                factories[strategy.label] = self._strategy_builder(strategy)
                 continue
 
             def sharded(stream: IdentifierStream, rng: np.random.Generator,
-                        *, _inner=inner) -> ShardedSamplingService:
-                def shard_factory(index: int,
-                                  shard_rng: np.random.Generator
-                                  ) -> NodeSamplingService:
-                    return NodeSamplingService(_inner(stream, shard_rng),
-                                               record_output=False)
-                return ShardedSamplingService(spec.engine.shards,
-                                              shard_factory, random_state=rng)
+                        *, _strategy=strategy) -> ShardedSamplingService:
+                shard_factory = ScenarioShardFactory(
+                    strategy=_strategy,
+                    stream=stream,
+                    strategies=self._strategies,
+                    sketches=self._sketches,
+                )
+                return ShardedSamplingService(
+                    spec.engine.shards, shard_factory, random_state=rng,
+                    backend=spec.engine.backend, workers=spec.engine.workers)
 
             factories[strategy.label] = sharded
         return factories

@@ -185,13 +185,24 @@ class NetworkSpec:
 
 @dataclass
 class EngineSpec:
-    """How the scenario is executed: driver, chunk size, optional sharding."""
+    """How the scenario is executed: driver, chunk size, optional sharding.
+
+    ``backend`` selects the execution backend of sharded scenarios:
+    ``"serial"`` (default) runs every shard in-process, ``"process"`` pins
+    shard groups to ``workers`` worker processes.  Both produce bit-identical
+    results per seed, so any sharded scenario can be re-run on either
+    backend without changing its outputs.
+    """
 
     driver: str = "batch"
     batch_size: int = DEFAULT_BATCH_SIZE
     shards: Optional[int] = None
+    backend: str = "serial"
+    workers: Optional[int] = None
 
     def __post_init__(self) -> None:
+        from repro.engine.backends import BACKENDS
+
         if self.driver not in DRIVERS:
             raise ScenarioError(
                 f"engine driver must be one of {', '.join(DRIVERS)}, "
@@ -202,6 +213,20 @@ class EngineSpec:
             if self.driver != "batch":
                 raise ScenarioError(
                     "sharded scenarios require the batch driver")
+        if self.backend not in BACKENDS:
+            raise ScenarioError(
+                f"engine backend must be one of {', '.join(BACKENDS)}, "
+                f"got {self.backend!r}")
+        if self.backend != "serial" and self.shards is None:
+            raise ScenarioError(
+                f"the {self.backend!r} backend parallelises the sharded "
+                "ensemble; set engine.shards as well")
+        if self.workers is not None:
+            check_positive("workers", self.workers)
+            if self.backend == "serial":
+                raise ScenarioError(
+                    "engine.workers only applies to the 'process' backend; "
+                    "the serial backend runs in-process")
 
     def to_dict(self) -> Dict[str, Any]:
         """Return the JSON-serializable form of the engine section."""
@@ -211,7 +236,8 @@ class EngineSpec:
     def from_dict(cls, data: Dict[str, Any]) -> "EngineSpec":
         """Rebuild an engine section from its :meth:`to_dict` form."""
         data = _require_mapping("engine", data)
-        _check_known_keys("engine", data, ["driver", "batch_size", "shards"])
+        _check_known_keys("engine", data, ["driver", "batch_size", "shards",
+                                           "backend", "workers"])
         return cls(**data)
 
 

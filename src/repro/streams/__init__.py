@@ -22,7 +22,12 @@ from repro.streams.generators import (
     zipf_probabilities,
     zipf_stream,
 )
-from repro.streams.churn import ChurnEvent, ChurnModel, ChurnTrace
+from repro.streams.churn import (
+    ChurnEvent,
+    ChurnModel,
+    ChurnTrace,
+    ParetoChurnModel,
+)
 from repro.streams.oracle import StreamOracle
 from repro.streams.stream import (
     IdentifierStream,
@@ -48,6 +53,7 @@ __all__ = [
     "ChurnModel",
     "ChurnTrace",
     "ChurnEvent",
+    "ParetoChurnModel",
     "uniform_stream",
     "zipf_stream",
     "zipf_probabilities",

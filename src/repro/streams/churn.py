@@ -8,15 +8,19 @@ that users can study how quickly the sampling service converges once the
 population stabilises, and verify that pre-``T0`` traffic does not poison the
 post-``T0`` sample.
 
-The model is deliberately simple — independent join/leave events at constant
-rates — which is all the sampling-service analysis needs; richer session-time
-distributions can be layered on top by subclassing :class:`ChurnModel`.
+The base model is deliberately simple — independent join/leave events at
+constant rates — which is all the sampling-service analysis needs.  Richer
+session-time distributions are layered on top through the subclass hooks
+(:meth:`ChurnModel._node_arrived` and :meth:`ChurnModel._departures`):
+:class:`ParetoChurnModel` draws a heavy-tailed Pareto lifetime per node, the
+classic model of peer-to-peer session times (a few long-lived peers anchor
+the system while most sessions are short).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Set
+from typing import Dict, List, Optional, Set
 
 from repro.streams.stream import IdentifierStream
 from repro.utils.rng import RandomState, ensure_rng
@@ -91,6 +95,29 @@ class ChurnModel:
         self.advertisements_per_step = int(advertisements_per_step)
         self._rng = ensure_rng(random_state)
 
+    # ------------------------------------------------------------------ #
+    # Subclass hooks (richer session-time distributions)
+    # ------------------------------------------------------------------ #
+    def _node_arrived(self, identifier: int, step: int) -> None:
+        """Hook: ``identifier`` entered the system at ``step``.
+
+        Called for the initial population (at step 0) and for every joiner.
+        The base model keeps no per-node state; lifetime-based models draw
+        the node's session length here.
+        """
+
+    def _departures(self, step: int, alive: List[int]) -> List[int]:
+        """Hook: return the *positions* in ``alive`` leaving at ``step``.
+
+        The base model departs at most one uniformly chosen node per step,
+        with probability ``leave_rate`` (never emptying the population).
+        The returned positions are removed in descending order, so multiple
+        simultaneous departures are expressed directly.
+        """
+        if len(alive) > 1 and self._rng.random() < self.leave_rate:
+            return [int(self._rng.integers(0, len(alive)))]
+        return []
+
     def generate(self, churn_steps: int, stable_steps: int) -> ChurnTrace:
         """Simulate ``churn_steps`` of churn followed by ``stable_steps`` without.
 
@@ -111,6 +138,8 @@ class ChurnModel:
         events: List[ChurnEvent] = []
         identifiers: List[int] = []
         ever_alive: Set[int] = set(alive)
+        for identifier in alive:
+            self._node_arrived(identifier, 0)
 
         def advertise() -> None:
             if not alive:
@@ -126,9 +155,10 @@ class ChurnModel:
                 ever_alive.add(next_identifier)
                 events.append(ChurnEvent(time=step, identifier=next_identifier,
                                          joined=True))
+                self._node_arrived(next_identifier, step)
                 next_identifier += 1
-            if len(alive) > 1 and self._rng.random() < self.leave_rate:
-                victim_index = int(self._rng.integers(0, len(alive)))
+            for victim_index in sorted(self._departures(step, alive),
+                                       reverse=True):
                 victim = alive[victim_index]
                 del alive[victim_index]
                 events.append(ChurnEvent(time=step, identifier=victim,
@@ -161,3 +191,58 @@ class ChurnModel:
             universe=trace.stable_population,
             label=f"{trace.stream.label}+stable",
         )
+
+
+class ParetoChurnModel(ChurnModel):
+    """Churn with heavy-tailed (Pareto) session lifetimes.
+
+    Peer-to-peer measurement studies consistently find session times far
+    from memoryless: most peers leave quickly while a few stay for a very
+    long time.  This model draws every node's lifetime — initial nodes and
+    joiners alike — from a Pareto distribution with shape ``lifetime_shape``
+    and minimum ``lifetime_scale`` (in steps); a node departs when its
+    lifetime expires, so several departures can land on the same step.  The
+    last surviving node is never evicted (the population cannot die out),
+    matching the base model's guarantee.
+
+    Parameters
+    ----------
+    initial_population, join_rate, advertisements_per_step, random_state:
+        As in :class:`ChurnModel` (``leave_rate`` does not apply: departures
+        are driven by the drawn lifetimes).
+    lifetime_shape:
+        Pareto tail exponent ``alpha``; smaller values mean heavier tails
+        (``alpha <= 1`` has infinite mean — allowed, but expect a handful of
+        near-immortal nodes to dominate the stable population).
+    lifetime_scale:
+        Minimum session length in steps (the Pareto ``x_m``).
+    """
+
+    def __init__(self, initial_population: int, *, join_rate: float = 0.05,
+                 lifetime_shape: float = 1.5, lifetime_scale: float = 10.0,
+                 advertisements_per_step: int = 5,
+                 random_state: RandomState = None) -> None:
+        super().__init__(initial_population, join_rate=join_rate,
+                         leave_rate=0.0,
+                         advertisements_per_step=advertisements_per_step,
+                         random_state=random_state)
+        check_positive("lifetime_shape", lifetime_shape)
+        check_positive("lifetime_scale", lifetime_scale)
+        self.lifetime_shape = float(lifetime_shape)
+        self.lifetime_scale = float(lifetime_scale)
+        self._expires_at: Dict[int, float] = {}
+
+    def _node_arrived(self, identifier: int, step: int) -> None:
+        lifetime = self.lifetime_scale * (
+            1.0 + self._rng.pareto(self.lifetime_shape))
+        self._expires_at[identifier] = step + lifetime
+
+    def _departures(self, step: int, alive: List[int]) -> List[int]:
+        expired = [position for position, identifier in enumerate(alive)
+                   if self._expires_at[identifier] <= step]
+        if len(expired) >= len(alive) and expired:
+            # keep the longest-lived node so the population never empties
+            survivor = max(expired,
+                           key=lambda position: self._expires_at[alive[position]])
+            expired.remove(survivor)
+        return expired

@@ -61,25 +61,43 @@ class BufferedUniforms:
     fixed function of the underlying generator's seed, independent of how the
     draws are grouped.  A strategy whose scalar and batch execution paths both
     draw their coins from the same buffered streams therefore produces
-    bit-identical outputs under both drivers.
+    bit-identical outputs under both drivers.  (NumPy generators fill
+    ``random(n)`` sequentially from the bit stream, so the refill block
+    boundaries do not change which value sits at which stream position.)
+
+    Refill blocks start at ``initial_block`` and grow geometrically up to
+    ``block_size``: a simulation holding one stream per node (10k+ nodes,
+    a handful of draws per node per round) must not pay a 4096-value refill
+    for every stream it merely touches, while a stream that is actually
+    drained still amortises at the full block size after a few refills.
     """
 
-    __slots__ = ("_rng", "_block_size", "_buffer", "_position")
+    __slots__ = ("_rng", "_block_size", "_next_block", "_buffer", "_position")
 
     def __init__(self, random_state: RandomState = None, *,
-                 block_size: int = 4096) -> None:
+                 block_size: int = 4096, initial_block: int = 32) -> None:
         if block_size <= 0:
             raise ValueError(f"block_size must be positive, got {block_size}")
+        if initial_block <= 0:
+            raise ValueError(
+                f"initial_block must be positive, got {initial_block}")
         self._rng = ensure_rng(random_state)
         self._block_size = int(block_size)
+        self._next_block = min(int(initial_block), self._block_size)
         self._buffer: List[float] = []
+        self._position = 0
+
+    def _refill(self, needed: int) -> None:
+        block = max(self._next_block, needed)
+        self._buffer = self._rng.random(block).tolist()
+        self._next_block = min(self._next_block * 4, self._block_size)
         self._position = 0
 
     def next(self) -> float:
         """Return the next uniform ``[0, 1)`` value of the stream."""
         position = self._position
         if position >= len(self._buffer):
-            self._buffer = self._rng.random(self._block_size).tolist()
+            self._refill(1)
             position = 0
         self._position = position + 1
         return self._buffer[position]
@@ -95,9 +113,7 @@ class BufferedUniforms:
         values: List[float] = []
         while len(values) < count:
             if self._position >= len(self._buffer):
-                block = max(self._block_size, count - len(values))
-                self._buffer = self._rng.random(block).tolist()
-                self._position = 0
+                self._refill(count - len(values))
             end = min(len(self._buffer),
                       self._position + (count - len(values)))
             values.extend(self._buffer[self._position:end])

@@ -1,0 +1,313 @@
+"""Tests for repro.engine.backends (pluggable execution backends).
+
+The headline guarantee under test: per master seed, the process backend's
+outputs, merged memory, shard loads and samples are bit-identical to the
+serial backend's, so every experiment can run on either.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.engine import (
+    BackendError,
+    ShardedSamplingService,
+    WorkerCrashError,
+    WorkerTimeoutError,
+    make_backend,
+    run_stream,
+)
+from repro.scenarios import ScenarioRunner, ScenarioSpec
+from repro.scenarios.registry import ScenarioError
+from repro.scenarios.spec import EngineSpec
+from repro.streams import zipf_stream
+from repro.utils.rng import spawn_children
+
+STREAM = zipf_stream(8_000, 1_000, alpha=1.3, random_state=17)
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples" / "scenarios"
+
+
+def _service(backend, seed=23, shards=4, **kwargs):
+    return ShardedSamplingService.knowledge_free(
+        shards=shards, memory_size=10, sketch_width=32, sketch_depth=4,
+        random_state=seed, backend=backend, **kwargs)
+
+
+# --------------------------------------------------------------------- #
+# Worker-side helpers (module-level so process backends can ship them)
+# --------------------------------------------------------------------- #
+class _MuteStrategy:
+    """Stands in for a custom strategy holding an empty sampling memory."""
+
+    memory_view = ()
+
+
+class _MuteService:
+    """Shard service that ingests traffic but never yields a sample.
+
+    Exercises the per-sample fallback of ``sample_many``: the shard has
+    loads but an empty memory, so the bulk path must step aside for the
+    redraw loop (which decides which coins are consumed).
+    """
+
+    def __init__(self):
+        self.elements_processed = 0
+        self.strategy = _MuteStrategy()
+
+    def on_receive_batch(self, identifiers):
+        chunk = np.asarray(identifiers, dtype=np.int64)
+        self.elements_processed += int(chunk.size)
+        return chunk
+
+    def sample(self):
+        return None
+
+    def reset(self):
+        self.elements_processed = 0
+
+
+def _mute_factory(index, rng):
+    return _MuteService()
+
+
+class _SleepyService:
+    """Shard service whose batch ingestion stalls (timeout-path fixture)."""
+
+    elements_processed = 0
+
+    def on_receive_batch(self, identifiers):
+        time.sleep(1.0)
+        return np.asarray(identifiers, dtype=np.int64)
+
+
+def _sleepy_factory(index, rng):
+    return _SleepyService()
+
+
+def _broken_factory(index, rng):
+    raise RuntimeError("shard construction boom")
+
+
+# --------------------------------------------------------------------- #
+# Cross-backend bit-identity
+# --------------------------------------------------------------------- #
+class TestBitIdentity:
+    def test_outputs_memory_and_loads_match_serial(self):
+        serial = _service("serial")
+        with _service("process", workers=2) as process:
+            serial_run = run_stream(serial, STREAM, batch_size=512)
+            process_run = run_stream(process, STREAM, batch_size=512)
+            assert np.array_equal(serial_run.outputs, process_run.outputs)
+            assert serial.merged_memory() == process.merged_memory()
+            assert serial.shard_loads() == process.shard_loads()
+            assert serial.elements_processed == process.elements_processed
+
+    def test_samples_match_serial(self):
+        serial = _service("serial", seed=31)
+        with _service("process", seed=31, workers=3) as process:
+            serial.on_receive_batch(STREAM.identifiers)
+            process.on_receive_batch(STREAM.identifiers)
+            assert serial.sample_many(250) == process.sample_many(250)
+            assert serial.sample() == process.sample()
+
+    def test_worker_loads_agree_with_parent_cache(self):
+        with _service("process", workers=2) as process:
+            process.on_receive_batch(STREAM.identifiers)
+            assert process.backend.cached_loads() == process.shard_loads()
+
+    def test_reset_keeps_backends_aligned(self):
+        serial = _service("serial", seed=7)
+        with _service("process", seed=7, workers=2) as process:
+            for service in (serial, process):
+                service.on_receive_batch(STREAM.identifiers)
+                service.reset()
+            assert process.elements_processed == 0
+            assert process.sample() is None
+            a = serial.on_receive_batch(STREAM.identifiers[:1000])
+            b = process.on_receive_batch(STREAM.identifiers[:1000])
+            assert np.array_equal(a, b)
+
+    def test_scenario_results_match_across_backends(self):
+        base = {
+            "name": "backend-equality",
+            "seed": 99,
+            "trials": 2,
+            "stream": {"kind": "zipf",
+                       "params": {"stream_size": 5000,
+                                  "population_size": 500, "alpha": 1.5}},
+            "strategies": [{"kind": "knowledge-free",
+                            "params": {"memory_size": 10,
+                                       "sketch_width": 16,
+                                       "sketch_depth": 4}}],
+            "engine": {"driver": "batch", "batch_size": 1024, "shards": 3,
+                       "backend": "serial"},
+        }
+        serial_result = ScenarioRunner(dict(base)).run().to_dict()
+        process = dict(base)
+        process["engine"] = dict(base["engine"],
+                                 backend="process", workers=2)
+        process_result = ScenarioRunner(process).run().to_dict()
+        serial_result["name"] = process_result["name"] = "backend-equality"
+        assert serial_result == process_result
+
+
+class TestBulkSampleMany:
+    @pytest.mark.parametrize("backend", ["serial", "process"])
+    def test_bulk_path_matches_per_sample_loop(self, backend):
+        reference = _service("serial", seed=41)
+        reference.on_receive_batch(STREAM.identifiers)
+        looped = [reference.sample() for _ in range(137)]
+        with _service(backend, seed=41) as bulk:
+            bulk.on_receive_batch(STREAM.identifiers)
+            assert bulk.sample_many(137) == looped
+
+    @pytest.mark.parametrize("backend", ["serial", "process"])
+    def test_empty_memory_fallback(self, backend):
+        with ShardedSamplingService(2, _mute_factory, random_state=5,
+                                    backend=backend) as service:
+            service.on_receive_batch(STREAM.identifiers[:100])
+            with pytest.raises(RuntimeError, match="0 sample"):
+                service.sample_many(5)
+            assert service.sample_many(5, strict=False) == []
+
+
+# --------------------------------------------------------------------- #
+# Worker failure paths
+# --------------------------------------------------------------------- #
+class TestWorkerFailures:
+    def test_construction_error_surfaces(self):
+        with pytest.raises(WorkerCrashError, match="shard construction boom"):
+            ShardedSamplingService(2, _broken_factory, random_state=3,
+                                   backend="process")
+
+    def test_dead_worker_detected(self):
+        service = _service("process", shards=2, workers=2)
+        try:
+            service.on_receive_batch(STREAM.identifiers[:500])
+            for process in service.backend._processes:
+                process.terminate()
+                process.join(timeout=5.0)
+            # depending on timing the parent sees the broken pipe at send
+            # time or the dead process in the reply poll loop
+            with pytest.raises(WorkerCrashError, match="worker"):
+                service.on_receive_batch(STREAM.identifiers[:500])
+        finally:
+            service.close()
+
+    def test_worker_timeout(self):
+        service = ShardedSamplingService(2, _sleepy_factory, random_state=3,
+                                         backend="process",
+                                         worker_timeout=0.1)
+        try:
+            with pytest.raises(WorkerTimeoutError, match="did not reply"):
+                service.on_receive_batch(STREAM.identifiers[:64])
+        finally:
+            service.close()
+
+    def test_timeout_poisons_backend_against_stale_replies(self):
+        # regression: the timed-out request's late reply stays queued in the
+        # pipe; a retry used to consume it as the answer to the new request
+        service = ShardedSamplingService(2, _sleepy_factory, random_state=3,
+                                         backend="process",
+                                         worker_timeout=0.1)
+        try:
+            with pytest.raises(WorkerTimeoutError):
+                service.on_receive_batch(STREAM.identifiers[:64])
+            with pytest.raises(WorkerCrashError, match="desynchronised"):
+                service.on_receive_batch(STREAM.identifiers[:32])
+            with pytest.raises(WorkerCrashError, match="desynchronised"):
+                service.shard_loads()
+        finally:
+            service.close()
+
+    def test_closed_backend_rejects_requests(self):
+        service = _service("process", shards=2)
+        service.close()
+        service.close()  # idempotent
+        with pytest.raises(BackendError, match="closed"):
+            service.on_receive_batch(STREAM.identifiers[:10])
+
+
+# --------------------------------------------------------------------- #
+# Configuration surfaces
+# --------------------------------------------------------------------- #
+class TestBackendSelection:
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown execution backend"):
+            _service("quantum")
+
+    def test_serial_backend_rejects_workers(self):
+        with pytest.raises(ValueError, match="serial"):
+            _service("serial", workers=2)
+
+    def test_services_property_requires_serial(self):
+        assert len(_service("serial").services) == 4
+        with _service("process", shards=2) as service:
+            with pytest.raises(BackendError, match="worker processes"):
+                service.services
+
+    def test_worker_count_is_clamped_to_shards(self):
+        with _service("process", shards=2, workers=8) as service:
+            assert service.backend.workers == 2
+
+    def test_make_backend_validation(self):
+        rngs = spawn_children(1, 2)
+        with pytest.raises(ValueError, match="unknown execution backend"):
+            make_backend("gpu", 2, _mute_factory, rngs)
+
+
+class TestEngineSpec:
+    def test_backend_round_trips_through_json(self):
+        spec = EngineSpec(shards=4, backend="process", workers=2)
+        rebuilt = EngineSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert rebuilt == spec
+
+    def test_defaults_stay_serial(self):
+        spec = EngineSpec.from_dict({"driver": "batch"})
+        assert spec.backend == "serial"
+        assert spec.workers is None
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ScenarioError, match="engine backend"):
+            EngineSpec(shards=2, backend="gpu")
+
+    def test_process_backend_requires_shards(self):
+        with pytest.raises(ScenarioError, match="shards"):
+            EngineSpec(backend="process")
+
+    def test_workers_require_process_backend(self):
+        with pytest.raises(ScenarioError, match="workers"):
+            EngineSpec(shards=2, workers=2)
+
+    def test_scenario_spec_round_trip_keeps_backend(self):
+        spec = ScenarioSpec.load(EXAMPLES / "sharded_zipf.json")
+        rebuilt = ScenarioSpec.from_json(spec.to_json())
+        assert rebuilt.engine.shards == 4
+        assert rebuilt.engine.backend == "serial"
+
+
+class TestCli:
+    def test_run_with_process_backend(self, capsys):
+        assert main(["run", str(EXAMPLES / "sharded_zipf.json"),
+                     "--backend", "process", "--workers", "2",
+                     "--trials", "1"]) == 0
+        assert "knowledge-free" in capsys.readouterr().out
+
+    def test_run_backend_override_matches_serial(self, capsys):
+        spec = str(EXAMPLES / "sharded_zipf.json")
+        assert main(["run", spec, "--trials", "1", "--json"]) == 0
+        serial_out = capsys.readouterr().out
+        assert main(["run", spec, "--trials", "1", "--json",
+                     "--backend", "process"]) == 0
+        assert capsys.readouterr().out == serial_out
+
+    def test_throughput_process_backend(self, capsys):
+        assert main(["throughput", "--stream-size", "20000",
+                     "--population-size", "2000", "--scalar-limit", "4000",
+                     "--backend", "process", "--workers", "2"]) == 0
+        assert "[process w=2]" in capsys.readouterr().out

@@ -3,7 +3,12 @@
 import pytest
 
 from repro.core import KnowledgeFreeStrategy
-from repro.streams.churn import ChurnEvent, ChurnModel, ChurnTrace
+from repro.streams.churn import (
+    ChurnEvent,
+    ChurnModel,
+    ChurnTrace,
+    ParetoChurnModel,
+)
 
 
 class TestChurnModel:
@@ -147,3 +152,61 @@ class TestChurnModel:
                                          random_state=6)
         output = strategy.process_stream(suffix)
         assert set(output.identifiers) <= set(trace.stable_population)
+
+
+class TestParetoChurnModel:
+    def _model(self, seed=7, **kwargs):
+        defaults = dict(join_rate=0.4, lifetime_shape=1.3, lifetime_scale=8,
+                        advertisements_per_step=4, random_state=seed)
+        defaults.update(kwargs)
+        return ParetoChurnModel(60, **defaults)
+
+    def test_generates_trace_with_both_phases(self):
+        trace = self._model().generate(churn_steps=150, stable_steps=50)
+        assert trace.stream.size == (150 + 50) * 4
+        assert trace.stability_time == 150 * 4
+        assert trace.stable_population
+
+    def test_lifetimes_drive_departures(self):
+        # with a short minimum lifetime and a long churn phase, most of the
+        # initial population must have expired before T0
+        trace = self._model(lifetime_scale=5).generate(churn_steps=300,
+                                                       stable_steps=10)
+        departures = [event for event in trace.events if not event.joined]
+        assert departures
+        departed_initial = {event.identifier for event in departures
+                            if event.identifier < 60}
+        assert len(departed_initial) > 30
+
+    def test_population_never_empties(self):
+        # aggressive expiry with no joins: the longest-lived node survives
+        model = ParetoChurnModel(5, join_rate=0.0, lifetime_shape=3.0,
+                                 lifetime_scale=1, random_state=11)
+        trace = model.generate(churn_steps=500, stable_steps=5)
+        assert len(trace.stable_population) >= 1
+
+    def test_deterministic_per_seed(self):
+        first = self._model(seed=21).generate(100, 20)
+        second = self._model(seed=21).generate(100, 20)
+        assert first.stream.identifiers == second.stream.identifiers
+        assert first.events == second.events
+        assert first.stable_population == second.stable_population
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self._model(lifetime_shape=0)
+        with pytest.raises(ValueError):
+            self._model(lifetime_scale=-1)
+
+    def test_registered_as_stream_component(self):
+        from repro.scenarios import registry as registries
+        import repro.scenarios  # noqa: F401 - triggers builtin registration
+
+        stream = registries.STREAMS.build(
+            "pareto_churn",
+            {"initial_population": 40, "churn_steps": 50, "stable_steps": 20,
+             "lifetime_scale": 5},
+            random_state=13)
+        assert stream.stability_time == 50 * 5
+        assert stream.stable_population
+        assert len(stream.identifiers) == (50 + 20) * 5
