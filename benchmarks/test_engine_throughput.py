@@ -13,6 +13,10 @@ stream", Section III-A) on a million-element Zipf-biased stream:
   memory are asserted bit-identical to the serial ensemble's, and on a
   machine with enough cores it must reach at least 2x the serial ensemble's
   throughput.
+* ``socket``  — the same ensemble on the socket backend (shard groups
+  behind authenticated localhost TCP workers), the network-transparent
+  tier; also asserted bit-identical to the serial ensemble.  This tier
+  tracks the framing/pickle transport cost against the pipe transport.
 
 The workload and the parallel tier scale down through environment variables
 (the same pattern as ``OVERLAY_BENCH_NODES``): ``ENGINE_BENCH_STREAM_SIZE``
@@ -139,16 +143,32 @@ def test_process_backend_throughput(benchmark, print_result, identifiers):
 
 
 @pytest.mark.figure("throughput")
-def test_process_backend_bit_identical_to_serial(print_result):
+def test_socket_backend_throughput(benchmark, print_result, identifiers):
+    """The network-transparent tier: the ensemble behind TCP workers."""
+    service = _sharded("socket", workers=WORKERS)
+    try:
+        result = benchmark.pedantic(
+            lambda: run_stream(service, identifiers, batch_size=BATCH_SIZE),
+            rounds=1, iterations=1)
+        MERGED_MEMORY["socket"] = service.merged_memory()
+    finally:
+        service.close()
+    benchmark.extra_info["workers"] = service.backend.workers
+    _record(benchmark, print_result, "socket", result)
+
+
+@pytest.mark.figure("throughput")
+@pytest.mark.parametrize("backend", ["process", "socket"])
+def test_parallel_backends_bit_identical_to_serial(print_result, backend):
     """Cross-backend exactness: same outputs, same merged memory, per seed."""
-    if "sharded" not in RECORDED or "process" not in RECORDED:
+    if "sharded" not in RECORDED or backend not in RECORDED:
         pytest.skip("sharded benchmarks did not run before this test")
     _, serial_outputs = RECORDED["sharded"]
-    _, process_outputs = RECORDED["process"]
-    assert np.array_equal(serial_outputs, process_outputs)
-    assert MERGED_MEMORY["sharded"] == MERGED_MEMORY["process"]
+    _, backend_outputs = RECORDED[backend]
+    assert np.array_equal(serial_outputs, backend_outputs)
+    assert MERGED_MEMORY["sharded"] == MERGED_MEMORY[backend]
     print_result("backend exactness",
-                 f"process backend bit-identical to serial over "
+                 f"{backend} backend bit-identical to serial over "
                  f"{serial_outputs.size:,} outputs and "
                  f"{len(MERGED_MEMORY['sharded'])} memory slots")
 

@@ -9,6 +9,7 @@ Usage (after ``pip install -e .``)::
     python -m repro figure3 --k 10 50 100 --eta 0.1 0.0001
     python -m repro figure8 --stream-size 20000 --trials 2
     python -m repro figure12 --scale 0.01
+    python -m repro worker serve --listen 0.0.0.0:7333 --auth-token-file tok
 
 ``repro run`` is the general entry point: it executes any experiment
 declared as a JSON :class:`~repro.scenarios.spec.ScenarioSpec` through the
@@ -30,6 +31,13 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.experiments import figures
 from repro.experiments.reporting import format_series, format_table
+
+
+def _parse_endpoints_argument(text: Optional[str]) -> Optional[List[str]]:
+    """Split a comma-separated ``--endpoints`` value into a host:port list."""
+    if text is None:
+        return None
+    return [entry.strip() for entry in text.split(",") if entry.strip()]
 
 
 def _cmd_run(arguments: argparse.Namespace) -> None:
@@ -57,12 +65,19 @@ def _cmd_run(arguments: argparse.Namespace) -> None:
             overrides["sweep"] = replace(spec.sweep, trials=arguments.trials)
     if arguments.seed is not None:
         overrides["seed"] = arguments.seed
-    if arguments.backend is not None or arguments.workers is not None:
+    if (arguments.backend is not None or arguments.workers is not None
+            or arguments.endpoints is not None
+            or arguments.auth_token_file is not None):
         engine_overrides = {}
         if arguments.backend is not None:
             engine_overrides["backend"] = arguments.backend
         if arguments.workers is not None:
             engine_overrides["workers"] = arguments.workers
+        if arguments.endpoints is not None:
+            engine_overrides["endpoints"] = \
+                _parse_endpoints_argument(arguments.endpoints)
+        if arguments.auth_token_file is not None:
+            engine_overrides["auth_token_file"] = arguments.auth_token_file
         # replace() re-runs the engine section's validation, so an override
         # that contradicts the spec (e.g. --workers on a serial backend)
         # fails with the same error a hand-written spec would
@@ -144,6 +159,8 @@ def _cmd_throughput(arguments: argparse.Namespace) -> None:
         random_state=arguments.seed,
         backend=arguments.backend,
         workers=arguments.workers,
+        endpoints=_parse_endpoints_argument(arguments.endpoints),
+        auth_token_file=arguments.auth_token_file,
     )
     try:
         sharded = run_stream(sharded_service, stream,
@@ -168,6 +185,33 @@ def _cmd_throughput(arguments: argparse.Namespace) -> None:
         })
     print(format_table(rows, columns=["driver", "elements", "seconds",
                                       "elements/s", "vs scalar"]))
+
+
+def _cmd_worker_serve(arguments: argparse.Namespace) -> None:
+    """Host shard workers over TCP for the socket execution backend."""
+    from repro.engine.backends.socket import (
+        WorkerServer,
+        load_auth_token,
+        parse_endpoint,
+    )
+
+    try:
+        host, port = parse_endpoint(arguments.listen, allow_port_zero=True)
+    except ValueError as error:
+        raise SystemExit(f"repro worker serve: {error}") from None
+    try:
+        token = load_auth_token(arguments.auth_token_file)
+    except (OSError, ValueError) as error:
+        raise SystemExit(f"repro worker serve: {error}") from None
+    server = WorkerServer(host, port, token)
+    bound_host, bound_port = server.address
+    print(f"worker server listening on {bound_host}:{bound_port}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+        pass
+    finally:
+        server.close()
 
 
 def _print_series(series, x_label: str) -> None:
@@ -312,13 +356,22 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--sweep-summary", action="store_true",
                      help="condense a sweep into one row per (value, "
                           "strategy) instead of one block per point")
-    run.add_argument("--backend", choices=["serial", "process"], default=None,
+    run.add_argument("--backend", choices=["serial", "process", "socket"],
+                     default=None,
                      help="override the spec's execution backend (sharded "
                           "scenarios; results are bit-identical per seed)")
     run.add_argument("--workers", type=int, default=None,
-                     help="worker processes of the process backend "
-                          "(default: one per shard, capped at the core "
-                          "count)")
+                     help="worker processes/connections of the process and "
+                          "socket backends (default: one per shard, capped "
+                          "at the core count)")
+    run.add_argument("--endpoints", default=None,
+                     help="comma-separated host:port list of running "
+                          "`repro worker serve` instances (socket backend; "
+                          "omitted, supervised localhost workers are "
+                          "spawned)")
+    run.add_argument("--auth-token-file", default=None,
+                     help="file holding the shared worker auth token "
+                          "(socket backend with --endpoints)")
     run.add_argument("--components", action="store_true",
                      help="list the registered scenario components and exit")
     run.set_defaults(handler=_cmd_run)
@@ -400,11 +453,20 @@ def build_parser() -> argparse.ArgumentParser:
     throughput.add_argument("--sketch-depth", type=int, default=5)
     throughput.add_argument("--batch-size", type=int, default=8192)
     throughput.add_argument("--shards", type=int, default=4)
-    throughput.add_argument("--backend", choices=["serial", "process"],
+    throughput.add_argument("--backend",
+                            choices=["serial", "process", "socket"],
                             default="serial",
                             help="execution backend of the sharded driver")
     throughput.add_argument("--workers", type=int, default=None,
-                            help="worker processes of the process backend")
+                            help="worker processes/connections of the "
+                                 "process and socket backends")
+    throughput.add_argument("--endpoints", default=None,
+                            help="comma-separated host:port list of running "
+                                 "`repro worker serve` instances (socket "
+                                 "backend)")
+    throughput.add_argument("--auth-token-file", default=None,
+                            help="file holding the shared worker auth token "
+                                 "(socket backend with --endpoints)")
     throughput.add_argument("--scalar-limit", type=int, default=100_000,
                             help="cap on elements fed to the slow "
                                  "per-element reference driver")
@@ -416,6 +478,22 @@ def build_parser() -> argparse.ArgumentParser:
     figure12.add_argument("--trials", type=int, default=1)
     figure12.add_argument("--seed", type=int, default=2013)
     figure12.set_defaults(handler=_cmd_figure12)
+
+    worker = subparsers.add_parser(
+        "worker",
+        help="worker-side commands of the socket execution backend")
+    worker_commands = worker.add_subparsers(dest="worker_command",
+                                            required=True)
+    serve = worker_commands.add_parser(
+        "serve",
+        help="host shard workers over TCP until interrupted")
+    serve.add_argument("--listen", default="127.0.0.1:0",
+                       help="HOST:PORT to listen on (port 0 picks a free "
+                            "port, printed at startup)")
+    serve.add_argument("--auth-token-file", required=True,
+                       help="file holding the shared token clients must "
+                            "present")
+    serve.set_defaults(handler=_cmd_worker_serve)
 
     return parser
 
@@ -431,7 +509,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         for name in ("run <scenario.json>", "table1", "table2", "figure3",
                      "figure4", "figure5", "figure6", "figure7 a|b",
                      "figure8", "figure9", "figure10 a|b", "figure11",
-                     "figure12", "throughput"):
+                     "figure12", "throughput", "worker serve"):
             print(name)
         return 0
     arguments.handler(arguments)

@@ -7,17 +7,22 @@
   sampling services, the first concrete scaling scenario beyond a single
   node;
 * :mod:`repro.engine.backends` — pluggable execution backends for the
-  sharded ensemble: ``serial`` (in-process) and ``process`` (shard groups
-  pinned to worker processes), bit-identical per master seed.
+  sharded ensemble: ``serial`` (in-process), ``process`` (shard groups
+  pinned to worker processes) and ``socket`` (shard groups behind
+  authenticated TCP connections with crash re-spawn), bit-identical per
+  master seed.
 """
 
 from repro.engine.backends import (
     BACKENDS,
+    AuthenticationError,
     BackendError,
     ExecutionBackend,
     ProcessBackend,
     SerialBackend,
+    SocketBackend,
     WorkerCrashError,
+    WorkerServer,
     WorkerTimeoutError,
     make_backend,
 )
@@ -36,6 +41,7 @@ from repro.engine.sharded import (
 
 __all__ = [
     "BACKENDS",
+    "AuthenticationError",
     "BackendError",
     "DEFAULT_BATCH_SIZE",
     "BatchResult",
@@ -44,7 +50,9 @@ __all__ = [
     "ProcessBackend",
     "SerialBackend",
     "ShardedSamplingService",
+    "SocketBackend",
     "WorkerCrashError",
+    "WorkerServer",
     "WorkerTimeoutError",
     "as_identifier_array",
     "iter_batches",

@@ -1,31 +1,50 @@
 """Pluggable execution backends of the sharded sampling service.
 
 * :mod:`repro.engine.backends.base` — the :class:`ExecutionBackend`
-  contract and the :func:`make_backend` resolver;
+  contract, the shared worker-command interpreter and the
+  :func:`make_backend` resolver;
 * :mod:`repro.engine.backends.serial` — every shard in the calling process
   (the original behaviour, bit-identical);
 * :mod:`repro.engine.backends.process` — shard groups pinned to worker
-  processes, bit-identical to serial per master seed.
+  processes, bit-identical to serial per master seed;
+* :mod:`repro.engine.backends.socket` — shard groups behind authenticated
+  TCP connections (local supervised workers or remote ``repro worker
+  serve`` endpoints), with crash re-spawn via snapshot + bounded replay,
+  bit-identical to serial per master seed.
 """
 
 from repro.engine.backends.base import (
     BACKENDS,
+    AuthenticationError,
     BackendError,
     ExecutionBackend,
     WorkerCrashError,
+    WorkerPoolBackend,
     WorkerTimeoutError,
     make_backend,
 )
 from repro.engine.backends.process import ProcessBackend
 from repro.engine.backends.serial import SerialBackend
+from repro.engine.backends.socket import (
+    SocketBackend,
+    WorkerServer,
+    load_auth_token,
+    parse_endpoint,
+)
 
 __all__ = [
     "BACKENDS",
+    "AuthenticationError",
     "BackendError",
     "ExecutionBackend",
     "ProcessBackend",
     "SerialBackend",
+    "SocketBackend",
     "WorkerCrashError",
+    "WorkerPoolBackend",
+    "WorkerServer",
     "WorkerTimeoutError",
+    "load_auth_token",
     "make_backend",
+    "parse_endpoint",
 ]

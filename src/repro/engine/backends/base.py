@@ -21,6 +21,7 @@ process cannot change what it computes.
 from __future__ import annotations
 
 import abc
+import multiprocessing
 from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
@@ -31,7 +32,14 @@ import numpy as np
 ShardFactory = Callable[[int, np.random.Generator], object]
 
 #: The backend names :func:`make_backend` resolves.
-BACKENDS = ("serial", "process")
+BACKENDS = ("serial", "process", "socket")
+
+#: Deadline applied to ordinary worker requests when no ``worker_timeout``
+#: was configured.  Startup keeps its own (shorter) deadline; this one only
+#: has to catch a worker that is genuinely hung, so it is generous enough
+#: that no legitimate chunk ever trips it — but a wedged worker surfaces as
+#: :class:`WorkerTimeoutError` instead of blocking the parent forever.
+DEFAULT_REQUEST_TIMEOUT = 300.0
 
 
 class BackendError(RuntimeError):
@@ -44,6 +52,43 @@ class WorkerCrashError(BackendError):
 
 class WorkerTimeoutError(BackendError):
     """A worker process did not answer within the configured timeout."""
+
+
+class AuthenticationError(BackendError):
+    """A socket worker endpoint rejected the shared auth token."""
+
+
+def serve_shard_command(services: Dict[int, object], command: str, payload):
+    """Execute one worker-protocol command against a shard-service map.
+
+    This is the single interpreter of the message-shaped worker protocol
+    (``batch`` / ``sample`` / ``sample_many`` / ``loads`` / ``memory_sizes``
+    / ``memory`` / ``reset``), shared by the process backend's pipe workers
+    and the socket backend's TCP workers so both transports execute exactly
+    the same per-shard operations.
+    """
+    if command == "batch":
+        return {shard: services[shard].on_receive_batch(chunk)
+                for shard, chunk in payload.items()}
+    if command == "sample":
+        return services[payload].sample()
+    if command == "sample_many":
+        return {shard: [services[shard].sample() for _ in range(count)]
+                for shard, count in payload.items()}
+    if command == "loads":
+        return {shard: service.elements_processed
+                for shard, service in services.items()}
+    if command == "memory_sizes":
+        return {shard: len(service.strategy.memory_view)
+                for shard, service in services.items()}
+    if command == "memory":
+        return {shard: list(service.strategy.memory_view)
+                for shard, service in services.items()}
+    if command == "reset":
+        for service in services.values():
+            service.reset()
+        return None
+    raise ValueError(f"unknown worker command {command!r}")
 
 
 class ExecutionBackend(abc.ABC):
@@ -62,7 +107,7 @@ class ExecutionBackend(abc.ABC):
         cross-backend bit-identity guarantee.
     """
 
-    #: Registry key of the backend ("serial", "process").
+    #: Registry key of the backend ("serial", "process", "socket").
     name = "abstract"
 
     def __init__(self, shards: int, shard_factory: ShardFactory,
@@ -148,22 +193,198 @@ class ExecutionBackend(abc.ABC):
         return f"{type(self).__name__}(shards={self.shards})"
 
 
+class WorkerPoolBackend(ExecutionBackend):
+    """Shared parent-side logic of backends that pin shard groups to workers.
+
+    The process and socket backends differ only in their transport (pipes vs
+    authenticated TCP) and failure policy (fail fast vs re-spawn).  Everything
+    else — worker clamping, the shard→worker map, chunk partition/scatter,
+    grouped sampling, load accounting, the inspection broadcasts — lives
+    here, written once against two transport primitives:
+
+    * :meth:`_post` — send one ``(command, payload)`` request to a worker;
+    * :meth:`_finish` — collect that worker's reply (raising the backend's
+      failure-policy errors).
+
+    Requests are pipelined per operation (post to every involved worker,
+    then collect in order), and :meth:`_after_requests` runs once per
+    completed operation — the socket backend uses it to refresh its
+    supervision snapshots.
+
+    Parameters
+    ----------
+    workers:
+        Number of workers; defaults to ``min(shards, cpu_count)`` and is
+        clamped to ``shards`` (an idle worker would own no shard).
+    worker_timeout:
+        Optional per-request timeout in seconds; ``None`` (default) applies
+        the generous :data:`DEFAULT_REQUEST_TIMEOUT` so a live-but-hung
+        worker cannot block the parent forever.
+    """
+
+    def __init__(self, shards: int, shard_factory: ShardFactory,
+                 shard_rngs: Sequence[np.random.Generator], *,
+                 workers: Optional[int] = None,
+                 worker_timeout: Optional[float] = None) -> None:
+        super().__init__(shards, shard_factory, shard_rngs)
+        if workers is None:
+            workers = min(self.shards, multiprocessing.cpu_count() or 1)
+        if workers <= 0:
+            raise ValueError(f"workers must be positive, got {workers}")
+        if worker_timeout is not None and worker_timeout <= 0:
+            raise ValueError(
+                f"worker_timeout must be positive, got {worker_timeout}")
+        self.workers = min(int(workers), self.shards)
+        self.worker_timeout = worker_timeout
+        self._worker_of = [shard % self.workers
+                           for shard in range(self.shards)]
+        self._loads = [0] * self.shards
+
+    # ------------------------------------------------------------------ #
+    # Transport primitives
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def _post(self, worker: int, command: str, payload=None) -> None:
+        """Send one request frame to a worker."""
+
+    @abc.abstractmethod
+    def _finish(self, worker: int):
+        """Collect the reply of the worker's pending request."""
+
+    def _after_requests(self, workers) -> None:
+        """Hook run after an operation's replies are all collected."""
+
+    def _request(self, worker: int, command: str, payload=None):
+        self._post(worker, command, payload)
+        result = self._finish(worker)
+        self._after_requests([worker])
+        return result
+
+    def _broadcast(self, command: str, payload=None) -> Dict[int, object]:
+        """Send one command to every worker, then collect per-shard replies."""
+        for worker in range(self.workers):
+            self._post(worker, command, payload)
+        merged: Dict[int, object] = {}
+        for worker in range(self.workers):
+            reply = self._finish(worker)
+            if reply:
+                merged.update(reply)
+        self._after_requests(range(self.workers))
+        return merged
+
+    # ------------------------------------------------------------------ #
+    # Streaming
+    # ------------------------------------------------------------------ #
+    def dispatch(self, identifiers: np.ndarray,
+                 shard_indices: np.ndarray) -> np.ndarray:
+        outputs = np.empty(identifiers.size, dtype=np.int64)
+        masks: Dict[int, np.ndarray] = {}
+        per_worker: List[Dict[int, np.ndarray]] = [
+            {} for _ in range(self.workers)]
+        for shard in range(self.shards):
+            mask = shard_indices == shard
+            if not mask.any():
+                continue
+            masks[shard] = mask
+            per_worker[self._worker_of[shard]][shard] = identifiers[mask]
+        involved = [worker for worker in range(self.workers)
+                    if per_worker[worker]]
+        for worker in involved:
+            self._post(worker, "batch", per_worker[worker])
+        for worker in involved:
+            for shard, shard_outputs in self._finish(worker).items():
+                outputs[masks[shard]] = shard_outputs
+                self._loads[shard] += int(masks[shard].sum())
+        self._after_requests(involved)
+        return outputs
+
+    # ------------------------------------------------------------------ #
+    # Sampling
+    # ------------------------------------------------------------------ #
+    def sample_shard(self, shard: int) -> Optional[int]:
+        return self._request(self._worker_of[shard], "sample", shard)
+
+    def sample_shards_many(self, counts: Dict[int, int]
+                           ) -> Dict[int, List[Optional[int]]]:
+        per_worker: List[Dict[int, int]] = [{} for _ in range(self.workers)]
+        for shard, count in counts.items():
+            per_worker[self._worker_of[shard]][shard] = count
+        involved = [worker for worker in range(self.workers)
+                    if per_worker[worker]]
+        for worker in involved:
+            self._post(worker, "sample_many", per_worker[worker])
+        merged: Dict[int, List[Optional[int]]] = {}
+        for worker in involved:
+            merged.update(self._finish(worker))
+        self._after_requests(involved)
+        return merged
+
+    # ------------------------------------------------------------------ #
+    # Inspection and lifecycle
+    # ------------------------------------------------------------------ #
+    def shard_loads(self) -> List[int]:
+        by_shard = self._broadcast("loads")
+        return [by_shard[shard] for shard in range(self.shards)]
+
+    def cached_loads(self) -> List[int]:
+        # The parent-side counter (updated at dispatch, zeroed at reset) is
+        # provably equal to the worker-side elements_processed — a shard
+        # processes exactly the elements dispatched to it — so the
+        # per-sample candidate computation skips the transport round-trip.
+        return list(self._loads)
+
+    def memory_sizes(self) -> List[int]:
+        by_shard = self._broadcast("memory_sizes")
+        return [by_shard[shard] for shard in range(self.shards)]
+
+    def merged_memory(self) -> List[int]:
+        by_shard = self._broadcast("memory")
+        merged: List[int] = []
+        for shard in range(self.shards):
+            merged.extend(by_shard[shard])
+        return merged
+
+    def reset(self) -> None:
+        self._broadcast("reset")
+        self._loads = [0] * self.shards
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (f"{type(self).__name__}(shards={self.shards}, "
+                f"workers={self.workers})")
+
+
 def make_backend(name: str, shards: int, shard_factory: ShardFactory,
                  shard_rngs: Sequence[np.random.Generator], *,
                  workers: Optional[int] = None,
-                 worker_timeout: Optional[float] = None) -> ExecutionBackend:
+                 worker_timeout: Optional[float] = None,
+                 endpoints: Optional[Sequence[str]] = None,
+                 auth_token: Optional[object] = None,
+                 auth_token_file: Optional[str] = None) -> ExecutionBackend:
     """Build the execution backend registered under ``name``.
 
     Parameters
     ----------
     name:
-        One of :data:`BACKENDS` (``"serial"`` or ``"process"``).
+        One of :data:`BACKENDS` (``"serial"``, ``"process"`` or
+        ``"socket"``).
     workers, worker_timeout:
-        Process-backend tuning; rejected for backends that do not take them.
+        Worker-pool tuning of the process and socket backends; rejected for
+        backends that do not take them.
+    endpoints, auth_token, auth_token_file:
+        Socket-backend transport: ``host:port`` worker endpoints (already
+        running ``repro worker serve`` instances) and the shared auth token
+        (directly, or read from a file).  Without endpoints the socket
+        backend spawns supervised localhost workers itself.
     """
     from repro.engine.backends.process import ProcessBackend
     from repro.engine.backends.serial import SerialBackend
 
+    if name != "socket" and (endpoints is not None or auth_token is not None
+                             or auth_token_file is not None):
+        raise ValueError(
+            f"the {name!r} backend runs on this host and takes no "
+            "endpoints/auth token; choose backend='socket' for "
+            "network-transparent workers")
     if name == "serial":
         if workers is not None:
             raise ValueError(
@@ -173,6 +394,14 @@ def make_backend(name: str, shards: int, shard_factory: ShardFactory,
     if name == "process":
         return ProcessBackend(shards, shard_factory, shard_rngs,
                               workers=workers, worker_timeout=worker_timeout)
+    if name == "socket":
+        from repro.engine.backends.socket import SocketBackend, load_auth_token
+
+        if auth_token is None and auth_token_file is not None:
+            auth_token = load_auth_token(auth_token_file)
+        return SocketBackend(shards, shard_factory, shard_rngs,
+                             workers=workers, worker_timeout=worker_timeout,
+                             endpoints=endpoints, auth_token=auth_token)
     raise ValueError(
         f"unknown execution backend {name!r}; available: "
         f"{', '.join(BACKENDS)}")

@@ -36,15 +36,17 @@ from __future__ import annotations
 import multiprocessing
 import time
 import traceback
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.engine.backends import base as _base
 from repro.engine.backends.base import (
-    ExecutionBackend,
     ShardFactory,
     WorkerCrashError,
+    WorkerPoolBackend,
     WorkerTimeoutError,
+    serve_shard_command,
 )
 
 #: Seconds granted to a worker to build its shard services and report ready.
@@ -72,37 +74,20 @@ def _worker_main(connection, shard_ids: List[int], shard_factory: ShardFactory,
         if command == "close":
             return
         try:
-            if command == "batch":
-                result = {shard: services[shard].on_receive_batch(chunk)
-                          for shard, chunk in payload.items()}
-            elif command == "sample":
-                result = services[payload].sample()
-            elif command == "sample_many":
-                result = {shard: [services[shard].sample()
-                                  for _ in range(count)]
-                          for shard, count in payload.items()}
-            elif command == "loads":
-                result = {shard: service.elements_processed
-                          for shard, service in services.items()}
-            elif command == "memory_sizes":
-                result = {shard: len(service.strategy.memory_view)
-                          for shard, service in services.items()}
-            elif command == "memory":
-                result = {shard: list(service.strategy.memory_view)
-                          for shard, service in services.items()}
-            elif command == "reset":
-                for service in services.values():
-                    service.reset()
-                result = None
-            else:
-                raise ValueError(f"unknown worker command {command!r}")
-            connection.send((True, result))
+            connection.send((True, serve_shard_command(services, command,
+                                                       payload)))
         except BaseException:
             connection.send((False, traceback.format_exc()))
 
 
-class ProcessBackend(ExecutionBackend):
+class ProcessBackend(WorkerPoolBackend):
     """Runs shard groups in pinned worker processes.
+
+    The shard-group pool logic (partition/scatter, grouped sampling, load
+    accounting) is inherited from
+    :class:`~repro.engine.backends.base.WorkerPoolBackend`; this class
+    supplies the pipe transport and its fail-fast policy (a dead or stalled
+    worker poisons the backend).
 
     Parameters
     ----------
@@ -110,8 +95,9 @@ class ProcessBackend(ExecutionBackend):
         Number of worker processes; defaults to ``min(shards, cpu_count)``
         and is clamped to ``shards`` (an idle worker would own no shard).
     worker_timeout:
-        Optional per-request timeout in seconds; ``None`` (default) waits as
-        long as the worker process stays alive.
+        Optional per-request timeout in seconds; ``None`` (default) applies
+        the generous :data:`~repro.engine.backends.base.DEFAULT_REQUEST_TIMEOUT`
+        so a live-but-hung worker cannot block the parent forever.
     """
 
     name = "process"
@@ -120,18 +106,8 @@ class ProcessBackend(ExecutionBackend):
                  shard_rngs: Sequence[np.random.Generator], *,
                  workers: Optional[int] = None,
                  worker_timeout: Optional[float] = None) -> None:
-        super().__init__(shards, shard_factory, shard_rngs)
-        if workers is None:
-            workers = min(self.shards, multiprocessing.cpu_count() or 1)
-        if workers <= 0:
-            raise ValueError(f"workers must be positive, got {workers}")
-        if worker_timeout is not None and worker_timeout <= 0:
-            raise ValueError(
-                f"worker_timeout must be positive, got {worker_timeout}")
-        self.workers = min(int(workers), self.shards)
-        self.worker_timeout = worker_timeout
-        self._worker_of = [shard % self.workers for shard in range(self.shards)]
-        self._loads = [0] * self.shards
+        super().__init__(shards, shard_factory, shard_rngs, workers=workers,
+                         worker_timeout=worker_timeout)
         self._closed = False
         self._broken = False
         methods = multiprocessing.get_all_start_methods()
@@ -154,13 +130,32 @@ class ProcessBackend(ExecutionBackend):
             child_end.close()
             self._connections.append(parent_end)
             self._processes.append(process)
-        for worker in range(self.workers):
-            self._receive(worker, timeout=_STARTUP_TIMEOUT)
+        try:
+            for worker in range(self.workers):
+                self._receive(worker, timeout=_STARTUP_TIMEOUT)
+        except BaseException:
+            # a failed startup (shard factory error, startup timeout) must
+            # not leak the sibling workers already spawned
+            self._reap_workers()
+            raise
+
+    def _reap_workers(self) -> None:
+        """Terminate and join every worker, then close the pipes."""
+        for process in self._processes:
+            if process.is_alive():
+                process.terminate()
+        for process in self._processes:
+            process.join(timeout=5.0)
+        for connection in self._connections:
+            try:
+                connection.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
 
     # ------------------------------------------------------------------ #
-    # Worker protocol plumbing
+    # Transport primitives (the WorkerPoolBackend contract)
     # ------------------------------------------------------------------ #
-    def _send(self, worker: int, command: str, payload) -> None:
+    def _post(self, worker: int, command: str, payload=None) -> None:
         if self._closed:
             raise WorkerCrashError(
                 "the process backend is closed; build a new service")
@@ -181,7 +176,12 @@ class ProcessBackend(ExecutionBackend):
         connection = self._connections[worker]
         process = self._processes[worker]
         timeout = self.worker_timeout if timeout is None else timeout
-        deadline = None if timeout is None else time.monotonic() + timeout
+        if timeout is None:
+            # without a configured worker_timeout, a live-but-hung worker
+            # must still surface as WorkerTimeoutError rather than blocking
+            # the parent forever (the liveness check only catches death)
+            timeout = _base.DEFAULT_REQUEST_TIMEOUT
+        deadline = time.monotonic() + timeout
         # Any failure below leaves this request's reply (or a sibling
         # worker's reply collected by the same dispatch/broadcast) unread in
         # a pipe; mark the backend broken so later requests fail fast
@@ -194,7 +194,7 @@ class ProcessBackend(ExecutionBackend):
                     f"{process.exitcode}) before replying; its shards "
                     f"{[s for s, w in enumerate(self._worker_of) if w == worker]} "
                     "are lost — build a new service to recover")
-            if deadline is not None and time.monotonic() > deadline:
+            if time.monotonic() > deadline:
                 self._broken = True
                 raise WorkerTimeoutError(
                     f"worker {worker} did not reply within {timeout:.3g}s; "
@@ -217,95 +217,12 @@ class ProcessBackend(ExecutionBackend):
                 f"new service):\n{result}")
         return result
 
-    def _request(self, worker: int, command: str, payload=None):
-        self._send(worker, command, payload)
+    def _finish(self, worker: int):
         return self._receive(worker)
 
-    def _broadcast(self, command: str, payload=None) -> Dict[int, object]:
-        """Send one command to every worker, then collect per-shard replies."""
-        for worker in range(self.workers):
-            self._send(worker, command, payload)
-        merged: Dict[int, object] = {}
-        for worker in range(self.workers):
-            reply = self._receive(worker)
-            if reply:
-                merged.update(reply)
-        return merged
-
     # ------------------------------------------------------------------ #
-    # Streaming
+    # Lifecycle
     # ------------------------------------------------------------------ #
-    def dispatch(self, identifiers: np.ndarray,
-                 shard_indices: np.ndarray) -> np.ndarray:
-        outputs = np.empty(identifiers.size, dtype=np.int64)
-        masks: Dict[int, np.ndarray] = {}
-        per_worker: List[Dict[int, np.ndarray]] = [
-            {} for _ in range(self.workers)]
-        for shard in range(self.shards):
-            mask = shard_indices == shard
-            if not mask.any():
-                continue
-            masks[shard] = mask
-            per_worker[self._worker_of[shard]][shard] = identifiers[mask]
-        involved = [worker for worker in range(self.workers)
-                    if per_worker[worker]]
-        for worker in involved:
-            self._send(worker, "batch", per_worker[worker])
-        for worker in involved:
-            for shard, shard_outputs in self._receive(worker).items():
-                outputs[masks[shard]] = shard_outputs
-                self._loads[shard] += int(masks[shard].sum())
-        return outputs
-
-    # ------------------------------------------------------------------ #
-    # Sampling
-    # ------------------------------------------------------------------ #
-    def sample_shard(self, shard: int) -> Optional[int]:
-        return self._request(self._worker_of[shard], "sample", shard)
-
-    def sample_shards_many(self, counts: Dict[int, int]
-                           ) -> Dict[int, List[Optional[int]]]:
-        per_worker: List[Dict[int, int]] = [{} for _ in range(self.workers)]
-        for shard, count in counts.items():
-            per_worker[self._worker_of[shard]][shard] = count
-        involved = [worker for worker in range(self.workers)
-                    if per_worker[worker]]
-        for worker in involved:
-            self._send(worker, "sample_many", per_worker[worker])
-        merged: Dict[int, List[Optional[int]]] = {}
-        for worker in involved:
-            merged.update(self._receive(worker))
-        return merged
-
-    # ------------------------------------------------------------------ #
-    # Inspection and lifecycle
-    # ------------------------------------------------------------------ #
-    def shard_loads(self) -> List[int]:
-        by_shard = self._broadcast("loads")
-        return [by_shard[shard] for shard in range(self.shards)]
-
-    def cached_loads(self) -> List[int]:
-        # The parent-side counter (updated at dispatch, zeroed at reset) is
-        # provably equal to the worker-side elements_processed — a shard
-        # processes exactly the elements dispatched to it — so the per-sample
-        # candidate computation skips the IPC round-trip.
-        return list(self._loads)
-
-    def memory_sizes(self) -> List[int]:
-        by_shard = self._broadcast("memory_sizes")
-        return [by_shard[shard] for shard in range(self.shards)]
-
-    def merged_memory(self) -> List[int]:
-        by_shard = self._broadcast("memory")
-        merged: List[int] = []
-        for shard in range(self.shards):
-            merged.extend(by_shard[shard])
-        return merged
-
-    def reset(self) -> None:
-        self._broadcast("reset")
-        self._loads = [0] * self.shards
-
     def close(self) -> None:
         if self._closed:
             return
@@ -328,7 +245,3 @@ class ProcessBackend(ExecutionBackend):
             self.close()
         except Exception:
             pass
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging helper
-        return (f"ProcessBackend(shards={self.shards}, "
-                f"workers={self.workers})")

@@ -1,0 +1,864 @@
+"""Network-transparent execution backend: shard groups behind TCP sockets.
+
+The worker protocol was already message-shaped (``batch`` / ``sample`` /
+``sample_many`` / ``loads`` / ``memory_sizes`` / ``memory`` / ``reset``);
+this module gives it a transport that crosses machine boundaries, so one
+sampler ensemble can span hosts:
+
+* **Framing** — every message is a length-prefixed pickle frame over TCP
+  (8-byte big-endian length, then the payload).  Authentication is a mutual
+  HMAC challenge–response over the shared token: both sides exchange raw
+  nonces and prove knowledge of the token with ``HMAC(token, nonces)``
+  digests before either side deserialises a single pickle frame — the
+  token itself never crosses the wire, a port squatter cannot reach the
+  parent's unpickler, and the server compares digests in constant time.
+  (The stream is still plaintext TCP: an active on-path attacker can
+  hijack an authenticated session, so run workers inside a trusted
+  network.)
+* **Worker server** — :class:`WorkerServer` (the ``repro worker serve``
+  CLI subcommand) listens on ``host:port`` and serves each authenticated
+  connection as one shard-group worker: a ``start`` message ships the shard
+  ids plus the per-shard generators spawned in the parent (or a state
+  snapshot, see below), then the connection proxies the ordinary command
+  set through :func:`~repro.engine.backends.base.serve_shard_command` — the
+  same interpreter the process backend's pipe workers run, so outputs,
+  merged memory, loads and samples stay bit-identical to the serial backend
+  per master seed.
+* **Supervision** — :class:`SocketBackend` journals every state-mutating
+  command per worker and periodically collects a state *snapshot*
+  (pickled shard services: generator state + sampling memory + sketches).
+  When a worker connection dies, the supervisor re-spawns/reconnects it and
+  deterministically rebuilds its shards from the last snapshot plus a
+  bounded replay of the journalled commands — a crash degrades to a bounded
+  replay instead of poisoning the whole service.
+
+Two deployment modes:
+
+* **local** (no ``endpoints``): the backend spawns one supervised localhost
+  worker process per worker slot, generates an ephemeral auth token, and
+  re-spawns a worker process that dies.  This is the zero-configuration
+  mode the tests, benchmarks and CI smoke runs use.
+* **remote** (``endpoints`` given): the backend connects to already-running
+  ``repro worker serve`` instances (round-robin over the endpoint list) and
+  authenticates with the shared token.  On a dropped connection it
+  reconnects to the same endpoint with backoff and rebuilds state there;
+  if the endpoint stays unreachable the failure surfaces as
+  :class:`~repro.engine.backends.base.WorkerCrashError` after a bounded
+  number of attempts.
+"""
+
+from __future__ import annotations
+
+import hmac
+import multiprocessing
+import pickle
+import secrets
+import socket
+import struct
+import threading
+import time
+import traceback
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.engine.backends import base as _base
+from repro.engine.backends.base import (
+    AuthenticationError,
+    ShardFactory,
+    WorkerCrashError,
+    WorkerPoolBackend,
+    WorkerTimeoutError,
+    serve_shard_command,
+)
+
+__all__ = ["SocketBackend", "WorkerServer", "load_auth_token",
+           "parse_endpoint"]
+
+#: Seconds granted to a worker to build its shard services and report ready.
+_STARTUP_TIMEOUT = 120.0
+
+#: Seconds granted to the TCP connect + auth handshake.
+_CONNECT_TIMEOUT = 10.0
+
+#: Granularity of the receive poll loop (liveness checks between slices).
+_POLL_INTERVAL = 0.05
+
+#: Seconds granted to a freshly spawned local worker to report its port.
+_LOCAL_SPAWN_TIMEOUT = 30.0
+
+#: Base backoff between re-spawn/reconnect attempts (grows linearly).
+_RESPAWN_BACKOFF = 0.1
+
+#: Upper bound on the raw handshake frames (read before authentication).
+_MAX_TOKEN_FRAME = 4096
+
+#: Size of the handshake nonces and HMAC-SHA256 digests.
+_NONCE_SIZE = 32
+_DIGEST_SIZE = 32
+
+#: Seconds a server grants an unauthenticated connection to finish the
+#: handshake (bounds how long a port scanner can pin a handler thread).
+_HANDSHAKE_TIMEOUT = 30.0
+
+#: Commands that mutate worker-side shard state and must be journalled for
+#: deterministic replay after a crash.
+_MUTATING_COMMANDS = frozenset({"batch", "sample", "sample_many", "reset"})
+
+_LENGTH = struct.Struct(">Q")
+
+
+class _ConnectionLost(Exception):
+    """Internal: the peer closed or reset the connection mid-frame."""
+
+
+class _DeadlineExceeded(Exception):
+    """Internal: a frame did not arrive within the request deadline."""
+
+
+# --------------------------------------------------------------------- #
+# Endpoint / token helpers
+# --------------------------------------------------------------------- #
+def parse_endpoint(text: Union[str, Tuple[str, int]], *,
+                   allow_port_zero: bool = False) -> Tuple[str, int]:
+    """Parse a ``host:port`` string into a ``(host, port)`` pair.
+
+    ``allow_port_zero`` admits port 0 (listen sockets pick a free port);
+    connect endpoints must name a concrete port.
+    """
+    if isinstance(text, tuple):
+        host, port = text
+    else:
+        host, separator, port = str(text).rpartition(":")
+        if not separator or not host:
+            raise ValueError(
+                f"endpoint must look like 'host:port', got {text!r}")
+    try:
+        port = int(port)
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"endpoint {text!r} has a non-integer port") from None
+    lowest = 0 if allow_port_zero else 1
+    if not lowest <= port <= 65535:
+        raise ValueError(
+            f"endpoint {text!r} has an out-of-range port {port}")
+    return str(host), port
+
+
+def load_auth_token(path) -> bytes:
+    """Read a shared auth token from a file (stripped, non-empty)."""
+    with open(path, "rb") as handle:
+        token = handle.read().strip()
+    if not token:
+        raise ValueError(f"auth token file {path!r} is empty")
+    return token
+
+
+def _token_bytes(token: Union[str, bytes]) -> bytes:
+    if isinstance(token, str):
+        token = token.encode("utf-8")
+    if not isinstance(token, bytes) or not token:
+        raise ValueError("auth token must be a non-empty str or bytes")
+    return token
+
+
+# --------------------------------------------------------------------- #
+# Frame plumbing
+# --------------------------------------------------------------------- #
+def _recv_exact(connection: socket.socket, count: int,
+                deadline: Optional[float]) -> bytes:
+    """Read exactly ``count`` bytes, polling so a deadline can interrupt."""
+    chunks = bytearray()
+    while len(chunks) < count:
+        if deadline is None:
+            connection.settimeout(None)
+        else:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise _DeadlineExceeded()
+            connection.settimeout(min(_POLL_INTERVAL, remaining))
+        try:
+            data = connection.recv(count - len(chunks))
+        except socket.timeout:
+            continue
+        except OSError as error:
+            raise _ConnectionLost(str(error)) from error
+        if not data:
+            raise _ConnectionLost("connection closed by peer")
+        chunks += data
+    return bytes(chunks)
+
+
+def _send_raw_frame(connection: socket.socket, payload: bytes, *,
+                    deadline: Optional[float] = None) -> None:
+    """Send one frame, polling so a deadline can interrupt a stalled peer.
+
+    Without a deadline the send blocks (server side); with one, a peer
+    whose receive buffer stays full past the deadline raises
+    :class:`_DeadlineExceeded` instead of wedging the caller — the send
+    path gets the same hung-worker guarantee as the reply loop.
+    """
+    data = memoryview(_LENGTH.pack(len(payload)) + payload)
+    while data:
+        if deadline is None:
+            connection.settimeout(None)
+        else:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise _DeadlineExceeded()
+            connection.settimeout(min(_POLL_INTERVAL, remaining))
+        try:
+            sent = connection.send(data)
+        except socket.timeout:
+            continue
+        data = data[sent:]
+
+
+def _send_frame(connection: socket.socket, message, *,
+                deadline: Optional[float] = None) -> None:
+    _send_raw_frame(connection,
+                    pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL),
+                    deadline=deadline)
+
+
+def _recv_raw_frame(connection: socket.socket, *,
+                    deadline: Optional[float] = None,
+                    limit: Optional[int] = None) -> bytes:
+    (length,) = _LENGTH.unpack(_recv_exact(connection, _LENGTH.size, deadline))
+    if limit is not None and length > limit:
+        raise _ConnectionLost(
+            f"oversized frame ({length} bytes, limit {limit})")
+    return _recv_exact(connection, length, deadline)
+
+
+def _recv_frame(connection: socket.socket, *,
+                deadline: Optional[float] = None):
+    return pickle.loads(_recv_raw_frame(connection, deadline=deadline))
+
+
+def _handshake_mac(token: bytes, role: bytes, client_nonce: bytes,
+                   server_nonce: bytes) -> bytes:
+    """HMAC-SHA256 proof of token knowledge, bound to both nonces."""
+    return hmac.new(token, role + client_nonce + server_nonce,
+                    "sha256").digest()
+
+
+# --------------------------------------------------------------------- #
+# Worker (server) side
+# --------------------------------------------------------------------- #
+def _build_services(payload: Dict[str, object]) -> Dict[int, object]:
+    """Build the shard-service map of one worker from a ``start`` payload.
+
+    Fresh starts ship the shard factory plus the per-shard generators
+    spawned in the parent (the determinism root: each shard keeps drawing
+    the coin stream the serial backend would consume).  Restores ship a
+    state snapshot instead — the pickled services as they were at the last
+    snapshot point — so the supervisor can rebuild a crashed worker and
+    replay only the commands issued since.
+    """
+    blob = payload.get("services_blob")
+    if blob is not None:
+        return {int(shard): service
+                for shard, service in pickle.loads(blob).items()}
+    shard_ids = payload["shard_ids"]
+    factory = payload["factory"]
+    shard_rngs = pickle.loads(payload["rngs_blob"])
+    return {int(shard): factory(int(shard), rng)
+            for shard, rng in zip(shard_ids, shard_rngs)}
+
+
+def serve_worker_connection(connection: socket.socket,
+                            token: bytes) -> None:
+    """Serve one authenticated worker session until the peer disconnects.
+
+    The session opens with a mutual HMAC challenge–response over the shared
+    token (raw frames only; nothing is unpickled before the peer proves
+    token knowledge, and digests are compared in constant time).  After the
+    ``start`` message builds the shard services, every request is executed
+    through :func:`serve_shard_command`; a request that raises replies with
+    the formatted traceback instead of killing the session.
+    """
+    try:
+        handshake_deadline = time.monotonic() + _HANDSHAKE_TIMEOUT
+        try:
+            client_nonce = _recv_raw_frame(connection,
+                                           deadline=handshake_deadline,
+                                           limit=_MAX_TOKEN_FRAME)
+            if len(client_nonce) != _NONCE_SIZE:
+                return
+            server_nonce = secrets.token_bytes(_NONCE_SIZE)
+            _send_raw_frame(
+                connection,
+                server_nonce + _handshake_mac(token, b"server",
+                                              client_nonce, server_nonce),
+                deadline=handshake_deadline)
+            client_mac = _recv_raw_frame(connection,
+                                         deadline=handshake_deadline,
+                                         limit=_MAX_TOKEN_FRAME)
+        except (_ConnectionLost, _DeadlineExceeded, struct.error):
+            return
+        if not hmac.compare_digest(
+                client_mac, _handshake_mac(token, b"client", client_nonce,
+                                           server_nonce)):
+            # an unauthenticated peer learns nothing, not even an error
+            return
+        _send_frame(connection, (True, "ok"))
+        services: Optional[Dict[int, object]] = None
+        while True:
+            try:
+                command, payload = _recv_frame(connection)
+            except (_ConnectionLost, pickle.UnpicklingError, struct.error):
+                return
+            if command == "close":
+                return
+            try:
+                if command == "start":
+                    services = _build_services(payload)
+                    result = sorted(services)
+                elif services is None:
+                    raise RuntimeError(
+                        f"protocol error: {command!r} before 'start'")
+                elif command == "snapshot":
+                    result = pickle.dumps(services,
+                                          protocol=pickle.HIGHEST_PROTOCOL)
+                else:
+                    result = serve_shard_command(services, command, payload)
+                _send_frame(connection, (True, result))
+            except BaseException:
+                try:
+                    _send_frame(connection, (False, traceback.format_exc()))
+                except OSError:
+                    return
+    except (BrokenPipeError, ConnectionError, OSError):
+        return
+
+
+class WorkerServer:
+    """TCP server hosting shard workers (the ``repro worker serve`` core).
+
+    Each authenticated connection becomes one shard-group worker, served in
+    its own daemon thread, so one server can host every worker of a backend
+    (or several backends at once).  The server binds immediately —
+    ``address`` is the concrete ``(host, port)`` even when port 0 asked for
+    an ephemeral one.
+    """
+
+    def __init__(self, host: str, port: int, token: Union[str, bytes], *,
+                 backlog: int = 16) -> None:
+        self._token = _token_bytes(token)
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen(backlog)
+        self._shutdown = threading.Event()
+        self.address: Tuple[str, int] = self._listener.getsockname()[:2]
+
+    def serve_forever(self, *, poll_interval: float = 0.5) -> None:
+        """Accept and serve connections until :meth:`close` is called."""
+        while not self._shutdown.is_set():
+            try:
+                self._listener.settimeout(poll_interval)
+                connection, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                # close() raced us and released the listener
+                return
+            connection.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            thread = threading.Thread(
+                target=self._serve_connection, args=(connection,),
+                daemon=True, name="repro-socket-worker")
+            thread.start()
+
+    def _serve_connection(self, connection: socket.socket) -> None:
+        try:
+            serve_worker_connection(connection, self._token)
+        finally:
+            try:
+                connection.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+
+    def close(self) -> None:
+        """Stop accepting connections and release the listening socket."""
+        self._shutdown.set()
+        try:
+            self._listener.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+
+    def __enter__(self) -> "WorkerServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def _local_worker_main(host: str, token: bytes, report) -> None:
+    """Entry point of one supervised local worker process.
+
+    Binds an ephemeral port, reports it to the parent through ``report``,
+    then serves one connection at a time — inline, so killing the process
+    kills the worker (which is exactly what the supervisor's re-spawn tests
+    rely on).
+    """
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    listener.bind((host, 0))
+    listener.listen(1)
+    report.send(listener.getsockname()[:2])
+    report.close()
+    while True:
+        connection, _ = listener.accept()
+        connection.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        try:
+            serve_worker_connection(connection, token)
+        finally:
+            try:
+                connection.close()
+            except OSError:
+                pass
+
+
+# --------------------------------------------------------------------- #
+# Parent (client) side
+# --------------------------------------------------------------------- #
+class SocketBackend(WorkerPoolBackend):
+    """Runs shard groups behind length-prefixed TCP worker connections.
+
+    The shard-group pool logic (partition/scatter, grouped sampling, load
+    accounting) is inherited from
+    :class:`~repro.engine.backends.base.WorkerPoolBackend`; this class
+    supplies the TCP transport and its supervision policy (a dead
+    connection triggers re-spawn/reconnect + snapshot/journal rebuild).
+
+    Parameters
+    ----------
+    workers:
+        Number of worker connections; defaults to ``min(shards, cpu_count)``
+        and is clamped to ``shards``.
+    worker_timeout:
+        Optional per-request timeout in seconds; ``None`` (default) applies
+        :data:`~repro.engine.backends.base.DEFAULT_REQUEST_TIMEOUT` so a
+        hung worker surfaces as :class:`WorkerTimeoutError`.
+    endpoints:
+        ``host:port`` strings (or ``(host, port)`` pairs) of running
+        ``repro worker serve`` instances, assigned round-robin to workers.
+        ``None`` (default) spawns supervised localhost worker processes.
+    auth_token:
+        Shared secret both sides prove knowledge of during the connect
+        handshake (never transmitted).  Required with ``endpoints``;
+        generated ephemerally in local mode when omitted.
+    snapshot_every:
+        Collect a worker state snapshot after this many state-mutating
+        commands — the bound on how much a crashed worker has to replay.
+    max_respawns:
+        Re-spawn/reconnect attempts per failure before the worker is
+        declared lost (:class:`WorkerCrashError`).
+    host:
+        Interface local workers bind (default loopback).
+    """
+
+    name = "socket"
+
+    def __init__(self, shards: int, shard_factory: ShardFactory,
+                 shard_rngs: Sequence[np.random.Generator], *,
+                 workers: Optional[int] = None,
+                 worker_timeout: Optional[float] = None,
+                 endpoints: Optional[Sequence] = None,
+                 auth_token: Optional[Union[str, bytes]] = None,
+                 snapshot_every: int = 32,
+                 max_respawns: int = 3,
+                 host: str = "127.0.0.1") -> None:
+        super().__init__(shards, shard_factory, shard_rngs, workers=workers,
+                         worker_timeout=worker_timeout)
+        if snapshot_every <= 0:
+            raise ValueError(
+                f"snapshot_every must be positive, got {snapshot_every}")
+        if max_respawns <= 0:
+            raise ValueError(
+                f"max_respawns must be positive, got {max_respawns}")
+        self._snapshot_every = int(snapshot_every)
+        self._max_respawns = int(max_respawns)
+        self._host = host
+        self._local = endpoints is None
+        if self._local:
+            token = auth_token if auth_token is not None \
+                else secrets.token_hex(32)
+        else:
+            if not endpoints:
+                raise ValueError("endpoints must be a non-empty sequence")
+            if auth_token is None:
+                raise ValueError(
+                    "remote socket endpoints require an auth token (pass "
+                    "auth_token= or auth_token_file=; the workers were "
+                    "started with `repro worker serve --auth-token-file`)")
+            token = auth_token
+        self._token = _token_bytes(token)
+        self._closed = False
+        self._broken = False
+        #: Successful worker re-spawn/reconnect recoveries (supervision
+        #: telemetry; the crash tests assert it advanced).
+        self.respawns = 0
+        methods = multiprocessing.get_all_start_methods()
+        self._context = multiprocessing.get_context(
+            "fork" if "fork" in methods else "spawn")
+        if self._local:
+            self._endpoints: List[Tuple[str, int]] = [None] * self.workers
+        else:
+            parsed = [parse_endpoint(endpoint) for endpoint in endpoints]
+            self._endpoints = [parsed[worker % len(parsed)]
+                               for worker in range(self.workers)]
+        self._processes: List[Optional[multiprocessing.Process]] = \
+            [None] * self.workers
+        self._sockets: List[Optional[socket.socket]] = [None] * self.workers
+        # Fresh-start payload per worker: shard ids, factory, and the
+        # per-shard generators pickled at construction time (the parent
+        # never advances them, so a pre-snapshot re-spawn rebuilds the
+        # exact initial state).
+        self._fresh_starts: List[Dict[str, object]] = []
+        for worker in range(self.workers):
+            owned = [shard for shard in range(self.shards)
+                     if self._worker_of[shard] == worker]
+            self._fresh_starts.append({
+                "shard_ids": owned,
+                "factory": shard_factory,
+                "rngs_blob": pickle.dumps(
+                    [shard_rngs[shard] for shard in owned],
+                    protocol=pickle.HIGHEST_PROTOCOL),
+            })
+        self._snapshots: List[Optional[bytes]] = [None] * self.workers
+        self._journals: List[List[tuple]] = [[] for _ in range(self.workers)]
+        self._mutations: List[int] = [0] * self.workers
+        self._inflight: List[Optional[tuple]] = [None] * self.workers
+        try:
+            for worker in range(self.workers):
+                if self._local:
+                    self._spawn_local(worker)
+                self._sockets[worker] = self._establish(worker)
+        except BaseException:
+            # do not leak live worker processes / sockets when one shard
+            # group fails to come up (the same guarantee the process
+            # backend's constructor makes)
+            self._teardown_transport()
+            raise
+
+    # ------------------------------------------------------------------ #
+    # Transport lifecycle
+    # ------------------------------------------------------------------ #
+    def _spawn_local(self, worker: int) -> None:
+        """Start (or restart) the supervised local process of one worker."""
+        receive_end, send_end = self._context.Pipe(duplex=False)
+        process = self._context.Process(
+            target=_local_worker_main,
+            args=(self._host, self._token, send_end),
+            daemon=True,
+            name=f"repro-socket-worker-{worker}",
+        )
+        process.start()
+        send_end.close()
+        try:
+            if not receive_end.poll(_LOCAL_SPAWN_TIMEOUT):
+                raise WorkerCrashError(
+                    f"local socket worker {worker} did not report its port "
+                    f"within {_LOCAL_SPAWN_TIMEOUT:.0f}s")
+            endpoint = tuple(receive_end.recv())
+        except (EOFError, OSError) as error:
+            process.terminate()
+            process.join(timeout=5.0)
+            raise WorkerCrashError(
+                f"local socket worker {worker} died while binding its "
+                f"port: {error}") from error
+        finally:
+            receive_end.close()
+        self._processes[worker] = process
+        self._endpoints[worker] = endpoint
+
+    def _establish(self, worker: int, *,
+                   from_snapshot: bool = False) -> socket.socket:
+        """Connect, authenticate, and start one worker's shard services.
+
+        Mutual authentication: the endpoint must prove knowledge of the
+        shared token (HMAC over exchanged nonces) before this side
+        deserialises anything it sends — a mistyped endpoint or a port
+        squatter surfaces as :class:`AuthenticationError`, not as a pickle
+        of attacker-controlled bytes.
+        """
+        host, port = self._endpoints[worker]
+        connection = socket.create_connection((host, port),
+                                              timeout=_CONNECT_TIMEOUT)
+        try:
+            connection.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            deadline = time.monotonic() + _CONNECT_TIMEOUT
+            client_nonce = secrets.token_bytes(_NONCE_SIZE)
+            _send_raw_frame(connection, client_nonce, deadline=deadline)
+            reply = _recv_raw_frame(connection, deadline=deadline,
+                                    limit=_MAX_TOKEN_FRAME)
+            server_nonce = reply[:_NONCE_SIZE]
+            expected = _handshake_mac(self._token, b"server", client_nonce,
+                                      server_nonce)
+            if (len(reply) != _NONCE_SIZE + _DIGEST_SIZE
+                    or not hmac.compare_digest(reply[_NONCE_SIZE:],
+                                               expected)):
+                raise AuthenticationError(
+                    f"worker endpoint {host}:{port} failed to prove "
+                    "knowledge of the shared auth token (wrong token, or "
+                    "not a repro worker server)")
+            _send_raw_frame(
+                connection,
+                _handshake_mac(self._token, b"client", client_nonce,
+                               server_nonce),
+                deadline=deadline)
+            ok, detail = _recv_frame(connection, deadline=deadline)
+            if not ok:
+                raise AuthenticationError(
+                    f"worker endpoint {host}:{port} rejected the "
+                    f"session: {detail}")
+            payload = dict(self._fresh_starts[worker])
+            if from_snapshot and self._snapshots[worker] is not None:
+                payload = {"shard_ids": payload["shard_ids"],
+                           "services_blob": self._snapshots[worker]}
+            deadline = time.monotonic() + _STARTUP_TIMEOUT
+            _send_frame(connection, ("start", payload), deadline=deadline)
+            ok, result = _recv_frame(connection, deadline=deadline)
+            if not ok:
+                raise WorkerCrashError(
+                    f"worker {worker} ({host}:{port}) failed to build its "
+                    f"shards:\n{result}")
+            return connection
+        except _DeadlineExceeded:
+            connection.close()
+            raise WorkerTimeoutError(
+                f"worker {worker} ({host}:{port}) did not finish its "
+                "startup handshake in time") from None
+        except _ConnectionLost as error:
+            connection.close()
+            raise WorkerCrashError(
+                f"worker {worker} ({host}:{port}) dropped the connection "
+                f"during startup: {error}") from error
+        except BaseException:
+            connection.close()
+            raise
+
+    def _teardown_transport(self) -> None:
+        """Close every socket and terminate every owned worker process."""
+        for worker, connection in enumerate(self._sockets):
+            if connection is None:
+                continue
+            try:
+                connection.close()
+            except OSError:
+                pass
+            self._sockets[worker] = None
+        for worker, process in enumerate(self._processes):
+            if process is None:
+                continue
+            if process.is_alive():
+                process.terminate()
+            process.join(timeout=5.0)
+            self._processes[worker] = None
+
+    # ------------------------------------------------------------------ #
+    # Supervision: journal, snapshots, re-spawn
+    # ------------------------------------------------------------------ #
+    def _recover(self, worker: int, cause: BaseException) -> None:
+        """Re-spawn/reconnect a lost worker and rebuild its shard state.
+
+        Rebuild = last snapshot (or the fresh-start payload) + ordered
+        replay of the journalled mutating commands; the in-flight request,
+        if any, is re-sent afterwards so the caller's pending
+        :meth:`_finish` completes transparently.  Raises
+        :class:`WorkerCrashError` after ``max_respawns`` failed attempts.
+        """
+        if self._closed:
+            raise WorkerCrashError(
+                "the socket backend is closed; build a new service"
+            ) from cause
+        last_error: BaseException = cause
+        old_socket = self._sockets[worker]
+        if old_socket is not None:
+            try:
+                old_socket.close()
+            except OSError:
+                pass
+            self._sockets[worker] = None
+        for attempt in range(1, self._max_respawns + 1):
+            try:
+                if self._local:
+                    process = self._processes[worker]
+                    if process is not None:
+                        if process.is_alive():
+                            process.terminate()
+                        process.join(timeout=5.0)
+                    self._spawn_local(worker)
+                connection = self._establish(worker, from_snapshot=True)
+            except AuthenticationError:
+                # the endpoint's token changed under us: retrying cannot
+                # help, and the worker's connection is gone for good
+                self._broken = True
+                raise
+            except (WorkerCrashError, WorkerTimeoutError, ConnectionError,
+                    OSError) as error:
+                last_error = error
+                time.sleep(_RESPAWN_BACKOFF * attempt)
+                continue
+            try:
+                deadline_span = self._request_timeout()
+                for command, payload in self._journals[worker]:
+                    deadline = time.monotonic() + deadline_span
+                    _send_frame(connection, (command, payload),
+                                deadline=deadline)
+                    ok, result = _recv_frame(connection, deadline=deadline)
+                    if not ok:
+                        raise WorkerCrashError(
+                            f"worker {worker} failed replaying {command!r} "
+                            f"after a re-spawn:\n{result}")
+                if self._inflight[worker] is not None:
+                    _send_frame(connection, self._inflight[worker],
+                                deadline=time.monotonic() + deadline_span)
+            except (WorkerCrashError, _ConnectionLost, _DeadlineExceeded,
+                    ConnectionError, OSError) as error:
+                last_error = error
+                try:
+                    connection.close()
+                except OSError:
+                    pass
+                time.sleep(_RESPAWN_BACKOFF * attempt)
+                continue
+            self._sockets[worker] = connection
+            self.respawns += 1
+            return
+        self._broken = True
+        raise WorkerCrashError(
+            f"worker {worker} is gone and could not be re-spawned after "
+            f"{self._max_respawns} attempt(s); its shards "
+            f"{[s for s, w in enumerate(self._worker_of) if w == worker]} "
+            f"are lost — build a new service (last error: {last_error})"
+        ) from cause
+
+    def _after_requests(self, workers) -> None:
+        """Refresh the snapshot of every listed worker past the threshold.
+
+        Runs once per completed pool operation (the
+        :class:`WorkerPoolBackend` hook), never with a request in flight,
+        so the snapshot request cannot desynchronise a pending reply.
+        """
+        for worker in workers:
+            if self._mutations[worker] < self._snapshot_every:
+                continue
+            self._post(worker, "snapshot", None)
+            blob = self._finish(worker)
+            self._snapshots[worker] = blob
+            self._journals[worker].clear()
+            self._mutations[worker] = 0
+
+    # ------------------------------------------------------------------ #
+    # Request plumbing
+    # ------------------------------------------------------------------ #
+    def _request_timeout(self) -> float:
+        return (self.worker_timeout if self.worker_timeout is not None
+                else _base.DEFAULT_REQUEST_TIMEOUT)
+
+    def _check_usable(self) -> None:
+        if self._closed:
+            raise WorkerCrashError(
+                "the socket backend is closed; build a new service")
+        if self._broken:
+            raise WorkerCrashError(
+                "a previous worker failure desynchronised the worker "
+                "protocol (a reply may still be in flight); build a new "
+                "service")
+
+    def _post(self, worker: int, command: str, payload=None) -> None:
+        """Record the in-flight request and send it (recovering on loss)."""
+        self._check_usable()
+        self._inflight[worker] = (command, payload)
+        deadline = time.monotonic() + self._request_timeout()
+        try:
+            _send_frame(self._sockets[worker], (command, payload),
+                        deadline=deadline)
+        except _DeadlineExceeded:
+            # a live worker that stopped draining its socket is hung, not
+            # dead: surface it like a reply timeout instead of re-spawning
+            self._broken = True
+            raise WorkerTimeoutError(
+                f"worker {worker} did not accept a {command!r} request "
+                f"within {self._request_timeout():.3g}s; the backend is now "
+                "unusable — build a new service") from None
+        except (ConnectionError, OSError) as error:
+            self._recover(worker, error)
+
+    def _finish(self, worker: int):
+        """Collect the reply of the worker's in-flight request."""
+        command, _ = self._inflight[worker]
+        timeout = self._request_timeout()
+        recoveries = 0
+        while True:
+            deadline = time.monotonic() + timeout
+            try:
+                ok, result = _recv_frame(self._sockets[worker],
+                                         deadline=deadline)
+                break
+            except _ConnectionLost as error:
+                # recovery replays the journal and re-sends the in-flight
+                # request, so the loop simply waits for the fresh reply —
+                # but a worker that crashes deterministically on this very
+                # request must not re-spawn forever
+                recoveries += 1
+                if recoveries > self._max_respawns:
+                    self._broken = True
+                    raise WorkerCrashError(
+                        f"worker {worker} crashed {recoveries} times on "
+                        f"the same {command!r} request; the request itself "
+                        "appears to kill it — build a new service"
+                    ) from error
+                self._recover(worker, error)
+            except _DeadlineExceeded:
+                self._broken = True
+                raise WorkerTimeoutError(
+                    f"worker {worker} did not reply within {timeout:.3g}s; "
+                    "the backend is now unusable (the late reply would "
+                    "desynchronise the protocol) — build a new service"
+                ) from None
+        if not ok:
+            # the raising worker's shard state is partially updated and a
+            # replay would re-raise; poison the backend like the process
+            # backend does
+            self._broken = True
+            raise WorkerCrashError(
+                f"worker {worker} raised while serving {command!r} (build "
+                f"a new service):\n{result}")
+        if command in _MUTATING_COMMANDS:
+            self._journals[worker].append(self._inflight[worker])
+            self._mutations[worker] += 1
+        self._inflight[worker] = None
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for connection in self._sockets:
+            if connection is None:
+                continue
+            try:
+                _send_frame(connection, ("close", None),
+                            deadline=time.monotonic() + 1.0)
+            except (_DeadlineExceeded, ConnectionError, OSError):
+                pass
+        self._teardown_transport()
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter-dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        mode = "local" if self._local else "remote"
+        return (f"SocketBackend(shards={self.shards}, "
+                f"workers={self.workers}, mode={mode!r}, "
+                f"respawns={self.respawns})")

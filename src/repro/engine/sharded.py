@@ -91,12 +91,21 @@ class ShardedSamplingService:
         per-shard generators.
     backend:
         Execution backend: ``"serial"`` (default, every shard in this
-        process) or ``"process"`` (shard groups pinned to worker processes).
-        Outputs and merged memory are bit-identical across backends per
-        seed.
+        process), ``"process"`` (shard groups pinned to worker processes)
+        or ``"socket"`` (shard groups behind authenticated TCP workers,
+        local supervised processes or remote ``repro worker serve``
+        endpoints).  Outputs and merged memory are bit-identical across
+        backends per seed.
     workers, worker_timeout:
-        Process-backend tuning (worker count, per-request timeout); see
-        :class:`~repro.engine.backends.process.ProcessBackend`.
+        Worker-pool tuning of the process and socket backends (worker
+        count, per-request timeout); see
+        :class:`~repro.engine.backends.process.ProcessBackend` and
+        :class:`~repro.engine.backends.socket.SocketBackend`.
+    endpoints, auth_token, auth_token_file:
+        Socket-backend transport: ``host:port`` endpoints of running
+        ``repro worker serve`` instances plus the shared auth token
+        (directly or read from a file); omitted, the socket backend spawns
+        supervised localhost workers itself.
 
     Examples
     --------
@@ -112,7 +121,10 @@ class ShardedSamplingService:
                  random_state: RandomState = None,
                  backend: str = "serial",
                  workers: Optional[int] = None,
-                 worker_timeout: Optional[float] = None) -> None:
+                 worker_timeout: Optional[float] = None,
+                 endpoints: Optional[List[str]] = None,
+                 auth_token: Optional[object] = None,
+                 auth_token_file: Optional[str] = None) -> None:
         check_positive("shards", shards)
         self.shards = int(shards)
         rng = ensure_rng(random_state)
@@ -122,7 +134,9 @@ class ShardedSamplingService:
         self._shard_coins = BufferedUniforms(child_rngs[-1])
         self._backend = make_backend(
             backend, self.shards, shard_factory, child_rngs[:self.shards],
-            workers=workers, worker_timeout=worker_timeout)
+            workers=workers, worker_timeout=worker_timeout,
+            endpoints=endpoints, auth_token=auth_token,
+            auth_token_file=auth_token_file)
 
     # ------------------------------------------------------------------ #
     # Convenience constructors
@@ -134,7 +148,10 @@ class ShardedSamplingService:
                        record_output: bool = False,
                        backend: str = "serial",
                        workers: Optional[int] = None,
-                       worker_timeout: Optional[float] = None
+                       worker_timeout: Optional[float] = None,
+                       endpoints: Optional[List[str]] = None,
+                       auth_token: Optional[object] = None,
+                       auth_token_file: Optional[str] = None
                        ) -> "ShardedSamplingService":
         """Build an ensemble of knowledge-free services (Algorithm 3)."""
         factory = KnowledgeFreeShardFactory(
@@ -145,7 +162,8 @@ class ShardedSamplingService:
         )
         return cls(shards, factory, random_state=random_state,
                    backend=backend, workers=workers,
-                   worker_timeout=worker_timeout)
+                   worker_timeout=worker_timeout, endpoints=endpoints,
+                   auth_token=auth_token, auth_token_file=auth_token_file)
 
     # ------------------------------------------------------------------ #
     # Online interface
@@ -267,7 +285,7 @@ class ShardedSamplingService:
 
     @property
     def backend_name(self) -> str:
-        """Registry key of the execution backend ("serial", "process")."""
+        """Registry key of the backend ("serial", "process", "socket")."""
         return self._backend.name
 
     @property

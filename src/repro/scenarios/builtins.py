@@ -32,7 +32,11 @@ from repro.scenarios.registry import (
 from repro.sketches.count_min import CountMinSketch, ExactFrequencyCounter
 from repro.sketches.count_sketch import CountSketch
 from repro.sketches.misra_gries import SpaceSavingSummary
-from repro.streams.churn import ChurnModel, ParetoChurnModel
+from repro.streams.churn import (
+    ChurnModel,
+    FlashCrowdChurnModel,
+    ParetoChurnModel,
+)
 from repro.streams.generators import (
     overrepresented_stream,
     peak_attack_stream,
@@ -103,6 +107,33 @@ def pareto_churn_stream(initial_population: int, churn_steps: int = 100,
                              lifetime_scale=lifetime_scale,
                              advertisements_per_step=advertisements_per_step,
                              random_state=random_state)
+    trace = model.generate(churn_steps, stable_steps)
+    stream = trace.stream
+    stream.stability_time = trace.stability_time
+    stream.stable_population = trace.stable_population
+    return stream
+
+
+@register_stream("flash_crowd")
+def flash_crowd_stream(initial_population: int, churn_steps: int = 100,
+                       stable_steps: int = 100, *, burst_rate: float = 0.02,
+                       burst_size: float = 20.0, join_rate: float = 0.0,
+                       leave_rate: float = 0.05,
+                       advertisements_per_step: int = 5,
+                       random_state: RandomState = None):
+    """Churn stream with Poisson-burst correlated arrivals (flash crowds).
+
+    Same pre-/post-``T0`` metadata contract as the ``churn`` component, but
+    the join process is bursty: with per-step probability ``burst_rate`` a
+    crowd of ``1 + Poisson(burst_size)`` nodes joins at once, on top of an
+    optional ``join_rate`` trickle — the correlated mass-arrival regime of
+    flash-crowd measurement studies.
+    """
+    model = FlashCrowdChurnModel(initial_population, burst_rate=burst_rate,
+                                 burst_size=burst_size, join_rate=join_rate,
+                                 leave_rate=leave_rate,
+                                 advertisements_per_step=advertisements_per_step,
+                                 random_state=random_state)
     trace = model.generate(churn_steps, stable_steps)
     stream = trace.stream
     stream.stability_time = trace.stability_time

@@ -417,7 +417,9 @@ class ScenarioRunner:
                 )
                 return ShardedSamplingService(
                     spec.engine.shards, shard_factory, random_state=rng,
-                    backend=spec.engine.backend, workers=spec.engine.workers)
+                    backend=spec.engine.backend, workers=spec.engine.workers,
+                    endpoints=spec.engine.endpoints,
+                    auth_token_file=spec.engine.auth_token_file)
 
             factories[strategy.label] = sharded
         return factories

@@ -189,9 +189,13 @@ class EngineSpec:
 
     ``backend`` selects the execution backend of sharded scenarios:
     ``"serial"`` (default) runs every shard in-process, ``"process"`` pins
-    shard groups to ``workers`` worker processes.  Both produce bit-identical
-    results per seed, so any sharded scenario can be re-run on either
-    backend without changing its outputs.
+    shard groups to ``workers`` worker processes, and ``"socket"`` runs them
+    behind authenticated TCP worker connections — supervised localhost
+    processes by default, or the remote ``repro worker serve`` instances
+    listed in ``endpoints`` (with the shared token read from
+    ``auth_token_file``).  All backends produce bit-identical results per
+    seed, so any sharded scenario can be re-run on any of them without
+    changing its outputs.
     """
 
     driver: str = "batch"
@@ -199,9 +203,11 @@ class EngineSpec:
     shards: Optional[int] = None
     backend: str = "serial"
     workers: Optional[int] = None
+    endpoints: Optional[List[str]] = None
+    auth_token_file: Optional[str] = None
 
     def __post_init__(self) -> None:
-        from repro.engine.backends import BACKENDS
+        from repro.engine.backends import BACKENDS, parse_endpoint
 
         if self.driver not in DRIVERS:
             raise ScenarioError(
@@ -225,8 +231,33 @@ class EngineSpec:
             check_positive("workers", self.workers)
             if self.backend == "serial":
                 raise ScenarioError(
-                    "engine.workers only applies to the 'process' backend; "
-                    "the serial backend runs in-process")
+                    "engine.workers only applies to the 'process' and "
+                    "'socket' backends; the serial backend runs in-process")
+        if self.endpoints is not None:
+            if self.backend != "socket":
+                raise ScenarioError(
+                    "engine.endpoints only applies to the 'socket' backend; "
+                    f"the {self.backend!r} backend runs on this host")
+            if (not isinstance(self.endpoints, list) or not self.endpoints
+                    or not all(isinstance(entry, str)
+                               for entry in self.endpoints)):
+                raise ScenarioError(
+                    "engine.endpoints must be a non-empty list of "
+                    "'host:port' strings")
+            for entry in self.endpoints:
+                try:
+                    parse_endpoint(entry)
+                except ValueError as error:
+                    raise ScenarioError(
+                        f"engine.endpoints: {error}") from None
+            if self.auth_token_file is None:
+                raise ScenarioError(
+                    "engine.endpoints requires engine.auth_token_file "
+                    "(remote workers authenticate with a shared token)")
+        if self.auth_token_file is not None and self.backend != "socket":
+            raise ScenarioError(
+                "engine.auth_token_file only applies to the 'socket' "
+                "backend")
 
     def to_dict(self) -> Dict[str, Any]:
         """Return the JSON-serializable form of the engine section."""
@@ -237,7 +268,8 @@ class EngineSpec:
         """Rebuild an engine section from its :meth:`to_dict` form."""
         data = _require_mapping("engine", data)
         _check_known_keys("engine", data, ["driver", "batch_size", "shards",
-                                           "backend", "workers"])
+                                           "backend", "workers", "endpoints",
+                                           "auth_token_file"])
         return cls(**data)
 
 

@@ -10,11 +10,13 @@ post-``T0`` sample.
 
 The base model is deliberately simple — independent join/leave events at
 constant rates — which is all the sampling-service analysis needs.  Richer
-session-time distributions are layered on top through the subclass hooks
-(:meth:`ChurnModel._node_arrived` and :meth:`ChurnModel._departures`):
-:class:`ParetoChurnModel` draws a heavy-tailed Pareto lifetime per node, the
-classic model of peer-to-peer session times (a few long-lived peers anchor
-the system while most sessions are short).
+dynamics are layered on top through the subclass hooks
+(:meth:`ChurnModel._arrivals`, :meth:`ChurnModel._node_arrived` and
+:meth:`ChurnModel._departures`): :class:`ParetoChurnModel` draws a
+heavy-tailed Pareto lifetime per node, the classic model of peer-to-peer
+session times (a few long-lived peers anchor the system while most sessions
+are short), and :class:`FlashCrowdChurnModel` makes the join process bursty
+(Poisson bursts of correlated mass arrivals — flash crowds).
 """
 
 from __future__ import annotations
@@ -106,6 +108,16 @@ class ChurnModel:
         the node's session length here.
         """
 
+    def _arrivals(self, step: int) -> int:
+        """Hook: return the number of nodes joining at ``step``.
+
+        The base model admits at most one joiner per step, with probability
+        ``join_rate`` — exactly the coin the pre-hook implementation drew,
+        so existing models keep their seeded traces.  Burst-arrival models
+        (flash crowds) return several joiners for the same step.
+        """
+        return 1 if self._rng.random() < self.join_rate else 0
+
     def _departures(self, step: int, alive: List[int]) -> List[int]:
         """Hook: return the *positions* in ``alive`` leaving at ``step``.
 
@@ -150,7 +162,7 @@ class ChurnModel:
                 identifiers.append(alive[int(draw)])
 
         for step in range(int(churn_steps)):
-            if self._rng.random() < self.join_rate:
+            for _ in range(self._arrivals(step)):
                 alive.append(next_identifier)
                 ever_alive.add(next_identifier)
                 events.append(ChurnEvent(time=step, identifier=next_identifier,
@@ -191,6 +203,53 @@ class ChurnModel:
             universe=trace.stable_population,
             label=f"{trace.stream.label}+stable",
         )
+
+
+class FlashCrowdChurnModel(ChurnModel):
+    """Churn with Poisson-burst correlated mass arrivals (flash crowds).
+
+    The second dynamic regime measurement studies report, next to
+    heavy-tailed lifetimes: arrivals are not independent trickles but
+    *correlated bursts* — an external event (a popular content release, a
+    recovering network partition) makes a crowd of nodes join the system in
+    the same instant.  This model layers that on the base model's hooks:
+    bursts strike as a Bernoulli process with per-step probability
+    ``burst_rate`` (the discrete skeleton of a Poisson arrival process) and
+    each burst brings ``1 + Poisson(burst_size)`` simultaneous joiners.  A
+    background trickle at ``join_rate`` and the base departure process are
+    kept, so a flash crowd rides on top of ordinary churn.
+
+    Parameters
+    ----------
+    initial_population, join_rate, leave_rate, advertisements_per_step, \
+random_state:
+        As in :class:`ChurnModel` (``join_rate`` is the non-burst trickle;
+        set it to 0 for arrivals through bursts only).
+    burst_rate:
+        Per-step probability that a flash crowd arrives.
+    burst_size:
+        Mean extra joiners per burst (Poisson-distributed; every burst
+        brings at least one node).
+    """
+
+    def __init__(self, initial_population: int, *, burst_rate: float = 0.02,
+                 burst_size: float = 20.0, join_rate: float = 0.0,
+                 leave_rate: float = 0.05, advertisements_per_step: int = 5,
+                 random_state: RandomState = None) -> None:
+        super().__init__(initial_population, join_rate=join_rate,
+                         leave_rate=leave_rate,
+                         advertisements_per_step=advertisements_per_step,
+                         random_state=random_state)
+        check_probability("burst_rate", burst_rate)
+        check_positive("burst_size", burst_size)
+        self.burst_rate = float(burst_rate)
+        self.burst_size = float(burst_size)
+
+    def _arrivals(self, step: int) -> int:
+        arrivals = super()._arrivals(step)
+        if self._rng.random() < self.burst_rate:
+            arrivals += 1 + int(self._rng.poisson(self.burst_size))
+        return arrivals
 
 
 class ParetoChurnModel(ChurnModel):

@@ -1,12 +1,20 @@
 """Tests for repro.engine.backends (pluggable execution backends).
 
-The headline guarantee under test: per master seed, the process backend's
-outputs, merged memory, shard loads and samples are bit-identical to the
-serial backend's, so every experiment can run on either.
+The headline guarantee under test: per master seed, the process and socket
+backends' outputs, merged memory, shard loads and samples are bit-identical
+to the serial backend's, so every experiment can run on any of them.  The
+socket backend additionally supervises its workers: a killed worker is
+re-spawned and its shards rebuilt from the last state snapshot plus a
+bounded journal replay, which the crash tests assert end-to-end.
 """
 
 import json
+import multiprocessing
+import os
+import socket as socket_module
+import threading
 import time
+from dataclasses import replace
 from pathlib import Path
 
 import numpy as np
@@ -14,13 +22,18 @@ import pytest
 
 from repro.cli import main
 from repro.engine import (
+    AuthenticationError,
     BackendError,
+    KnowledgeFreeShardFactory,
     ShardedSamplingService,
+    SocketBackend,
     WorkerCrashError,
+    WorkerServer,
     WorkerTimeoutError,
     make_backend,
     run_stream,
 )
+from repro.engine.backends.serial import SerialBackend
 from repro.scenarios import ScenarioRunner, ScenarioSpec
 from repro.scenarios.registry import ScenarioError
 from repro.scenarios.spec import EngineSpec
@@ -30,6 +43,9 @@ from repro.utils.rng import spawn_children
 STREAM = zipf_stream(8_000, 1_000, alpha=1.3, random_state=17)
 
 EXAMPLES = Path(__file__).resolve().parent.parent / "examples" / "scenarios"
+
+#: The non-serial backends; every bit-identity test runs once per entry.
+PARALLEL_BACKENDS = ["process", "socket"]
 
 
 def _service(backend, seed=23, shards=4, **kwargs):
@@ -93,46 +109,121 @@ def _broken_factory(index, rng):
     raise RuntimeError("shard construction boom")
 
 
+class _SuicidalService:
+    """Shard service that hard-kills its worker process on every batch."""
+
+    elements_processed = 0
+
+    def on_receive_batch(self, identifiers):
+        os._exit(13)
+
+
+def _suicidal_factory(index, rng):
+    return _SuicidalService()
+
+
+def _broken_on_shard_one_factory(index, rng):
+    if index == 1:
+        raise RuntimeError("shard 1 construction boom")
+    return _MuteService()
+
+
+def _live_shard_workers():
+    """Names of still-running backend worker processes of this process."""
+    return sorted(child.name for child in multiprocessing.active_children()
+                  if child.name.startswith(("repro-shard-worker",
+                                            "repro-socket-worker")))
+
+
+def _assert_no_leaked_workers(timeout=10.0):
+    """Assert every backend worker process exits within ``timeout``."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if not _live_shard_workers():
+            return
+        time.sleep(0.05)
+    raise AssertionError(f"leaked worker processes: {_live_shard_workers()}")
+
+
+def _server_process_main(report, token):
+    """Run a WorkerServer in a dedicated process (killable in tests)."""
+    server = WorkerServer("127.0.0.1", 0, token)
+    report.send(server.address)
+    report.close()
+    server.serve_forever()
+
+
+def _spawn_server_process(token):
+    """Start a WorkerServer process; return ``(process, "host:port")``."""
+    context = multiprocessing.get_context()
+    receive_end, send_end = context.Pipe(duplex=False)
+    process = context.Process(target=_server_process_main,
+                              args=(send_end, token), daemon=True)
+    process.start()
+    send_end.close()
+    assert receive_end.poll(30.0), "worker server did not report its port"
+    host, port = receive_end.recv()
+    receive_end.close()
+    return process, f"{host}:{port}"
+
+
+@pytest.fixture
+def worker_server():
+    """An in-process threaded WorkerServer with a known token."""
+    server = WorkerServer("127.0.0.1", 0, b"test-secret")
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield server
+    finally:
+        server.close()
+
+
 # --------------------------------------------------------------------- #
 # Cross-backend bit-identity
 # --------------------------------------------------------------------- #
 class TestBitIdentity:
-    def test_outputs_memory_and_loads_match_serial(self):
+    @pytest.mark.parametrize("backend", PARALLEL_BACKENDS)
+    def test_outputs_memory_and_loads_match_serial(self, backend):
         serial = _service("serial")
-        with _service("process", workers=2) as process:
+        with _service(backend, workers=2) as parallel:
             serial_run = run_stream(serial, STREAM, batch_size=512)
-            process_run = run_stream(process, STREAM, batch_size=512)
-            assert np.array_equal(serial_run.outputs, process_run.outputs)
-            assert serial.merged_memory() == process.merged_memory()
-            assert serial.shard_loads() == process.shard_loads()
-            assert serial.elements_processed == process.elements_processed
+            parallel_run = run_stream(parallel, STREAM, batch_size=512)
+            assert np.array_equal(serial_run.outputs, parallel_run.outputs)
+            assert serial.merged_memory() == parallel.merged_memory()
+            assert serial.shard_loads() == parallel.shard_loads()
+            assert serial.elements_processed == parallel.elements_processed
 
-    def test_samples_match_serial(self):
+    @pytest.mark.parametrize("backend", PARALLEL_BACKENDS)
+    def test_samples_match_serial(self, backend):
         serial = _service("serial", seed=31)
-        with _service("process", seed=31, workers=3) as process:
+        with _service(backend, seed=31, workers=3) as parallel:
             serial.on_receive_batch(STREAM.identifiers)
-            process.on_receive_batch(STREAM.identifiers)
-            assert serial.sample_many(250) == process.sample_many(250)
-            assert serial.sample() == process.sample()
+            parallel.on_receive_batch(STREAM.identifiers)
+            assert serial.sample_many(250) == parallel.sample_many(250)
+            assert serial.sample() == parallel.sample()
 
-    def test_worker_loads_agree_with_parent_cache(self):
-        with _service("process", workers=2) as process:
-            process.on_receive_batch(STREAM.identifiers)
-            assert process.backend.cached_loads() == process.shard_loads()
+    @pytest.mark.parametrize("backend", PARALLEL_BACKENDS)
+    def test_worker_loads_agree_with_parent_cache(self, backend):
+        with _service(backend, workers=2) as parallel:
+            parallel.on_receive_batch(STREAM.identifiers)
+            assert parallel.backend.cached_loads() == parallel.shard_loads()
 
-    def test_reset_keeps_backends_aligned(self):
+    @pytest.mark.parametrize("backend", PARALLEL_BACKENDS)
+    def test_reset_keeps_backends_aligned(self, backend):
         serial = _service("serial", seed=7)
-        with _service("process", seed=7, workers=2) as process:
-            for service in (serial, process):
+        with _service(backend, seed=7, workers=2) as parallel:
+            for service in (serial, parallel):
                 service.on_receive_batch(STREAM.identifiers)
                 service.reset()
-            assert process.elements_processed == 0
-            assert process.sample() is None
+            assert parallel.elements_processed == 0
+            assert parallel.sample() is None
             a = serial.on_receive_batch(STREAM.identifiers[:1000])
-            b = process.on_receive_batch(STREAM.identifiers[:1000])
+            b = parallel.on_receive_batch(STREAM.identifiers[:1000])
             assert np.array_equal(a, b)
 
-    def test_scenario_results_match_across_backends(self):
+    @pytest.mark.parametrize("backend", PARALLEL_BACKENDS)
+    def test_scenario_results_match_across_backends(self, backend):
         base = {
             "name": "backend-equality",
             "seed": 99,
@@ -148,16 +239,26 @@ class TestBitIdentity:
                        "backend": "serial"},
         }
         serial_result = ScenarioRunner(dict(base)).run().to_dict()
-        process = dict(base)
-        process["engine"] = dict(base["engine"],
-                                 backend="process", workers=2)
-        process_result = ScenarioRunner(process).run().to_dict()
-        serial_result["name"] = process_result["name"] = "backend-equality"
-        assert serial_result == process_result
+        parallel = dict(base)
+        parallel["engine"] = dict(base["engine"],
+                                  backend=backend, workers=2)
+        parallel_result = ScenarioRunner(parallel).run().to_dict()
+        serial_result["name"] = parallel_result["name"] = "backend-equality"
+        assert serial_result == parallel_result
+
+    def test_sharded_zipf_scenario_socket_matches_serial(self):
+        # the committed example spec, serial vs socket, end to end
+        spec = replace(ScenarioSpec.load(EXAMPLES / "sharded_zipf.json"),
+                       trials=1)
+        serial_result = ScenarioRunner(spec).run().to_dict()
+        socket_spec = replace(
+            spec, engine=replace(spec.engine, backend="socket", workers=2))
+        socket_result = ScenarioRunner(socket_spec).run().to_dict()
+        assert serial_result == socket_result
 
 
 class TestBulkSampleMany:
-    @pytest.mark.parametrize("backend", ["serial", "process"])
+    @pytest.mark.parametrize("backend", ["serial"] + PARALLEL_BACKENDS)
     def test_bulk_path_matches_per_sample_loop(self, backend):
         reference = _service("serial", seed=41)
         reference.on_receive_batch(STREAM.identifiers)
@@ -166,7 +267,7 @@ class TestBulkSampleMany:
             bulk.on_receive_batch(STREAM.identifiers)
             assert bulk.sample_many(137) == looped
 
-    @pytest.mark.parametrize("backend", ["serial", "process"])
+    @pytest.mark.parametrize("backend", ["serial"] + PARALLEL_BACKENDS)
     def test_empty_memory_fallback(self, backend):
         with ShardedSamplingService(2, _mute_factory, random_state=5,
                                     backend=backend) as service:
@@ -180,10 +281,21 @@ class TestBulkSampleMany:
 # Worker failure paths
 # --------------------------------------------------------------------- #
 class TestWorkerFailures:
-    def test_construction_error_surfaces(self):
+    @pytest.mark.parametrize("backend", PARALLEL_BACKENDS)
+    def test_construction_error_surfaces(self, backend):
         with pytest.raises(WorkerCrashError, match="shard construction boom"):
             ShardedSamplingService(2, _broken_factory, random_state=3,
-                                   backend="process")
+                                   backend=backend)
+
+    @pytest.mark.parametrize("backend", PARALLEL_BACKENDS)
+    def test_construction_error_does_not_leak_sibling_workers(self, backend):
+        # regression: a failed startup used to propagate without
+        # terminating the sibling workers already spawned
+        with pytest.raises(WorkerCrashError, match="shard 1"):
+            ShardedSamplingService(2, _broken_on_shard_one_factory,
+                                   random_state=3, backend=backend,
+                                   workers=2)
+        _assert_no_leaked_workers()
 
     def test_dead_worker_detected(self):
         service = _service("process", shards=2, workers=2)
@@ -199,10 +311,40 @@ class TestWorkerFailures:
         finally:
             service.close()
 
+    def test_process_worker_crash_mid_dispatch(self):
+        # the crash lands while the batch request is in flight
+        service = ShardedSamplingService(2, _sleepy_factory, random_state=3,
+                                         backend="process", workers=2)
+        try:
+            processes = list(service.backend._processes)
+            killer = threading.Timer(
+                0.3, lambda: [process.terminate() for process in processes])
+            killer.start()
+            with pytest.raises(WorkerCrashError):
+                service.on_receive_batch(STREAM.identifiers[:64])
+            killer.join()
+        finally:
+            service.close()
+
     def test_worker_timeout(self):
         service = ShardedSamplingService(2, _sleepy_factory, random_state=3,
                                          backend="process",
                                          worker_timeout=0.1)
+        try:
+            with pytest.raises(WorkerTimeoutError, match="did not reply"):
+                service.on_receive_batch(STREAM.identifiers[:64])
+        finally:
+            service.close()
+
+    @pytest.mark.parametrize("backend", PARALLEL_BACKENDS)
+    def test_hung_worker_hits_default_deadline(self, backend, monkeypatch):
+        # regression: with worker_timeout=None a live-but-hung worker used
+        # to block _receive forever; the default request deadline must
+        # surface WorkerTimeoutError on both worker transports
+        monkeypatch.setattr("repro.engine.backends.base."
+                            "DEFAULT_REQUEST_TIMEOUT", 0.2)
+        service = ShardedSamplingService(2, _sleepy_factory, random_state=3,
+                                         backend=backend, workers=2)
         try:
             with pytest.raises(WorkerTimeoutError, match="did not reply"):
                 service.on_receive_batch(STREAM.identifiers[:64])
@@ -225,12 +367,188 @@ class TestWorkerFailures:
         finally:
             service.close()
 
-    def test_closed_backend_rejects_requests(self):
-        service = _service("process", shards=2)
+    @pytest.mark.parametrize("backend", ["serial"] + PARALLEL_BACKENDS)
+    def test_close_is_idempotent(self, backend):
+        service = _service(backend, shards=2)
         service.close()
-        service.close()  # idempotent
+        service.close()
+
+    @pytest.mark.parametrize("backend", PARALLEL_BACKENDS)
+    def test_closed_backend_rejects_requests(self, backend):
+        service = _service(backend, shards=2)
+        service.close()
         with pytest.raises(BackendError, match="closed"):
             service.on_receive_batch(STREAM.identifiers[:10])
+
+    @pytest.mark.parametrize("backend", PARALLEL_BACKENDS)
+    def test_close_after_worker_crash(self, backend):
+        # close() must stay safe (and idempotent) over dead workers and
+        # dead connections
+        service = _service(backend, shards=2, workers=2)
+        service.on_receive_batch(STREAM.identifiers[:200])
+        for process in service.backend._processes:
+            process.kill()
+            process.join(timeout=5.0)
+        service.close()
+        service.close()
+        _assert_no_leaked_workers()
+
+
+# --------------------------------------------------------------------- #
+# Socket-backend supervision: re-spawn, snapshots, bounded replay
+# --------------------------------------------------------------------- #
+class TestSocketSupervision:
+    def test_worker_killed_mid_run_recovers_bit_identical(self):
+        serial = _service("serial", seed=23)
+        ids = np.asarray(STREAM.identifiers, dtype=np.int64)
+        with _service("socket", seed=23, workers=2) as service:
+            a1 = serial.on_receive_batch(ids[:4000])
+            b1 = service.on_receive_batch(ids[:4000])
+            victim = service.backend._processes[0]
+            victim.kill()
+            victim.join(timeout=5.0)
+            a2 = serial.on_receive_batch(ids[4000:])
+            b2 = service.on_receive_batch(ids[4000:])
+            assert np.array_equal(a1, b1)
+            assert np.array_equal(a2, b2)
+            assert service.backend.respawns >= 1
+            assert serial.merged_memory() == service.merged_memory()
+            assert serial.shard_loads() == service.shard_loads()
+            assert serial.sample_many(100) == service.sample_many(100)
+
+    def test_socket_worker_crash_mid_dispatch_recovers(self):
+        # the kill lands while the batch request is in flight; the
+        # supervisor re-spawns the worker and replays it transparently
+        service = ShardedSamplingService(2, _sleepy_factory, random_state=3,
+                                         backend="socket", workers=2)
+        try:
+            victim = service.backend._processes[0]
+            killer = threading.Timer(0.2, victim.kill)
+            killer.start()
+            outputs = service.on_receive_batch(STREAM.identifiers[:64])
+            killer.join()
+            assert np.array_equal(
+                np.sort(outputs),
+                np.sort(np.asarray(STREAM.identifiers[:64], dtype=np.int64)))
+            assert service.backend.respawns >= 1
+        finally:
+            service.close()
+
+    def test_snapshot_bounds_the_replay_after_a_kill(self):
+        factory = KnowledgeFreeShardFactory(10, sketch_width=32,
+                                            sketch_depth=4)
+        serial = SerialBackend(4, factory, spawn_children(7, 4))
+        backend = SocketBackend(4, factory, spawn_children(7, 4), workers=2,
+                                snapshot_every=2)
+        ids = np.asarray(STREAM.identifiers, dtype=np.int64)
+        try:
+            for start in range(0, 4000, 500):
+                chunk = ids[start:start + 500]
+                assert np.array_equal(
+                    serial.dispatch(chunk, chunk % 4),
+                    backend.dispatch(chunk, chunk % 4))
+            # snapshots were collected, so the journal stays bounded
+            assert all(blob is not None for blob in backend._snapshots)
+            assert all(len(journal) <= 2 for journal in backend._journals)
+            victim = backend._processes[1]
+            victim.kill()
+            victim.join(timeout=5.0)
+            for start in range(4000, 8000, 500):
+                chunk = ids[start:start + 500]
+                assert np.array_equal(
+                    serial.dispatch(chunk, chunk % 4),
+                    backend.dispatch(chunk, chunk % 4))
+            assert backend.respawns >= 1
+            assert serial.merged_memory() == backend.merged_memory()
+        finally:
+            backend.close()
+
+    def test_deterministically_crashing_request_is_bounded(self):
+        # a request that kills its worker on every attempt must not
+        # re-spawn forever: after max_respawns recoveries the crash surfaces
+        backend = SocketBackend(2, _suicidal_factory, spawn_children(3, 2),
+                                workers=2, max_respawns=2)
+        try:
+            chunk = np.arange(50, dtype=np.int64)
+            with pytest.raises(WorkerCrashError, match="crashed"):
+                backend.dispatch(chunk, chunk % 2)
+        finally:
+            backend.close()
+        _assert_no_leaked_workers()
+
+    def test_remote_endpoint_lost_for_good_is_bounded(self):
+        # a remote endpoint (not backend-owned) cannot be re-spawned: after
+        # max_respawns reconnect attempts the failure surfaces
+        process, endpoint = _spawn_server_process(b"test-secret")
+        backend = SocketBackend(2, _mute_factory, spawn_children(3, 2),
+                                workers=2, endpoints=[endpoint],
+                                auth_token=b"test-secret", max_respawns=2)
+        try:
+            chunk = np.arange(100, dtype=np.int64)
+            backend.dispatch(chunk, chunk % 2)
+            process.kill()
+            process.join(timeout=5.0)
+            with pytest.raises(WorkerCrashError,
+                               match="could not be re-spawned after 2"):
+                backend.dispatch(chunk, chunk % 2)
+        finally:
+            backend.close()
+            if process.is_alive():  # pragma: no cover - defensive
+                process.kill()
+
+    def test_remote_endpoints_match_serial(self, worker_server):
+        host, port = worker_server.address
+        endpoint = f"{host}:{port}"
+        serial = _service("serial", seed=23)
+        with _service("socket", seed=23, workers=2,
+                      endpoints=[endpoint],
+                      auth_token=b"test-secret") as remote:
+            a = serial.on_receive_batch(STREAM.identifiers[:2000])
+            b = remote.on_receive_batch(STREAM.identifiers[:2000])
+            assert np.array_equal(a, b)
+            assert serial.merged_memory() == remote.merged_memory()
+
+    def test_bad_auth_token_rejected(self, worker_server):
+        # a token mismatch fails the mutual handshake on the client side
+        # (the server's HMAC cannot be verified) before anything untrusted
+        # is unpickled
+        host, port = worker_server.address
+        with pytest.raises(AuthenticationError, match="prove knowledge"):
+            _service("socket", workers=2, endpoints=[f"{host}:{port}"],
+                     auth_token=b"not-the-secret")
+        _assert_no_leaked_workers()
+
+    def test_non_worker_endpoint_rejected_without_unpickling(self):
+        # a port squatter that speaks the framing but not the handshake is
+        # refused: its bytes never reach pickle.loads on the parent side
+        import struct as struct_module
+
+        listener = socket_module.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        host, port = listener.getsockname()[:2]
+
+        def impostor():
+            connection, _ = listener.accept()
+            connection.recv(4096)  # the client's nonce
+            evil = b"arbitrary-not-a-valid-handshake-reply"
+            connection.sendall(struct_module.pack(">Q", len(evil)) + evil)
+            connection.close()
+
+        thread = threading.Thread(target=impostor, daemon=True)
+        thread.start()
+        try:
+            with pytest.raises(AuthenticationError, match="prove knowledge"):
+                _service("socket", workers=1, shards=1,
+                         endpoints=[f"{host}:{port}"],
+                         auth_token=b"whatever")
+        finally:
+            listener.close()
+
+    def test_remote_endpoints_require_auth_token(self):
+        with pytest.raises(ValueError, match="auth token"):
+            SocketBackend(2, _mute_factory, spawn_children(3, 2),
+                          endpoints=["127.0.0.1:9"])
 
 
 # --------------------------------------------------------------------- #
@@ -245,20 +563,28 @@ class TestBackendSelection:
         with pytest.raises(ValueError, match="serial"):
             _service("serial", workers=2)
 
+    def test_non_socket_backends_reject_endpoints(self):
+        with pytest.raises(ValueError, match="endpoints"):
+            _service("process", shards=2, endpoints=["127.0.0.1:7333"])
+
     def test_services_property_requires_serial(self):
         assert len(_service("serial").services) == 4
         with _service("process", shards=2) as service:
             with pytest.raises(BackendError, match="worker processes"):
                 service.services
 
-    def test_worker_count_is_clamped_to_shards(self):
-        with _service("process", shards=2, workers=8) as service:
+    @pytest.mark.parametrize("backend", PARALLEL_BACKENDS)
+    def test_worker_count_is_clamped_to_shards(self, backend):
+        with _service(backend, shards=2, workers=8) as service:
             assert service.backend.workers == 2
 
     def test_make_backend_validation(self):
         rngs = spawn_children(1, 2)
         with pytest.raises(ValueError, match="unknown execution backend"):
             make_backend("gpu", 2, _mute_factory, rngs)
+        with pytest.raises(ValueError, match="endpoints"):
+            make_backend("serial", 2, _mute_factory, rngs,
+                         endpoints=["127.0.0.1:7333"])
 
 
 class TestEngineSpec:
@@ -267,22 +593,52 @@ class TestEngineSpec:
         rebuilt = EngineSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
         assert rebuilt == spec
 
+    def test_socket_backend_round_trips_through_json(self):
+        spec = EngineSpec(shards=4, backend="socket", workers=2,
+                          endpoints=["10.0.0.1:7333", "10.0.0.2:7333"],
+                          auth_token_file="/run/secrets/workers")
+        rebuilt = EngineSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert rebuilt == spec
+
     def test_defaults_stay_serial(self):
         spec = EngineSpec.from_dict({"driver": "batch"})
         assert spec.backend == "serial"
         assert spec.workers is None
+        assert spec.endpoints is None
+        assert spec.auth_token_file is None
 
     def test_unknown_backend_rejected(self):
         with pytest.raises(ScenarioError, match="engine backend"):
             EngineSpec(shards=2, backend="gpu")
 
-    def test_process_backend_requires_shards(self):
+    @pytest.mark.parametrize("backend", PARALLEL_BACKENDS)
+    def test_parallel_backends_require_shards(self, backend):
         with pytest.raises(ScenarioError, match="shards"):
-            EngineSpec(backend="process")
+            EngineSpec(backend=backend)
 
-    def test_workers_require_process_backend(self):
+    def test_workers_require_parallel_backend(self):
         with pytest.raises(ScenarioError, match="workers"):
             EngineSpec(shards=2, workers=2)
+
+    def test_endpoints_require_socket_backend(self):
+        with pytest.raises(ScenarioError, match="endpoints"):
+            EngineSpec(shards=2, backend="process",
+                       endpoints=["127.0.0.1:7333"])
+
+    def test_endpoints_require_auth_token_file(self):
+        with pytest.raises(ScenarioError, match="auth_token_file"):
+            EngineSpec(shards=2, backend="socket",
+                       endpoints=["127.0.0.1:7333"])
+
+    def test_malformed_endpoint_rejected(self):
+        with pytest.raises(ScenarioError, match="host:port"):
+            EngineSpec(shards=2, backend="socket", endpoints=["nonsense"],
+                       auth_token_file="token")
+
+    def test_auth_token_file_requires_socket_backend(self):
+        with pytest.raises(ScenarioError, match="auth_token_file"):
+            EngineSpec(shards=2, backend="process",
+                       auth_token_file="token")
 
     def test_scenario_spec_round_trip_keeps_backend(self):
         spec = ScenarioSpec.load(EXAMPLES / "sharded_zipf.json")
@@ -298,16 +654,73 @@ class TestCli:
                      "--trials", "1"]) == 0
         assert "knowledge-free" in capsys.readouterr().out
 
-    def test_run_backend_override_matches_serial(self, capsys):
+    @pytest.mark.parametrize("backend", PARALLEL_BACKENDS)
+    def test_run_backend_override_matches_serial(self, capsys, backend):
         spec = str(EXAMPLES / "sharded_zipf.json")
         assert main(["run", spec, "--trials", "1", "--json"]) == 0
         serial_out = capsys.readouterr().out
         assert main(["run", spec, "--trials", "1", "--json",
-                     "--backend", "process"]) == 0
+                     "--backend", backend, "--workers", "2"]) == 0
         assert capsys.readouterr().out == serial_out
+
+    def test_run_against_worker_serve_endpoints(self, capsys, tmp_path,
+                                                worker_server):
+        host, port = worker_server.address
+        token_file = tmp_path / "worker.token"
+        token_file.write_bytes(b"test-secret\n")
+        spec = str(EXAMPLES / "sharded_zipf.json")
+        assert main(["run", spec, "--trials", "1", "--json"]) == 0
+        serial_out = capsys.readouterr().out
+        assert main(["run", spec, "--trials", "1", "--json",
+                     "--backend", "socket", "--workers", "2",
+                     "--endpoints", f"{host}:{port}",
+                     "--auth-token-file", str(token_file)]) == 0
+        assert capsys.readouterr().out == serial_out
+
+    def test_worker_serve_subcommand(self, tmp_path):
+        # end to end through the CLI entry point, in a real server process
+        token_file = tmp_path / "worker.token"
+        token_file.write_bytes(b"cli-secret\n")
+        with socket_module.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            port = probe.getsockname()[1]
+        context = multiprocessing.get_context()
+        server = context.Process(
+            target=main,
+            args=(["worker", "serve", "--listen", f"127.0.0.1:{port}",
+                   "--auth-token-file", str(token_file)],),
+            daemon=True)
+        server.start()
+        try:
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline:
+                try:
+                    socket_module.create_connection(("127.0.0.1", port),
+                                                    timeout=1.0).close()
+                    break
+                except OSError:
+                    time.sleep(0.1)
+            else:
+                raise AssertionError("worker server never came up")
+            serial = _service("serial", seed=29, shards=2)
+            with _service("socket", seed=29, shards=2, workers=2,
+                          endpoints=[f"127.0.0.1:{port}"],
+                          auth_token=b"cli-secret") as remote:
+                a = serial.on_receive_batch(STREAM.identifiers[:1000])
+                b = remote.on_receive_batch(STREAM.identifiers[:1000])
+                assert np.array_equal(a, b)
+        finally:
+            server.terminate()
+            server.join(timeout=5.0)
 
     def test_throughput_process_backend(self, capsys):
         assert main(["throughput", "--stream-size", "20000",
                      "--population-size", "2000", "--scalar-limit", "4000",
                      "--backend", "process", "--workers", "2"]) == 0
         assert "[process w=2]" in capsys.readouterr().out
+
+    def test_throughput_socket_backend(self, capsys):
+        assert main(["throughput", "--stream-size", "20000",
+                     "--population-size", "2000", "--scalar-limit", "4000",
+                     "--backend", "socket", "--workers", "2"]) == 0
+        assert "[socket w=2]" in capsys.readouterr().out

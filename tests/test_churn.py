@@ -7,6 +7,7 @@ from repro.streams.churn import (
     ChurnEvent,
     ChurnModel,
     ChurnTrace,
+    FlashCrowdChurnModel,
     ParetoChurnModel,
 )
 
@@ -152,6 +153,98 @@ class TestChurnModel:
                                          random_state=6)
         output = strategy.process_stream(suffix)
         assert set(output.identifiers) <= set(trace.stable_population)
+
+
+class TestFlashCrowdChurnModel:
+    def _model(self, seed=9, **kwargs):
+        defaults = dict(burst_rate=0.1, burst_size=15, join_rate=0.05,
+                        leave_rate=0.1, advertisements_per_step=4,
+                        random_state=seed)
+        defaults.update(kwargs)
+        return FlashCrowdChurnModel(50, **defaults)
+
+    def test_generates_trace_with_both_phases(self):
+        trace = self._model().generate(churn_steps=150, stable_steps=50)
+        assert trace.stream.size == (150 + 50) * 4
+        assert trace.stability_time == 150 * 4
+        assert trace.stable_population
+
+    def test_bursts_bring_correlated_mass_arrivals(self):
+        # with a meaningful burst rate, several joiners must land on the
+        # same step (the correlated-arrival signature a trickle cannot show)
+        trace = self._model(join_rate=0.0).generate(churn_steps=300,
+                                                    stable_steps=10)
+        joins_per_step = {}
+        for event in trace.events:
+            if event.joined:
+                joins_per_step[event.time] = \
+                    joins_per_step.get(event.time, 0) + 1
+        burst_steps = [step for step, count in joins_per_step.items()
+                       if count > 1]
+        assert burst_steps, "no step received more than one joiner"
+        assert max(joins_per_step.values()) >= 5
+
+    def test_no_bursts_without_burst_events(self):
+        # burst_rate 0 degenerates to the base trickle: one joiner per step
+        # at most
+        model = self._model(burst_rate=0.0, join_rate=0.5)
+        trace = model.generate(churn_steps=200, stable_steps=10)
+        joins_per_step = {}
+        for event in trace.events:
+            if event.joined:
+                joins_per_step[event.time] = \
+                    joins_per_step.get(event.time, 0) + 1
+        assert joins_per_step
+        assert max(joins_per_step.values()) == 1
+
+    def test_deterministic_per_seed(self):
+        first = self._model(seed=33).generate(100, 20)
+        second = self._model(seed=33).generate(100, 20)
+        assert first.stream.identifiers == second.stream.identifiers
+        assert first.events == second.events
+        assert first.stable_population == second.stable_population
+
+    def test_base_model_trace_unchanged_by_arrivals_hook(self):
+        # regression: the _arrivals hook refactor must not move a single
+        # coin of the base model's seeded trace — replay the pre-hook
+        # inline join/leave/advertise loop with the same seed
+        import numpy as np
+
+        model = ChurnModel(30, join_rate=0.3, leave_rate=0.3,
+                           advertisements_per_step=3, random_state=12)
+        trace = model.generate(churn_steps=120, stable_steps=30)
+        rng = np.random.default_rng(12)
+        alive = list(range(30))
+        next_identifier = 30
+        identifiers = []
+        for step in range(120):
+            if rng.random() < 0.3:
+                alive.append(next_identifier)
+                next_identifier += 1
+            if len(alive) > 1 and rng.random() < 0.3:
+                del alive[int(rng.integers(0, len(alive)))]
+            for draw in rng.integers(0, len(alive), size=3):
+                identifiers.append(alive[int(draw)])
+        assert trace.stream.identifiers[:len(identifiers)] == identifiers
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self._model(burst_rate=1.5)
+        with pytest.raises(ValueError):
+            self._model(burst_size=0)
+
+    def test_registered_as_stream_component(self):
+        from repro.scenarios import registry as registries
+        import repro.scenarios  # noqa: F401 - triggers builtin registration
+
+        stream = registries.STREAMS.build(
+            "flash_crowd",
+            {"initial_population": 40, "churn_steps": 50, "stable_steps": 20,
+             "burst_rate": 0.1, "burst_size": 10},
+            random_state=13)
+        assert stream.stability_time == 50 * 5
+        assert stream.stable_population
+        assert len(stream.identifiers) == (50 + 20) * 5
 
 
 class TestParetoChurnModel:
