@@ -43,6 +43,12 @@ import os
 import numpy as np
 import pytest
 
+from repro import telemetry
+from repro.bench.record import (
+    bench_json_dir,
+    summarise_snapshot,
+    write_bench_json,
+)
 from repro.core import KnowledgeFreeStrategy
 from repro.engine import ShardedSamplingService, run_stream, run_stream_scalar
 from repro.streams import PAPER_TRACES, SyntheticTrace, zipf_stream
@@ -65,6 +71,36 @@ SEED = 99
 #: elements/second per driver, filled by the benchmarks and read by the
 #: speedup assertion at the end of the module (tests run in file order).
 RECORDED = {}
+
+#: Registry the parallel tiers run under: the process/socket benchmarks
+#: execute with telemetry *enabled* (and their bit-identity against the
+#: telemetry-off serial tier is asserted below, so the no-RNG-impact
+#: guarantee is regression-checked at benchmark scale), and the aggregates
+#: land in the persisted BENCH_engine.json.
+TELEMETRY_REGISTRY = telemetry.MetricsRegistry()
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _persist_bench_record():
+    """Write BENCH_engine.json after the module when BENCH_JSON_DIR is set."""
+    yield
+    directory = bench_json_dir()
+    if directory is None or not RECORDED:
+        return
+    tiers = {name: {"elements_per_second": int(eps)}
+             for name, (eps, _) in RECORDED.items()}
+    write_bench_json(
+        os.path.join(directory, "BENCH_engine.json"), "engine", tiers,
+        telemetry=summarise_snapshot(TELEMETRY_REGISTRY.snapshot()),
+        config={
+            "stream_size": STREAM_SIZE,
+            "population_size": POPULATION_SIZE,
+            "alpha": ALPHA,
+            "batch_size": BATCH_SIZE,
+            "shards": SHARDS,
+            "workers": WORKERS,
+            "seed": SEED,
+        })
 
 
 @pytest.fixture(scope="module")
@@ -129,30 +165,45 @@ def test_sharded_driver_throughput(benchmark, print_result, identifiers):
 
 @pytest.mark.figure("throughput")
 def test_process_backend_throughput(benchmark, print_result, identifiers):
-    """The parallel tier: the sharded ensemble on the process backend."""
-    service = _sharded("process", workers=WORKERS)
-    try:
-        result = benchmark.pedantic(
-            lambda: run_stream(service, identifiers, batch_size=BATCH_SIZE),
-            rounds=1, iterations=1)
-        MERGED_MEMORY["process"] = service.merged_memory()
-    finally:
-        service.close()
+    """The parallel tier: the sharded ensemble on the process backend.
+
+    Runs with telemetry enabled (construction, run and close all inside the
+    enabled block so worker registries activate and are harvested on close);
+    the bit-identity assertion against the telemetry-off serial tier below
+    doubles as the no-RNG-impact regression check.
+    """
+    with telemetry.enabled(TELEMETRY_REGISTRY):
+        service = _sharded("process", workers=WORKERS)
+        try:
+            result = benchmark.pedantic(
+                lambda: run_stream(service, identifiers,
+                                   batch_size=BATCH_SIZE),
+                rounds=1, iterations=1)
+            MERGED_MEMORY["process"] = service.merged_memory()
+        finally:
+            service.close()
     benchmark.extra_info["workers"] = service.backend.workers
     _record(benchmark, print_result, "process", result)
 
 
 @pytest.mark.figure("throughput")
 def test_socket_backend_throughput(benchmark, print_result, identifiers):
-    """The network-transparent tier: the ensemble behind TCP workers."""
-    service = _sharded("socket", workers=WORKERS)
-    try:
-        result = benchmark.pedantic(
-            lambda: run_stream(service, identifiers, batch_size=BATCH_SIZE),
-            rounds=1, iterations=1)
-        MERGED_MEMORY["socket"] = service.merged_memory()
-    finally:
-        service.close()
+    """The network-transparent tier: the ensemble behind TCP workers.
+
+    Like the process tier, runs entirely inside the telemetry-enabled block
+    (command latency histograms, wire bytes and worker registries flow into
+    the persisted record) while staying bit-identical to the serial tier.
+    """
+    with telemetry.enabled(TELEMETRY_REGISTRY):
+        service = _sharded("socket", workers=WORKERS)
+        try:
+            result = benchmark.pedantic(
+                lambda: run_stream(service, identifiers,
+                                   batch_size=BATCH_SIZE),
+                rounds=1, iterations=1)
+            MERGED_MEMORY["socket"] = service.merged_memory()
+        finally:
+            service.close()
     benchmark.extra_info["workers"] = service.backend.workers
     _record(benchmark, print_result, "socket", result)
 

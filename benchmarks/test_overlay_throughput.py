@@ -23,6 +23,7 @@ import os
 
 import pytest
 
+from repro.bench.record import bench_json_dir, write_bench_json
 from repro.network.node import NodeConfig
 from repro.network.simulator import (
     ChurnConfig,
@@ -42,6 +43,29 @@ SEED = 2013
 NODE_CONFIG = NodeConfig(memory_size=10, sketch_width=16, sketch_depth=4,
                          record_output=False)
 
+#: rounds/second per workload, filled by the benchmarks and persisted into
+#: BENCH_overlay.json by the module fixture when BENCH_JSON_DIR is set.
+RECORDED = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _persist_bench_record():
+    """Write BENCH_overlay.json after the module when BENCH_JSON_DIR is set."""
+    yield
+    directory = bench_json_dir()
+    if directory is None or not RECORDED:
+        return
+    tiers = {name: {"rounds_per_second": value}
+             for name, value in RECORDED.items()}
+    write_bench_json(
+        os.path.join(directory, "BENCH_overlay.json"), "overlay", tiers,
+        config={
+            "nodes": TOTAL_NODES,
+            "rounds": ROUNDS,
+            "num_malicious": NUM_MALICIOUS,
+            "seed": SEED,
+        })
+
 
 def _measure(benchmark, print_result, name, config, total_rounds):
     simulation = SystemSimulation(config, random_state=SEED)
@@ -51,6 +75,7 @@ def _measure(benchmark, print_result, name, config, total_rounds):
     benchmark.extra_info["nodes"] = TOTAL_NODES
     benchmark.extra_info["rounds"] = total_rounds
     benchmark.extra_info["rounds_per_second"] = round(rounds_per_second, 3)
+    RECORDED[name] = round(rounds_per_second, 3)
     print_result(
         f"overlay throughput: {name}",
         f"{TOTAL_NODES:,} nodes, {total_rounds} rounds in {elapsed:.2f}s "

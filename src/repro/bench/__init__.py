@@ -1,0 +1,31 @@
+"""Persisted performance trajectory: benchmark records and regression gates.
+
+* :mod:`repro.bench.record` — write one benchmark run as a ``BENCH_*.json``
+  document (throughput tiers + key telemetry aggregates + workload config);
+* :mod:`repro.bench.compare` — compare a current record against a committed
+  baseline and fail on large throughput regressions (the CI gate:
+  ``python -m repro.bench.compare current.json baseline.json
+  --tolerance 0.30``).
+
+The benchmark modules in ``benchmarks/`` write their records when the
+``BENCH_JSON_DIR`` environment variable names a directory; committed
+baselines live in ``benchmarks/baselines/`` and are refreshed deliberately
+(re-run the benchmarks at the CI smoke scale and commit the new files).
+"""
+
+from repro.bench.record import (
+    bench_json_dir,
+    summarise_snapshot,
+    write_bench_json,
+)
+
+# repro.bench.compare is deliberately not imported here: it doubles as the
+# ``python -m repro.bench.compare`` CLI, and importing it from the package
+# __init__ would trigger the runpy "found in sys.modules" warning on every
+# gate run.  Import it explicitly where the library API is wanted.
+
+__all__ = [
+    "bench_json_dir",
+    "summarise_snapshot",
+    "write_bench_json",
+]

@@ -1,0 +1,93 @@
+"""Write benchmark runs as ``BENCH_*.json`` trajectory records.
+
+A record is one JSON document per benchmark suite::
+
+    {
+      "name": "engine",
+      "tiers": {"batch": {"elements_per_second": 712345}, ...},
+      "telemetry": {"counters": {...}, "histograms": {...}},
+      "config": {"stream_size": 200000, ...}
+    }
+
+``tiers`` is the part the regression gate compares (every metric named
+``*_per_second`` is treated as a higher-is-better throughput); ``telemetry``
+and ``config`` are context for humans reading the trajectory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Optional
+
+__all__ = ["bench_json_dir", "summarise_snapshot", "write_bench_json"]
+
+
+def bench_json_dir() -> Optional[str]:
+    """Directory ``BENCH_*.json`` records go to, or ``None`` when disabled.
+
+    The benchmark modules only persist a record when the ``BENCH_JSON_DIR``
+    environment variable names a directory — plain local benchmark runs
+    stay side-effect free.
+    """
+    directory = os.environ.get("BENCH_JSON_DIR", "").strip()
+    return directory or None
+
+
+def summarise_snapshot(snapshot: Dict[str, Any]) -> Dict[str, Any]:
+    """Condense a telemetry snapshot to the aggregates worth persisting.
+
+    Counters and gauges are kept as-is; histograms drop their bucket vectors
+    and keep the ``count`` / ``mean`` / ``max`` summary — enough to read a
+    latency or queue-depth trend across records without bloating the file.
+    """
+    histograms = {}
+    for name, data in snapshot.get("histograms", {}).items():
+        histograms[name] = {
+            "count": data.get("count", 0),
+            "mean": data.get("mean"),
+            "max": data.get("max"),
+        }
+    return {
+        "counters": dict(snapshot.get("counters", {})),
+        "gauges": dict(snapshot.get("gauges", {})),
+        "histograms": histograms,
+    }
+
+
+def write_bench_json(path: str, name: str,
+                     tiers: Dict[str, Dict[str, Any]], *,
+                     telemetry: Optional[Dict[str, Any]] = None,
+                     config: Optional[Dict[str, Any]] = None) -> str:
+    """Write one benchmark record; returns the path written.
+
+    Parameters
+    ----------
+    path:
+        Output file (its directory is created if needed).
+    name:
+        Suite name (``"engine"``, ``"overlay"``).
+    tiers:
+        Mapping tier-name -> metrics; metrics named ``*_per_second`` are
+        what :mod:`repro.bench.compare` gates on.
+    telemetry:
+        Optional condensed telemetry aggregates
+        (see :func:`summarise_snapshot`).
+    config:
+        Optional workload parameters (stream size, node count, workers...)
+        so a record is interpretable on its own.
+    """
+    record = {
+        "name": name,
+        "tiers": {tier: dict(metrics) for tier, metrics in tiers.items()},
+    }
+    if telemetry is not None:
+        record["telemetry"] = telemetry
+    if config is not None:
+        record["config"] = config
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path

@@ -25,12 +25,36 @@ from __future__ import annotations
 
 import argparse
 import json
+import logging
 import sys
+from contextlib import nullcontext
 from dataclasses import replace
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.experiments import figures
 from repro.experiments.reporting import format_series, format_table
+
+
+def _telemetry_context(active: bool):
+    """Return a context manager yielding a fresh registry (or ``None``).
+
+    Used by the subcommands that expose telemetry (``run --telemetry-out``,
+    ``throughput --json``): the workload runs inside the context, and the
+    yielded registry's snapshot is what gets written/printed.
+    """
+    if not active:
+        return nullcontext(None)
+    from repro import telemetry
+
+    return telemetry.enabled(telemetry.MetricsRegistry())
+
+
+def _write_telemetry(path: str, registry) -> None:
+    """Write a registry snapshot as JSON and note it on stderr."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(registry.snapshot(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"telemetry snapshot written to {path}", file=sys.stderr)
 
 
 def _parse_endpoints_argument(text: Optional[str]) -> Optional[List[str]]:
@@ -84,22 +108,25 @@ def _cmd_run(arguments: argparse.Namespace) -> None:
         overrides["engine"] = replace(spec.engine, **engine_overrides)
     if overrides:
         spec = replace(spec, **overrides)
-    if spec.sweep is not None:
-        _run_sweep_spec(spec, arguments)
-        return
-    if arguments.sweep_summary:
-        raise SystemExit("repro run: --sweep-summary needs a scenario with "
-                         "a sweep section")
-    result = ScenarioRunner(spec).run()
-    if arguments.json:
-        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
-        return
-    print(f"scenario: {result.name} ({result.mode} mode, "
-          f"seed={spec.seed}, trials={spec.trials})")
-    print(format_table(result.summaries))
-    if arguments.details:
-        print()
-        print(format_table(result.details))
+    with _telemetry_context(arguments.telemetry_out is not None) as registry:
+        if spec.sweep is not None:
+            _run_sweep_spec(spec, arguments)
+        elif arguments.sweep_summary:
+            raise SystemExit("repro run: --sweep-summary needs a scenario "
+                             "with a sweep section")
+        else:
+            result = ScenarioRunner(spec).run()
+            if arguments.json:
+                print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+            else:
+                print(f"scenario: {result.name} ({result.mode} mode, "
+                      f"seed={spec.seed}, trials={spec.trials})")
+                print(format_table(result.summaries))
+                if arguments.details:
+                    print()
+                    print(format_table(result.details))
+        if registry is not None:
+            _write_telemetry(arguments.telemetry_out, registry)
 
 
 def _run_sweep_spec(spec, arguments: argparse.Namespace) -> None:
@@ -146,27 +173,30 @@ def _cmd_throughput(arguments: argparse.Namespace) -> None:
             random_state=arguments.seed,
         )
 
-    scalar_limit = min(arguments.scalar_limit, stream.size)
-    scalar = run_stream_scalar(make_strategy(),
-                               stream.identifiers[:scalar_limit])
-    batch = run_stream(make_strategy(), stream,
-                       batch_size=arguments.batch_size)
-    sharded_service = ShardedSamplingService.knowledge_free(
-        shards=arguments.shards,
-        memory_size=arguments.memory_size,
-        sketch_width=arguments.sketch_width,
-        sketch_depth=arguments.sketch_depth,
-        random_state=arguments.seed,
-        backend=arguments.backend,
-        workers=arguments.workers,
-        endpoints=_parse_endpoints_argument(arguments.endpoints),
-        auth_token_file=arguments.auth_token_file,
-    )
-    try:
-        sharded = run_stream(sharded_service, stream,
-                             batch_size=arguments.batch_size)
-    finally:
-        sharded_service.close()
+    # --json runs with telemetry enabled, so the machine-readable report
+    # carries the engine/backend metrics alongside the throughput tiers
+    with _telemetry_context(arguments.json) as registry:
+        scalar_limit = min(arguments.scalar_limit, stream.size)
+        scalar = run_stream_scalar(make_strategy(),
+                                   stream.identifiers[:scalar_limit])
+        batch = run_stream(make_strategy(), stream,
+                           batch_size=arguments.batch_size)
+        sharded_service = ShardedSamplingService.knowledge_free(
+            shards=arguments.shards,
+            memory_size=arguments.memory_size,
+            sketch_width=arguments.sketch_width,
+            sketch_depth=arguments.sketch_depth,
+            random_state=arguments.seed,
+            backend=arguments.backend,
+            workers=arguments.workers,
+            endpoints=_parse_endpoints_argument(arguments.endpoints),
+            auth_token_file=arguments.auth_token_file,
+        )
+        try:
+            sharded = run_stream(sharded_service, stream,
+                                 batch_size=arguments.batch_size)
+        finally:
+            sharded_service.close()
     sharded_label = f"sharded x{arguments.shards}"
     if arguments.backend != "serial":
         sharded_label += (f" [{arguments.backend}"
@@ -178,13 +208,39 @@ def _cmd_throughput(arguments: argparse.Namespace) -> None:
         rows.append({
             "driver": name,
             "elements": result.elements,
-            "seconds": round(result.elapsed_seconds, 3),
-            "elements/s": int(result.throughput),
-            "vs scalar": (round(result.throughput / scalar.throughput, 2)
-                          if scalar.throughput else float("nan")),
+            "seconds": round(result.elapsed_seconds, 6),
+            "elements_per_second": int(result.throughput),
+            "vs_scalar": (round(result.throughput / scalar.throughput, 2)
+                          if scalar.throughput else None),
         })
-    print(format_table(rows, columns=["driver", "elements", "seconds",
-                                      "elements/s", "vs scalar"]))
+    if arguments.json:
+        report = {
+            "config": {
+                "stream_size": stream.size,
+                "population_size": arguments.population_size,
+                "alpha": arguments.alpha,
+                "batch_size": arguments.batch_size,
+                "shards": arguments.shards,
+                "backend": arguments.backend,
+                "workers": sharded_service.backend.workers
+                if arguments.backend != "serial" else None,
+                "seed": arguments.seed,
+            },
+            "tiers": rows,
+            "telemetry": registry.snapshot(),
+        }
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return
+    table_rows = [{
+        "driver": row["driver"],
+        "elements": row["elements"],
+        "seconds": round(row["seconds"], 3),
+        "elements/s": row["elements_per_second"],
+        "vs scalar": (row["vs_scalar"] if row["vs_scalar"] is not None
+                      else float("nan")),
+    } for row in rows]
+    print(format_table(table_rows, columns=["driver", "elements", "seconds",
+                                            "elements/s", "vs scalar"]))
 
 
 def _cmd_worker_serve(arguments: argparse.Namespace) -> None:
@@ -335,6 +391,11 @@ def build_parser() -> argparse.ArgumentParser:
         description="Regenerate the tables and figures of the DSN 2013 "
                     "uniform-node-sampling paper.",
     )
+    parser.add_argument("--log-level", default=None,
+                        choices=["DEBUG", "INFO", "WARNING", "ERROR"],
+                        help="enable logging at this level (supervisor "
+                             "lifecycle events — worker re-spawns, "
+                             "reconnects — log at WARNING)")
     subparsers = parser.add_subparsers(dest="command")
 
     subparsers.add_parser("list", help="list the available experiments")
@@ -372,6 +433,11 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--auth-token-file", default=None,
                      help="file holding the shared worker auth token "
                           "(socket backend with --endpoints)")
+    run.add_argument("--telemetry-out", default=None, metavar="FILE",
+                     help="run with telemetry enabled and write the metrics "
+                          "snapshot (counters, gauges, histograms — "
+                          "including worker-side registries) as JSON to "
+                          "FILE; results stay bit-identical per seed")
     run.add_argument("--components", action="store_true",
                      help="list the registered scenario components and exit")
     run.set_defaults(handler=_cmd_run)
@@ -471,6 +537,11 @@ def build_parser() -> argparse.ArgumentParser:
                             help="cap on elements fed to the slow "
                                  "per-element reference driver")
     throughput.add_argument("--seed", type=int, default=2013)
+    throughput.add_argument("--json", action="store_true",
+                            help="print a machine-readable report (config, "
+                                 "throughput tiers, telemetry snapshot) "
+                                 "instead of the table; the run executes "
+                                 "with telemetry enabled")
     throughput.set_defaults(handler=_cmd_throughput)
 
     figure12 = subparsers.add_parser("figure12", help="KL divergence on traces")
@@ -502,6 +573,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point of ``python -m repro``."""
     parser = build_parser()
     arguments = parser.parse_args(argv)
+    if arguments.log_level is not None:
+        logging.basicConfig(
+            level=getattr(logging, arguments.log_level),
+            format="%(asctime)s %(levelname)s %(name)s: %(message)s")
     if arguments.command is None:
         parser.print_help()
         return 1

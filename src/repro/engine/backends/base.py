@@ -22,9 +22,13 @@ from __future__ import annotations
 
 import abc
 import multiprocessing
-from typing import Callable, Dict, List, Optional, Sequence
+import time
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 import numpy as np
+
+from repro.telemetry import runtime as telemetry
+from repro.telemetry.registry import DEPTH_EDGES, TIME_EDGES
 
 #: Builds the service of one shard from its index and its private generator.
 #: Process backends pickle the factory into their workers, so factories must
@@ -63,13 +67,32 @@ def serve_shard_command(services: Dict[int, object], command: str, payload):
 
     This is the single interpreter of the message-shaped worker protocol
     (``batch`` / ``sample`` / ``sample_many`` / ``loads`` / ``memory_sizes``
-    / ``memory`` / ``reset``), shared by the process backend's pipe workers
-    and the socket backend's TCP workers so both transports execute exactly
-    the same per-shard operations.
+    / ``memory`` / ``reset`` / ``telemetry``), shared by the process
+    backend's pipe workers and the socket backend's TCP workers so both
+    transports execute exactly the same per-shard operations.
+
+    It runs *inside the worker process*, so it is also where the
+    worker-side telemetry accrues: with telemetry enabled, every command is
+    counted and batch ingestion is timed into the worker's own registry,
+    which the ``telemetry`` command exports back to the parent.
     """
+    reg = telemetry.active()
+    if reg is not None:
+        reg.counter(f"worker.commands.{command}").inc()
     if command == "batch":
-        return {shard: services[shard].on_receive_batch(chunk)
-                for shard, chunk in payload.items()}
+        if reg is None:
+            return {shard: services[shard].on_receive_batch(chunk)
+                    for shard, chunk in payload.items()}
+        started = time.perf_counter()
+        outputs = {shard: services[shard].on_receive_batch(chunk)
+                   for shard, chunk in payload.items()}
+        reg.histogram("worker.batch_seconds", TIME_EDGES).observe(
+            time.perf_counter() - started)
+        reg.counter("worker.batch_elements").inc(
+            int(sum(len(chunk) for chunk in payload.values())))
+        return outputs
+    if command == "telemetry":
+        return telemetry.snapshot_active()
     if command == "sample":
         return services[payload].sample()
     if command == "sample_many":
@@ -180,6 +203,17 @@ class ExecutionBackend(abc.ABC):
     def reset(self) -> None:
         """Reset every shard's service."""
 
+    def telemetry_snapshots(self) -> List[Dict[str, Any]]:
+        """Telemetry snapshots of the backend's worker processes.
+
+        Backends whose shards run in this process (serial) have nothing to
+        ship — their instrumentation lands directly in the caller's
+        registry — so the default is an empty list.  Worker-pool backends
+        override this with a ``telemetry`` broadcast over the command
+        channel.
+        """
+        return []
+
     def close(self) -> None:
         """Release backend resources (worker processes); idempotent."""
 
@@ -239,6 +273,9 @@ class WorkerPoolBackend(ExecutionBackend):
         self._worker_of = [shard % self.workers
                            for shard in range(self.shards)]
         self._loads = [0] * self.shards
+        #: Per-worker (command, posted-at) of the request in flight, read by
+        #: the round-trip latency telemetry in :meth:`_finish_timed`.
+        self._pending_meta: List[Optional[tuple]] = [None] * self.workers
 
     # ------------------------------------------------------------------ #
     # Transport primitives
@@ -254,19 +291,45 @@ class WorkerPoolBackend(ExecutionBackend):
     def _after_requests(self, workers) -> None:
         """Hook run after an operation's replies are all collected."""
 
-    def _request(self, worker: int, command: str, payload=None):
+    def _post_timed(self, worker: int, command: str, payload=None) -> None:
+        """Send one request, stamping it for round-trip telemetry."""
+        reg = telemetry.active()
+        if reg is not None:
+            self._pending_meta[worker] = (command, time.perf_counter())
         self._post(worker, command, payload)
+
+    def _finish_timed(self, worker: int):
+        """Collect one reply, recording the command's round-trip latency.
+
+        The recorded latency is the parent's experienced one — post to
+        reply-in-hand, including any queueing behind sibling workers'
+        replies in a pipelined collect.
+        """
         result = self._finish(worker)
+        meta = self._pending_meta[worker]
+        if meta is not None:
+            self._pending_meta[worker] = None
+            reg = telemetry.active()
+            if reg is not None:
+                command, posted = meta
+                reg.histogram(
+                    f"backend.{self.name}.roundtrip_seconds.{command}",
+                    TIME_EDGES).observe(time.perf_counter() - posted)
+        return result
+
+    def _request(self, worker: int, command: str, payload=None):
+        self._post_timed(worker, command, payload)
+        result = self._finish_timed(worker)
         self._after_requests([worker])
         return result
 
     def _broadcast(self, command: str, payload=None) -> Dict[int, object]:
         """Send one command to every worker, then collect per-shard replies."""
         for worker in range(self.workers):
-            self._post(worker, command, payload)
+            self._post_timed(worker, command, payload)
         merged: Dict[int, object] = {}
         for worker in range(self.workers):
-            reply = self._finish(worker)
+            reply = self._finish_timed(worker)
             if reply:
                 merged.update(reply)
         self._after_requests(range(self.workers))
@@ -289,10 +352,21 @@ class WorkerPoolBackend(ExecutionBackend):
             per_worker[self._worker_of[shard]][shard] = identifiers[mask]
         involved = [worker for worker in range(self.workers)
                     if per_worker[worker]]
+        reg = telemetry.active()
+        if reg is not None:
+            # queue depth = requests pipelined before the first collect;
+            # sub-chunks = per-shard slices scattered across those workers
+            reg.counter(f"backend.{self.name}.dispatches").inc()
+            reg.counter(f"backend.{self.name}.dispatch_elements").inc(
+                int(identifiers.size))
+            reg.histogram(f"backend.{self.name}.dispatch_queue_depth",
+                          DEPTH_EDGES).observe(len(involved))
+            reg.histogram(f"backend.{self.name}.dispatch_subchunks",
+                          DEPTH_EDGES).observe(len(masks))
         for worker in involved:
-            self._post(worker, "batch", per_worker[worker])
+            self._post_timed(worker, "batch", per_worker[worker])
         for worker in involved:
-            for shard, shard_outputs in self._finish(worker).items():
+            for shard, shard_outputs in self._finish_timed(worker).items():
                 outputs[masks[shard]] = shard_outputs
                 self._loads[shard] += int(masks[shard].sum())
         self._after_requests(involved)
@@ -312,10 +386,10 @@ class WorkerPoolBackend(ExecutionBackend):
         involved = [worker for worker in range(self.workers)
                     if per_worker[worker]]
         for worker in involved:
-            self._post(worker, "sample_many", per_worker[worker])
+            self._post_timed(worker, "sample_many", per_worker[worker])
         merged: Dict[int, List[Optional[int]]] = {}
         for worker in involved:
-            merged.update(self._finish(worker))
+            merged.update(self._finish_timed(worker))
         self._after_requests(involved)
         return merged
 
@@ -347,6 +421,15 @@ class WorkerPoolBackend(ExecutionBackend):
     def reset(self) -> None:
         self._broadcast("reset")
         self._loads = [0] * self.shards
+
+    def telemetry_snapshots(self) -> List[Dict[str, Any]]:
+        """Pull every worker's telemetry snapshot over the command channel."""
+        for worker in range(self.workers):
+            self._post_timed(worker, "telemetry", None)
+        snapshots = [self._finish_timed(worker)
+                     for worker in range(self.workers)]
+        self._after_requests(range(self.workers))
+        return snapshots
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return (f"{type(self).__name__}(shards={self.shards}, "

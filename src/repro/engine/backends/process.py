@@ -34,6 +34,7 @@ module-level callables such as
 from __future__ import annotations
 
 import multiprocessing
+import pickle
 import time
 import traceback
 from typing import List, Optional, Sequence
@@ -48,6 +49,7 @@ from repro.engine.backends.base import (
     WorkerTimeoutError,
     serve_shard_command,
 )
+from repro.telemetry import runtime as telemetry
 
 #: Seconds granted to a worker to build its shard services and report ready.
 _STARTUP_TIMEOUT = 120.0
@@ -57,9 +59,15 @@ _POLL_INTERVAL = 0.05
 
 
 def _worker_main(connection, shard_ids: List[int], shard_factory: ShardFactory,
-                 shard_rngs: List[np.random.Generator]) -> None:
+                 shard_rngs: List[np.random.Generator],
+                 telemetry_enabled: bool = False) -> None:
     """Run one worker: build the assigned shards, then serve the protocol."""
     try:
+        if telemetry_enabled:
+            # the worker keeps its own registry (fresh, so a fork-inherited
+            # parent registry is never double-counted); the parent harvests
+            # it over the command channel via the "telemetry" command
+            telemetry.enable_worker()
         services = {shard: shard_factory(shard, rng)
                     for shard, rng in zip(shard_ids, shard_rngs)}
     except BaseException:
@@ -122,7 +130,8 @@ class ProcessBackend(WorkerPoolBackend):
             process = self._context.Process(
                 target=_worker_main,
                 args=(child_end, owned, shard_factory,
-                      [shard_rngs[shard] for shard in owned]),
+                      [shard_rngs[shard] for shard in owned],
+                      telemetry.is_enabled()),
                 daemon=True,
                 name=f"repro-shard-worker-{worker}",
             )
@@ -165,7 +174,17 @@ class ProcessBackend(WorkerPoolBackend):
                 "protocol (a reply may still be in flight); build a new "
                 "service")
         try:
-            self._connections[worker].send((command, payload))
+            reg = telemetry.active()
+            if reg is None:
+                self._connections[worker].send((command, payload))
+            else:
+                # pickle explicitly so the wire volume is observable;
+                # Connection.send is send_bytes(pickled object), so this is
+                # wire-compatible with the plain path and pickles only once
+                blob = pickle.dumps((command, payload),
+                                    protocol=pickle.HIGHEST_PROTOCOL)
+                self._connections[worker].send_bytes(blob)
+                reg.counter("backend.process.bytes_sent").inc(len(blob))
         except (BrokenPipeError, OSError) as error:
             self._broken = True
             raise WorkerCrashError(
@@ -201,7 +220,13 @@ class ProcessBackend(WorkerPoolBackend):
                     "the backend is now unusable (the late reply would "
                     "desynchronise the protocol) — build a new service")
         try:
-            ok, result = connection.recv()
+            reg = telemetry.active()
+            if reg is None:
+                ok, result = connection.recv()
+            else:
+                blob = connection.recv_bytes()
+                reg.counter("backend.process.bytes_received").inc(len(blob))
+                ok, result = pickle.loads(blob)
         except (EOFError, OSError) as error:
             self._broken = True
             raise WorkerCrashError(

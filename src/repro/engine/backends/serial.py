@@ -8,11 +8,14 @@ backend is bit-identical, draw for draw, to the pre-backend implementation.
 
 from __future__ import annotations
 
+import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.engine.backends.base import ExecutionBackend, ShardFactory
+from repro.telemetry import runtime as telemetry
+from repro.telemetry.registry import DEPTH_EDGES, TIME_EDGES
 
 
 class SerialBackend(ExecutionBackend):
@@ -37,11 +40,31 @@ class SerialBackend(ExecutionBackend):
     def dispatch(self, identifiers: np.ndarray,
                  shard_indices: np.ndarray) -> np.ndarray:
         outputs = np.empty(identifiers.size, dtype=np.int64)
+        reg = telemetry.active()
+        if reg is None:
+            for shard, service in enumerate(self._services):
+                mask = shard_indices == shard
+                if not mask.any():
+                    continue
+                outputs[mask] = service.on_receive_batch(identifiers[mask])
+            return outputs
+        # the serial "round trip" is the in-process shard ingestion itself,
+        # recorded under the same instrument family as the worker backends
+        started = time.perf_counter()
+        subchunks = 0
         for shard, service in enumerate(self._services):
             mask = shard_indices == shard
             if not mask.any():
                 continue
+            subchunks += 1
             outputs[mask] = service.on_receive_batch(identifiers[mask])
+        reg.histogram("backend.serial.roundtrip_seconds.batch",
+                      TIME_EDGES).observe(time.perf_counter() - started)
+        reg.counter("backend.serial.dispatches").inc()
+        reg.counter("backend.serial.dispatch_elements").inc(
+            int(identifiers.size))
+        reg.histogram("backend.serial.dispatch_subchunks",
+                      DEPTH_EDGES).observe(subchunks)
         return outputs
 
     # ------------------------------------------------------------------ #

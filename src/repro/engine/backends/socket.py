@@ -50,6 +50,7 @@ Two deployment modes:
 from __future__ import annotations
 
 import hmac
+import logging
 import multiprocessing
 import pickle
 import secrets
@@ -71,6 +72,12 @@ from repro.engine.backends.base import (
     WorkerTimeoutError,
     serve_shard_command,
 )
+from repro.telemetry import runtime as telemetry
+from repro.telemetry.registry import SIZE_EDGES
+
+#: Supervisor lifecycle logger (`repro run --log-level WARNING` surfaces
+#: re-spawn/reconnect recoveries without any telemetry machinery).
+_LOG = logging.getLogger("repro.engine.backends.socket")
 
 __all__ = ["SocketBackend", "WorkerServer", "load_auth_token",
            "parse_endpoint"]
@@ -215,10 +222,11 @@ def _send_raw_frame(connection: socket.socket, payload: bytes, *,
 
 
 def _send_frame(connection: socket.socket, message, *,
-                deadline: Optional[float] = None) -> None:
-    _send_raw_frame(connection,
-                    pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL),
-                    deadline=deadline)
+                deadline: Optional[float] = None) -> int:
+    """Pickle and send one frame; returns the payload size in bytes."""
+    blob = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    _send_raw_frame(connection, blob, deadline=deadline)
+    return len(blob)
 
 
 def _recv_raw_frame(connection: socket.socket, *,
@@ -234,6 +242,13 @@ def _recv_raw_frame(connection: socket.socket, *,
 def _recv_frame(connection: socket.socket, *,
                 deadline: Optional[float] = None):
     return pickle.loads(_recv_raw_frame(connection, deadline=deadline))
+
+
+def _recv_frame_sized(connection: socket.socket, *,
+                      deadline: Optional[float] = None):
+    """Like :func:`_recv_frame` but also returns the payload byte count."""
+    blob = _recv_raw_frame(connection, deadline=deadline)
+    return pickle.loads(blob), len(blob)
 
 
 def _handshake_mac(token: bytes, role: bytes, client_nonce: bytes,
@@ -313,6 +328,11 @@ def serve_worker_connection(connection: socket.socket,
                 return
             try:
                 if command == "start":
+                    if payload.get("telemetry"):
+                        # fresh per-session registry: a fork-inherited (or
+                        # previous-session) registry must not leak into the
+                        # snapshot the parent harvests via "telemetry"
+                        telemetry.enable_worker()
                     services = _build_services(payload)
                     result = sorted(services)
                 elif services is None:
@@ -528,6 +548,7 @@ class SocketBackend(WorkerPoolBackend):
                     protocol=pickle.HIGHEST_PROTOCOL),
             })
         self._snapshots: List[Optional[bytes]] = [None] * self.workers
+        self._snapshot_times: List[Optional[float]] = [None] * self.workers
         self._journals: List[List[tuple]] = [[] for _ in range(self.workers)]
         self._mutations: List[int] = [0] * self.workers
         self._inflight: List[Optional[tuple]] = [None] * self.workers
@@ -618,6 +639,8 @@ class SocketBackend(WorkerPoolBackend):
             if from_snapshot and self._snapshots[worker] is not None:
                 payload = {"shard_ids": payload["shard_ids"],
                            "services_blob": self._snapshots[worker]}
+            if telemetry.is_enabled():
+                payload["telemetry"] = True
             deadline = time.monotonic() + _STARTUP_TIMEOUT
             _send_frame(connection, ("start", payload), deadline=deadline)
             ok, result = _recv_frame(connection, deadline=deadline)
@@ -682,7 +705,20 @@ class SocketBackend(WorkerPoolBackend):
             except OSError:
                 pass
             self._sockets[worker] = None
+        reg = telemetry.active()
+        snapshot_age = (None if self._snapshot_times[worker] is None
+                        else time.monotonic() - self._snapshot_times[worker])
+        journal_length = len(self._journals[worker])
+        _LOG.warning(
+            "worker %d lost (%s: %s); recovering from %s + replay of %d "
+            "journalled command(s)", worker, type(cause).__name__, cause,
+            ("fresh start" if snapshot_age is None
+             else f"snapshot taken {snapshot_age:.1f}s ago"), journal_length)
         for attempt in range(1, self._max_respawns + 1):
+            if reg is not None:
+                reg.counter("backend.socket.respawn_attempts").inc()
+            _LOG.warning("worker %d re-spawn/reconnect attempt %d/%d",
+                         worker, attempt, self._max_respawns)
             try:
                 if self._local:
                     process = self._processes[worker]
@@ -727,8 +763,18 @@ class SocketBackend(WorkerPoolBackend):
                 continue
             self._sockets[worker] = connection
             self.respawns += 1
+            if reg is not None:
+                reg.counter("backend.socket.respawns").inc()
+                reg.counter("backend.socket.replayed_commands").inc(
+                    journal_length)
+            _LOG.warning(
+                "worker %d recovered on attempt %d/%d (%d command(s) "
+                "replayed, %d total recoveries)", worker, attempt,
+                self._max_respawns, journal_length, self.respawns)
             return
         self._broken = True
+        _LOG.error("worker %d could not be recovered after %d attempt(s)",
+                   worker, self._max_respawns)
         raise WorkerCrashError(
             f"worker {worker} is gone and could not be re-spawned after "
             f"{self._max_respawns} attempt(s); its shards "
@@ -749,8 +795,15 @@ class SocketBackend(WorkerPoolBackend):
             self._post(worker, "snapshot", None)
             blob = self._finish(worker)
             self._snapshots[worker] = blob
+            self._snapshot_times[worker] = time.monotonic()
             self._journals[worker].clear()
             self._mutations[worker] = 0
+            reg = telemetry.active()
+            if reg is not None:
+                reg.counter("backend.socket.snapshots").inc()
+                reg.gauge("backend.socket.snapshot_bytes").set(len(blob))
+                reg.histogram("backend.socket.snapshot_size_bytes",
+                              SIZE_EDGES).observe(len(blob))
 
     # ------------------------------------------------------------------ #
     # Request plumbing
@@ -775,8 +828,11 @@ class SocketBackend(WorkerPoolBackend):
         self._inflight[worker] = (command, payload)
         deadline = time.monotonic() + self._request_timeout()
         try:
-            _send_frame(self._sockets[worker], (command, payload),
-                        deadline=deadline)
+            sent = _send_frame(self._sockets[worker], (command, payload),
+                               deadline=deadline)
+            reg = telemetry.active()
+            if reg is not None:
+                reg.counter("backend.socket.bytes_sent").inc(sent)
         except _DeadlineExceeded:
             # a live worker that stopped draining its socket is hung, not
             # dead: surface it like a reply timeout instead of re-spawning
@@ -796,8 +852,11 @@ class SocketBackend(WorkerPoolBackend):
         while True:
             deadline = time.monotonic() + timeout
             try:
-                ok, result = _recv_frame(self._sockets[worker],
-                                         deadline=deadline)
+                (ok, result), received = _recv_frame_sized(
+                    self._sockets[worker], deadline=deadline)
+                reg = telemetry.active()
+                if reg is not None:
+                    reg.counter("backend.socket.bytes_received").inc(received)
                 break
             except _ConnectionLost as error:
                 # recovery replays the journal and re-sends the in-flight

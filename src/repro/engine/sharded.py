@@ -41,6 +41,7 @@ from repro.engine.backends.base import (
     make_backend,
 )
 from repro.sketches.hashing import UniversalHashFamily
+from repro.telemetry import runtime as telemetry
 from repro.utils.rng import BufferedUniforms, RandomState, ensure_rng, \
     spawn_children
 from repro.utils.validation import check_positive
@@ -308,6 +309,10 @@ class ShardedSamplingService:
         """Per-shard processed-element counts (partition balance check)."""
         return self._backend.shard_loads()
 
+    def memory_sizes(self) -> List[int]:
+        """Per-shard sampling-memory sizes (``|Gamma|`` of each shard)."""
+        return self._backend.memory_sizes()
+
     def merged_memory(self) -> List[int]:
         """Concatenation of every shard's sampling memory ``Gamma``."""
         return self._backend.merged_memory()
@@ -316,8 +321,39 @@ class ShardedSamplingService:
         """Reset every shard."""
         self._backend.reset()
 
+    def _harvest_telemetry(self) -> None:
+        """Fold final shard loads and worker registries into the parent.
+
+        Worker-side registries (process/socket backends) live in other
+        processes and die with them, so the harvest must happen while the
+        command channel is still up — :meth:`close` calls this before
+        tearing down the transport.  Serial backends record into the
+        parent's registry directly, so only the load gauges are added.
+        Harvesting is best-effort: telemetry must never turn a clean close
+        into a failure (e.g. when a worker is already gone).
+        """
+        reg = telemetry.active()
+        if reg is None:
+            return
+        try:
+            reg.gauge("sharded.shards").set(self.shards)
+            reg.gauge("sharded.backend").set(self._backend.name)
+            for shard, load in enumerate(self._backend.cached_loads()):
+                reg.gauge(f"sharded.shard_load.{shard}").set(int(load))
+            for snapshot in self._backend.telemetry_snapshots():
+                reg.merge_snapshot(snapshot)
+        except Exception:
+            pass
+
     def close(self) -> None:
-        """Release backend resources (worker processes); idempotent."""
+        """Release backend resources (worker processes); idempotent.
+
+        With telemetry enabled, the final per-shard loads and every
+        worker-side registry snapshot are folded into the active registry
+        first (the workers' metrics would otherwise die with their
+        processes).
+        """
+        self._harvest_telemetry()
         self._backend.close()
 
     def __enter__(self) -> "ShardedSamplingService":

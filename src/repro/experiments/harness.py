@@ -9,6 +9,7 @@ per-trial and averaged results.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -21,6 +22,8 @@ from repro.engine.batch import DEFAULT_BATCH_SIZE, run_stream
 from repro.metrics.divergence import kl_divergence_to_uniform, kl_gain
 from repro.streams.oracle import StreamOracle
 from repro.streams.stream import IdentifierStream
+from repro.telemetry import runtime as telemetry
+from repro.telemetry.registry import TIME_EDGES
 from repro.utils.rng import RandomState, ensure_rng, spawn_children
 from repro.utils.validation import check_positive
 
@@ -208,7 +211,19 @@ class ExperimentHarness:
         """Run all trials and return the collected results."""
         result = ExperimentResult()
         trial_rngs = spawn_children(self._rng, self.trials)
+        # Telemetry (when enabled) times each trial and each strategy drive
+        # and counts the elements the metrics are computed over; it draws no
+        # randomness, so enabling it cannot shift any trial's coin streams.
+        reg = telemetry.active()
+        if reg is not None:
+            trial_seconds = reg.histogram("harness.trial_seconds", TIME_EDGES)
+            drive_seconds = reg.histogram("harness.drive_seconds", TIME_EDGES)
+            trials_total = reg.counter("harness.trials")
+            drives_total = reg.counter("harness.strategy_runs")
+            metric_elements = reg.counter("harness.metric_elements")
+            view_applications = reg.counter("harness.metrics_view_applied")
         for trial_index, trial_rng in enumerate(trial_rngs):
+            trial_started = time.perf_counter()
             stream = self.stream_factory(trial_rng)
             if self.metrics_view is None:
                 # the input-side metrics are shared by every strategy of the
@@ -219,6 +234,7 @@ class ExperimentHarness:
                 shared_input_max_frequency = stream.max_frequency()
             for name, factory in self.strategy_factories.items():
                 strategy = factory(stream, trial_rng)
+                drive_started = time.perf_counter()
                 try:
                     output = self._drive(strategy, stream)
                 finally:
@@ -227,6 +243,9 @@ class ExperimentHarness:
                     closer = getattr(strategy, "close", None)
                     if callable(closer):
                         closer()
+                if reg is not None:
+                    drive_seconds.observe(time.perf_counter() - drive_started)
+                    drives_total.inc()
                 if self.metrics_view is None:
                     metric_input, metric_output = stream, output
                     support = shared_support
@@ -240,6 +259,10 @@ class ExperimentHarness:
                         metric_input, support=support,
                         penalise_out_of_support=True)
                     input_max_frequency = metric_input.max_frequency()
+                if reg is not None:
+                    metric_elements.inc(len(metric_output.identifiers))
+                    if self.metrics_view is not None:
+                        view_applications.inc()
                 # a metrics view narrows the measured support (e.g. to the
                 # stable population), so out-of-support outputs are scored
                 # as uniformity violations rather than rejected
@@ -259,6 +282,9 @@ class ExperimentHarness:
                     output_max_frequency=metric_output.max_frequency(),
                     stream_size=stream.size,
                 ))
+            if reg is not None:
+                trial_seconds.observe(time.perf_counter() - trial_started)
+                trials_total.inc()
         return result
 
 

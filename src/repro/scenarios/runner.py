@@ -16,6 +16,7 @@ reproduces bit-identical :class:`ScenarioResult` contents.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
@@ -35,6 +36,8 @@ from repro.scenarios import registry as registries
 from repro.scenarios.registry import ComponentRegistry, ScenarioError
 from repro.scenarios.spec import ChurnSpec, ScenarioSpec, StrategySpec
 from repro.streams.stream import IdentifierStream
+from repro.telemetry import runtime as telemetry
+from repro.telemetry.registry import TIME_EDGES
 from repro.utils.rng import RandomState, ensure_rng, spawn_children
 
 
@@ -572,14 +575,24 @@ class ScenarioRunner:
             else:
                 result = runner._run_stream(random_state=master)
             points.append(SweepPoint(value=value, result=result))
+        reg = telemetry.active()
+        if reg is not None:
+            reg.counter("scenario.sweeps").inc()
+            reg.counter("scenario.sweep_points").inc(len(points))
         return SweepResult(name=self.spec.name, parameter=sweep.parameter,
                            label=sweep.label, points=points)
 
     def _run_stream(self, *, random_state: RandomState = None
                     ) -> ScenarioResult:
         spec = self.spec
+        started = time.perf_counter()
         harness = self.compile(random_state=random_state)
         result = harness.run()
+        reg = telemetry.active()
+        if reg is not None:
+            reg.counter("scenario.stream_runs").inc()
+            reg.histogram("scenario.run_seconds", TIME_EDGES).observe(
+                time.perf_counter() - started)
         collect = set(spec.metrics.collect)
         summaries: List[Dict[str, Any]] = []
         for name, summary in result.summaries().items():
@@ -651,11 +664,18 @@ class ScenarioRunner:
         trial_rngs = spawn_children(master, spec.trials)
         summaries: List[Dict[str, Any]] = []
         details: List[Dict[str, Any]] = []
+        started = time.perf_counter()
         for trial, rng in enumerate(trial_rngs):
             simulation = SystemSimulation(config, random_state=rng).run()
             summary, rows = self._network_rows(trial, simulation.report())
             summaries.append(summary)
             details.extend(rows)
+        reg = telemetry.active()
+        if reg is not None:
+            reg.counter("scenario.network_runs").inc()
+            reg.counter("scenario.network_trials").inc(len(trial_rngs))
+            reg.histogram("scenario.run_seconds", TIME_EDGES).observe(
+                time.perf_counter() - started)
         return ScenarioResult(name=spec.name, mode=spec.mode,
                               summaries=summaries, details=details)
 

@@ -1,0 +1,63 @@
+"""Telemetry subsystem: metrics registry, spans, and the global switch.
+
+* :mod:`repro.telemetry.registry` — the instruments (counters, gauges,
+  fixed-bucket histograms, timing spans), ``snapshot()`` export and
+  cross-process snapshot merging;
+* :mod:`repro.telemetry.runtime` — the process-wide enable/disable switch
+  instrumented hot paths consult (``None`` when disabled, so the disabled
+  path is near-zero cost).
+
+The registry records *observations only* — wall-clock timings, element and
+byte counts, queue depths, supervisor events.  It never draws randomness,
+so enabling telemetry cannot perturb the engine's bit-identity guarantee
+(regression-tested on every execution backend).
+
+Quickstart::
+
+    from repro import telemetry
+
+    with telemetry.enabled() as registry:
+        ...  # run any engine / scenario workload
+        snapshot = registry.snapshot()
+    snapshot["counters"]["engine.elements"]
+"""
+
+from repro.telemetry.registry import (
+    DEPTH_EDGES,
+    SIZE_EDGES,
+    TIME_EDGES,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    empty_snapshot,
+    merge_snapshots,
+)
+from repro.telemetry.runtime import (
+    active,
+    disable,
+    enable,
+    enable_worker,
+    enabled,
+    is_enabled,
+    snapshot_active,
+)
+
+__all__ = [
+    "Counter",
+    "DEPTH_EDGES",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SIZE_EDGES",
+    "TIME_EDGES",
+    "active",
+    "disable",
+    "empty_snapshot",
+    "enable",
+    "enable_worker",
+    "enabled",
+    "is_enabled",
+    "merge_snapshots",
+    "snapshot_active",
+]

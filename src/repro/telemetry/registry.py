@@ -1,0 +1,269 @@
+"""Process-local metrics registry: counters, gauges, histograms, spans.
+
+The observability layer of the repo.  A :class:`MetricsRegistry` is a plain
+in-process container of named instruments; instrumented code obtains
+instruments by name (get-or-create) and updates them with ordinary Python
+arithmetic — no background threads, no sockets, no sampling.  Worker
+processes carry their own registry and ship :meth:`MetricsRegistry.snapshot`
+dicts back to the parent over the existing command channel, where
+:meth:`MetricsRegistry.merge_snapshot` folds them into one picture.
+
+Two hard design constraints, inherited from the repo's determinism
+guarantee:
+
+* **No RNG involvement.**  Instruments only read clocks and sizes; enabling
+  telemetry cannot change a single random draw, so every backend stays
+  bit-identical to serial per seed with telemetry on (regression-tested).
+* **Near-zero disabled cost.**  The global runtime
+  (:mod:`repro.telemetry.runtime`) hands hot paths ``None`` when telemetry
+  is off, so the disabled path is one attribute read and one ``is None``
+  check per chunk or command — not a method call.
+
+Instrument updates are plain attribute arithmetic guarded by the GIL; the
+registry-level lock only protects instrument *creation* (worker servers
+serve several connections from threads).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from bisect import bisect_left
+from contextlib import contextmanager
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "TIME_EDGES",
+    "SIZE_EDGES",
+    "DEPTH_EDGES",
+    "empty_snapshot",
+    "merge_snapshots",
+]
+
+#: Default bucket edges (seconds) of latency/duration histograms: five
+#: decades from 10 microseconds to well past any sane request.
+TIME_EDGES = (1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0)
+
+#: Default bucket edges (bytes) of payload-size histograms.
+SIZE_EDGES = (256, 4_096, 65_536, 1_048_576, 16_777_216)
+
+#: Default bucket edges of small cardinalities (queue depths, worker counts).
+DEPTH_EDGES = (1, 2, 4, 8, 16, 32, 64)
+
+
+class Counter:
+    """A monotonically increasing integer (or float) total."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: float = 1) -> None:
+        """Add ``amount`` (default 1) to the running total."""
+        self.value += amount
+
+
+class Gauge:
+    """A last-write-wins spot value (any JSON-serialisable value)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: Any = None
+
+    def set(self, value: Any) -> None:
+        """Record the current value, replacing the previous one."""
+        self.value = value
+
+
+class Histogram:
+    """A fixed-bucket histogram with sum/count/min/max running aggregates.
+
+    ``edges`` are the (strictly increasing) upper bounds of the first
+    ``len(edges)`` buckets; one overflow bucket catches everything larger,
+    so ``counts`` has ``len(edges) + 1`` entries.  Bucket ``i`` counts
+    observations ``<= edges[i]``.
+    """
+
+    __slots__ = ("edges", "counts", "count", "sum", "min", "max")
+
+    def __init__(self, edges: Sequence[float]) -> None:
+        edges = tuple(float(edge) for edge in edges)
+        if not edges:
+            raise ValueError("a histogram needs at least one bucket edge")
+        if any(b <= a for a, b in zip(edges, edges[1:])):
+            raise ValueError(
+                f"histogram edges must be strictly increasing, got {edges}")
+        self.edges = edges
+        self.counts = [0] * (len(edges) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        self.counts[bisect_left(self.edges, value)] += 1
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of the observations (0 when empty)."""
+        return self.sum / self.count if self.count else 0.0
+
+
+def empty_snapshot() -> Dict[str, Dict[str, Any]]:
+    """The snapshot of a registry holding no instruments."""
+    return {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+class MetricsRegistry:
+    """Named instruments plus snapshot/merge plumbing.
+
+    Instruments are created on first access and live for the registry's
+    lifetime; names are free-form dotted strings
+    (``"backend.socket.respawns"``).  Histogram edges are fixed at creation
+    — re-requesting a histogram with different edges raises, because two
+    edge sets cannot be merged.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------ #
+    # Instrument access (get-or-create)
+    # ------------------------------------------------------------------ #
+    def counter(self, name: str) -> Counter:
+        """Return the counter registered under ``name`` (creating it)."""
+        instrument = self._counters.get(name)
+        if instrument is None:
+            with self._lock:
+                instrument = self._counters.setdefault(name, Counter())
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        """Return the gauge registered under ``name`` (creating it)."""
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            with self._lock:
+                instrument = self._gauges.setdefault(name, Gauge())
+        return instrument
+
+    def histogram(self, name: str,
+                  edges: Sequence[float] = TIME_EDGES) -> Histogram:
+        """Return the histogram under ``name`` (creating it with ``edges``)."""
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            with self._lock:
+                instrument = self._histograms.get(name)
+                if instrument is None:
+                    instrument = self._histograms.setdefault(
+                        name, Histogram(edges))
+        if instrument.edges != tuple(float(edge) for edge in edges):
+            raise ValueError(
+                f"histogram {name!r} already exists with edges "
+                f"{instrument.edges}, requested {tuple(edges)}")
+        return instrument
+
+    @contextmanager
+    def span(self, name: str, edges: Sequence[float] = TIME_EDGES):
+        """Time a ``with`` block into the ``{name}_seconds`` histogram."""
+        histogram = self.histogram(f"{name}_seconds", edges)
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            histogram.observe(time.perf_counter() - started)
+
+    # ------------------------------------------------------------------ #
+    # Export and merge
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """Export every instrument as one plain JSON-serialisable dict."""
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+        return {
+            "counters": {name: instrument.value
+                         for name, instrument in counters.items()},
+            "gauges": {name: instrument.value
+                       for name, instrument in gauges.items()},
+            "histograms": {
+                name: {
+                    "edges": list(instrument.edges),
+                    "counts": list(instrument.counts),
+                    "count": instrument.count,
+                    "sum": instrument.sum,
+                    "mean": instrument.mean,
+                    "min": instrument.min,
+                    "max": instrument.max,
+                }
+                for name, instrument in histograms.items()
+            },
+        }
+
+    def merge_snapshot(self, snapshot: Dict[str, Dict[str, Any]]) -> None:
+        """Fold one :meth:`snapshot` dict into this registry.
+
+        Counters add, gauges take the incoming value, histograms add their
+        bucket counts and aggregates (edges must match — the instruments
+        were created by the same code on both sides).
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, data in snapshot.get("histograms", {}).items():
+            histogram = self.histogram(name, data["edges"])
+            if list(histogram.edges) != [float(e) for e in data["edges"]]:
+                raise ValueError(
+                    f"cannot merge histogram {name!r}: edge mismatch "
+                    f"({histogram.edges} vs {data['edges']})")
+            for index, count in enumerate(data["counts"]):
+                histogram.counts[index] += count
+            histogram.count += data["count"]
+            histogram.sum += data["sum"]
+            for extreme, better in (("min", min), ("max", max)):
+                incoming = data.get(extreme)
+                if incoming is None:
+                    continue
+                current = getattr(histogram, extreme)
+                setattr(histogram, extreme,
+                        incoming if current is None
+                        else better(current, incoming))
+
+    def clear(self) -> None:
+        """Drop every instrument (a fresh registry without re-wiring)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (f"MetricsRegistry(counters={len(self._counters)}, "
+                f"gauges={len(self._gauges)}, "
+                f"histograms={len(self._histograms)})")
+
+
+def merge_snapshots(snapshots: Iterable[Dict[str, Dict[str, Any]]]
+                    ) -> Dict[str, Dict[str, Any]]:
+    """Combine several snapshot dicts into one (see ``merge_snapshot``)."""
+    merged = MetricsRegistry()
+    for snapshot in snapshots:
+        merged.merge_snapshot(snapshot)
+    return merged.snapshot()

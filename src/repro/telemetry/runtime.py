@@ -1,0 +1,119 @@
+"""Global telemetry switch: one process-wide active registry (or none).
+
+Instrumented hot paths read the switch once per operation::
+
+    reg = telemetry.active()
+    ...
+    if reg is not None:
+        reg.counter("engine.chunks").inc()
+
+``active()`` returns ``None`` while telemetry is disabled (the default), so
+the disabled cost of an instrumented site is one module attribute read and
+one ``is None`` check — no instrument lookups, no clock reads.  Enabling is
+explicit (``repro run --telemetry-out``, the benchmarks, or a test's
+:func:`enabled` block); nothing in the library turns it on by itself.
+
+Worker processes run their own interpreter and therefore their own switch:
+execution backends propagate the parent's enabled state when they start a
+worker (a ``telemetry`` flag in the start payload / worker arguments) and
+pull :func:`snapshot_active` dicts back over the ordinary command channel.
+
+The switch is **thread-local**: a ``repro worker serve`` process hosts one
+worker session per connection *thread*, and those sessions must not share
+(or clobber) one registry — each thread that wants telemetry enables its
+own.  Parent-side use (CLI, harness, benchmarks) is single-threaded, so
+thread-locality is invisible there; code that spawns its own threads must
+enable telemetry in the thread that records.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Any, Dict, Optional
+
+from repro.telemetry.registry import (
+    MetricsRegistry,
+    empty_snapshot,
+)
+
+__all__ = [
+    "active",
+    "disable",
+    "enable",
+    "enable_worker",
+    "enabled",
+    "is_enabled",
+    "snapshot_active",
+]
+
+_STATE = threading.local()
+
+
+def enable(registry: Optional[MetricsRegistry] = None) -> MetricsRegistry:
+    """Install (and return) this thread's registry.
+
+    Re-enabling keeps the existing registry so totals accumulate; pass a
+    ``registry`` to install a specific one (tests, benchmark tiers).
+    """
+    if registry is not None:
+        _STATE.registry = registry
+    elif getattr(_STATE, "registry", None) is None:
+        _STATE.registry = MetricsRegistry()
+    return _STATE.registry
+
+
+def enable_worker() -> MetricsRegistry:
+    """Install a *fresh* registry for a worker-process/session scope.
+
+    Worker entry points must not reuse an inherited registry: under the
+    ``fork`` start method the child process inherits the parent's active
+    registry *including its accumulated counts*, and harvesting that copy
+    back over the command channel would double-count everything the parent
+    recorded before the fork.  A fresh registry makes the worker's snapshot
+    contain exactly what this worker session observed.
+    """
+    _STATE.registry = MetricsRegistry()
+    return _STATE.registry
+
+
+def disable() -> None:
+    """Turn telemetry off (instrumented sites go back to the no-op path)."""
+    _STATE.registry = None
+
+
+def active() -> Optional[MetricsRegistry]:
+    """The active registry, or ``None`` while telemetry is disabled."""
+    return getattr(_STATE, "registry", None)
+
+
+def is_enabled() -> bool:
+    """Whether a registry is currently installed."""
+    return getattr(_STATE, "registry", None) is not None
+
+
+def snapshot_active() -> Dict[str, Dict[str, Any]]:
+    """Snapshot the active registry (an empty snapshot when disabled).
+
+    This is what the worker-protocol ``telemetry`` command returns, so a
+    worker whose telemetry was never enabled answers with an empty — but
+    well-formed — snapshot instead of an error.
+    """
+    registry = getattr(_STATE, "registry", None)
+    return registry.snapshot() if registry is not None else empty_snapshot()
+
+
+@contextmanager
+def enabled(registry: Optional[MetricsRegistry] = None):
+    """Enable telemetry for a ``with`` block, restoring the previous state.
+
+    Yields the installed registry.  The previous switch state (including a
+    previously installed registry) is restored on exit, so nested blocks
+    and test isolation both work.
+    """
+    previous = getattr(_STATE, "registry", None)
+    _STATE.registry = registry if registry is not None else MetricsRegistry()
+    try:
+        yield _STATE.registry
+    finally:
+        _STATE.registry = previous

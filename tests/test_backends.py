@@ -416,6 +416,26 @@ class TestSocketSupervision:
             assert serial.shard_loads() == service.shard_loads()
             assert serial.sample_many(100) == service.sample_many(100)
 
+    def test_stats_proxies_serial_identical_after_recovery(self):
+        # every inspection proxy — shard loads, per-shard memory sizes and
+        # the merged memory — answers from the *rebuilt* workers, so a
+        # mid-run kill must leave them serial-identical, repeatedly
+        serial = _service("serial", seed=23)
+        ids = np.asarray(STREAM.identifiers, dtype=np.int64)
+        with _service("socket", seed=23, workers=2) as service:
+            for round_number, (start, stop) in enumerate(
+                    [(0, 3000), (3000, 6000), (6000, 8000)]):
+                serial.on_receive_batch(ids[start:stop])
+                service.on_receive_batch(ids[start:stop])
+                assert serial.shard_loads() == service.shard_loads()
+                assert serial.memory_sizes() == service.memory_sizes()
+                assert serial.merged_memory() == service.merged_memory()
+                if round_number < 2:  # kill a different worker each round
+                    victim = service.backend._processes[round_number % 2]
+                    victim.kill()
+                    victim.join(timeout=5.0)
+            assert service.backend.respawns >= 2
+
     def test_socket_worker_crash_mid_dispatch_recovers(self):
         # the kill lands while the batch request is in flight; the
         # supervisor re-spawns the worker and replays it transparently

@@ -9,7 +9,8 @@ class TestParser:
     def test_all_subcommands_registered(self):
         parser = build_parser()
         subparsers = next(action for action in parser._actions
-                          if hasattr(action, "choices") and action.choices)
+                          if hasattr(action, "choices") and action.choices
+                          and not action.option_strings)
         commands = set(subparsers.choices)
         expected = {"list", "table1", "table2", "figure3", "figure4",
                     "figure5", "figure6", "figure7", "figure8", "figure9",
@@ -214,3 +215,120 @@ class TestRunCommand:
         output = capsys.readouterr().out
         assert "cli-churn" in output
         assert "mean_gain" in output
+
+
+class TestTelemetryCli:
+    """The observability surface: throughput --json, run --telemetry-out,
+    and the root --log-level flag."""
+
+    def _write_sharded_spec(self, tmp_path):
+        from repro.scenarios import ScenarioSpec
+        spec = ScenarioSpec.from_dict({
+            "name": "cli-telemetry",
+            "seed": 7,
+            "trials": 1,
+            "stream": {"kind": "zipf",
+                       "params": {"stream_size": 6000,
+                                  "population_size": 300, "alpha": 1.5}},
+            "strategies": [{"kind": "knowledge-free",
+                            "params": {"memory_size": 5, "sketch_width": 8,
+                                       "sketch_depth": 3}}],
+            "engine": {"driver": "batch", "batch_size": 1024, "shards": 2,
+                       "backend": "serial"},
+        })
+        path = tmp_path / "sharded.json"
+        spec.save(path)
+        return path
+
+    def test_throughput_json_report(self, capsys):
+        import json
+        assert main(["throughput", "--stream-size", "4000",
+                     "--population-size", "400", "--scalar-limit", "2000",
+                     "--batch-size", "1024", "--memory-size", "5",
+                     "--sketch-width", "8", "--sketch-depth", "3",
+                     "--shards", "2", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["config"]["stream_size"] == 4000
+        assert report["config"]["backend"] == "serial"
+        drivers = [row["driver"] for row in report["tiers"]]
+        assert drivers == ["scalar", "batch", "sharded x2"]
+        for row in report["tiers"]:
+            assert row["elements_per_second"] > 0
+            assert row["seconds"] >= 0
+        counters = report["telemetry"]["counters"]
+        assert counters["engine.elements"] > 0
+        assert counters["backend.serial.dispatches"] >= 1
+
+    def test_throughput_table_has_no_telemetry_noise(self, capsys):
+        assert main(["throughput", "--stream-size", "3000",
+                     "--population-size", "300", "--scalar-limit", "1000",
+                     "--memory-size", "5", "--sketch-width", "8",
+                     "--sketch-depth", "3", "--shards", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "elements/s" in output
+        assert "telemetry" not in output
+
+    def test_run_telemetry_out_writes_snapshot(self, tmp_path, capsys):
+        import json
+        out = tmp_path / "telemetry.json"
+        assert main(["run", str(self._write_sharded_spec(tmp_path)),
+                     "--telemetry-out", str(out)]) == 0
+        assert "telemetry snapshot written" in capsys.readouterr().err
+        snapshot = json.loads(out.read_text())
+        assert snapshot["counters"]["engine.elements"] == 6000
+        assert snapshot["counters"]["scenario.stream_runs"] == 1
+        assert snapshot["gauges"]["sharded.backend"] == "serial"
+        loads = [value for name, value in snapshot["gauges"].items()
+                 if name.startswith("sharded.shard_load.")]
+        assert sum(loads) == 6000
+        assert snapshot["histograms"]["engine.chunk_seconds"]["count"] > 0
+
+    def test_run_without_telemetry_out_writes_nothing(self, tmp_path,
+                                                      capsys):
+        assert main(["run", str(self._write_sharded_spec(tmp_path))]) == 0
+        assert "telemetry" not in capsys.readouterr().err
+
+    def test_run_telemetry_out_with_worker_kill(self, tmp_path, capsys,
+                                                monkeypatch):
+        """End-to-end: socket run + mid-run worker kill; the snapshot file
+        carries the supervisor counters and backend latency histograms."""
+        import json
+        from repro.engine import SocketBackend
+
+        original = SocketBackend.dispatch
+        calls = {"count": 0}
+
+        def killing_dispatch(self, identifiers, shard_indices):
+            calls["count"] += 1
+            if calls["count"] == 3:
+                victim = self._processes[0]
+                victim.kill()
+                victim.join(timeout=5.0)
+            return original(self, identifiers, shard_indices)
+
+        monkeypatch.setattr(SocketBackend, "dispatch", killing_dispatch)
+        out = tmp_path / "telemetry.json"
+        assert main(["run", str(self._write_sharded_spec(tmp_path)),
+                     "--backend", "socket", "--workers", "2",
+                     "--telemetry-out", str(out)]) == 0
+        assert calls["count"] >= 3
+        snapshot = json.loads(out.read_text())
+        counters = snapshot["counters"]
+        assert counters["backend.socket.respawns"] >= 1
+        assert counters["backend.socket.respawn_attempts"] >= 1
+        assert counters["engine.elements"] == 6000
+        assert counters["worker.batch_elements"] == 6000
+        assert (snapshot["histograms"]
+                ["backend.socket.roundtrip_seconds.batch"]["count"] >= 1)
+        assert snapshot["gauges"]["sharded.backend"] == "socket"
+        loads = [value for name, value in snapshot["gauges"].items()
+                 if name.startswith("sharded.shard_load.")]
+        assert sum(loads) == 6000
+
+    def test_log_level_flag(self, capsys):
+        assert main(["--log-level", "WARNING", "list"]) == 0
+        assert "throughput" in capsys.readouterr().out
+
+    def test_log_level_rejects_unknown_levels(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--log-level", "LOUD", "list"])

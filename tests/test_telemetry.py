@@ -1,0 +1,363 @@
+"""Tests for repro.telemetry (registry, runtime switch, instrumentation).
+
+The load-bearing guarantee under test: telemetry records observations only
+and never draws randomness, so enabling it cannot perturb the engine's
+coin streams — the bit-identity tests run every execution backend with
+telemetry *on* against a telemetry-off serial reference.  The harvest tests
+assert that worker-side registries (process/socket backends) ship their
+snapshots back over the command channel and merge exactly once (no
+fork-inherited double counting).
+"""
+
+import logging
+import threading
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.engine import ShardedSamplingService, run_stream
+from repro.engine.batch import run_stream_scalar
+from repro.core import KnowledgeFreeStrategy
+from repro.telemetry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    empty_snapshot,
+    merge_snapshots,
+)
+from repro.telemetry import runtime
+from repro.streams import zipf_stream
+
+STREAM = zipf_stream(6_000, 800, alpha=1.3, random_state=31)
+IDS = np.asarray(STREAM.identifiers, dtype=np.int64)
+
+
+def _service(backend, seed=23, shards=4, **kwargs):
+    return ShardedSamplingService.knowledge_free(
+        shards=shards, memory_size=10, sketch_width=32, sketch_depth=4,
+        random_state=seed, backend=backend, **kwargs)
+
+
+# --------------------------------------------------------------------- #
+# Instruments
+# --------------------------------------------------------------------- #
+class TestInstruments:
+    def test_counter_accumulates(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(5)
+        assert counter.value == 6
+
+    def test_gauge_last_write_wins(self):
+        gauge = Gauge()
+        gauge.set(3)
+        gauge.set("serial")
+        assert gauge.value == "serial"
+
+    def test_histogram_bucket_placement(self):
+        histogram = Histogram((1.0, 2.0, 4.0))
+        for value in (0.5, 1.0, 1.5, 3.0, 100.0):
+            histogram.observe(value)
+        # bucket i counts values <= edges[i]; the last bucket is overflow
+        assert histogram.counts == [2, 1, 1, 1]
+        assert histogram.count == 5
+        assert histogram.min == 0.5
+        assert histogram.max == 100.0
+        assert histogram.mean == pytest.approx(106.0 / 5)
+
+    def test_histogram_requires_increasing_edges(self):
+        with pytest.raises(ValueError):
+            Histogram((2.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram(())
+
+
+class TestRegistry:
+    def test_get_or_create_is_stable(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("g") is registry.gauge("g")
+        assert (registry.histogram("h", (1.0, 2.0))
+                is registry.histogram("h", (1.0, 2.0)))
+
+    def test_histogram_edge_mismatch_is_an_error(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", (1.0, 2.0))
+        with pytest.raises(ValueError, match="edges"):
+            registry.histogram("h", (1.0, 3.0))
+
+    def test_span_times_into_a_histogram(self):
+        registry = MetricsRegistry()
+        with registry.span("work", (0.5, 1.0)):
+            pass
+        snapshot = registry.snapshot()
+        data = snapshot["histograms"]["work_seconds"]
+        assert data["count"] == 1
+        assert data["sum"] >= 0.0
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(2)
+        registry.gauge("g").set(7)
+        registry.histogram("h", (1.0,)).observe(0.5)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {"c": 2}
+        assert snapshot["gauges"] == {"g": 7}
+        data = snapshot["histograms"]["h"]
+        assert data["edges"] == [1.0]
+        assert data["counts"] == [1, 0]
+        assert data["count"] == 1
+
+    def test_merge_snapshot_accumulates(self):
+        source = MetricsRegistry()
+        source.counter("c").inc(3)
+        source.gauge("g").set("worker")
+        source.histogram("h", (1.0, 2.0)).observe(1.5)
+        target = MetricsRegistry()
+        target.counter("c").inc(1)
+        target.histogram("h", (1.0, 2.0)).observe(0.5)
+        target.merge_snapshot(source.snapshot())
+        snapshot = target.snapshot()
+        assert snapshot["counters"]["c"] == 4
+        assert snapshot["gauges"]["g"] == "worker"
+        assert snapshot["histograms"]["h"]["count"] == 2
+        assert snapshot["histograms"]["h"]["counts"] == [1, 1, 0]
+
+    def test_merge_snapshot_rejects_mismatched_edges(self):
+        source = MetricsRegistry()
+        source.histogram("h", (1.0,)).observe(0.5)
+        target = MetricsRegistry()
+        target.histogram("h", (2.0,)).observe(0.5)
+        with pytest.raises(ValueError, match="edges"):
+            target.merge_snapshot(source.snapshot())
+
+    def test_merge_snapshots_function(self):
+        first = MetricsRegistry()
+        first.counter("c").inc(1)
+        second = MetricsRegistry()
+        second.counter("c").inc(2)
+        merged = merge_snapshots([first.snapshot(), second.snapshot(),
+                                  empty_snapshot()])
+        assert merged["counters"]["c"] == 3
+
+    def test_clear(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.clear()
+        assert registry.snapshot() == empty_snapshot()
+
+
+# --------------------------------------------------------------------- #
+# Runtime switch
+# --------------------------------------------------------------------- #
+class TestRuntime:
+    def test_disabled_by_default(self):
+        assert runtime.active() is None
+        assert not runtime.is_enabled()
+        assert runtime.snapshot_active() == empty_snapshot()
+
+    def test_enable_disable(self):
+        registry = runtime.enable()
+        try:
+            assert runtime.active() is registry
+            # re-enabling keeps the registry so totals accumulate
+            assert runtime.enable() is registry
+        finally:
+            runtime.disable()
+        assert runtime.active() is None
+
+    def test_enable_worker_installs_a_fresh_registry(self):
+        inherited = runtime.enable()
+        inherited.counter("stale").inc(99)
+        try:
+            fresh = runtime.enable_worker()
+            assert fresh is not inherited
+            assert runtime.snapshot_active() == empty_snapshot()
+        finally:
+            runtime.disable()
+
+    def test_enabled_context_restores_previous_state(self):
+        outer = MetricsRegistry()
+        with telemetry.enabled(outer) as registry:
+            assert registry is outer
+            with telemetry.enabled() as inner:
+                assert runtime.active() is inner
+            assert runtime.active() is outer
+        assert runtime.active() is None
+
+    def test_switch_is_thread_local(self):
+        seen = {}
+        with telemetry.enabled():
+            thread = threading.Thread(
+                target=lambda: seen.update(active=runtime.active()))
+            thread.start()
+            thread.join()
+        assert seen["active"] is None
+
+
+# --------------------------------------------------------------------- #
+# Engine instrumentation
+# --------------------------------------------------------------------- #
+class TestEngineInstrumentation:
+    def _strategy(self):
+        return KnowledgeFreeStrategy(10, sketch_width=32, sketch_depth=4,
+                                     random_state=5)
+
+    def test_run_stream_records_volume_and_timing(self):
+        with telemetry.enabled() as registry:
+            result = run_stream(self._strategy(), IDS, batch_size=1024)
+            snapshot = registry.snapshot()
+        assert snapshot["counters"]["engine.elements"] == IDS.size
+        assert snapshot["counters"]["engine.chunks"] == result.batches
+        assert snapshot["counters"]["engine.bytes"] == IDS.nbytes
+        assert (snapshot["histograms"]["engine.chunk_seconds"]["count"]
+                == result.batches)
+
+    def test_run_stream_outputs_identical_with_telemetry(self):
+        baseline = run_stream(self._strategy(), IDS, batch_size=1024)
+        with telemetry.enabled():
+            instrumented = run_stream(self._strategy(), IDS, batch_size=1024)
+        assert np.array_equal(baseline.outputs, instrumented.outputs)
+
+    def test_scalar_driver_matches_with_telemetry(self):
+        baseline = run_stream_scalar(self._strategy(), IDS[:1500])
+        with telemetry.enabled():
+            instrumented = run_stream_scalar(self._strategy(), IDS[:1500])
+        assert np.array_equal(baseline.outputs, instrumented.outputs)
+
+
+# --------------------------------------------------------------------- #
+# Cross-backend bit-identity with telemetry enabled
+# --------------------------------------------------------------------- #
+class TestBitIdentityWithTelemetry:
+    @pytest.mark.parametrize("backend", ["serial", "process", "socket"])
+    def test_backend_bit_identical_to_untraced_serial(self, backend):
+        """Telemetry on any backend never shifts outputs, memory or samples."""
+        reference = _service("serial")
+        expected = reference.on_receive_batch(IDS)
+        expected_memory = reference.merged_memory()
+        expected_samples = reference.sample_many(50)
+        kwargs = {} if backend == "serial" else {"workers": 2}
+        with telemetry.enabled() as registry:
+            service = _service(backend, **kwargs)
+            try:
+                outputs = service.on_receive_batch(IDS)
+                memory = service.merged_memory()
+                samples = service.sample_many(50)
+            finally:
+                service.close()
+            snapshot = registry.snapshot()
+        assert np.array_equal(expected, outputs)
+        assert expected_memory == memory
+        assert expected_samples == samples
+        # and the run actually recorded backend metrics while doing so
+        assert snapshot["counters"][f"backend.{backend}.dispatches"] >= 1
+
+
+# --------------------------------------------------------------------- #
+# Worker-side registries and the close() harvest
+# --------------------------------------------------------------------- #
+class TestWorkerHarvest:
+    @pytest.mark.parametrize("backend", ["process", "socket"])
+    def test_worker_snapshots_merge_exactly_once(self, backend):
+        with telemetry.enabled() as registry:
+            service = _service(backend, workers=2)
+            try:
+                service.on_receive_batch(IDS)
+            finally:
+                service.close()
+            snapshot = registry.snapshot()
+        counters = snapshot["counters"]
+        # every input element was batch-ingested in exactly one worker
+        assert counters["worker.batch_elements"] == IDS.size
+        assert counters[f"backend.{backend}.dispatch_elements"] == IDS.size
+        assert counters[f"backend.{backend}.bytes_sent"] > 0
+        assert counters[f"backend.{backend}.bytes_received"] > 0
+        assert snapshot["histograms"]["worker.batch_seconds"]["count"] > 0
+        assert (snapshot["histograms"]
+                [f"backend.{backend}.roundtrip_seconds.batch"]["count"] > 0)
+        # final shard loads were recorded as gauges at close time
+        gauges = snapshot["gauges"]
+        loads = [gauges[f"sharded.shard_load.{shard}"] for shard in range(4)]
+        assert sum(loads) == IDS.size
+        assert gauges["sharded.backend"] == backend
+
+    def test_serial_backend_records_in_process(self):
+        # serial shards run in-process (no worker protocol), so only the
+        # backend.* instrument family applies
+        with telemetry.enabled() as registry:
+            service = _service("serial")
+            service.on_receive_batch(IDS)
+            service.close()
+            snapshot = registry.snapshot()
+        counters = snapshot["counters"]
+        assert counters["backend.serial.dispatch_elements"] == IDS.size
+        assert "worker.batch_elements" not in counters
+        histograms = snapshot["histograms"]
+        assert histograms["backend.serial.roundtrip_seconds.batch"]["count"] \
+            == counters["backend.serial.dispatches"]
+
+    def test_disabled_run_records_nothing(self):
+        registry = MetricsRegistry()
+        service = _service("process", workers=2)
+        try:
+            service.on_receive_batch(IDS[:1000])
+        finally:
+            service.close()
+        assert registry.snapshot() == empty_snapshot()
+
+
+# --------------------------------------------------------------------- #
+# Supervision telemetry and logging (socket backend)
+# --------------------------------------------------------------------- #
+class TestSupervisionTelemetry:
+    def test_kill_mid_run_counts_recovery_and_stays_bit_identical(
+            self, caplog):
+        reference = _service("serial")
+        expected_first = reference.on_receive_batch(IDS[:3000])
+        expected_second = reference.on_receive_batch(IDS[3000:])
+        with telemetry.enabled() as registry:
+            with caplog.at_level(logging.WARNING,
+                                 logger="repro.engine.backends.socket"):
+                service = _service("socket", workers=2)
+                try:
+                    first = service.on_receive_batch(IDS[:3000])
+                    victim = service.backend._processes[0]
+                    victim.kill()
+                    victim.join(timeout=5.0)
+                    second = service.on_receive_batch(IDS[3000:])
+                    assert service.backend.respawns >= 1
+                    memory = service.merged_memory()
+                finally:
+                    service.close()
+            snapshot = registry.snapshot()
+        assert np.array_equal(expected_first, first)
+        assert np.array_equal(expected_second, second)
+        assert reference.merged_memory() == memory
+        counters = snapshot["counters"]
+        assert counters["backend.socket.respawns"] >= 1
+        assert counters["backend.socket.respawn_attempts"] >= 1
+        assert counters["backend.socket.replayed_commands"] >= 0
+        # the supervisor announced the loss and the recovery at WARNING
+        messages = [record.message for record in caplog.records
+                    if record.name == "repro.engine.backends.socket"]
+        assert any("lost" in message and "replay" in message
+                   for message in messages)
+        assert any("recovered on attempt" in message
+                   for message in messages)
+
+    def test_snapshot_counters_advance_past_threshold(self):
+        with telemetry.enabled() as registry:
+            service = _service("socket", workers=2)
+            try:
+                backend = service.backend
+                backend._snapshot_every = 2
+                for start in range(0, 4000, 500):
+                    service.on_receive_batch(IDS[start:start + 500])
+            finally:
+                service.close()
+            snapshot = registry.snapshot()
+        assert snapshot["counters"]["backend.socket.snapshots"] >= 1
+        assert snapshot["gauges"]["backend.socket.snapshot_bytes"] > 0
