@@ -10,6 +10,8 @@ Usage (after ``pip install -e .``)::
     python -m repro figure8 --stream-size 20000 --trials 2
     python -m repro figure12 --scale 0.01
     python -m repro worker serve --listen 0.0.0.0:7333 --auth-token-file tok
+    python -m repro serve --listen 0.0.0.0:7911 --auth-token-file tok
+    python -m repro loadgen --server localhost:7911 --auth-token-file tok
 
 ``repro run`` is the general entry point: it executes any experiment
 declared as a JSON :class:`~repro.scenarios.spec.ScenarioSpec` through the
@@ -268,6 +270,112 @@ def _cmd_worker_serve(arguments: argparse.Namespace) -> None:
         pass
     finally:
         server.close()
+
+
+def _cmd_serve(arguments: argparse.Namespace) -> None:
+    """Run the always-on sampling front-end until drained (SIGTERM)."""
+    import asyncio
+    import os
+    import threading
+
+    from repro.engine import ShardedSamplingService
+    from repro.engine.backends.socket import load_auth_token, parse_endpoint
+    from repro.serve.server import SamplingServer
+
+    try:
+        host, port = parse_endpoint(arguments.listen, allow_port_zero=True)
+    except ValueError as error:
+        raise SystemExit(f"repro serve: {error}") from None
+    try:
+        token = load_auth_token(arguments.auth_token_file)
+    except (OSError, ValueError) as error:
+        raise SystemExit(f"repro serve: {error}") from None
+    build_kwargs = dict(
+        backend=arguments.backend,
+        workers=arguments.workers,
+        endpoints=_parse_endpoints_argument(arguments.endpoints),
+        auth_token_file=arguments.worker_auth_token_file,
+    )
+    with _telemetry_context(arguments.telemetry_out is not None) as registry:
+        state_file = arguments.state_file
+        if state_file and os.path.exists(state_file):
+            with open(state_file, "rb") as handle:
+                blob = handle.read()
+            service = ShardedSamplingService.restore(blob, **build_kwargs)
+            print(f"restored sampler state from {state_file} "
+                  f"({len(blob)} bytes, {service.shards} shards)",
+                  file=sys.stderr)
+        else:
+            service = ShardedSamplingService.knowledge_free(
+                arguments.shards, arguments.memory_size,
+                sketch_width=arguments.sketch_width,
+                sketch_depth=arguments.sketch_depth,
+                random_state=arguments.seed, **build_kwargs)
+        server = SamplingServer(
+            service, token, host=host, port=port, state_file=state_file,
+            queue_cap=arguments.queue_cap,
+            connection_hwm=arguments.connection_hwm,
+            retry_after=arguments.retry_after,
+            registry=registry, install_signal_handlers=True)
+
+        def announce() -> None:
+            server.wait_ready()
+            if server.address is not None:
+                print(f"serving on {server.address[0]}:{server.address[1]}",
+                      flush=True)
+
+        threading.Thread(target=announce, daemon=True).start()
+        report = asyncio.run(server.serve())
+        if arguments.telemetry_out:
+            _write_telemetry(arguments.telemetry_out, registry)
+    print(json.dumps(report, indent=2, sort_keys=True))
+
+
+def _cmd_loadgen(arguments: argparse.Namespace) -> None:
+    """Replay a registered stream against a running ``repro serve``."""
+    from repro.serve.loadgen import run_loadgen
+
+    try:
+        stream_params = (json.loads(arguments.stream_params)
+                         if arguments.stream_params else {})
+    except json.JSONDecodeError as error:
+        raise SystemExit(
+            f"repro loadgen: --stream-params is not valid JSON: {error}"
+        ) from None
+    report = run_loadgen(
+        arguments.server,
+        auth_token_file=arguments.auth_token_file,
+        stream=arguments.stream,
+        stream_params=stream_params,
+        stream_size=arguments.stream_size,
+        population_size=arguments.population_size,
+        connections=arguments.connections,
+        batch_size=arguments.batch_size,
+        seed=arguments.seed,
+        max_retries=arguments.max_retries,
+        drain=arguments.drain,
+        bench_name=arguments.bench_name)
+    if arguments.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return
+    latency = report["ingest_latency"]
+    print(f"ingested {report['elements']:,} elements in "
+          f"{report['batches']} batches over "
+          f"{report['config']['connections']} connections")
+    print(f"throughput {report['elements_per_second']:,.0f} elements/s "
+          f"({report['wall_seconds']:.2f}s wall)")
+    print(f"ingest latency p50 {latency['p50_seconds'] * 1e3:.2f}ms  "
+          f"p95 {latency['p95_seconds'] * 1e3:.2f}ms  "
+          f"p99 {latency['p99_seconds'] * 1e3:.2f}ms")
+    if report["backpressure_retries"]:
+        print(f"backpressure retries: {report['backpressure_retries']}")
+    server_info = report["server"]
+    print(f"server: backend={server_info['backend']} "
+          f"shards={server_info['shards']} "
+          f"elements={server_info['elements']:,} "
+          f"memory={server_info['memory_total']}")
+    if "drain" in report:
+        print(f"drained: {json.dumps(report['drain'], sort_keys=True)}")
 
 
 def _print_series(series, x_label: str) -> None:
@@ -566,6 +674,74 @@ def build_parser() -> argparse.ArgumentParser:
                             "present")
     serve.set_defaults(handler=_cmd_worker_serve)
 
+    serving = subparsers.add_parser(
+        "serve",
+        help="run the always-on sampling service until drained")
+    serving.add_argument("--listen", default="127.0.0.1:7911",
+                         help="HOST:PORT to listen on (port 0 picks a free "
+                              "port, printed at startup)")
+    serving.add_argument("--auth-token-file", required=True,
+                         help="file holding the shared token clients must "
+                              "present")
+    serving.add_argument("--state-file", default=None,
+                         help="drain snapshot path; restored at startup "
+                              "when it exists, so a restart resumes with "
+                              "an identical sampler")
+    serving.add_argument("--backend", default="serial",
+                         choices=["serial", "process", "socket"],
+                         help="execution backend of the shard pool")
+    serving.add_argument("--workers", type=int, default=None,
+                         help="worker count for the process/socket backends")
+    serving.add_argument("--endpoints", default=None,
+                         help="comma-separated worker HOST:PORT list for "
+                              "the socket backend (omit to spawn locally)")
+    serving.add_argument("--worker-auth-token-file", default=None,
+                         help="shared token file for remote socket workers")
+    serving.add_argument("--shards", type=int, default=4)
+    serving.add_argument("--memory-size", type=int, default=50)
+    serving.add_argument("--sketch-width", type=int, default=10)
+    serving.add_argument("--sketch-depth", type=int, default=5)
+    serving.add_argument("--seed", type=int, default=2013)
+    serving.add_argument("--queue-cap", type=int, default=256,
+                         help="global in-flight cap; past it, ingests are "
+                              "rejected with a retry-after hint")
+    serving.add_argument("--connection-hwm", type=int, default=8,
+                         help="per-connection in-flight high-water mark")
+    serving.add_argument("--retry-after", type=float, default=0.05,
+                         help="retry hint (seconds) sent with backpressure "
+                              "rejections")
+    serving.add_argument("--telemetry-out", default=None, metavar="PATH",
+                         help="write the server's telemetry snapshot as "
+                              "JSON on drain")
+    serving.set_defaults(handler=_cmd_serve)
+
+    loadgen = subparsers.add_parser(
+        "loadgen",
+        help="replay a registered stream against a running repro serve")
+    loadgen.add_argument("--server", required=True,
+                         help="HOST:PORT of the repro serve front-end")
+    loadgen.add_argument("--auth-token-file", required=True,
+                         help="file holding the shared client token")
+    loadgen.add_argument("--stream", default="zipf",
+                         help="registered stream component to replay")
+    loadgen.add_argument("--stream-params", default=None, metavar="JSON",
+                         help="extra stream parameters as a JSON object")
+    loadgen.add_argument("--stream-size", type=int, default=50_000)
+    loadgen.add_argument("--population-size", type=int, default=5_000)
+    loadgen.add_argument("--connections", type=int, default=4)
+    loadgen.add_argument("--batch-size", type=int, default=2_048)
+    loadgen.add_argument("--seed", type=int, default=2013)
+    loadgen.add_argument("--max-retries", type=int, default=16,
+                         help="per-batch backpressure retry budget")
+    loadgen.add_argument("--drain", action="store_true",
+                         help="ask the server to drain after the run")
+    loadgen.add_argument("--json", action="store_true",
+                         help="print the full report as JSON")
+    loadgen.add_argument("--bench-name", default="serve",
+                         help="BENCH_<name>.json record name (with "
+                              "BENCH_JSON_DIR set)")
+    loadgen.set_defaults(handler=_cmd_loadgen)
+
     return parser
 
 
@@ -584,7 +760,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         for name in ("run <scenario.json>", "table1", "table2", "figure3",
                      "figure4", "figure5", "figure6", "figure7 a|b",
                      "figure8", "figure9", "figure10 a|b", "figure11",
-                     "figure12", "throughput", "worker serve"):
+                     "figure12", "throughput", "worker serve", "serve",
+                     "loadgen"):
             print(name)
         return 0
     arguments.handler(arguments)

@@ -36,6 +36,7 @@ from repro.engine.batch import (
 )
 from repro.engine.sharded import (
     KnowledgeFreeShardFactory,
+    RestoredShardFactory,
     ShardedSamplingService,
 )
 
@@ -48,6 +49,7 @@ __all__ = [
     "ExecutionBackend",
     "KnowledgeFreeShardFactory",
     "ProcessBackend",
+    "RestoredShardFactory",
     "SerialBackend",
     "ShardedSamplingService",
     "SocketBackend",

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import abc
 import multiprocessing
+import pickle
 import time
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
@@ -67,9 +68,9 @@ def serve_shard_command(services: Dict[int, object], command: str, payload):
 
     This is the single interpreter of the message-shaped worker protocol
     (``batch`` / ``sample`` / ``sample_many`` / ``loads`` / ``memory_sizes``
-    / ``memory`` / ``reset`` / ``telemetry``), shared by the process
-    backend's pipe workers and the socket backend's TCP workers so both
-    transports execute exactly the same per-shard operations.
+    / ``memory`` / ``reset`` / ``snapshot`` / ``telemetry``), shared by the
+    process backend's pipe workers and the socket backend's TCP workers so
+    both transports execute exactly the same per-shard operations.
 
     It runs *inside the worker process*, so it is also where the
     worker-side telemetry accrues: with telemetry enabled, every command is
@@ -93,6 +94,12 @@ def serve_shard_command(services: Dict[int, object], command: str, payload):
         return outputs
     if command == "telemetry":
         return telemetry.snapshot_active()
+    if command == "snapshot":
+        # pickled (not live) services so the reply is a self-contained state
+        # blob: the socket supervisor journals it per worker, and
+        # ExecutionBackend.snapshot_shards merges the per-worker blobs into
+        # the public ShardedSamplingService.snapshot() payload
+        return pickle.dumps(services, protocol=pickle.HIGHEST_PROTOCOL)
     if command == "sample":
         return services[payload].sample()
     if command == "sample_many":
@@ -202,6 +209,28 @@ class ExecutionBackend(abc.ABC):
     @abc.abstractmethod
     def reset(self) -> None:
         """Reset every shard's service."""
+
+    @abc.abstractmethod
+    def snapshot_shards(self) -> bytes:
+        """Pickled ``{shard: service}`` map of every shard's live service.
+
+        This is the state half of the public snapshot/restore API: the blob
+        holds each shard's complete service (sampling memory, sketches, and
+        the shard's private generator state), so feeding it back through a
+        :class:`~repro.engine.sharded.RestoredShardFactory` rebuilds shards
+        that keep drawing the exact coin stream the originals would have —
+        the property the serve drain/restart path and live shard migration
+        both rely on.
+        """
+
+    def seed_loads(self, loads: Sequence[int]) -> None:
+        """Install restored per-shard load counters (restore path only).
+
+        Backends that answer :meth:`cached_loads` from the live services
+        (serial) need nothing — the restored services carry their own
+        ``elements_processed``.  Worker-pool backends keep a parent-side
+        mirror counter and override this to re-seed it.
+        """
 
     def telemetry_snapshots(self) -> List[Dict[str, Any]]:
         """Telemetry snapshots of the backend's worker processes.
@@ -421,6 +450,23 @@ class WorkerPoolBackend(ExecutionBackend):
     def reset(self) -> None:
         self._broadcast("reset")
         self._loads = [0] * self.shards
+
+    def snapshot_shards(self) -> bytes:
+        # each worker replies with the pickled map of its own shards; the
+        # merged map is re-pickled so the caller gets one self-contained blob
+        for worker in range(self.workers):
+            self._post_timed(worker, "snapshot", None)
+        merged: Dict[int, object] = {}
+        for worker in range(self.workers):
+            merged.update(pickle.loads(self._finish_timed(worker)))
+        self._after_requests(range(self.workers))
+        return pickle.dumps(merged, protocol=pickle.HIGHEST_PROTOCOL)
+
+    def seed_loads(self, loads: Sequence[int]) -> None:
+        if len(loads) != self.shards:
+            raise ValueError(
+                f"expected {self.shards} shard loads, got {len(loads)}")
+        self._loads = [int(load) for load in loads]
 
     def telemetry_snapshots(self) -> List[Dict[str, Any]]:
         """Pull every worker's telemetry snapshot over the command channel."""

@@ -8,6 +8,7 @@ backend is bit-identical, draw for draw, to the pre-backend implementation.
 
 from __future__ import annotations
 
+import pickle
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -97,3 +98,9 @@ class SerialBackend(ExecutionBackend):
     def reset(self) -> None:
         for service in self._services:
             service.reset()
+
+    def snapshot_shards(self) -> bytes:
+        # pickling deep-copies the live services, so mutating the ensemble
+        # after the snapshot cannot retroactively change the blob
+        return pickle.dumps(dict(enumerate(self._services)),
+                            protocol=pickle.HIGHEST_PROTOCOL)

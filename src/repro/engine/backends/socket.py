@@ -54,6 +54,7 @@ import logging
 import multiprocessing
 import pickle
 import secrets
+import selectors
 import socket
 import struct
 import threading
@@ -338,9 +339,6 @@ def serve_worker_connection(connection: socket.socket,
                 elif services is None:
                     raise RuntimeError(
                         f"protocol error: {command!r} before 'start'")
-                elif command == "snapshot":
-                    result = pickle.dumps(services,
-                                          protocol=pickle.HIGHEST_PROTOCOL)
                 else:
                     result = serve_shard_command(services, command, payload)
                 _send_frame(connection, (True, result))
@@ -371,24 +369,61 @@ class WorkerServer:
         self._listener.bind((host, port))
         self._listener.listen(backlog)
         self._shutdown = threading.Event()
+        # Self-pipe: close() writes one byte so a serve_forever blocked in
+        # select() wakes immediately.  Closing the listener alone does not
+        # reliably interrupt a poll on its fd, so without the wakeup pair a
+        # close() racing an in-flight accept wait would only take effect
+        # after the full poll_interval.
+        self._wakeup_recv, self._wakeup_send = socket.socketpair()
+        self._serving = False
         self.address: Tuple[str, int] = self._listener.getsockname()[:2]
 
     def serve_forever(self, *, poll_interval: float = 0.5) -> None:
-        """Accept and serve connections until :meth:`close` is called."""
-        while not self._shutdown.is_set():
+        """Accept and serve connections until :meth:`close` is called.
+
+        ``poll_interval`` is a liveness fallback only: :meth:`close` from
+        another thread wakes the loop through the internal wakeup socket, so
+        shutdown latency does not depend on it.
+        """
+        self._serving = True
+        try:
+            with selectors.DefaultSelector() as selector:
+                try:
+                    selector.register(self._listener, selectors.EVENT_READ)
+                    selector.register(self._wakeup_recv,
+                                      selectors.EVENT_READ)
+                except (OSError, ValueError):
+                    # close() already released the sockets
+                    return
+                while not self._shutdown.is_set():
+                    try:
+                        events = selector.select(poll_interval)
+                    except (OSError, ValueError):
+                        return
+                    for key, _ in events:
+                        if key.fileobj is self._wakeup_recv:
+                            return
+                        try:
+                            connection, _ = self._listener.accept()
+                        except (BlockingIOError, OSError):
+                            # a queued peer vanished, or close() raced us
+                            # and released the listener
+                            if self._shutdown.is_set():
+                                return
+                            continue
+                        connection.setsockopt(socket.IPPROTO_TCP,
+                                              socket.TCP_NODELAY, 1)
+                        thread = threading.Thread(
+                            target=self._serve_connection,
+                            args=(connection,),
+                            daemon=True, name="repro-socket-worker")
+                        thread.start()
+        finally:
+            self._serving = False
             try:
-                self._listener.settimeout(poll_interval)
-                connection, _ = self._listener.accept()
-            except socket.timeout:
-                continue
-            except OSError:
-                # close() raced us and released the listener
-                return
-            connection.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-            thread = threading.Thread(
-                target=self._serve_connection, args=(connection,),
-                daemon=True, name="repro-socket-worker")
-            thread.start()
+                self._wakeup_recv.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
 
     def _serve_connection(self, connection: socket.socket) -> None:
         try:
@@ -400,12 +435,29 @@ class WorkerServer:
                 pass
 
     def close(self) -> None:
-        """Stop accepting connections and release the listening socket."""
+        """Stop accepting connections and release the listening socket.
+
+        Thread-safe and prompt: a serve_forever loop blocked waiting for a
+        connection is woken through the wakeup socket instead of waiting out
+        its ``poll_interval``.
+        """
         self._shutdown.set()
         try:
-            self._listener.close()
+            self._wakeup_send.send(b"\0")
         except OSError:  # pragma: no cover - already closed
             pass
+        # the receive end stays open while a serve loop runs: its selector
+        # registration must survive until the loop reads the wakeup event,
+        # or the event could be discarded and the loop would wait out its
+        # poll_interval after all (the loop closes the socket on exit)
+        to_close = [self._listener, self._wakeup_send]
+        if not self._serving:
+            to_close.append(self._wakeup_recv)
+        for sock in to_close:
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
 
     def __enter__(self) -> "WorkerServer":
         return self
@@ -422,6 +474,21 @@ def _local_worker_main(host: str, token: bytes, report) -> None:
     kills the worker (which is exactly what the supervisor's re-spawn tests
     rely on).
     """
+    # A fork start method inherits the parent's signal dispositions.  When
+    # the parent is ``repro serve``, SIGTERM/SIGINT are wired to its drain
+    # handler — inherited here, they would make the worker ignore the
+    # supervisor's ``terminate()`` and outlive the parent.  Reset to the
+    # defaults so a terminated worker actually dies.
+    import signal as _signal
+    for _signum in (_signal.SIGTERM, _signal.SIGINT):
+        try:
+            _signal.signal(_signum, _signal.SIG_DFL)
+        except (OSError, ValueError):  # pragma: no cover - exotic platforms
+            pass
+    try:
+        _signal.set_wakeup_fd(-1)
+    except (OSError, ValueError):  # pragma: no cover - non-main thread
+        pass
     listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
     listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
     listener.bind((host, 0))
@@ -679,6 +746,9 @@ class SocketBackend(WorkerPoolBackend):
             if process.is_alive():
                 process.terminate()
             process.join(timeout=5.0)
+            if process.is_alive():  # pragma: no cover - SIGTERM blocked
+                process.kill()
+                process.join(timeout=5.0)
             self._processes[worker] = None
 
     # ------------------------------------------------------------------ #

@@ -28,6 +28,7 @@ samples.  :class:`ShardedSamplingService` implements that composition:
 
 from __future__ import annotations
 
+import pickle
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -46,8 +47,12 @@ from repro.utils.rng import BufferedUniforms, RandomState, ensure_rng, \
     spawn_children
 from repro.utils.validation import check_positive
 
-__all__ = ["KnowledgeFreeShardFactory", "ShardFactory",
-           "ShardedSamplingService"]
+__all__ = ["KnowledgeFreeShardFactory", "RestoredShardFactory",
+           "ShardFactory", "ShardedSamplingService"]
+
+#: Format marker of :meth:`ShardedSamplingService.snapshot` blobs, bumped on
+#: incompatible layout changes so a stale state file fails loudly.
+_SNAPSHOT_FORMAT = 1
 
 
 @dataclass(frozen=True)
@@ -72,6 +77,35 @@ class KnowledgeFreeShardFactory:
             random_state=rng,
             record_output=self.record_output,
         )
+
+
+class RestoredShardFactory:
+    """Shard factory that re-materialises shards from a pickled state map.
+
+    Built around the ``services_blob`` of a
+    :meth:`ShardedSamplingService.snapshot`: ``__call__`` ignores the offered
+    generator and returns the restored service of the requested shard, whose
+    own (pickled) generator state continues the exact coin stream the
+    original would have drawn.  Pickling the factory ships only the blob, so
+    worker-pool backends can send it to their workers like any other factory.
+    """
+
+    def __init__(self, services_blob: bytes) -> None:
+        self.services_blob = services_blob
+        self._cache: Optional[Dict[int, object]] = None
+
+    def __call__(self, index: int, rng: np.random.Generator) -> object:
+        if self._cache is None:
+            self._cache = {int(shard): service for shard, service
+                           in pickle.loads(self.services_blob).items()}
+        return self._cache[index]
+
+    def __getstate__(self) -> Dict[str, bytes]:
+        return {"services_blob": self.services_blob}
+
+    def __setstate__(self, state: Dict[str, bytes]) -> None:
+        self.services_blob = state["services_blob"]
+        self._cache = None
 
 
 class ShardedSamplingService:
@@ -165,6 +199,77 @@ class ShardedSamplingService:
                    backend=backend, workers=workers,
                    worker_timeout=worker_timeout, endpoints=endpoints,
                    auth_token=auth_token, auth_token_file=auth_token_file)
+
+    # ------------------------------------------------------------------ #
+    # Snapshot / restore
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> bytes:
+        """Serialise the ensemble's complete sampler state as one blob.
+
+        The blob carries everything :meth:`restore` needs to resume with a
+        **bit-identical** sampler: the partition hash, the shard-choice coin
+        stream (buffer position included), the per-shard load counters, and
+        every shard's pickled service (sampling memory, sketches, private
+        generator state).  Worker-pool backends collect the shard states
+        over their command channel — the same machinery the socket
+        supervisor uses for its crash-recovery snapshots, here surfaced as
+        a public API for the serve drain path and shard migration.
+
+        The backend choice is deliberately **not** part of the blob: a
+        snapshot taken on a socket pool restores onto a serial backend (and
+        vice versa) with identical subsequent behaviour, per the
+        cross-backend bit-identity invariant.
+        """
+        state = {
+            "format": _SNAPSHOT_FORMAT,
+            "shards": self.shards,
+            "partition_hash": self._partition_hash,
+            "shard_coins": self._shard_coins,
+            "loads": list(self._backend.cached_loads()),
+            "services_blob": self._backend.snapshot_shards(),
+        }
+        return pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+
+    @classmethod
+    def restore(cls, blob: bytes, *,
+                backend: str = "serial",
+                workers: Optional[int] = None,
+                worker_timeout: Optional[float] = None,
+                endpoints: Optional[List[str]] = None,
+                auth_token: Optional[object] = None,
+                auth_token_file: Optional[str] = None
+                ) -> "ShardedSamplingService":
+        """Rebuild an ensemble from a :meth:`snapshot` blob.
+
+        The restored service consumes exactly the coin streams the
+        snapshotted one would have consumed next, so ``snapshot(); restore()``
+        is invisible in every subsequent output, sample and merged memory —
+        regression-tested across backends.  The target ``backend`` (and its
+        worker/endpoint knobs) is chosen here, independent of where the
+        snapshot was taken.
+        """
+        state = pickle.loads(blob)
+        if not isinstance(state, dict) \
+                or state.get("format") != _SNAPSHOT_FORMAT:
+            raise ValueError(
+                "not a ShardedSamplingService snapshot (or an incompatible "
+                f"format; expected format {_SNAPSHOT_FORMAT})")
+        service = cls.__new__(cls)
+        service.shards = int(state["shards"])
+        service._partition_hash = state["partition_hash"]
+        service._shard_coins = state["shard_coins"]
+        # The factory ignores the offered generators (each restored shard
+        # carries its own generator state), but the backend contract wants
+        # one per shard, so spawn placeholders from a fixed seed.
+        placeholder_rngs = spawn_children(0, service.shards)
+        service._backend = make_backend(
+            backend, service.shards,
+            RestoredShardFactory(state["services_blob"]),
+            placeholder_rngs, workers=workers, worker_timeout=worker_timeout,
+            endpoints=endpoints, auth_token=auth_token,
+            auth_token_file=auth_token_file)
+        service._backend.seed_loads(state["loads"])
+        return service
 
     # ------------------------------------------------------------------ #
     # Online interface

@@ -1,0 +1,31 @@
+"""Always-on sampling service: asyncio front-end over a shard pool.
+
+* :mod:`repro.serve.protocol` — wire protocol: the worker backend's
+  length-prefixed pickle framing and mutual HMAC handshake, plus the
+  client command set and the normative cross-connection ordering rule;
+* :mod:`repro.serve.server` — :class:`SamplingServer`, the asyncio
+  front-end with bounded-queue backpressure, live stats and graceful
+  drain/restore via the ensemble snapshot API;
+* :mod:`repro.serve.client` — blocking :class:`ServeClient`;
+* :mod:`repro.serve.loadgen` — the ``repro loadgen`` core: concurrent
+  stream replay with throughput/latency reporting into ``BENCH_*.json``.
+"""
+
+from repro.serve.client import (
+    BackpressureError,
+    DrainingError,
+    ServeClient,
+    ServeError,
+)
+from repro.serve.loadgen import run_loadgen
+from repro.serve.server import SamplingServer, ServerThread
+
+__all__ = [
+    "BackpressureError",
+    "DrainingError",
+    "SamplingServer",
+    "ServeClient",
+    "ServeError",
+    "ServerThread",
+    "run_loadgen",
+]

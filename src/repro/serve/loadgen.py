@@ -1,0 +1,192 @@
+"""Load generator for the always-on sampling service (``repro loadgen``).
+
+Replays a registered stream component against a running server over N
+concurrent client connections and reports throughput plus per-batch
+ingest latency percentiles.  With ``BENCH_JSON_DIR`` set, the run is
+persisted as a ``BENCH_serve.json`` trajectory record whose
+``elements_per_second`` metric feeds the :mod:`repro.bench.compare`
+regression gate (latencies ride along as context).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.bench.record import bench_json_dir, write_bench_json
+from repro.scenarios import STREAMS
+from repro.serve.client import BackpressureError, ServeClient
+
+__all__ = ["run_loadgen"]
+
+
+def _latency_summary(latencies: List[float]) -> Dict[str, float]:
+    values = np.asarray(latencies, dtype=float)
+    return {
+        "count": int(values.size),
+        "mean_seconds": float(values.mean()),
+        "p50_seconds": float(np.percentile(values, 50)),
+        "p95_seconds": float(np.percentile(values, 95)),
+        "p99_seconds": float(np.percentile(values, 99)),
+        "max_seconds": float(values.max()),
+    }
+
+
+class _Worker(threading.Thread):
+    """One client connection replaying its share of the batches."""
+
+    def __init__(self, address, auth_token, auth_token_file,
+                 batches: List[np.ndarray], start_barrier: threading.Barrier,
+                 max_retries: int) -> None:
+        super().__init__(daemon=True)
+        self._address = address
+        self._auth_token = auth_token
+        self._auth_token_file = auth_token_file
+        self._batches = batches
+        self._barrier = start_barrier
+        self._max_retries = max_retries
+        self.latencies: List[float] = []
+        self.retries = 0
+        self.error: Optional[BaseException] = None
+
+    def run(self) -> None:
+        try:
+            with ServeClient(self._address, auth_token=self._auth_token,
+                             auth_token_file=self._auth_token_file) as client:
+                self._barrier.wait()
+                for batch in self._batches:
+                    attempts = 0
+                    started = time.perf_counter()
+                    while True:
+                        try:
+                            client.ingest(batch)
+                            break
+                        except BackpressureError as error:
+                            attempts += 1
+                            self.retries += 1
+                            if attempts > self._max_retries:
+                                raise
+                            time.sleep(error.retry_after)
+                    self.latencies.append(time.perf_counter() - started)
+        except BaseException as error:
+            self.error = error
+            # release peers blocked on the barrier
+            self._barrier.abort()
+
+
+def run_loadgen(address: Union[str, Tuple[str, int]], *,
+                auth_token: Optional[Union[str, bytes]] = None,
+                auth_token_file: Optional[str] = None,
+                stream: str = "zipf",
+                stream_params: Optional[Dict[str, Any]] = None,
+                stream_size: int = 50_000,
+                population_size: Optional[int] = None,
+                connections: int = 4,
+                batch_size: int = 2_048,
+                seed: int = 2013,
+                max_retries: int = 16,
+                drain: bool = False,
+                bench_name: str = "serve") -> Dict[str, Any]:
+    """Replay a registered stream against a server; return the report.
+
+    Parameters
+    ----------
+    address, auth_token / auth_token_file:
+        Where and how to connect (see :class:`ServeClient`).
+    stream, stream_params, stream_size, seed:
+        The registered stream component to replay.  ``stream_size`` is
+        merged into the params (every registered stream accepts it).
+    connections, batch_size:
+        Fan-out: the stream is cut into ``batch_size`` chunks dealt
+        round-robin to ``connections`` concurrent clients.
+    max_retries:
+        Per-batch backpressure retry budget (each retry honours the
+        server's ``retry_after`` hint).
+    drain:
+        Ask the server to drain after the run (the report gains a
+        ``"drain"`` section).
+    bench_name:
+        Record name: with ``BENCH_JSON_DIR`` set the report is persisted
+        as ``BENCH_<bench_name>.json``.
+    """
+    if connections < 1:
+        raise ValueError(f"connections must be >= 1, got {connections}")
+    params = dict(stream_params or {})
+    params.setdefault("stream_size", int(stream_size))
+    if population_size is not None:
+        params.setdefault("population_size", int(population_size))
+    identifier_stream = STREAMS.build(stream, params, random_state=seed)
+    identifiers = np.asarray(identifier_stream.identifiers, dtype=np.int64)
+    batches = [identifiers[start:start + batch_size]
+               for start in range(0, identifiers.size, batch_size)]
+    shares: List[List[np.ndarray]] = [[] for _ in range(connections)]
+    for index, batch in enumerate(batches):
+        shares[index % connections].append(batch)
+
+    barrier = threading.Barrier(connections + 1)
+    workers = [_Worker(address, auth_token, auth_token_file, share, barrier,
+                       max_retries)
+               for share in shares]
+    for worker in workers:
+        worker.start()
+    barrier.wait()
+    started = time.perf_counter()
+    for worker in workers:
+        worker.join()
+    wall = time.perf_counter() - started
+    for worker in workers:
+        if worker.error is not None:
+            raise RuntimeError("loadgen worker failed") from worker.error
+
+    latencies = [value for worker in workers for value in worker.latencies]
+    retries = sum(worker.retries for worker in workers)
+    report: Dict[str, Any] = {
+        "config": {
+            "stream": stream,
+            "stream_params": params,
+            "connections": connections,
+            "batch_size": int(batch_size),
+            "seed": int(seed),
+        },
+        "elements": int(identifiers.size),
+        "batches": len(batches),
+        "wall_seconds": wall,
+        "elements_per_second": identifiers.size / wall if wall > 0 else 0.0,
+        "batches_per_second": len(batches) / wall if wall > 0 else 0.0,
+        "ingest_latency": _latency_summary(latencies),
+        "backpressure_retries": int(retries),
+    }
+
+    with ServeClient(address, auth_token=auth_token,
+                     auth_token_file=auth_token_file) as client:
+        stats = client.stats()
+        report["server"] = {
+            "backend": stats.get("backend"),
+            "shards": stats.get("shards"),
+            "elements": stats.get("elements"),
+            "memory_total": stats.get("memory_total"),
+            "memory_kl_to_uniform": stats.get("memory_kl_to_uniform"),
+        }
+        if drain:
+            report["drain"] = client.drain()
+
+    directory = bench_json_dir()
+    if directory:
+        latency = report["ingest_latency"]
+        tiers = {
+            "loadgen": {
+                "elements_per_second": report["elements_per_second"],
+                "batches_per_second": report["batches_per_second"],
+                "p50_latency_seconds": latency["p50_seconds"],
+                "p95_latency_seconds": latency["p95_seconds"],
+                "p99_latency_seconds": latency["p99_seconds"],
+                "backpressure_retries": report["backpressure_retries"],
+            },
+        }
+        report["bench_json"] = write_bench_json(
+            f"{directory}/BENCH_{bench_name}.json", bench_name, tiers,
+            config=dict(report["config"], elements=report["elements"]))
+    return report

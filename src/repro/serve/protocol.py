@@ -1,0 +1,233 @@
+"""Wire protocol of the always-on sampling service (``repro serve``).
+
+The serve protocol is the worker protocol's framing and authentication,
+reused verbatim, with a client-facing command set on top:
+
+* **Framing** — every message is one length-prefixed frame: an 8-byte
+  big-endian payload length (:data:`LENGTH`) followed by a pickled
+  payload, exactly as :mod:`repro.engine.backends.socket` frames worker
+  commands.  Requests are ``(command, payload)`` tuples; replies are
+  ``(ok, result)`` tuples where ``ok`` is a bool and ``result`` carries
+  the answer (or, on failure, an error dict / formatted traceback).
+* **Authentication** — a session opens with the same mutual HMAC-SHA256
+  challenge–response over a shared token: the client sends a nonce, the
+  server answers with its own nonce plus ``HMAC(token, b"server" +
+  nonces)``, the client proves itself with ``HMAC(token, b"client" +
+  nonces)``, and only then is anything unpickled on either side.
+
+Commands
+--------
+``ingest``
+    ``{"ids": <int sequence>, "seq": <opaque>, "return_outputs": bool}``.
+    Routes the batch through the shard pool; replies
+    ``(True, {"count": n, "seq": seq})`` (plus ``"outputs"`` when asked).
+    May instead be rejected without touching the samplers:
+    ``(False, {"error": "backpressure", "retry_after": seconds, "seq": s})``
+    when the server's global in-flight cap is reached, or
+    ``(False, {"error": "draining", "seq": s})`` once a drain has begun.
+``sample`` / ``sample_many``
+    ``None`` / ``{"count": n, "strict": bool}``; replies
+    ``(True, {"sample": id})`` / ``(True, {"samples": [...]})``.  These
+    consume the ensemble's shard-choice coins and therefore order with
+    ingests (see the arrival-order rule below).
+``stats``
+    Live service stats: per-shard loads, memory sizes, totals, backend
+    name, uniformity-so-far (KL divergence of the merged sampler memory
+    to uniform), connection/queue gauges, and — when the server runs with
+    telemetry — a metrics snapshot.
+``memory``
+    ``(True, {"memory": [...]})``, the merged sampler memory (debugging
+    and equivalence tests; not intended for hot paths).
+``drain``
+    Asks the server to drain: stop accepting work, quiesce in-flight
+    ingests, snapshot the ensemble to the state file, then reply
+    ``(True, report)``.  The reply is the **last** frame on the
+    connection; the server closes every connection once drained.
+``ping``
+    Liveness probe; replies ``(True, {"pong": True})``.
+``close``
+    Ends the session (no reply).
+
+Ordering rule (normative)
+-------------------------
+The server applies operations **in the order their request frames finish
+arriving on the event loop**, and that order is total: every operation —
+ingest batches and coin-consuming queries alike — is executed to
+completion on a single operations thread before the next begins.  Two
+consequences:
+
+* Within one connection, operations apply in send order, and replies are
+  delivered in that same order (rejections included — a backpressure
+  reject occupies its request's reply slot).
+* Across connections, the global order is the interleaving in which the
+  event loop completed reading the frames.  Clients that need a
+  *reproducible* cross-connection order must impose it themselves by
+  acknowledgement: wait for each ingest's reply before the next send
+  (from any connection), and the global apply order equals the ack
+  order.  The wire-equivalence tests pin exactly this.
+
+Bit-identity invariant: a fixed sequence of ingest batches over the wire
+— across any number of connections, with any mix of backends, and with a
+mid-run drain/restart — yields samples and memory identical to the batch
+engine run on the concatenated stream with the same seed.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hmac
+import pickle
+import secrets
+import struct
+import time
+from typing import Any, Optional, Tuple
+
+from repro.engine.backends.socket import (
+    _DIGEST_SIZE,
+    _LENGTH,
+    _MAX_TOKEN_FRAME,
+    _NONCE_SIZE,
+    _handshake_mac,
+    _recv_frame,
+    _recv_raw_frame,
+    _send_frame,
+    _send_raw_frame,
+    _token_bytes,
+)
+from repro.engine.backends.socket import AuthenticationError
+
+__all__ = [
+    "AuthenticationError",
+    "HANDSHAKE_TIMEOUT",
+    "LENGTH",
+    "MAX_HANDSHAKE_FRAME",
+    "client_handshake",
+    "read_frame",
+    "server_handshake",
+    "token_bytes",
+    "write_frame",
+]
+
+#: Frame header — re-exported from the worker protocol (8-byte big-endian).
+LENGTH = _LENGTH
+
+#: Upper bound on pre-authentication frame sizes (nonces and MACs only).
+MAX_HANDSHAKE_FRAME = _MAX_TOKEN_FRAME
+
+#: How long either side waits for the handshake to complete.
+HANDSHAKE_TIMEOUT = 30.0
+
+#: Ceiling on a single request frame (pickled payload bytes).  Large
+#: enough for multi-million-element ingest batches, small enough that a
+#: garbage length prefix cannot make the server try to buffer petabytes.
+MAX_REQUEST_FRAME = 1 << 30
+
+token_bytes = _token_bytes
+
+
+# --------------------------------------------------------------------- #
+# Async framing (server side)
+# --------------------------------------------------------------------- #
+async def _read_exact_frame(reader: asyncio.StreamReader, *,
+                            limit: Optional[int] = None) -> bytes:
+    header = await reader.readexactly(LENGTH.size)
+    (length,) = LENGTH.unpack(header)
+    if limit is not None and length > limit:
+        raise ValueError(f"oversized frame ({length} bytes, limit {limit})")
+    return await reader.readexactly(length)
+
+
+async def read_frame(reader: asyncio.StreamReader, *,
+                     limit: Optional[int] = MAX_REQUEST_FRAME
+                     ) -> Tuple[Any, int]:
+    """Read one pickled frame; returns ``(message, payload_bytes)``.
+
+    Only called after the peer authenticated — nothing reaches
+    ``pickle.loads`` before the handshake succeeds.
+    """
+    blob = await _read_exact_frame(reader, limit=limit)
+    return pickle.loads(blob), len(blob)
+
+
+def write_frame(writer: asyncio.StreamWriter, message: Any) -> int:
+    """Pickle and enqueue one frame; returns the payload size in bytes.
+
+    The caller is responsible for ``await writer.drain()`` — the server's
+    reply writer drains once per reply so a slow reader exerts TCP
+    backpressure instead of growing an unbounded buffer.
+    """
+    blob = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    writer.write(LENGTH.pack(len(blob)) + blob)
+    return len(blob)
+
+
+async def server_handshake(reader: asyncio.StreamReader,
+                           writer: asyncio.StreamWriter,
+                           token: bytes, *,
+                           timeout: float = HANDSHAKE_TIMEOUT) -> bool:
+    """Run the server side of the mutual HMAC handshake.
+
+    Returns ``True`` on success.  An unauthenticated (or malformed, or
+    stalled) peer gets the connection closed without learning anything —
+    mirroring :func:`repro.engine.backends.socket.serve_worker_connection`.
+    """
+    try:
+        client_nonce = await asyncio.wait_for(
+            _read_exact_frame(reader, limit=MAX_HANDSHAKE_FRAME),
+            timeout=timeout)
+        if len(client_nonce) != _NONCE_SIZE:
+            return False
+        server_nonce = secrets.token_bytes(_NONCE_SIZE)
+        challenge = server_nonce + _handshake_mac(
+            token, b"server", client_nonce, server_nonce)
+        writer.write(LENGTH.pack(len(challenge)) + challenge)
+        await writer.drain()
+        client_mac = await asyncio.wait_for(
+            _read_exact_frame(reader, limit=MAX_HANDSHAKE_FRAME),
+            timeout=timeout)
+    except (asyncio.IncompleteReadError, asyncio.TimeoutError,
+            ConnectionError, ValueError, struct.error, OSError):
+        return False
+    if not hmac.compare_digest(
+            client_mac,
+            _handshake_mac(token, b"client", client_nonce, server_nonce)):
+        return False
+    write_frame(writer, (True, "ok"))
+    await writer.drain()
+    return True
+
+
+# --------------------------------------------------------------------- #
+# Blocking client side (plain sockets; reuses the worker-protocol helpers)
+# --------------------------------------------------------------------- #
+def client_handshake(connection, token: bytes, *,
+                     timeout: float = HANDSHAKE_TIMEOUT) -> None:
+    """Run the client side of the mutual HMAC handshake on a socket.
+
+    Raises :class:`AuthenticationError` when the peer cannot prove token
+    knowledge (wrong token, or not a repro serve endpoint).
+    """
+    deadline = time.monotonic() + timeout
+    client_nonce = secrets.token_bytes(_NONCE_SIZE)
+    _send_raw_frame(connection, client_nonce, deadline=deadline)
+    reply = _recv_raw_frame(connection, deadline=deadline,
+                            limit=MAX_HANDSHAKE_FRAME)
+    server_nonce = reply[:_NONCE_SIZE]
+    expected = _handshake_mac(token, b"server", client_nonce, server_nonce)
+    if (len(reply) != _NONCE_SIZE + _DIGEST_SIZE
+            or not hmac.compare_digest(reply[_NONCE_SIZE:], expected)):
+        raise AuthenticationError(
+            "server failed to prove knowledge of the shared auth token "
+            "(wrong token, or not a repro serve endpoint)")
+    _send_raw_frame(
+        connection,
+        _handshake_mac(token, b"client", client_nonce, server_nonce),
+        deadline=deadline)
+    ok, detail = _recv_frame(connection, deadline=deadline)
+    if not ok:
+        raise AuthenticationError(f"server rejected the session: {detail}")
+
+
+# Re-export the blocking frame helpers for the client module.
+send_frame = _send_frame
+recv_frame = _recv_frame

@@ -572,6 +572,101 @@ class TestSocketSupervision:
 
 
 # --------------------------------------------------------------------- #
+# WorkerServer shutdown
+# --------------------------------------------------------------------- #
+class TestWorkerServerShutdown:
+
+    def test_close_wakes_blocked_accept_loop_promptly(self):
+        """close() from another thread must not wait out poll_interval."""
+        server = WorkerServer("127.0.0.1", 0, b"test-secret")
+        thread = threading.Thread(
+            target=server.serve_forever,
+            kwargs={"poll_interval": 30.0}, daemon=True)
+        thread.start()
+        time.sleep(0.2)  # let the loop block in select()
+        started = time.monotonic()
+        server.close()
+        thread.join(timeout=5.0)
+        elapsed = time.monotonic() - started
+        assert not thread.is_alive(), \
+            "serve_forever did not return after close()"
+        assert elapsed < 5.0
+
+    def test_close_before_serve_and_double_close_are_safe(self):
+        server = WorkerServer("127.0.0.1", 0, b"test-secret")
+        server.close()
+        server.close()
+        # a closed server's serve loop returns immediately
+        server.serve_forever(poll_interval=0.05)
+
+
+# --------------------------------------------------------------------- #
+# Public snapshot / restore
+# --------------------------------------------------------------------- #
+class TestSnapshotRestore:
+    """snapshot(); restore() is invisible in every subsequent output."""
+
+    def _reference(self, ids):
+        service = _service("serial")
+        service.on_receive_batch(ids)
+        samples = service.sample_many(30, strict=False)
+        memory = service.merged_memory()
+        service.close()
+        return samples, memory
+
+    def test_serial_snapshot_restore_is_invisible(self):
+        ids = np.asarray(STREAM.identifiers, dtype=np.int64)
+        half = ids.size // 2
+        ref_samples, ref_memory = self._reference(ids)
+        service = _service("serial")
+        service.on_receive_batch(ids[:half])
+        blob = service.snapshot()
+        # mutating the snapshotted service must not leak into the blob
+        service.on_receive_batch(ids[half:])
+        service.close()
+        restored = ShardedSamplingService.restore(blob)
+        restored.on_receive_batch(ids[half:])
+        assert restored.elements_processed == ids.size
+        assert restored.sample_many(30, strict=False) == ref_samples
+        assert restored.merged_memory() == ref_memory
+        restored.close()
+
+    @pytest.mark.parametrize("backend", PARALLEL_BACKENDS)
+    def test_parallel_snapshot_restores_cross_backend(self, backend):
+        ids = np.asarray(STREAM.identifiers, dtype=np.int64)
+        half = ids.size // 2
+        ref_samples, ref_memory = self._reference(ids)
+        with _service(backend, workers=2) as service:
+            service.on_receive_batch(ids[:half])
+            blob = service.snapshot()
+        for target, kwargs in [("serial", {}), (backend, {"workers": 2})]:
+            restored = ShardedSamplingService.restore(blob, backend=target,
+                                                      **kwargs)
+            restored.on_receive_batch(ids[half:])
+            assert restored.elements_processed == ids.size
+            assert restored.sample_many(30, strict=False) == ref_samples
+            assert restored.merged_memory() == ref_memory
+            restored.close()
+
+    def test_restore_rejects_non_snapshot_blobs(self):
+        import pickle
+
+        with pytest.raises(ValueError, match="snapshot"):
+            ShardedSamplingService.restore(pickle.dumps({"format": 999}))
+        with pytest.raises(ValueError, match="snapshot"):
+            ShardedSamplingService.restore(pickle.dumps([1, 2, 3]))
+
+    def test_seed_loads_validates_shard_count(self):
+        backend = make_backend("process", 4, _mute_factory,
+                              spawn_children(1, 4), workers=2)
+        try:
+            with pytest.raises(ValueError, match="shard loads"):
+                backend.seed_loads([1, 2, 3])
+        finally:
+            backend.close()
+
+
+# --------------------------------------------------------------------- #
 # Configuration surfaces
 # --------------------------------------------------------------------- #
 class TestBackendSelection:
