@@ -66,6 +66,18 @@ def _parse_endpoints_argument(text: Optional[str]) -> Optional[List[str]]:
     return [entry.strip() for entry in text.split(",") if entry.strip()]
 
 
+def _parse_autoscale_argument(value):
+    """Normalise ``--autoscale`` (bare flag = default policy, or JSON knobs)."""
+    if value is None or value is True:
+        return value
+    try:
+        return json.loads(value)
+    except json.JSONDecodeError as error:
+        raise SystemExit(
+            f"--autoscale: expected a JSON policy object such as "
+            f'\'{{"max_workers": 4}}\' ({error})') from None
+
+
 def _cmd_run(arguments: argparse.Namespace) -> None:
     """Execute a declarative scenario spec through the ScenarioRunner."""
     from repro.scenarios import (
@@ -93,12 +105,19 @@ def _cmd_run(arguments: argparse.Namespace) -> None:
         overrides["seed"] = arguments.seed
     if (arguments.backend is not None or arguments.workers is not None
             or arguments.endpoints is not None
-            or arguments.auth_token_file is not None):
+            or arguments.auth_token_file is not None
+            or arguments.shards is not None
+            or arguments.autoscale is not None):
         engine_overrides = {}
         if arguments.backend is not None:
             engine_overrides["backend"] = arguments.backend
         if arguments.workers is not None:
             engine_overrides["workers"] = arguments.workers
+        if arguments.shards is not None:
+            engine_overrides["shards"] = arguments.shards
+        if arguments.autoscale is not None:
+            engine_overrides["autoscale"] = \
+                _parse_autoscale_argument(arguments.autoscale)
         if arguments.endpoints is not None:
             engine_overrides["endpoints"] = \
                 _parse_endpoints_argument(arguments.endpoints)
@@ -247,6 +266,8 @@ def _cmd_throughput(arguments: argparse.Namespace) -> None:
 
 def _cmd_worker_serve(arguments: argparse.Namespace) -> None:
     """Host shard workers over TCP for the socket execution backend."""
+    import signal
+
     from repro.engine.backends.socket import (
         WorkerServer,
         load_auth_token,
@@ -262,6 +283,16 @@ def _cmd_worker_serve(arguments: argparse.Namespace) -> None:
     except (OSError, ValueError) as error:
         raise SystemExit(f"repro worker serve: {error}") from None
     server = WorkerServer(host, port, token)
+
+    def _terminate(signum, frame) -> None:
+        # stop accepting; serve_forever returns, the drain below runs, and
+        # the process exits 0 — docker-compose scale-down stays clean
+        server.close()
+
+    try:
+        signal.signal(signal.SIGTERM, _terminate)
+    except (OSError, ValueError):  # pragma: no cover - non-main thread
+        pass
     bound_host, bound_port = server.address
     print(f"worker server listening on {bound_host}:{bound_port}", flush=True)
     try:
@@ -270,6 +301,7 @@ def _cmd_worker_serve(arguments: argparse.Namespace) -> None:
         pass
     finally:
         server.close()
+        server.drain(arguments.drain_timeout)
 
 
 def _cmd_serve(arguments: argparse.Namespace) -> None:
@@ -295,6 +327,7 @@ def _cmd_serve(arguments: argparse.Namespace) -> None:
         workers=arguments.workers,
         endpoints=_parse_endpoints_argument(arguments.endpoints),
         auth_token_file=arguments.worker_auth_token_file,
+        autoscale=_parse_autoscale_argument(arguments.autoscale),
     )
     with _telemetry_context(arguments.telemetry_out is not None) as registry:
         state_file = arguments.state_file
@@ -533,6 +566,18 @@ def build_parser() -> argparse.ArgumentParser:
                      help="worker processes/connections of the process and "
                           "socket backends (default: one per shard, capped "
                           "at the core count)")
+    run.add_argument("--shards", type=int, default=None,
+                     help="override the spec's shard count (sharded "
+                          "scenarios; required when enabling --autoscale on "
+                          "a spec without engine.shards)")
+    run.add_argument("--autoscale", nargs="?", const=True, default=None,
+                     metavar="JSON",
+                     help="enable load-triggered worker autoscaling on the "
+                          "process/socket backends; bare flag uses the "
+                          "default policy, or pass a JSON object with "
+                          "min_workers/max_workers/target_load_per_worker/"
+                          "check_every/imbalance_ratio (results stay "
+                          "bit-identical per seed)")
     run.add_argument("--endpoints", default=None,
                      help="comma-separated host:port list of running "
                           "`repro worker serve` instances (socket backend; "
@@ -672,6 +717,9 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--auth-token-file", required=True,
                        help="file holding the shared token clients must "
                             "present")
+    serve.add_argument("--drain-timeout", type=float, default=30.0,
+                       help="seconds to wait for in-flight worker sessions "
+                            "to finish after SIGTERM before force-closing")
     serve.set_defaults(handler=_cmd_worker_serve)
 
     serving = subparsers.add_parser(
@@ -697,6 +745,12 @@ def build_parser() -> argparse.ArgumentParser:
                               "the socket backend (omit to spawn locally)")
     serving.add_argument("--worker-auth-token-file", default=None,
                          help="shared token file for remote socket workers")
+    serving.add_argument("--autoscale", nargs="?", const=True, default=None,
+                         metavar="JSON",
+                         help="enable load-triggered worker autoscaling on "
+                              "the process/socket backends; bare flag uses "
+                              "the default policy, or pass a JSON policy "
+                              "object")
     serving.add_argument("--shards", type=int, default=4)
     serving.add_argument("--memory-size", type=int, default=50)
     serving.add_argument("--sketch-width", type=int, default=10)

@@ -13,6 +13,7 @@
   master seed.
 """
 
+from repro.engine.autoscale import AutoscalePolicy, Autoscaler
 from repro.engine.backends import (
     BACKENDS,
     AuthenticationError,
@@ -20,6 +21,7 @@ from repro.engine.backends import (
     ExecutionBackend,
     ProcessBackend,
     SerialBackend,
+    ShardPlacement,
     SocketBackend,
     WorkerCrashError,
     WorkerServer,
@@ -43,6 +45,8 @@ from repro.engine.sharded import (
 __all__ = [
     "BACKENDS",
     "AuthenticationError",
+    "AutoscalePolicy",
+    "Autoscaler",
     "BackendError",
     "DEFAULT_BATCH_SIZE",
     "BatchResult",
@@ -51,6 +55,7 @@ __all__ = [
     "ProcessBackend",
     "RestoredShardFactory",
     "SerialBackend",
+    "ShardPlacement",
     "ShardedSamplingService",
     "SocketBackend",
     "WorkerCrashError",

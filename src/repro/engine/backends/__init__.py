@@ -18,11 +18,13 @@ from repro.engine.backends.base import (
     AuthenticationError,
     BackendError,
     ExecutionBackend,
+    ShardGroup,
     WorkerCrashError,
     WorkerPoolBackend,
     WorkerTimeoutError,
     make_backend,
 )
+from repro.engine.placement import ShardPlacement
 from repro.engine.backends.process import ProcessBackend
 from repro.engine.backends.serial import SerialBackend
 from repro.engine.backends.socket import (
@@ -39,6 +41,8 @@ __all__ = [
     "ExecutionBackend",
     "ProcessBackend",
     "SerialBackend",
+    "ShardGroup",
+    "ShardPlacement",
     "SocketBackend",
     "WorkerCrashError",
     "WorkerPoolBackend",

@@ -28,6 +28,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.engine.placement import ShardPlacement
 from repro.telemetry import runtime as telemetry
 from repro.telemetry.registry import DEPTH_EDGES, TIME_EDGES
 
@@ -63,12 +64,31 @@ class AuthenticationError(BackendError):
     """A socket worker endpoint rejected the shared auth token."""
 
 
+class ShardGroup(dict):
+    """Worker-side ``{shard: service}`` map with per-shard dirty tracking.
+
+    ``dirty`` holds the shards whose state has changed since the parent last
+    captured them with a ``snapshot_delta`` command; a migration then ships
+    only those.  A freshly built group is all-dirty (the parent has captured
+    nothing yet), which is the conservative-safe default: a rebuilt worker
+    after a crash re-ships full state on its next delta.  The set pickles
+    with the group, so a supervision snapshot restored by the socket
+    backend's recovery path carries the correct dirty bookkeeping through
+    journal replay (replayed mutations re-mark their shards).
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.dirty = set(self)
+
+
 def serve_shard_command(services: Dict[int, object], command: str, payload):
     """Execute one worker-protocol command against a shard-service map.
 
     This is the single interpreter of the message-shaped worker protocol
     (``batch`` / ``sample`` / ``sample_many`` / ``loads`` / ``memory_sizes``
-    / ``memory`` / ``reset`` / ``snapshot`` / ``telemetry``), shared by the
+    / ``memory`` / ``reset`` / ``snapshot`` / ``snapshot_delta`` /
+    ``migrate_in`` / ``migrate_out`` / ``telemetry``), shared by the
     process backend's pipe workers and the socket backend's TCP workers so
     both transports execute exactly the same per-shard operations.
 
@@ -80,7 +100,12 @@ def serve_shard_command(services: Dict[int, object], command: str, payload):
     reg = telemetry.active()
     if reg is not None:
         reg.counter(f"worker.commands.{command}").inc()
+    # Plain dicts (no dirty tracking) stay valid inputs; delta snapshots
+    # then degrade to full per-shard pickles.
+    dirty = getattr(services, "dirty", None)
     if command == "batch":
+        if dirty is not None:
+            dirty.update(payload)
         if reg is None:
             return {shard: services[shard].on_receive_batch(chunk)
                     for shard, chunk in payload.items()}
@@ -98,11 +123,41 @@ def serve_shard_command(services: Dict[int, object], command: str, payload):
         # pickled (not live) services so the reply is a self-contained state
         # blob: the socket supervisor journals it per worker, and
         # ExecutionBackend.snapshot_shards merges the per-worker blobs into
-        # the public ShardedSamplingService.snapshot() payload
+        # the public ShardedSamplingService.snapshot() payload.  Dirty flags
+        # are deliberately NOT cleared: this blob feeds supervision and the
+        # public snapshot API, not the parent's per-shard migration cache.
         return pickle.dumps(services, protocol=pickle.HIGHEST_PROTOCOL)
+    if command == "snapshot_delta":
+        # per-shard pickles of only the shards mutated since the last delta;
+        # clearing their flags records that the parent's cache is current
+        changed = sorted(dirty) if dirty is not None else sorted(services)
+        blobs = {shard: pickle.dumps(services[shard],
+                                     protocol=pickle.HIGHEST_PROTOCOL)
+                 for shard in changed if shard in services}
+        if dirty is not None:
+            dirty.difference_update(changed)
+        return blobs
+    if command == "migrate_in":
+        # the parent shipped these exact blobs, so its cache already matches:
+        # the incoming shards arrive clean
+        for shard, blob in payload["state_blobs"].items():
+            services[int(shard)] = pickle.loads(blob)
+            if dirty is not None:
+                dirty.discard(int(shard))
+        return None
+    if command == "migrate_out":
+        for shard in payload:
+            services.pop(int(shard), None)
+            if dirty is not None:
+                dirty.discard(int(shard))
+        return None
     if command == "sample":
+        if dirty is not None:
+            dirty.add(payload)
         return services[payload].sample()
     if command == "sample_many":
+        if dirty is not None:
+            dirty.update(payload)
         return {shard: [services[shard].sample() for _ in range(count)]
                 for shard, count in payload.items()}
     if command == "loads":
@@ -115,6 +170,8 @@ def serve_shard_command(services: Dict[int, object], command: str, payload):
         return {shard: list(service.strategy.memory_view)
                 for shard, service in services.items()}
     if command == "reset":
+        if dirty is not None:
+            dirty.update(services)
         for service in services.values():
             service.reset()
         return None
@@ -140,14 +197,32 @@ class ExecutionBackend(abc.ABC):
     #: Registry key of the backend ("serial", "process", "socket").
     name = "abstract"
 
+    #: Whether the backend supports runtime worker add/remove and live
+    #: shard migration (the worker-pool backends; serial has no pool).
+    supports_scaling = False
+
     def __init__(self, shards: int, shard_factory: ShardFactory,
-                 shard_rngs: Sequence[np.random.Generator]) -> None:
+                 shard_rngs: Sequence[np.random.Generator], *,
+                 placement: Optional[ShardPlacement] = None) -> None:
         if shards <= 0:
             raise ValueError(f"shards must be positive, got {shards}")
         if len(shard_rngs) != shards:
             raise ValueError(
                 f"expected {shards} shard generators, got {len(shard_rngs)}")
         self.shards = int(shards)
+        if placement is None:
+            placement = ShardPlacement(self.shards)
+        elif placement.shards != self.shards:
+            raise ValueError(
+                f"placement is sized for {placement.shards} shards, "
+                f"backend has {self.shards}")
+        placement.reset()
+        self._placement = placement
+
+    @property
+    def placement(self) -> ShardPlacement:
+        """The shard → worker routing table this backend consults."""
+        return self._placement
 
     # ------------------------------------------------------------------ #
     # Streaming
@@ -285,11 +360,15 @@ class WorkerPoolBackend(ExecutionBackend):
         worker cannot block the parent forever.
     """
 
+    supports_scaling = True
+
     def __init__(self, shards: int, shard_factory: ShardFactory,
                  shard_rngs: Sequence[np.random.Generator], *,
                  workers: Optional[int] = None,
-                 worker_timeout: Optional[float] = None) -> None:
-        super().__init__(shards, shard_factory, shard_rngs)
+                 worker_timeout: Optional[float] = None,
+                 placement: Optional[ShardPlacement] = None) -> None:
+        super().__init__(shards, shard_factory, shard_rngs,
+                         placement=placement)
         if workers is None:
             workers = min(self.shards, multiprocessing.cpu_count() or 1)
         if workers <= 0:
@@ -297,14 +376,29 @@ class WorkerPoolBackend(ExecutionBackend):
         if worker_timeout is not None and worker_timeout <= 0:
             raise ValueError(
                 f"worker_timeout must be positive, got {worker_timeout}")
-        self.workers = min(int(workers), self.shards)
+        for _ in range(min(int(workers), self.shards)):
+            self._placement.add_worker()
+        self._placement.assign_round_robin()
         self.worker_timeout = worker_timeout
-        self._worker_of = [shard % self.workers
-                           for shard in range(self.shards)]
+        self._shard_factory = shard_factory
+        self._shard_rngs = list(shard_rngs)
         self._loads = [0] * self.shards
         #: Per-worker (command, posted-at) of the request in flight, read by
         #: the round-trip latency telemetry in :meth:`_finish_timed`.
-        self._pending_meta: List[Optional[tuple]] = [None] * self.workers
+        self._pending_meta: Dict[int, Optional[tuple]] = {}
+        #: Parent-side migration cache: last captured pickle of each shard's
+        #: service.  A shard that is *clean* on its worker is guaranteed
+        #: byte-equal to this cache, so a migration only ships deltas.
+        self._shard_states: Dict[int, bytes] = {}
+        #: Telemetry snapshots harvested from workers drained at runtime,
+        #: handed out (and cleared) by :meth:`telemetry_snapshots` so a
+        #: retired worker's registry is merged exactly once.
+        self._retired_telemetry: List[Dict[str, Any]] = []
+
+    @property
+    def workers(self) -> int:
+        """Current pool size (changes at runtime under autoscaling)."""
+        return self._placement.workers
 
     # ------------------------------------------------------------------ #
     # Transport primitives
@@ -335,7 +429,7 @@ class WorkerPoolBackend(ExecutionBackend):
         replies in a pipelined collect.
         """
         result = self._finish(worker)
-        meta = self._pending_meta[worker]
+        meta = self._pending_meta.get(worker)
         if meta is not None:
             self._pending_meta[worker] = None
             reg = telemetry.active()
@@ -354,14 +448,15 @@ class WorkerPoolBackend(ExecutionBackend):
 
     def _broadcast(self, command: str, payload=None) -> Dict[int, object]:
         """Send one command to every worker, then collect per-shard replies."""
-        for worker in range(self.workers):
+        workers = self._placement.worker_ids
+        for worker in workers:
             self._post_timed(worker, command, payload)
         merged: Dict[int, object] = {}
-        for worker in range(self.workers):
+        for worker in workers:
             reply = self._finish_timed(worker)
             if reply:
                 merged.update(reply)
-        self._after_requests(range(self.workers))
+        self._after_requests(workers)
         return merged
 
     # ------------------------------------------------------------------ #
@@ -371,16 +466,15 @@ class WorkerPoolBackend(ExecutionBackend):
                  shard_indices: np.ndarray) -> np.ndarray:
         outputs = np.empty(identifiers.size, dtype=np.int64)
         masks: Dict[int, np.ndarray] = {}
-        per_worker: List[Dict[int, np.ndarray]] = [
-            {} for _ in range(self.workers)]
+        per_worker: Dict[int, Dict[int, np.ndarray]] = {}
         for shard in range(self.shards):
             mask = shard_indices == shard
             if not mask.any():
                 continue
             masks[shard] = mask
-            per_worker[self._worker_of[shard]][shard] = identifiers[mask]
-        involved = [worker for worker in range(self.workers)
-                    if per_worker[worker]]
+            worker = self._placement.worker_of(shard)
+            per_worker.setdefault(worker, {})[shard] = identifiers[mask]
+        involved = sorted(per_worker)
         reg = telemetry.active()
         if reg is not None:
             # queue depth = requests pipelined before the first collect;
@@ -405,15 +499,16 @@ class WorkerPoolBackend(ExecutionBackend):
     # Sampling
     # ------------------------------------------------------------------ #
     def sample_shard(self, shard: int) -> Optional[int]:
-        return self._request(self._worker_of[shard], "sample", shard)
+        return self._request(self._placement.worker_of(shard),
+                             "sample", shard)
 
     def sample_shards_many(self, counts: Dict[int, int]
                            ) -> Dict[int, List[Optional[int]]]:
-        per_worker: List[Dict[int, int]] = [{} for _ in range(self.workers)]
+        per_worker: Dict[int, Dict[int, int]] = {}
         for shard, count in counts.items():
-            per_worker[self._worker_of[shard]][shard] = count
-        involved = [worker for worker in range(self.workers)
-                    if per_worker[worker]]
+            worker = self._placement.worker_of(shard)
+            per_worker.setdefault(worker, {})[shard] = count
+        involved = sorted(per_worker)
         for worker in involved:
             self._post_timed(worker, "sample_many", per_worker[worker])
         merged: Dict[int, List[Optional[int]]] = {}
@@ -421,6 +516,108 @@ class WorkerPoolBackend(ExecutionBackend):
             merged.update(self._finish_timed(worker))
         self._after_requests(involved)
         return merged
+
+    # ------------------------------------------------------------------ #
+    # Placement plane: live migration and runtime scaling
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def _start_worker(self, worker: int) -> None:
+        """Bring up transport for a new, initially shard-less worker."""
+
+    @abc.abstractmethod
+    def _stop_worker(self, worker: int) -> None:
+        """Tear down transport of a drained (shard-less) worker."""
+
+    def add_worker(self) -> int:
+        """Grow the pool by one worker; it starts owning no shards."""
+        worker = self._placement.add_worker()
+        try:
+            self._start_worker(worker)
+        except BaseException:
+            self._placement.remove_worker(worker)
+            raise
+        reg = telemetry.active()
+        if reg is not None:
+            reg.counter(f"backend.{self.name}.workers_added").inc()
+            reg.gauge(f"backend.{self.name}.workers").set(self.workers)
+        return worker
+
+    def remove_worker(self, worker: int) -> None:
+        """Drain a worker (migrating its shards away) and retire it."""
+        if worker not in self._placement.worker_ids:
+            raise ValueError(f"worker {worker} is not in the pool")
+        if self.workers <= 1:
+            raise BackendError("cannot remove the last worker of the pool")
+        for shard in self._placement.shards_of(worker):
+            survivors = [w for w in self._placement.worker_ids if w != worker]
+            target = min(survivors, key=lambda w: (
+                sum(self._loads[s] for s in self._placement.shards_of(w)), w))
+            self.migrate_shard(shard, target)
+        reg = telemetry.active()
+        if reg is not None:
+            # harvest the worker's registry before teardown so its counters
+            # survive the drain; telemetry_snapshots() merges them once
+            snapshot = self._request(worker, "telemetry", None)
+            if snapshot:
+                self._retired_telemetry.append(snapshot)
+        self._stop_worker(worker)
+        self._placement.remove_worker(worker)
+        if reg is not None:
+            reg.counter(f"backend.{self.name}.workers_removed").inc()
+            reg.gauge(f"backend.{self.name}.workers").set(self.workers)
+
+    def migrate_shard(self, shard: int, target: int) -> None:
+        """Move one shard's service to ``target`` live.
+
+        Sequence: capture a delta snapshot from the source (refreshing the
+        parent's per-shard cache), cut the placement table over, install the
+        state on the target, then drop it from the source.  The cutover
+        happens *before* the worker-side moves so a crash mid-transfer is
+        recoverable: the supervisor's journal replay re-issues
+        ``migrate_in``/``migrate_out`` and converges on the routed owner.
+        No step touches a random draw, so outputs per seed are unchanged.
+        """
+        if target not in self._placement.worker_ids:
+            raise ValueError(f"target worker {target} is not in the pool")
+        source = self._placement.worker_of(shard)
+        if target == source:
+            return
+        started = time.perf_counter()
+        delta = self._request(source, "snapshot_delta", None)
+        delta_bytes = sum(len(blob) for blob in delta.values())
+        self._shard_states.update(delta)
+        blob = self._shard_states[shard]
+        full_bytes = sum(len(self._shard_states[s])
+                         for s in self._placement.shards_of(source)
+                         if s in self._shard_states)
+        self._placement.assign(shard, target)
+        self._request(target, "migrate_in", {"state_blobs": {shard: blob}})
+        self._request(source, "migrate_out", [shard])
+        reg = telemetry.active()
+        if reg is not None:
+            reg.counter(f"backend.{self.name}.migrations").inc()
+            reg.counter(f"backend.{self.name}.migration_bytes").inc(len(blob))
+            reg.counter(f"backend.{self.name}.delta_snapshot_bytes").inc(
+                delta_bytes)
+            reg.counter(f"backend.{self.name}.full_snapshot_bytes").inc(
+                full_bytes)
+            reg.histogram(f"backend.{self.name}.migration_seconds",
+                          TIME_EDGES).observe(time.perf_counter() - started)
+            reg.gauge(f"backend.{self.name}.shard_worker.{shard}").set(target)
+
+    def refresh_shard_states(self) -> None:
+        """Capture a delta snapshot from every worker (warms the cache).
+
+        After this, every shard is clean and the parent's migration cache
+        holds its current state, so the next migration ships only what
+        changes from here on.
+        """
+        workers = self._placement.worker_ids
+        for worker in workers:
+            self._post_timed(worker, "snapshot_delta", None)
+        for worker in workers:
+            self._shard_states.update(self._finish_timed(worker))
+        self._after_requests(workers)
 
     # ------------------------------------------------------------------ #
     # Inspection and lifecycle
@@ -454,12 +651,13 @@ class WorkerPoolBackend(ExecutionBackend):
     def snapshot_shards(self) -> bytes:
         # each worker replies with the pickled map of its own shards; the
         # merged map is re-pickled so the caller gets one self-contained blob
-        for worker in range(self.workers):
+        workers = self._placement.worker_ids
+        for worker in workers:
             self._post_timed(worker, "snapshot", None)
         merged: Dict[int, object] = {}
-        for worker in range(self.workers):
+        for worker in workers:
             merged.update(pickle.loads(self._finish_timed(worker)))
-        self._after_requests(range(self.workers))
+        self._after_requests(workers)
         return pickle.dumps(merged, protocol=pickle.HIGHEST_PROTOCOL)
 
     def seed_loads(self, loads: Sequence[int]) -> None:
@@ -469,12 +667,20 @@ class WorkerPoolBackend(ExecutionBackend):
         self._loads = [int(load) for load in loads]
 
     def telemetry_snapshots(self) -> List[Dict[str, Any]]:
-        """Pull every worker's telemetry snapshot over the command channel."""
-        for worker in range(self.workers):
+        """Pull every worker's telemetry snapshot over the command channel.
+
+        Registries harvested from workers drained at runtime (see
+        :meth:`remove_worker`) ride along exactly once: the retired list is
+        handed out and cleared here, so a second harvest cannot re-merge a
+        dead worker's counters.
+        """
+        workers = self._placement.worker_ids
+        for worker in workers:
             self._post_timed(worker, "telemetry", None)
-        snapshots = [self._finish_timed(worker)
-                     for worker in range(self.workers)]
-        self._after_requests(range(self.workers))
+        snapshots = [self._finish_timed(worker) for worker in workers]
+        self._after_requests(workers)
+        snapshots.extend(self._retired_telemetry)
+        self._retired_telemetry = []
         return snapshots
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
@@ -488,7 +694,9 @@ def make_backend(name: str, shards: int, shard_factory: ShardFactory,
                  worker_timeout: Optional[float] = None,
                  endpoints: Optional[Sequence[str]] = None,
                  auth_token: Optional[object] = None,
-                 auth_token_file: Optional[str] = None) -> ExecutionBackend:
+                 auth_token_file: Optional[str] = None,
+                 placement: Optional[ShardPlacement] = None
+                 ) -> ExecutionBackend:
     """Build the execution backend registered under ``name``.
 
     Parameters
@@ -519,10 +727,12 @@ def make_backend(name: str, shards: int, shard_factory: ShardFactory,
             raise ValueError(
                 "the serial backend runs in-process and takes no 'workers'; "
                 "choose backend='process' to parallelise")
-        return SerialBackend(shards, shard_factory, shard_rngs)
+        return SerialBackend(shards, shard_factory, shard_rngs,
+                             placement=placement)
     if name == "process":
         return ProcessBackend(shards, shard_factory, shard_rngs,
-                              workers=workers, worker_timeout=worker_timeout)
+                              workers=workers, worker_timeout=worker_timeout,
+                              placement=placement)
     if name == "socket":
         from repro.engine.backends.socket import SocketBackend, load_auth_token
 
@@ -530,7 +740,8 @@ def make_backend(name: str, shards: int, shard_factory: ShardFactory,
             auth_token = load_auth_token(auth_token_file)
         return SocketBackend(shards, shard_factory, shard_rngs,
                              workers=workers, worker_timeout=worker_timeout,
-                             endpoints=endpoints, auth_token=auth_token)
+                             endpoints=endpoints, auth_token=auth_token,
+                             placement=placement)
     raise ValueError(
         f"unknown execution backend {name!r}; available: "
         f"{', '.join(BACKENDS)}")

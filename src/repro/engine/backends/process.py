@@ -3,8 +3,9 @@
 The hash partition makes the sharded sampling service embarrassingly
 parallel: each shard runs the full Byzantine-tolerant strategy on a disjoint
 ``1/S`` slice of the stream and never reads another shard's state.  This
-backend exploits that by pinning shard *groups* to long-lived worker
-processes (shard ``s`` lives in worker ``s % workers``): the caller
+backend exploits that by routing shard *groups* to long-lived worker
+processes through the shard placement table (initially shard ``s`` lives in
+worker ``s % workers``; live migration can move it): the caller
 hash-partitions each chunk once, the backend ships every worker its shards'
 sub-chunks in one message, the workers ingest them through the ordinary
 batch engine, and the parent scatters the returned outputs back into the
@@ -44,11 +45,13 @@ import numpy as np
 from repro.engine.backends import base as _base
 from repro.engine.backends.base import (
     ShardFactory,
+    ShardGroup,
     WorkerCrashError,
     WorkerPoolBackend,
     WorkerTimeoutError,
     serve_shard_command,
 )
+from repro.engine.placement import ShardPlacement
 from repro.telemetry import runtime as telemetry
 
 #: Seconds granted to a worker to build its shard services and report ready.
@@ -68,8 +71,8 @@ def _worker_main(connection, shard_ids: List[int], shard_factory: ShardFactory,
             # parent registry is never double-counted); the parent harvests
             # it over the command channel via the "telemetry" command
             telemetry.enable_worker()
-        services = {shard: shard_factory(shard, rng)
-                    for shard, rng in zip(shard_ids, shard_rngs)}
+        services = ShardGroup({shard: shard_factory(shard, rng)
+                               for shard, rng in zip(shard_ids, shard_rngs)})
     except BaseException:
         connection.send((False, traceback.format_exc()))
         return
@@ -113,34 +116,21 @@ class ProcessBackend(WorkerPoolBackend):
     def __init__(self, shards: int, shard_factory: ShardFactory,
                  shard_rngs: Sequence[np.random.Generator], *,
                  workers: Optional[int] = None,
-                 worker_timeout: Optional[float] = None) -> None:
+                 worker_timeout: Optional[float] = None,
+                 placement: Optional[ShardPlacement] = None) -> None:
         super().__init__(shards, shard_factory, shard_rngs, workers=workers,
-                         worker_timeout=worker_timeout)
+                         worker_timeout=worker_timeout, placement=placement)
         self._closed = False
         self._broken = False
         methods = multiprocessing.get_all_start_methods()
         self._context = multiprocessing.get_context(
             "fork" if "fork" in methods else "spawn")
-        self._connections = []
-        self._processes = []
-        for worker in range(self.workers):
-            owned = [shard for shard in range(self.shards)
-                     if self._worker_of[shard] == worker]
-            parent_end, child_end = self._context.Pipe(duplex=True)
-            process = self._context.Process(
-                target=_worker_main,
-                args=(child_end, owned, shard_factory,
-                      [shard_rngs[shard] for shard in owned],
-                      telemetry.is_enabled()),
-                daemon=True,
-                name=f"repro-shard-worker-{worker}",
-            )
-            process.start()
-            child_end.close()
-            self._connections.append(parent_end)
-            self._processes.append(process)
+        self._connections: List[object] = []
+        self._processes: List[object] = []
+        for worker in self._placement.worker_ids:
+            self._spawn(worker, self._placement.shards_of(worker))
         try:
-            for worker in range(self.workers):
+            for worker in self._placement.worker_ids:
                 self._receive(worker, timeout=_STARTUP_TIMEOUT)
         except BaseException:
             # a failed startup (shard factory error, startup timeout) must
@@ -148,14 +138,61 @@ class ProcessBackend(WorkerPoolBackend):
             self._reap_workers()
             raise
 
+    def _spawn(self, worker: int, owned: List[int]) -> None:
+        """Start worker ``worker`` serving ``owned`` (possibly no) shards."""
+        while len(self._connections) <= worker:
+            self._connections.append(None)
+            self._processes.append(None)
+        parent_end, child_end = self._context.Pipe(duplex=True)
+        process = self._context.Process(
+            target=_worker_main,
+            args=(child_end, owned, self._shard_factory,
+                  [self._shard_rngs[shard] for shard in owned],
+                  telemetry.is_enabled()),
+            daemon=True,
+            name=f"repro-shard-worker-{worker}",
+        )
+        process.start()
+        child_end.close()
+        self._connections[worker] = parent_end
+        self._processes[worker] = process
+
+    # ------------------------------------------------------------------ #
+    # Placement plane (runtime scaling)
+    # ------------------------------------------------------------------ #
+    def _start_worker(self, worker: int) -> None:
+        self._spawn(worker, [])
+        self._receive(worker, timeout=_STARTUP_TIMEOUT)
+
+    def _stop_worker(self, worker: int) -> None:
+        connection = self._connections[worker]
+        process = self._processes[worker]
+        self._connections[worker] = None
+        self._processes[worker] = None
+        try:
+            connection.send(("close", None))
+        except (BrokenPipeError, OSError):
+            pass
+        process.join(timeout=5.0)
+        if process.is_alive():  # pragma: no cover - stuck worker
+            process.terminate()
+            process.join(timeout=5.0)
+        try:
+            connection.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+
     def _reap_workers(self) -> None:
         """Terminate and join every worker, then close the pipes."""
         for process in self._processes:
-            if process.is_alive():
+            if process is not None and process.is_alive():
                 process.terminate()
         for process in self._processes:
-            process.join(timeout=5.0)
+            if process is not None:
+                process.join(timeout=5.0)
         for connection in self._connections:
+            if connection is None:
+                continue
             try:
                 connection.close()
             except OSError:  # pragma: no cover - already closed
@@ -211,7 +248,7 @@ class ProcessBackend(WorkerPoolBackend):
                 raise WorkerCrashError(
                     f"worker {worker} died (exit code "
                     f"{process.exitcode}) before replying; its shards "
-                    f"{[s for s, w in enumerate(self._worker_of) if w == worker]} "
+                    f"{self._placement.shards_of(worker)} "
                     "are lost — build a new service to recover")
             if time.monotonic() > deadline:
                 self._broken = True
@@ -252,18 +289,23 @@ class ProcessBackend(WorkerPoolBackend):
         if self._closed:
             return
         self._closed = True
-        for worker, connection in enumerate(self._connections):
+        for connection in self._connections:
+            if connection is None:
+                continue
             try:
                 connection.send(("close", None))
             except (BrokenPipeError, OSError):
                 pass
         for process in self._processes:
+            if process is None:
+                continue
             process.join(timeout=5.0)
             if process.is_alive():  # pragma: no cover - stuck worker
                 process.terminate()
                 process.join(timeout=5.0)
         for connection in self._connections:
-            connection.close()
+            if connection is not None:
+                connection.close()
 
     def __del__(self) -> None:  # pragma: no cover - interpreter-dependent
         try:

@@ -15,6 +15,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.engine.backends.base import ExecutionBackend, ShardFactory
+from repro.engine.placement import ShardPlacement
 from repro.telemetry import runtime as telemetry
 from repro.telemetry.registry import DEPTH_EDGES, TIME_EDGES
 
@@ -25,8 +26,13 @@ class SerialBackend(ExecutionBackend):
     name = "serial"
 
     def __init__(self, shards: int, shard_factory: ShardFactory,
-                 shard_rngs: Sequence[np.random.Generator]) -> None:
-        super().__init__(shards, shard_factory, shard_rngs)
+                 shard_rngs: Sequence[np.random.Generator], *,
+                 placement: Optional[ShardPlacement] = None) -> None:
+        super().__init__(shards, shard_factory, shard_rngs,
+                         placement=placement)
+        # the whole ensemble is one "worker": the calling process
+        self._placement.add_worker()
+        self._placement.assign_round_robin()
         self._services = [shard_factory(index, shard_rngs[index])
                           for index in range(self.shards)]
 

@@ -68,11 +68,13 @@ from repro.engine.backends import base as _base
 from repro.engine.backends.base import (
     AuthenticationError,
     ShardFactory,
+    ShardGroup,
     WorkerCrashError,
     WorkerPoolBackend,
     WorkerTimeoutError,
     serve_shard_command,
 )
+from repro.engine.placement import ShardPlacement
 from repro.telemetry import runtime as telemetry
 from repro.telemetry.registry import SIZE_EDGES
 
@@ -110,8 +112,13 @@ _DIGEST_SIZE = 32
 _HANDSHAKE_TIMEOUT = 30.0
 
 #: Commands that mutate worker-side shard state and must be journalled for
-#: deterministic replay after a crash.
-_MUTATING_COMMANDS = frozenset({"batch", "sample", "sample_many", "reset"})
+#: deterministic replay after a crash.  ``migrate_in``/``migrate_out`` ride
+#: along so a replay reconstructs shard-membership changes exactly (the
+#: shipped state blobs are journalled verbatim); ``snapshot_delta`` is
+#: deliberately absent — it only clears dirty flags, and a rebuilt worker
+#: starts all-dirty, which is the conservative-safe default.
+_MUTATING_COMMANDS = frozenset({"batch", "sample", "sample_many", "reset",
+                                "migrate_in", "migrate_out"})
 
 _LENGTH = struct.Struct(">Q")
 
@@ -274,13 +281,19 @@ def _build_services(payload: Dict[str, object]) -> Dict[int, object]:
     """
     blob = payload.get("services_blob")
     if blob is not None:
-        return {int(shard): service
-                for shard, service in pickle.loads(blob).items()}
+        restored = pickle.loads(blob)
+        services = ShardGroup({int(shard): service
+                               for shard, service in restored.items()})
+        if isinstance(restored, ShardGroup):
+            # the snapshot's dirty bookkeeping is correct for its state;
+            # replayed mutations re-mark their shards on top of it
+            services.dirty = {int(shard) for shard in restored.dirty}
+        return services
     shard_ids = payload["shard_ids"]
     factory = payload["factory"]
     shard_rngs = pickle.loads(payload["rngs_blob"])
-    return {int(shard): factory(int(shard), rng)
-            for shard, rng in zip(shard_ids, shard_rngs)}
+    return ShardGroup({int(shard): factory(int(shard), rng)
+                       for shard, rng in zip(shard_ids, shard_rngs)})
 
 
 def serve_worker_connection(connection: socket.socket,
@@ -376,6 +389,10 @@ class WorkerServer:
         # after the full poll_interval.
         self._wakeup_recv, self._wakeup_send = socket.socketpair()
         self._serving = False
+        # live worker sessions, tracked so drain() can wait them out (and
+        # force-close stragglers) before the process exits
+        self._sessions_lock = threading.Lock()
+        self._sessions: List[Tuple[threading.Thread, socket.socket]] = []
         self.address: Tuple[str, int] = self._listener.getsockname()[:2]
 
     def serve_forever(self, *, poll_interval: float = 0.5) -> None:
@@ -417,6 +434,11 @@ class WorkerServer:
                             target=self._serve_connection,
                             args=(connection,),
                             daemon=True, name="repro-socket-worker")
+                        with self._sessions_lock:
+                            self._sessions = [
+                                (live, conn) for live, conn in self._sessions
+                                if live.is_alive()]
+                            self._sessions.append((thread, connection))
                         thread.start()
         finally:
             self._serving = False
@@ -458,6 +480,29 @@ class WorkerServer:
                 sock.close()
             except OSError:  # pragma: no cover - already closed
                 pass
+
+    def drain(self, timeout: float = 30.0) -> None:
+        """Wait for in-flight worker sessions to finish, then return.
+
+        Called after :meth:`close` by the ``repro worker serve`` SIGTERM
+        path, so a docker-compose scale-down lets parents finish (or fail
+        over) their running sessions before the host exits.  Sessions still
+        alive when the budget runs out get their connections force-closed —
+        the parent-side supervisor treats that like any other connection
+        loss and recovers onto another worker.
+        """
+        deadline = time.monotonic() + timeout
+        with self._sessions_lock:
+            pending = list(self._sessions)
+            self._sessions = []
+        for thread, connection in pending:
+            thread.join(timeout=max(0.0, deadline - time.monotonic()))
+            if thread.is_alive():
+                try:
+                    connection.close()
+                except OSError:  # pragma: no cover - already closed
+                    pass
+                thread.join(timeout=1.0)
 
     def __enter__(self) -> "WorkerServer":
         return self
@@ -556,9 +601,10 @@ class SocketBackend(WorkerPoolBackend):
                  auth_token: Optional[Union[str, bytes]] = None,
                  snapshot_every: int = 32,
                  max_respawns: int = 3,
-                 host: str = "127.0.0.1") -> None:
+                 host: str = "127.0.0.1",
+                 placement: Optional[ShardPlacement] = None) -> None:
         super().__init__(shards, shard_factory, shard_rngs, workers=workers,
-                         worker_timeout=worker_timeout)
+                         worker_timeout=worker_timeout, placement=placement)
         if snapshot_every <= 0:
             raise ValueError(
                 f"snapshot_every must be positive, got {snapshot_every}")
@@ -591,22 +637,27 @@ class SocketBackend(WorkerPoolBackend):
         self._context = multiprocessing.get_context(
             "fork" if "fork" in methods else "spawn")
         if self._local:
-            self._endpoints: List[Tuple[str, int]] = [None] * self.workers
+            self._endpoint_pool: List[Tuple[str, int]] = []
+            self._endpoints: List[Optional[Tuple[str, int]]] = \
+                [None] * self.workers
         else:
-            parsed = [parse_endpoint(endpoint) for endpoint in endpoints]
-            self._endpoints = [parsed[worker % len(parsed)]
+            self._endpoint_pool = [parse_endpoint(endpoint)
+                                   for endpoint in endpoints]
+            self._endpoints = [self._endpoint_pool[worker
+                                                   % len(self._endpoint_pool)]
                                for worker in range(self.workers)]
         self._processes: List[Optional[multiprocessing.Process]] = \
             [None] * self.workers
         self._sockets: List[Optional[socket.socket]] = [None] * self.workers
-        # Fresh-start payload per worker: shard ids, factory, and the
-        # per-shard generators pickled at construction time (the parent
-        # never advances them, so a pre-snapshot re-spawn rebuilds the
-        # exact initial state).
+        # Fresh-start payload per worker slot, frozen at slot creation: the
+        # shard ids the slot owned then, the factory, and the per-shard
+        # generators pickled before any draw (the parent never advances
+        # them, so a pre-snapshot re-spawn rebuilds the exact initial
+        # state — including shards later migrated away, which a replayed
+        # ``migrate_out`` then removes again).
         self._fresh_starts: List[Dict[str, object]] = []
-        for worker in range(self.workers):
-            owned = [shard for shard in range(self.shards)
-                     if self._worker_of[shard] == worker]
+        for worker in self._placement.worker_ids:
+            owned = self._placement.shards_of(worker)
             self._fresh_starts.append({
                 "shard_ids": owned,
                 "factory": shard_factory,
@@ -620,7 +671,7 @@ class SocketBackend(WorkerPoolBackend):
         self._mutations: List[int] = [0] * self.workers
         self._inflight: List[Optional[tuple]] = [None] * self.workers
         try:
-            for worker in range(self.workers):
+            for worker in self._placement.worker_ids:
                 if self._local:
                     self._spawn_local(worker)
                 self._sockets[worker] = self._establish(worker)
@@ -752,6 +803,62 @@ class SocketBackend(WorkerPoolBackend):
             self._processes[worker] = None
 
     # ------------------------------------------------------------------ #
+    # Placement plane (runtime scaling)
+    # ------------------------------------------------------------------ #
+    def _start_worker(self, worker: int) -> None:
+        while len(self._sockets) <= worker:
+            slot = len(self._sockets)
+            self._processes.append(None)
+            self._sockets.append(None)
+            self._endpoints.append(
+                None if self._local else
+                self._endpoint_pool[slot % len(self._endpoint_pool)])
+            # a runtime-added worker starts shard-less; journalled
+            # migrate_in commands rebuild whatever it later receives
+            self._fresh_starts.append({
+                "shard_ids": [],
+                "factory": self._shard_factory,
+                "rngs_blob": pickle.dumps(
+                    [], protocol=pickle.HIGHEST_PROTOCOL),
+            })
+            self._snapshots.append(None)
+            self._snapshot_times.append(None)
+            self._journals.append([])
+            self._mutations.append(0)
+            self._inflight.append(None)
+        if self._local:
+            self._spawn_local(worker)
+        self._sockets[worker] = self._establish(worker)
+
+    def _stop_worker(self, worker: int) -> None:
+        connection = self._sockets[worker]
+        self._sockets[worker] = None
+        if connection is not None:
+            try:
+                _send_frame(connection, ("close", None),
+                            deadline=time.monotonic() + 1.0)
+            except (_DeadlineExceeded, ConnectionError, OSError):
+                pass
+            try:
+                connection.close()
+            except OSError:
+                pass
+        process = self._processes[worker]
+        self._processes[worker] = None
+        if process is not None:
+            if process.is_alive():
+                process.terminate()
+            process.join(timeout=5.0)
+            if process.is_alive():  # pragma: no cover - SIGTERM blocked
+                process.kill()
+                process.join(timeout=5.0)
+        self._snapshots[worker] = None
+        self._snapshot_times[worker] = None
+        self._journals[worker] = []
+        self._mutations[worker] = 0
+        self._inflight[worker] = None
+
+    # ------------------------------------------------------------------ #
     # Supervision: journal, snapshots, re-spawn
     # ------------------------------------------------------------------ #
     def _recover(self, worker: int, cause: BaseException) -> None:
@@ -848,7 +955,7 @@ class SocketBackend(WorkerPoolBackend):
         raise WorkerCrashError(
             f"worker {worker} is gone and could not be re-spawned after "
             f"{self._max_respawns} attempt(s); its shards "
-            f"{[s for s, w in enumerate(self._worker_of) if w == worker]} "
+            f"{self._placement.shards_of(worker)} "
             f"are lost — build a new service (last error: {last_error})"
         ) from cause
 

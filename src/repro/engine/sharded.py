@@ -29,18 +29,21 @@ samples.  :class:`ShardedSamplingService` implements that composition:
 from __future__ import annotations
 
 import pickle
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.core.service import NodeSamplingService
+from repro.engine.autoscale import AutoscalePolicy, Autoscaler
 from repro.engine.backends.base import (
     BackendError,
     ExecutionBackend,
     ShardFactory,
     make_backend,
 )
+from repro.engine.placement import ShardPlacement
 from repro.sketches.hashing import UniversalHashFamily
 from repro.telemetry import runtime as telemetry
 from repro.utils.rng import BufferedUniforms, RandomState, ensure_rng, \
@@ -159,7 +162,8 @@ class ShardedSamplingService:
                  worker_timeout: Optional[float] = None,
                  endpoints: Optional[List[str]] = None,
                  auth_token: Optional[object] = None,
-                 auth_token_file: Optional[str] = None) -> None:
+                 auth_token_file: Optional[str] = None,
+                 autoscale: Optional[object] = None) -> None:
         check_positive("shards", shards)
         self.shards = int(shards)
         rng = ensure_rng(random_state)
@@ -167,11 +171,13 @@ class ShardedSamplingService:
         self._partition_hash = family.draw()
         child_rngs = spawn_children(rng, self.shards + 1)
         self._shard_coins = BufferedUniforms(child_rngs[-1])
+        self._placement = ShardPlacement(self.shards)
         self._backend = make_backend(
             backend, self.shards, shard_factory, child_rngs[:self.shards],
             workers=workers, worker_timeout=worker_timeout,
             endpoints=endpoints, auth_token=auth_token,
-            auth_token_file=auth_token_file)
+            auth_token_file=auth_token_file, placement=self._placement)
+        self._init_autoscale(autoscale)
 
     # ------------------------------------------------------------------ #
     # Convenience constructors
@@ -186,7 +192,8 @@ class ShardedSamplingService:
                        worker_timeout: Optional[float] = None,
                        endpoints: Optional[List[str]] = None,
                        auth_token: Optional[object] = None,
-                       auth_token_file: Optional[str] = None
+                       auth_token_file: Optional[str] = None,
+                       autoscale: Optional[object] = None
                        ) -> "ShardedSamplingService":
         """Build an ensemble of knowledge-free services (Algorithm 3)."""
         factory = KnowledgeFreeShardFactory(
@@ -198,7 +205,8 @@ class ShardedSamplingService:
         return cls(shards, factory, random_state=random_state,
                    backend=backend, workers=workers,
                    worker_timeout=worker_timeout, endpoints=endpoints,
-                   auth_token=auth_token, auth_token_file=auth_token_file)
+                   auth_token=auth_token, auth_token_file=auth_token_file,
+                   autoscale=autoscale)
 
     # ------------------------------------------------------------------ #
     # Snapshot / restore
@@ -237,7 +245,8 @@ class ShardedSamplingService:
                 worker_timeout: Optional[float] = None,
                 endpoints: Optional[List[str]] = None,
                 auth_token: Optional[object] = None,
-                auth_token_file: Optional[str] = None
+                auth_token_file: Optional[str] = None,
+                autoscale: Optional[object] = None
                 ) -> "ShardedSamplingService":
         """Rebuild an ensemble from a :meth:`snapshot` blob.
 
@@ -262,14 +271,104 @@ class ShardedSamplingService:
         # carries its own generator state), but the backend contract wants
         # one per shard, so spawn placeholders from a fixed seed.
         placeholder_rngs = spawn_children(0, service.shards)
+        # The routing table is deliberately not part of the blob: the target
+        # pool (any backend, any worker count) re-maps the shard groups
+        # round-robin over its own workers at construction.
+        service._placement = ShardPlacement(service.shards)
         service._backend = make_backend(
             backend, service.shards,
             RestoredShardFactory(state["services_blob"]),
             placeholder_rngs, workers=workers, worker_timeout=worker_timeout,
             endpoints=endpoints, auth_token=auth_token,
-            auth_token_file=auth_token_file)
+            auth_token_file=auth_token_file, placement=service._placement)
         service._backend.seed_loads(state["loads"])
+        service._init_autoscale(autoscale)
         return service
+
+    # ------------------------------------------------------------------ #
+    # Placement plane: migration, autoscaling
+    # ------------------------------------------------------------------ #
+    def _init_autoscale(self, autoscale: Optional[object]) -> None:
+        policy = AutoscalePolicy.coerce(autoscale)
+        # On a non-scaling backend (serial) the knob is a no-op, so the same
+        # spec runs everywhere — and stays bit-identical, because neither
+        # placement nor policy ever touches a random draw.
+        if policy is not None and self._backend.supports_scaling:
+            self._autoscaler: Optional[Autoscaler] = Autoscaler(policy)
+        else:
+            self._autoscaler = None
+        self._migrating = 0
+
+    @property
+    def placement(self) -> ShardPlacement:
+        """The shard → worker routing table of the execution backend."""
+        return self._backend.placement
+
+    @property
+    def autoscaler(self) -> Optional[Autoscaler]:
+        """The active autoscaler, or ``None`` when disabled/non-scaling."""
+        return self._autoscaler
+
+    def migrate_shard(self, shard: int, target: int) -> None:
+        """Live-migrate one shard group to another worker.
+
+        Only worker-pool backends can relocate shards; per the bit-identity
+        invariant the ensemble's outputs and samples per seed are unchanged.
+        """
+        self._check_scaling("migrate a shard")
+        self._migrating += 1
+        try:
+            self._backend.migrate_shard(shard, target)
+        finally:
+            self._migrating -= 1
+
+    def add_worker(self) -> int:
+        """Grow the worker pool by one (it starts owning no shards)."""
+        self._check_scaling("add a worker")
+        return self._backend.add_worker()
+
+    def remove_worker(self, worker: int) -> None:
+        """Drain and retire one worker (its shards migrate to survivors)."""
+        self._check_scaling("remove a worker")
+        self._migrating += 1
+        try:
+            self._backend.remove_worker(worker)
+        finally:
+            self._migrating -= 1
+
+    def _check_scaling(self, action: str) -> None:
+        if not self._backend.supports_scaling:
+            raise BackendError(
+                f"the {self._backend.name!r} backend runs every shard in "
+                f"this process and cannot {action}; choose the process or "
+                "socket backend for runtime scaling")
+
+    def placement_info(self) -> Dict[str, object]:
+        """JSON-friendly view of the routing table and scaling state."""
+        info = self._backend.placement.to_dict()
+        info["backend"] = self._backend.name
+        info["supports_scaling"] = self._backend.supports_scaling
+        info["migrations_in_flight"] = self._migrating
+        info["autoscale"] = (None if self._autoscaler is None else {
+            "policy": self._autoscaler.policy.to_dict(),
+            **self._autoscaler.stats(),
+        })
+        return info
+
+    def wait_placement_idle(self, timeout: float = 30.0) -> bool:
+        """Block until no migration is in flight (drain-path barrier).
+
+        Migrations run synchronously on the thread that applies operations,
+        so a caller serialised behind that thread (the serve layer's ops
+        executor) observes an idle plane immediately; the poll loop covers
+        direct multi-threaded use.  Returns ``True`` when idle.
+        """
+        deadline = time.monotonic() + timeout
+        while self._migrating:
+            if time.monotonic() > deadline:
+                return False
+            time.sleep(0.005)
+        return True
 
     # ------------------------------------------------------------------ #
     # Online interface
@@ -294,7 +393,13 @@ class ShardedSamplingService:
         if ids.size == 0:
             return np.zeros(0, dtype=np.int64)
         shard_indices = self._partition_hash.hash_many(ids)
-        return self._backend.dispatch(ids, shard_indices)
+        outputs = self._backend.dispatch(ids, shard_indices)
+        if self._autoscaler is not None:
+            # placement reactions (migrations, worker add/remove) happen
+            # between batches and never consume a coin, so they are
+            # invisible in the sampled outputs per seed
+            self._autoscaler.after_batch(self._backend, int(ids.size))
+        return outputs
 
     def sample(self) -> Optional[int]:
         """Return a sample from a uniformly chosen non-empty shard.
@@ -443,8 +548,13 @@ class ShardedSamplingService:
         try:
             reg.gauge("sharded.shards").set(self.shards)
             reg.gauge("sharded.backend").set(self._backend.name)
+            reg.gauge("sharded.workers").set(
+                self._backend.placement.workers)
             for shard, load in enumerate(self._backend.cached_loads()):
                 reg.gauge(f"sharded.shard_load.{shard}").set(int(load))
+            for shard, worker in enumerate(self._backend.placement.table):
+                if worker is not None:
+                    reg.gauge(f"sharded.shard_worker.{shard}").set(worker)
             for snapshot in self._backend.telemetry_snapshots():
                 reg.merge_snapshot(snapshot)
         except Exception:

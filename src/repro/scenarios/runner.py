@@ -422,7 +422,8 @@ class ScenarioRunner:
                     spec.engine.shards, shard_factory, random_state=rng,
                     backend=spec.engine.backend, workers=spec.engine.workers,
                     endpoints=spec.engine.endpoints,
-                    auth_token_file=spec.engine.auth_token_file)
+                    auth_token_file=spec.engine.auth_token_file,
+                    autoscale=spec.engine.autoscale)
 
             factories[strategy.label] = sharded
         return factories

@@ -205,9 +205,22 @@ class EngineSpec:
     workers: Optional[int] = None
     endpoints: Optional[List[str]] = None
     auth_token_file: Optional[str] = None
+    autoscale: Optional[Any] = None
 
     def __post_init__(self) -> None:
+        from repro.engine.autoscale import AutoscalePolicy
         from repro.engine.backends import BACKENDS, parse_endpoint
+
+        if self.autoscale is not None:
+            try:
+                self.autoscale = AutoscalePolicy.coerce(self.autoscale)
+            except ValueError as error:
+                raise ScenarioError(f"engine.autoscale: {error}") from None
+            if self.autoscale is not None and self.shards is None:
+                raise ScenarioError(
+                    "engine.autoscale scales the sharded ensemble's worker "
+                    "pool; set engine.shards as well (on the serial backend "
+                    "the knob is a no-op, so the same spec runs everywhere)")
 
         if self.driver not in DRIVERS:
             raise ScenarioError(
@@ -269,7 +282,7 @@ class EngineSpec:
         data = _require_mapping("engine", data)
         _check_known_keys("engine", data, ["driver", "batch_size", "shards",
                                            "backend", "workers", "endpoints",
-                                           "auth_token_file"])
+                                           "auth_token_file", "autoscale"])
         return cls(**data)
 
 

@@ -14,6 +14,7 @@
 from repro.serve.client import (
     BackpressureError,
     DrainingError,
+    IngestRetryError,
     ServeClient,
     ServeError,
 )
@@ -23,6 +24,7 @@ from repro.serve.server import SamplingServer, ServerThread
 __all__ = [
     "BackpressureError",
     "DrainingError",
+    "IngestRetryError",
     "SamplingServer",
     "ServeClient",
     "ServeError",

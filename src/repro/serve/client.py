@@ -23,6 +23,7 @@ from repro.serve import protocol
 __all__ = [
     "BackpressureError",
     "DrainingError",
+    "IngestRetryError",
     "ServeClient",
     "ServeError",
 ]
@@ -49,6 +50,21 @@ class DrainingError(ServeError):
 
     def __init__(self) -> None:
         super().__init__("server is draining and no longer accepts ingests")
+
+
+class IngestRetryError(ServeError):
+    """An ingest exhausted its backpressure retry budget.
+
+    Raised by :meth:`ServeClient.ingest` after ``max_retries`` rejected
+    resends; the last :class:`BackpressureError` is chained as the cause.
+    """
+
+    def __init__(self, attempts: int, slept: float) -> None:
+        super().__init__(
+            f"ingest still backpressured after {attempts} retries "
+            f"({slept:.3f}s total backoff)")
+        self.attempts = int(attempts)
+        self.slept = float(slept)
 
 
 class ServeClient:
@@ -121,13 +137,18 @@ class ServeClient:
     def ingest(self, identifiers: Sequence[int], *,
                return_outputs: bool = False,
                seq: Any = None,
-               max_retries: int = 0) -> Dict[str, Any]:
+               max_retries: int = 0,
+               backoff_base: float = 0.01,
+               backoff_cap: float = 2.0) -> Dict[str, Any]:
         """Ingest one batch; optionally retry on backpressure.
 
-        With ``max_retries`` > 0, a backpressure rejection sleeps for the
-        server's ``retry_after`` hint and resends — the batch reaches the
-        samplers exactly once either way (a rejected ingest never touches
-        them).
+        With ``max_retries`` > 0, a backpressure rejection sleeps and
+        resends — the batch reaches the samplers exactly once either way
+        (a rejected ingest never touches them).  The sleep honours the
+        server's ``retry_after`` hint, doubled per consecutive rejection
+        (bounded exponential backoff, capped at ``backoff_cap`` seconds);
+        once the budget is exhausted, :class:`IngestRetryError` is raised
+        with the last :class:`BackpressureError` as its cause.
         """
         payload = {"ids": np.asarray(identifiers, dtype=np.int64)}
         if return_outputs:
@@ -135,14 +156,21 @@ class ServeClient:
         if seq is not None:
             payload["seq"] = seq
         attempts = 0
+        slept = 0.0
         while True:
             try:
                 return self._request("ingest", payload)
             except BackpressureError as error:
                 attempts += 1
                 if attempts > max_retries:
-                    raise
-                time.sleep(error.retry_after)
+                    if max_retries <= 0:
+                        raise
+                    raise IngestRetryError(max_retries, slept) from error
+                delay = min(backoff_cap,
+                            max(error.retry_after, backoff_base)
+                            * 2.0 ** (attempts - 1))
+                slept += delay
+                time.sleep(delay)
 
     def sample(self) -> Optional[int]:
         return self._request("sample")["sample"]

@@ -462,12 +462,17 @@ class SamplingServer:
             "connections": len(self._connections),
             # this stats request is itself in flight; don't report it
             "inflight": max(0, self._inflight - 1),
+            "placement": service.placement_info(),
         }
         if self._registry is not None:
             stats["telemetry"] = self._registry.snapshot()
         return stats
 
     def _drain_snapshot(self) -> Dict[str, Any]:
+        # shard migrations / autoscaling actions started before the drain
+        # must finish before the snapshot, or it could capture a shard
+        # mid-move
+        self._service.wait_placement_idle()
         blob = self._service.snapshot()
         self.last_snapshot = blob
         if self._state_file:

@@ -648,6 +648,33 @@ class TestSnapshotRestore:
             assert restored.merged_memory() == ref_memory
             restored.close()
 
+    def test_restore_remaps_placement_to_new_pool_shape(self):
+        """socket/4 workers -> process/2 workers: re-mapped, bit-identical.
+
+        The snapshot deliberately omits the placement table; restore lays
+        the shards out round-robin over whatever pool it is given, so the
+        same blob serves any backend and worker count.
+        """
+        ids = np.asarray(STREAM.identifiers, dtype=np.int64)
+        half = ids.size // 2
+        ref_samples, ref_memory = self._reference(ids)
+        with _service("socket", workers=4) as service:
+            assert service.placement.workers == 4
+            service.on_receive_batch(ids[:half])
+            blob = service.snapshot()
+        restored = ShardedSamplingService.restore(blob, backend="process",
+                                                  workers=2)
+        try:
+            table = restored.placement.to_dict()
+            assert table["workers"] == 2
+            assert table["shards_by_worker"] == {0: [0, 2], 1: [1, 3]}
+            restored.on_receive_batch(ids[half:])
+            assert restored.elements_processed == ids.size
+            assert restored.sample_many(30, strict=False) == ref_samples
+            assert restored.merged_memory() == ref_memory
+        finally:
+            restored.close()
+
     def test_restore_rejects_non_snapshot_blobs(self):
         import pickle
 
@@ -761,6 +788,22 @@ class TestEngineSpec:
         assert rebuilt.engine.shards == 4
         assert rebuilt.engine.backend == "serial"
 
+    def test_autoscale_round_trips_through_dict(self):
+        spec = EngineSpec(shards=4,
+                          autoscale={"min_workers": 1, "max_workers": 3,
+                                     "target_load_per_worker": 2_000})
+        rebuilt = EngineSpec.from_dict(spec.to_dict())
+        assert rebuilt.autoscale == spec.autoscale
+        assert rebuilt.autoscale.max_workers == 3
+
+    def test_autoscale_requires_shards(self):
+        with pytest.raises(ScenarioError, match="engine.shards"):
+            EngineSpec(autoscale=True)
+
+    def test_invalid_autoscale_policy_rejected(self):
+        with pytest.raises(ScenarioError, match="engine.autoscale"):
+            EngineSpec(shards=4, autoscale={"min_workers": 0})
+
 
 class TestCli:
     def test_run_with_process_backend(self, capsys):
@@ -827,6 +870,51 @@ class TestCli:
         finally:
             server.terminate()
             server.join(timeout=5.0)
+
+    def test_worker_serve_sigterm_drains_and_exits_zero(self, tmp_path):
+        # SIGTERM (docker stop / compose scale-down) must be a graceful
+        # drain: in-flight sessions finish and the process exits 0
+        token_file = tmp_path / "worker.token"
+        token_file.write_bytes(b"cli-secret\n")
+        with socket_module.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            port = probe.getsockname()[1]
+        context = multiprocessing.get_context()
+        server = context.Process(
+            target=main,
+            args=(["worker", "serve", "--listen", f"127.0.0.1:{port}",
+                   "--auth-token-file", str(token_file)],),
+            daemon=True)
+        server.start()
+        try:
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline:
+                try:
+                    socket_module.create_connection(("127.0.0.1", port),
+                                                    timeout=1.0).close()
+                    break
+                except OSError:
+                    time.sleep(0.1)
+            else:
+                raise AssertionError("worker server never came up")
+            with _service("socket", seed=29, shards=2, workers=1,
+                          endpoints=[f"127.0.0.1:{port}"],
+                          auth_token=b"cli-secret") as remote:
+                remote.on_receive_batch(STREAM.identifiers[:1000])
+                # SIGTERM with a session still attached: the server must
+                # stop accepting but wait for the session to finish
+                server.terminate()
+                time.sleep(0.3)
+                assert server.is_alive(), \
+                    "server dropped a live session on SIGTERM"
+                # the session stays usable while the host drains
+                remote.on_receive_batch(STREAM.identifiers[1000:2000])
+            server.join(timeout=15.0)
+            assert server.exitcode == 0
+        finally:
+            if server.is_alive():  # pragma: no cover - failure cleanup
+                server.kill()
+                server.join(timeout=5.0)
 
     def test_throughput_process_backend(self, capsys):
         assert main(["throughput", "--stream-size", "20000",

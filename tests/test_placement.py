@@ -1,0 +1,406 @@
+"""Tests for the shard placement plane (repro.engine.placement/autoscale).
+
+The guarantees under test: live shard migration, runtime worker
+scale-up/down and load-triggered autoscaling are pure routing changes —
+per master seed, outputs, merged memory, shard loads and samples stay
+bit-identical to the serial backend with any schedule of placement
+actions applied mid-run, including a worker killed -9 in the middle of a
+migration (the socket supervisor re-spawns and journal-replays it).
+Delta snapshots make migrations ship only state that changed since the
+parent's cache was last refreshed, which the telemetry byte counters
+make observable.
+"""
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.engine import (
+    AutoscalePolicy,
+    Autoscaler,
+    BackendError,
+    ShardedSamplingService,
+    ShardPlacement,
+)
+from repro.streams import zipf_stream
+
+STREAM = zipf_stream(8_000, 1_000, alpha=1.3, random_state=17)
+IDS = np.asarray(STREAM.identifiers, dtype=np.int64)
+
+PARALLEL_BACKENDS = ["process", "socket"]
+
+
+def _service(backend, seed=23, shards=4, **kwargs):
+    return ShardedSamplingService.knowledge_free(
+        shards=shards, memory_size=10, sketch_width=32, sketch_depth=4,
+        random_state=seed, backend=backend, **kwargs)
+
+
+def _serial_reference(batches, seed=23, shards=4, reset_after=None):
+    """Outputs/samples/memory of a serial run over ``batches``."""
+    service = _service("serial", seed=seed, shards=shards)
+    outputs = []
+    for index, batch in enumerate(batches):
+        outputs.append(service.on_receive_batch(batch))
+        if reset_after is not None and index == reset_after:
+            service.reset()
+            outputs.clear()
+    samples = service.sample_many(40, strict=False)
+    memory = service.merged_memory()
+    loads = service.shard_loads()
+    service.close()
+    return outputs, samples, memory, loads
+
+
+# --------------------------------------------------------------------- #
+# The routing table itself
+# --------------------------------------------------------------------- #
+class TestShardPlacement:
+    def test_worker_ids_are_never_reused(self):
+        placement = ShardPlacement(4)
+        first = placement.add_worker()
+        second = placement.add_worker()
+        placement.remove_worker(second)
+        assert placement.add_worker() == second + 1
+        assert first == 0 and second == 1
+
+    def test_round_robin_reproduces_legacy_pinning(self):
+        placement = ShardPlacement(5)
+        for _ in range(2):
+            placement.add_worker()
+        placement.assign_round_robin()
+        assert placement.table == [0, 1, 0, 1, 0]
+        assert placement.shards_of(0) == [0, 2, 4]
+        assert placement.shards_of(1) == [1, 3]
+
+    def test_reassignment_counts_as_migration(self):
+        placement = ShardPlacement(2)
+        placement.add_worker()
+        placement.add_worker()
+        placement.assign(0, 0)  # fresh assignment: not a migration
+        assert placement.migrations == 0
+        placement.assign(0, 0)  # no-op
+        assert placement.migrations == 0
+        placement.assign(0, 1)  # cutover
+        assert placement.migrations == 1
+
+    def test_worker_must_be_drained_before_removal(self):
+        placement = ShardPlacement(2)
+        worker = placement.add_worker()
+        placement.assign_round_robin()
+        with pytest.raises(ValueError, match="still owns shards"):
+            placement.remove_worker(worker)
+
+    def test_unassigned_shard_rejected_on_lookup(self):
+        placement = ShardPlacement(2)
+        placement.add_worker()
+        with pytest.raises(ValueError, match="not assigned"):
+            placement.worker_of(1)
+        with pytest.raises(ValueError, match="out of range"):
+            placement.worker_of(7)
+
+    def test_assign_validates_registration(self):
+        placement = ShardPlacement(2)
+        with pytest.raises(ValueError, match="not registered"):
+            placement.assign(0, 3)
+
+    def test_to_dict_is_a_consistent_view(self):
+        placement = ShardPlacement(3)
+        placement.add_worker()
+        placement.add_worker()
+        placement.assign_round_robin()
+        placement.assign(2, 1)
+        info = placement.to_dict()
+        assert info == {
+            "workers": 2,
+            "worker_ids": [0, 1],
+            "table": [0, 1, 1],
+            "shards_by_worker": {0: [0], 1: [1, 2]},
+            "migrations": 1,
+        }
+
+
+# --------------------------------------------------------------------- #
+# Policy object
+# --------------------------------------------------------------------- #
+class TestAutoscalePolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="min_workers"):
+            AutoscalePolicy(min_workers=0)
+        with pytest.raises(ValueError, match="max_workers"):
+            AutoscalePolicy(min_workers=3, max_workers=2)
+        with pytest.raises(ValueError, match="target_load_per_worker"):
+            AutoscalePolicy(target_load_per_worker=0)
+        with pytest.raises(ValueError, match="check_every"):
+            AutoscalePolicy(check_every=-1)
+        with pytest.raises(ValueError, match="imbalance_ratio"):
+            AutoscalePolicy(imbalance_ratio=0.5)
+
+    def test_coerce_forms(self):
+        assert AutoscalePolicy.coerce(None) is None
+        assert AutoscalePolicy.coerce(False) is None
+        assert AutoscalePolicy.coerce(True) == AutoscalePolicy()
+        policy = AutoscalePolicy(max_workers=2)
+        assert AutoscalePolicy.coerce(policy) is policy
+        assert AutoscalePolicy.coerce({"max_workers": 2}) == policy
+        with pytest.raises(ValueError, match="boolean or a policy"):
+            AutoscalePolicy.coerce("yes")
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ValueError, match="unknown autoscale policy"):
+            AutoscalePolicy.from_dict({"worker_count": 3})
+
+    def test_round_trips_through_dict(self):
+        policy = AutoscalePolicy(min_workers=2, max_workers=6,
+                                 target_load_per_worker=1000,
+                                 check_every=64, imbalance_ratio=3.0)
+        assert AutoscalePolicy.from_dict(policy.to_dict()) == policy
+
+    def test_after_batch_accumulates_across_small_batches(self):
+        class _Probe:
+            shards = 1
+            evaluated = 0
+
+            def cached_loads(self):
+                _Probe.evaluated += 1
+                return [0]
+
+            placement = ShardPlacement(1)
+
+        _Probe.placement.add_worker()
+        _Probe.placement.assign_round_robin()
+        scaler = Autoscaler(AutoscalePolicy(check_every=100))
+        backend = _Probe()
+        for _ in range(4):
+            scaler.after_batch(backend, 60)  # 240 elements = 2 checks
+        assert scaler.evaluations == 2
+
+
+# --------------------------------------------------------------------- #
+# Live migration, bit-identical
+# --------------------------------------------------------------------- #
+class TestLiveMigration:
+    @pytest.mark.parametrize("backend", PARALLEL_BACKENDS)
+    def test_mid_run_migration_and_scaling_match_serial(self, backend):
+        batches = [IDS[:3000], IDS[3000:6000], IDS[6000:]]
+        ref_outputs, ref_samples, ref_memory, ref_loads = \
+            _serial_reference(batches)
+        with _service(backend, workers=2) as service:
+            outputs = [service.on_receive_batch(batches[0])]
+            # move a shard between the two original workers
+            service.migrate_shard(0, 1)
+            outputs.append(service.on_receive_batch(batches[1]))
+            # grow the pool and move a shard onto the new worker
+            new_worker = service.add_worker()
+            service.migrate_shard(2, new_worker)
+            assert service.placement.shards_of(new_worker) == [2]
+            outputs.append(service.on_receive_batch(batches[2]))
+            # retire a worker: its shards fold back onto the survivors
+            service.remove_worker(1)
+            assert 1 not in service.placement.worker_ids
+            assert sorted(sum((service.placement.shards_of(worker)
+                               for worker in service.placement.worker_ids),
+                              [])) == [0, 1, 2, 3]
+            for ours, expected in zip(outputs, ref_outputs):
+                assert np.array_equal(ours, expected)
+            assert service.sample_many(40, strict=False) == ref_samples
+            assert service.merged_memory() == ref_memory
+            assert service.shard_loads() == ref_loads
+            assert service.placement.migrations >= 2
+
+    @pytest.mark.parametrize("backend", PARALLEL_BACKENDS)
+    def test_migrate_to_owner_is_a_noop(self, backend):
+        with _service(backend, workers=2) as service:
+            service.on_receive_batch(IDS[:1000])
+            owner = service.placement.worker_of(0)
+            service.migrate_shard(0, owner)
+            assert service.placement.migrations == 0
+
+    @pytest.mark.parametrize("backend", PARALLEL_BACKENDS)
+    def test_migrate_to_unknown_worker_rejected(self, backend):
+        with _service(backend, workers=2) as service:
+            with pytest.raises(ValueError, match="not in the pool"):
+                service.migrate_shard(0, 17)
+
+    @pytest.mark.parametrize("backend", PARALLEL_BACKENDS)
+    def test_last_worker_cannot_be_removed(self, backend):
+        with _service(backend, workers=1) as service:
+            with pytest.raises(BackendError, match="last worker"):
+                service.remove_worker(service.placement.worker_ids[0])
+
+    def test_serial_backend_cannot_scale(self):
+        service = _service("serial")
+        with pytest.raises(BackendError, match="cannot migrate"):
+            service.migrate_shard(0, 1)
+        with pytest.raises(BackendError, match="cannot add"):
+            service.add_worker()
+        service.close()
+
+    def test_kill_nine_during_migration_recovers_bit_identical(self):
+        """kill -9 on the migration source; supervisor replay converges."""
+        batches = [IDS[:4000], IDS[4000:]]
+        ref_outputs, ref_samples, ref_memory, ref_loads = \
+            _serial_reference(batches)
+        with _service("socket", workers=2) as service:
+            outputs = [service.on_receive_batch(batches[0])]
+            # the source worker dies before the delta snapshot request;
+            # the supervisor re-spawns it mid-migration
+            service.backend._processes[0].kill()
+            service.migrate_shard(0, 1)
+            assert service.backend.respawns == 1
+            assert service.placement.worker_of(0) == 1
+            outputs.append(service.on_receive_batch(batches[1]))
+            for ours, expected in zip(outputs, ref_outputs):
+                assert np.array_equal(ours, expected)
+            assert service.sample_many(40, strict=False) == ref_samples
+            assert service.merged_memory() == ref_memory
+            assert service.shard_loads() == ref_loads
+
+    def test_kill_nine_after_migration_replays_the_move(self):
+        """A post-migration crash must rebuild the *migrated* membership."""
+        batches = [IDS[:4000], IDS[4000:]]
+        ref_outputs, ref_samples, ref_memory, _ = _serial_reference(batches)
+        with _service("socket", workers=2) as service:
+            outputs = [service.on_receive_batch(batches[0])]
+            service.migrate_shard(0, 1)
+            # both sides of the move crash after it completed: replay must
+            # rebuild worker 0 without shard 0 and worker 1 with it
+            service.backend._processes[0].kill()
+            service.backend._processes[1].kill()
+            outputs.append(service.on_receive_batch(batches[1]))
+            assert service.backend.respawns == 2
+            for ours, expected in zip(outputs, ref_outputs):
+                assert np.array_equal(ours, expected)
+            assert service.sample_many(40, strict=False) == ref_samples
+            assert service.merged_memory() == ref_memory
+
+
+# --------------------------------------------------------------------- #
+# Load-triggered autoscaling, bit-identical
+# --------------------------------------------------------------------- #
+AUTOSCALE = {"min_workers": 1, "max_workers": 3,
+             "target_load_per_worker": 2_000, "check_every": 1_024}
+
+
+class TestAutoscaling:
+    @pytest.mark.parametrize("backend", PARALLEL_BACKENDS)
+    def test_flash_crowd_scale_up_matches_serial(self, backend):
+        batches = [IDS[start:start + 512]
+                   for start in range(0, IDS.size, 512)]
+        ref_outputs, ref_samples, ref_memory, ref_loads = \
+            _serial_reference(batches)
+        with _service(backend, workers=1, autoscale=AUTOSCALE) as service:
+            assert service.placement.workers == 1
+            grew_mid_run = False
+            outputs = []
+            for batch in batches:
+                outputs.append(service.on_receive_batch(batch))
+                if 1 < service.placement.workers < len(batches):
+                    grew_mid_run = True
+            stats = service.autoscaler.stats()
+            assert grew_mid_run, "pool never grew while the stream ran"
+            assert service.placement.workers == 3
+            assert stats["scale_ups"] == 2
+            assert stats["evaluations"] > 0
+            for ours, expected in zip(outputs, ref_outputs):
+                assert np.array_equal(ours, expected)
+            assert service.sample_many(40, strict=False) == ref_samples
+            assert service.merged_memory() == ref_memory
+            assert service.shard_loads() == ref_loads
+
+    @pytest.mark.parametrize("backend", PARALLEL_BACKENDS)
+    def test_idle_pool_scales_back_down(self, backend):
+        batches = [IDS[start:start + 512]
+                   for start in range(0, IDS.size, 512)]
+        quiet = [IDS[:512] for _ in range(4)]
+        _, ref_samples, ref_memory, _ = _serial_reference(
+            batches + quiet, reset_after=len(batches) - 1)
+        with _service(backend, workers=1, autoscale=AUTOSCALE) as service:
+            for batch in batches:
+                service.on_receive_batch(batch)
+            assert service.placement.workers == 3
+            # the flash crowd passes: loads reset, the next evaluations
+            # retire the extra workers
+            service.reset()
+            for batch in quiet:
+                service.on_receive_batch(batch)
+            stats = service.autoscaler.stats()
+            assert service.placement.workers == 1
+            assert stats["scale_downs"] == 2
+            assert service.sample_many(40, strict=False) == ref_samples
+            assert service.merged_memory() == ref_memory
+
+    def test_autoscale_is_inert_on_the_serial_backend(self):
+        service = _service("serial", autoscale=AUTOSCALE)
+        service.on_receive_batch(IDS)
+        assert service.autoscaler is None
+        assert service.placement.workers == 1
+        service.close()
+
+    @pytest.mark.parametrize("backend", PARALLEL_BACKENDS)
+    def test_placement_info_reports_policy_and_stats(self, backend):
+        with _service(backend, workers=1, autoscale=AUTOSCALE) as service:
+            service.on_receive_batch(IDS[:4096])
+            info = service.placement_info()
+            assert info["backend"] == backend
+            assert info["supports_scaling"] is True
+            assert info["migrations_in_flight"] == 0
+            assert info["autoscale"]["policy"]["max_workers"] == 3
+            assert info["autoscale"]["evaluations"] > 0
+            assert sorted(info["shards_by_worker"]) == info["worker_ids"]
+            assert service.wait_placement_idle(timeout=1.0)
+
+
+# --------------------------------------------------------------------- #
+# Delta snapshots
+# --------------------------------------------------------------------- #
+class TestDeltaSnapshots:
+    @pytest.mark.parametrize("backend", PARALLEL_BACKENDS)
+    def test_clean_shard_migration_ships_no_delta_bytes(self, backend):
+        batches = [IDS[:4000], IDS[4000:]]
+        ref_outputs, ref_samples, ref_memory, _ = _serial_reference(batches)
+        with telemetry.enabled() as registry:
+            with _service(backend, workers=2) as service:
+                outputs = [service.on_receive_batch(batches[0])]
+                # first migration: every shard of the source is dirty, so
+                # the delta ships as much as a full snapshot would
+                service.migrate_shard(0, 1)
+                # refresh: the parent caches current state, shards go clean
+                service.backend.refresh_shard_states()
+                # second migration without intervening writes: zero delta
+                # bytes, the cached blob is shipped verbatim
+                service.migrate_shard(2, 1)
+                outputs.append(service.on_receive_batch(batches[1]))
+                for ours, expected in zip(outputs, ref_outputs):
+                    assert np.array_equal(ours, expected)
+                assert service.sample_many(40, strict=False) == ref_samples
+                assert service.merged_memory() == ref_memory
+            snapshot = registry.snapshot()
+        counters = snapshot["counters"]
+        assert counters[f"backend.{backend}.migrations"] == 2
+        assert counters[f"backend.{backend}.migration_bytes"] > 0
+        # delta < full is the point of dirty tracking: the second (clean)
+        # migration added full-snapshot bytes but zero delta bytes
+        assert 0 < counters[f"backend.{backend}.delta_snapshot_bytes"] \
+            < counters[f"backend.{backend}.full_snapshot_bytes"]
+        assert snapshot["histograms"][
+            f"backend.{backend}.migration_seconds"]["count"] == 2
+        assert snapshot["gauges"][f"backend.{backend}.shard_worker.0"] == 1
+        assert snapshot["gauges"][f"backend.{backend}.shard_worker.2"] == 1
+
+    @pytest.mark.parametrize("backend", PARALLEL_BACKENDS)
+    def test_dirty_tracking_survives_writes_after_refresh(self, backend):
+        """A post-refresh write re-dirties the shard; the migration must
+        ship the *current* state, not the stale cache."""
+        batches = [IDS[:4000], IDS[4000:6000], IDS[6000:]]
+        ref_outputs, ref_samples, ref_memory, _ = _serial_reference(batches)
+        with _service(backend, workers=2) as service:
+            outputs = [service.on_receive_batch(batches[0])]
+            service.backend.refresh_shard_states()
+            outputs.append(service.on_receive_batch(batches[1]))
+            service.migrate_shard(0, 1)
+            outputs.append(service.on_receive_batch(batches[2]))
+            for ours, expected in zip(outputs, ref_outputs):
+                assert np.array_equal(ours, expected)
+            assert service.sample_many(40, strict=False) == ref_samples
+            assert service.merged_memory() == ref_memory

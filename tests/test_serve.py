@@ -26,6 +26,7 @@ from repro.cli import main
 from repro.engine import AuthenticationError, ShardedSamplingService
 from repro.serve import (
     BackpressureError,
+    IngestRetryError,
     ServeClient,
     ServeError,
     ServerThread,
@@ -234,6 +235,99 @@ class TestBackpressure:
                 client.sample_many(5, strict=True)  # empty ensemble
             assert client.ping()  # session survives the failed request
         thread.drain()
+
+
+class TestIngestBackoff:
+    """The client retry loop: server hints, exponential growth, a cap,
+    and a typed error once the budget runs out."""
+
+    def _stub_client(self, monkeypatch, retry_after):
+        client = ServeClient.__new__(ServeClient)  # no connection needed
+        requests = []
+
+        def fail(command, payload):
+            requests.append(command)
+            raise BackpressureError(retry_after)
+
+        sleeps = []
+        monkeypatch.setattr(client, "_request", fail, raising=False)
+        monkeypatch.setattr("repro.serve.client.time.sleep", sleeps.append)
+        return client, requests, sleeps
+
+    def test_backoff_honours_hint_doubles_and_caps(self, monkeypatch):
+        client, requests, sleeps = self._stub_client(monkeypatch, 0.04)
+        with pytest.raises(IngestRetryError) as info:
+            client.ingest(IDS[:8], max_retries=4,
+                          backoff_base=0.01, backoff_cap=0.1)
+        # hint-seeded, doubled per consecutive rejection, capped
+        assert sleeps == pytest.approx([0.04, 0.08, 0.1, 0.1])
+        assert len(requests) == 5  # initial send + 4 retries
+        assert info.value.attempts == 4
+        assert info.value.slept == pytest.approx(sum(sleeps))
+        assert isinstance(info.value.__cause__, BackpressureError)
+
+    def test_backoff_base_floors_a_tiny_hint(self, monkeypatch):
+        client, _, sleeps = self._stub_client(monkeypatch, 0.001)
+        with pytest.raises(IngestRetryError):
+            client.ingest(IDS[:8], max_retries=3,
+                          backoff_base=0.02, backoff_cap=1.0)
+        assert sleeps == pytest.approx([0.02, 0.04, 0.08])
+
+    def test_zero_budget_raises_raw_backpressure(self, monkeypatch):
+        client, requests, sleeps = self._stub_client(monkeypatch, 0.01)
+        with pytest.raises(BackpressureError):
+            client.ingest(IDS[:8])
+        assert requests == ["ingest"] and sleeps == []
+
+    def test_budget_exhaustion_over_the_wire(self):
+        thread = ServerThread(_SlowService(_service(seed=6), delay=0.5),
+                              TOKEN, queue_cap=1, connection_hwm=16,
+                              retry_after=0.01)
+        address = thread.start()
+        with ServeClient(address, auth_token=TOKEN) as client:
+            with ServeClient(address, auth_token=TOKEN) as probe:
+                client.send_command("ingest", {"ids": IDS[:64]})
+                time.sleep(0.1)  # the slow ingest now occupies the queue
+                with pytest.raises(IngestRetryError) as info:
+                    probe.ingest(IDS[64:128], max_retries=2,
+                                 backoff_base=0.01, backoff_cap=0.05)
+                assert isinstance(info.value.__cause__, BackpressureError)
+                assert client.read_reply()[0] is True
+        thread.drain()
+
+
+class TestPlacementStats:
+    def test_stats_expose_the_placement_plane(self):
+        thread = ServerThread(_service(backend="socket", workers=2), TOKEN)
+        address = thread.start()
+        with ServeClient(address, auth_token=TOKEN) as client:
+            client.ingest(IDS[:1024])
+            stats = client.stats()
+        thread.drain()
+        placement = stats["placement"]
+        assert placement["workers"] == 2
+        assert placement["supports_scaling"] is True
+        assert placement["table"] == [0, 1, 0, 1]
+        assert placement["migrations"] == 0
+        assert placement["migrations_in_flight"] == 0
+        assert placement["autoscale"] is None
+
+    def test_stats_report_autoscale_policy_and_growth(self):
+        service = _service(backend="process", workers=1, autoscale={
+            "min_workers": 1, "max_workers": 2,
+            "target_load_per_worker": 2_000, "check_every": 1_024})
+        thread = ServerThread(service, TOKEN)
+        address = thread.start()
+        with ServeClient(address, auth_token=TOKEN) as client:
+            for start in range(0, 6 * 1024, 1024):
+                client.ingest(IDS[start:start + 1024])
+            stats = client.stats()
+        thread.drain()
+        placement = stats["placement"]
+        assert placement["workers"] == 2
+        assert placement["autoscale"]["policy"]["max_workers"] == 2
+        assert placement["autoscale"]["scale_ups"] == 1
+        assert placement["autoscale"]["evaluations"] > 0
 
 
 # --------------------------------------------------------------------- #

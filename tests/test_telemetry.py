@@ -284,6 +284,41 @@ class TestWorkerHarvest:
         assert sum(loads) == IDS.size
         assert gauges["sharded.backend"] == backend
 
+    @pytest.mark.parametrize("backend", ["process", "socket"])
+    def test_drained_worker_registry_merges_exactly_once(self, backend):
+        """Scale-down must not lose or double-count worker telemetry.
+
+        A worker retired mid-run has its registry harvested right before
+        teardown and parked; the final harvest merges the parked snapshot
+        exactly once.  Losing it would undercount ``worker.batch_elements``
+        below the stream size; merging it twice would overshoot.
+        """
+        with telemetry.enabled() as registry:
+            service = _service(backend, workers=2)
+            try:
+                service.on_receive_batch(IDS[:3000])
+                new_worker = service.add_worker()
+                service.migrate_shard(0, new_worker)
+                service.on_receive_batch(IDS[3000:5000])
+                # retire an original worker after it ingested real traffic
+                service.remove_worker(service.placement.worker_ids[0])
+                service.on_receive_batch(IDS[5000:])
+            finally:
+                service.close()
+            snapshot = registry.snapshot()
+        counters = snapshot["counters"]
+        assert counters["worker.batch_elements"] == IDS.size
+        assert counters[f"backend.{backend}.dispatch_elements"] == IDS.size
+        assert counters[f"backend.{backend}.workers_added"] == 1
+        assert counters[f"backend.{backend}.workers_removed"] == 1
+        assert counters[f"backend.{backend}.migrations"] >= 2
+        # the post-retirement pool still reports every shard's final load
+        gauges = snapshot["gauges"]
+        loads = [gauges[f"sharded.shard_load.{shard}"] for shard in range(4)]
+        assert sum(loads) == IDS.size
+        assert gauges[f"backend.{backend}.workers"] == 2
+        assert gauges["sharded.workers"] == 2
+
     def test_serial_backend_records_in_process(self):
         # serial shards run in-process (no worker protocol), so only the
         # backend.* instrument family applies
