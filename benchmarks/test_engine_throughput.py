@@ -9,10 +9,16 @@ stream", Section III-A) on a million-element Zipf-biased stream:
 * ``sharded`` — the batch driver over a hash-partitioned 4-shard ensemble
   on the serial execution backend (every shard in this process);
 * ``process`` — the same ensemble on the process backend (shard groups
-  pinned to worker processes), the parallel tier.  Its outputs and merged
-  memory are asserted bit-identical to the serial ensemble's, and on a
-  machine with enough cores it must reach at least 2x the serial ensemble's
-  throughput.
+  pinned to worker processes) with its default transport: zero-copy
+  shared-memory rings plus double-buffered pipelined dispatch.  Its outputs
+  and merged memory are asserted bit-identical to the serial ensemble's,
+  and on a machine with enough cores it must reach at least 2x the serial
+  ensemble's throughput.
+* ``process_pickle`` — the same ensemble on the process backend with the
+  pre-ring wire format (``transport="pickle"``) and the synchronous
+  driving loop (``pipeline=False``).  On a machine with enough cores the
+  shm+pipelined tier must beat this tier by at least 1.5x — the regression
+  gate of the zero-copy transport.
 * ``socket``  — the same ensemble on the socket backend (shard groups
   behind authenticated localhost TCP workers), the network-transparent
   tier; also asserted bit-identical to the serial ensemble.  This tier
@@ -183,7 +189,33 @@ def test_process_backend_throughput(benchmark, print_result, identifiers):
         finally:
             service.close()
     benchmark.extra_info["workers"] = service.backend.workers
+    benchmark.extra_info["transport"] = service.backend.transport
     _record(benchmark, print_result, "process", result)
+
+
+@pytest.mark.figure("throughput")
+def test_process_pickle_backend_throughput(benchmark, print_result,
+                                           identifiers):
+    """The pre-ring reference tier: pickle transport, synchronous dispatch.
+
+    What the process backend shipped before the shared-memory rings — every
+    sub-chunk pickled into the command pipe and each chunk collected before
+    the next is partitioned.  The shm+pipelined tier above is gated against
+    this tier's throughput.
+    """
+    with telemetry.enabled(TELEMETRY_REGISTRY):
+        service = _sharded("process", workers=WORKERS, transport="pickle")
+        try:
+            result = benchmark.pedantic(
+                lambda: run_stream(service, identifiers,
+                                   batch_size=BATCH_SIZE, pipeline=False),
+                rounds=1, iterations=1)
+            MERGED_MEMORY["process_pickle"] = service.merged_memory()
+        finally:
+            service.close()
+    benchmark.extra_info["workers"] = service.backend.workers
+    benchmark.extra_info["transport"] = "pickle"
+    _record(benchmark, print_result, "process_pickle", result)
 
 
 @pytest.mark.figure("throughput")
@@ -209,7 +241,7 @@ def test_socket_backend_throughput(benchmark, print_result, identifiers):
 
 
 @pytest.mark.figure("throughput")
-@pytest.mark.parametrize("backend", ["process", "socket"])
+@pytest.mark.parametrize("backend", ["process", "process_pickle", "socket"])
 def test_parallel_backends_bit_identical_to_serial(print_result, backend):
     """Cross-backend exactness: same outputs, same merged memory, per seed."""
     if "sharded" not in RECORDED or backend not in RECORDED:
@@ -244,6 +276,38 @@ def test_process_backend_at_least_2x_serial_sharded(print_result):
     assert speedup >= 2.0, (
         f"process backend only {speedup:.2f}x the serial ensemble "
         f"({process_eps:,.0f} vs {serial_eps:,.0f} elem/s)"
+    )
+
+
+@pytest.mark.figure("throughput")
+def test_process_shm_at_least_1p5x_process_pickle(print_result):
+    """>= 1.5x the pickle/synchronous tier with 4 workers (needs >= 4 cores).
+
+    The zero-copy transport's regression gate: staging chunks into the
+    shared-memory rings while double-buffering dispatch must beat pickling
+    every payload through the pipes synchronously.  On boxes with fewer
+    cores only the bit-identity checks arm (the speedup cannot materialise
+    without genuine parallelism between the parent's staging and the
+    workers' ingestion).
+    """
+    if "process" not in RECORDED or "process_pickle" not in RECORDED:
+        pytest.skip("process benchmarks did not run before this test")
+    shm_eps, _ = RECORDED["process"]
+    pickle_eps, _ = RECORDED["process_pickle"]
+    speedup = shm_eps / pickle_eps
+    print_result("transport speedup",
+                 f"shm+pipelined dispatch is {speedup:.2f}x the "
+                 f"pickle/synchronous tier ({shm_eps:,.0f} vs "
+                 f"{pickle_eps:,.0f} elem/s, {WORKERS} workers, "
+                 f"{multiprocessing.cpu_count()} cores)")
+    if multiprocessing.cpu_count() < 4 or WORKERS < 4:
+        pytest.skip(
+            f"transport speedup assertion needs >= 4 cores and >= 4 workers "
+            f"(have {multiprocessing.cpu_count()} cores, {WORKERS} workers); "
+            "bit-identity was still asserted")
+    assert speedup >= 1.5, (
+        f"shm+pipelined dispatch only {speedup:.2f}x the pickle tier "
+        f"({shm_eps:,.0f} vs {pickle_eps:,.0f} elem/s)"
     )
 
 

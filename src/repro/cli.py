@@ -107,6 +107,8 @@ def _cmd_run(arguments: argparse.Namespace) -> None:
             or arguments.endpoints is not None
             or arguments.auth_token_file is not None
             or arguments.shards is not None
+            or arguments.transport is not None
+            or arguments.ring_slots is not None
             or arguments.autoscale is not None):
         engine_overrides = {}
         if arguments.backend is not None:
@@ -115,6 +117,10 @@ def _cmd_run(arguments: argparse.Namespace) -> None:
             engine_overrides["workers"] = arguments.workers
         if arguments.shards is not None:
             engine_overrides["shards"] = arguments.shards
+        if arguments.transport is not None:
+            engine_overrides["transport"] = arguments.transport
+        if arguments.ring_slots is not None:
+            engine_overrides["ring_slots"] = arguments.ring_slots
         if arguments.autoscale is not None:
             engine_overrides["autoscale"] = \
                 _parse_autoscale_argument(arguments.autoscale)
@@ -212,6 +218,8 @@ def _cmd_throughput(arguments: argparse.Namespace) -> None:
             workers=arguments.workers,
             endpoints=_parse_endpoints_argument(arguments.endpoints),
             auth_token_file=arguments.auth_token_file,
+            transport=arguments.transport,
+            ring_slots=arguments.ring_slots,
         )
         try:
             sharded = run_stream(sharded_service, stream,
@@ -327,6 +335,8 @@ def _cmd_serve(arguments: argparse.Namespace) -> None:
         workers=arguments.workers,
         endpoints=_parse_endpoints_argument(arguments.endpoints),
         auth_token_file=arguments.worker_auth_token_file,
+        transport=arguments.transport,
+        ring_slots=arguments.ring_slots,
         autoscale=_parse_autoscale_argument(arguments.autoscale),
     )
     with _telemetry_context(arguments.telemetry_out is not None) as registry:
@@ -586,6 +596,15 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--auth-token-file", default=None,
                      help="file holding the shared worker auth token "
                           "(socket backend with --endpoints)")
+    run.add_argument("--transport", choices=["shm", "pickle"], default=None,
+                     help="chunk transport of the process backend: 'shm' "
+                          "stages sub-chunks in per-worker shared-memory "
+                          "rings (zero-copy; the default where available), "
+                          "'pickle' serialises them into the command pipe "
+                          "(results are bit-identical either way)")
+    run.add_argument("--ring-slots", type=int, default=None,
+                     help="slots per worker shared-memory ring (process "
+                          "backend with --transport shm)")
     run.add_argument("--telemetry-out", default=None, metavar="FILE",
                      help="run with telemetry enabled and write the metrics "
                           "snapshot (counters, gauges, histograms — "
@@ -686,6 +705,14 @@ def build_parser() -> argparse.ArgumentParser:
     throughput.add_argument("--auth-token-file", default=None,
                             help="file holding the shared worker auth token "
                                  "(socket backend with --endpoints)")
+    throughput.add_argument("--transport", choices=["shm", "pickle"],
+                            default=None,
+                            help="chunk transport of the process backend "
+                                 "(shm = zero-copy shared-memory rings, "
+                                 "the default where available)")
+    throughput.add_argument("--ring-slots", type=int, default=None,
+                            help="slots per worker shared-memory ring "
+                                 "(process backend, shm transport)")
     throughput.add_argument("--scalar-limit", type=int, default=100_000,
                             help="cap on elements fed to the slow "
                                  "per-element reference driver")
@@ -745,6 +772,14 @@ def build_parser() -> argparse.ArgumentParser:
                               "the socket backend (omit to spawn locally)")
     serving.add_argument("--worker-auth-token-file", default=None,
                          help="shared token file for remote socket workers")
+    serving.add_argument("--transport", choices=["shm", "pickle"],
+                         default=None,
+                         help="chunk transport of the process backend "
+                              "(shm = zero-copy shared-memory rings, the "
+                              "default where available)")
+    serving.add_argument("--ring-slots", type=int, default=None,
+                         help="slots per worker shared-memory ring "
+                              "(process backend, shm transport)")
     serving.add_argument("--autoscale", nargs="?", const=True, default=None,
                          metavar="JSON",
                          help="enable load-triggered worker autoscaling on "

@@ -15,8 +15,10 @@
 
 from repro.engine.backends.base import (
     BACKENDS,
+    TRANSPORTS,
     AuthenticationError,
     BackendError,
+    DispatchTicket,
     ExecutionBackend,
     ShardGroup,
     WorkerCrashError,
@@ -27,6 +29,8 @@ from repro.engine.backends.base import (
 from repro.engine.placement import ShardPlacement
 from repro.engine.backends.process import ProcessBackend
 from repro.engine.backends.serial import SerialBackend
+from repro.engine.backends.shm import ShmRing, ShmRingView, \
+    shared_memory_available
 from repro.engine.backends.socket import (
     SocketBackend,
     WorkerServer,
@@ -36,13 +40,17 @@ from repro.engine.backends.socket import (
 
 __all__ = [
     "BACKENDS",
+    "TRANSPORTS",
     "AuthenticationError",
     "BackendError",
+    "DispatchTicket",
     "ExecutionBackend",
     "ProcessBackend",
     "SerialBackend",
     "ShardGroup",
     "ShardPlacement",
+    "ShmRing",
+    "ShmRingView",
     "SocketBackend",
     "WorkerCrashError",
     "WorkerPoolBackend",
@@ -51,4 +59,5 @@ __all__ = [
     "load_auth_token",
     "make_backend",
     "parse_endpoint",
+    "shared_memory_available",
 ]

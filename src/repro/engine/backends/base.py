@@ -24,7 +24,9 @@ import abc
 import multiprocessing
 import pickle
 import time
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -39,6 +41,10 @@ ShardFactory = Callable[[int, np.random.Generator], object]
 
 #: The backend names :func:`make_backend` resolves.
 BACKENDS = ("serial", "process", "socket")
+
+#: The worker transports the process backend resolves (``make_backend``'s
+#: ``transport`` knob): zero-copy shared-memory rings or the pickle pipe.
+TRANSPORTS = ("shm", "pickle")
 
 #: Deadline applied to ordinary worker requests when no ``worker_timeout``
 #: was configured.  Startup keeps its own (shorter) deadline; this one only
@@ -178,6 +184,28 @@ def serve_shard_command(services: Dict[int, object], command: str, payload):
     raise ValueError(f"unknown worker command {command!r}")
 
 
+@dataclass
+class DispatchTicket:
+    """Handle of one in-flight (or completed) dispatched chunk.
+
+    ``dispatch_begin`` returns one; ``dispatch_finish`` turns it into the
+    merged output chunk.  ``seq`` orders tickets globally — replies are
+    collected strictly FIFO, which is what keeps pipelined execution
+    bit-identical to the synchronous path.  ``transport_state`` is a
+    per-worker scratch slot for the backend's transport (the shm transport
+    parks each worker's ring-slot number there until release).
+    """
+
+    seq: int
+    outputs: np.ndarray
+    masks: Dict[int, np.ndarray] = field(default_factory=dict)
+    counts: Dict[int, int] = field(default_factory=dict)
+    per_worker: Dict[int, Dict[int, np.ndarray]] = field(default_factory=dict)
+    involved: List[int] = field(default_factory=list)
+    collected: bool = False
+    transport_state: Dict[int, object] = field(default_factory=dict)
+
+
 class ExecutionBackend(abc.ABC):
     """Executes the per-shard services of a sharded sampling ensemble.
 
@@ -200,6 +228,12 @@ class ExecutionBackend(abc.ABC):
     #: Whether the backend supports runtime worker add/remove and live
     #: shard migration (the worker-pool backends; serial has no pool).
     supports_scaling = False
+
+    #: Maximum number of dispatched chunks in flight at once.  1 means the
+    #: synchronous contract (dispatch_begin completes the work eagerly);
+    #: backends whose workers genuinely run concurrently with the parent
+    #: raise it (the process backend double-buffers with depth 2).
+    pipeline_depth = 1
 
     def __init__(self, shards: int, shard_factory: ShardFactory,
                  shard_rngs: Sequence[np.random.Generator], *,
@@ -238,6 +272,33 @@ class ExecutionBackend(abc.ABC):
         output the shard of ``identifiers[i]`` produced for it, exactly as
         per-element routing would have interleaved them.
         """
+
+    @property
+    def supports_pipelining(self) -> bool:
+        """Whether begin/finish can usefully overlap with caller work."""
+        return self.pipeline_depth > 1
+
+    def dispatch_begin(self, identifiers: np.ndarray,
+                       shard_indices: np.ndarray) -> DispatchTicket:
+        """Start dispatching one chunk; return its ticket.
+
+        The default (synchronous backends) completes the dispatch eagerly
+        and returns an already-collected ticket, so callers can drive every
+        backend through begin/finish without behavioural change.  Pipelined
+        backends override this to post the chunk and return before the
+        replies arrive.
+        """
+        ticket = DispatchTicket(
+            seq=0, outputs=self.dispatch(identifiers, shard_indices))
+        ticket.collected = True
+        return ticket
+
+    def dispatch_finish(self, ticket: DispatchTicket) -> np.ndarray:
+        """Collect a ticket's merged output chunk (FIFO order)."""
+        return ticket.outputs
+
+    def drain_pipeline(self) -> None:
+        """Collect every in-flight dispatch (no-op for sync backends)."""
 
     # ------------------------------------------------------------------ #
     # Sampling
@@ -383,9 +444,17 @@ class WorkerPoolBackend(ExecutionBackend):
         self._shard_factory = shard_factory
         self._shard_rngs = list(shard_rngs)
         self._loads = [0] * self.shards
-        #: Per-worker (command, posted-at) of the request in flight, read by
-        #: the round-trip latency telemetry in :meth:`_finish_timed`.
-        self._pending_meta: Dict[int, Optional[tuple]] = {}
+        #: Per-worker FIFO of (command, posted-at) request stamps, read by
+        #: the round-trip latency telemetry in :meth:`_finish_timed`.  A
+        #: deque, not a single slot: pipelined dispatch can have two
+        #: requests outstanding on one worker.
+        self._pending_meta: Dict[int, Deque[tuple]] = {}
+        #: FIFO of in-flight dispatch tickets (oldest first).  Bounded by
+        #: :attr:`pipeline_depth`; every non-dispatch operation drains it
+        #: first so the worker-side command order matches the synchronous
+        #: execution exactly (the bit-identity invariant).
+        self._pipeline: Deque[DispatchTicket] = deque()
+        self._next_seq = 0
         #: Parent-side migration cache: last captured pickle of each shard's
         #: service.  A shard that is *clean* on its worker is guaranteed
         #: byte-equal to this cache, so a migration only ships deltas.
@@ -414,11 +483,19 @@ class WorkerPoolBackend(ExecutionBackend):
     def _after_requests(self, workers) -> None:
         """Hook run after an operation's replies are all collected."""
 
-    def _post_timed(self, worker: int, command: str, payload=None) -> None:
-        """Send one request, stamping it for round-trip telemetry."""
+    def _post_timed(self, worker: int, command: str, payload=None, *,
+                    metric: Optional[str] = None) -> None:
+        """Send one request, stamping it for round-trip telemetry.
+
+        ``metric`` overrides the command name the round-trip histogram is
+        recorded under — the shm transport posts ``batch_shm`` frames but
+        accounts them as ``batch``, so dashboards see one dispatch latency
+        series regardless of transport.
+        """
         reg = telemetry.active()
         if reg is not None:
-            self._pending_meta[worker] = (command, time.perf_counter())
+            self._pending_meta.setdefault(worker, deque()).append(
+                (metric or command, time.perf_counter()))
         self._post(worker, command, payload)
 
     def _finish_timed(self, worker: int):
@@ -429,18 +506,18 @@ class WorkerPoolBackend(ExecutionBackend):
         replies in a pipelined collect.
         """
         result = self._finish(worker)
-        meta = self._pending_meta.get(worker)
-        if meta is not None:
-            self._pending_meta[worker] = None
+        pending = self._pending_meta.get(worker)
+        if pending:
+            command, posted = pending.popleft()
             reg = telemetry.active()
             if reg is not None:
-                command, posted = meta
                 reg.histogram(
                     f"backend.{self.name}.roundtrip_seconds.{command}",
                     TIME_EDGES).observe(time.perf_counter() - posted)
         return result
 
     def _request(self, worker: int, command: str, payload=None):
+        self.drain_pipeline()
         self._post_timed(worker, command, payload)
         result = self._finish_timed(worker)
         self._after_requests([worker])
@@ -448,6 +525,7 @@ class WorkerPoolBackend(ExecutionBackend):
 
     def _broadcast(self, command: str, payload=None) -> Dict[int, object]:
         """Send one command to every worker, then collect per-shard replies."""
+        self.drain_pipeline()
         workers = self._placement.worker_ids
         for worker in workers:
             self._post_timed(worker, command, payload)
@@ -464,18 +542,44 @@ class WorkerPoolBackend(ExecutionBackend):
     # ------------------------------------------------------------------ #
     def dispatch(self, identifiers: np.ndarray,
                  shard_indices: np.ndarray) -> np.ndarray:
-        outputs = np.empty(identifiers.size, dtype=np.int64)
-        masks: Dict[int, np.ndarray] = {}
-        per_worker: Dict[int, Dict[int, np.ndarray]] = {}
+        return self.dispatch_finish(
+            self.dispatch_begin(identifiers, shard_indices))
+
+    def dispatch_begin(self, identifiers: np.ndarray,
+                       shard_indices: np.ndarray) -> DispatchTicket:
+        """Partition one chunk and post its sub-chunks to the workers.
+
+        When the pipeline is full (``pipeline_depth`` tickets in flight),
+        the oldest dispatch is collected first — that, together with the
+        transport's bounded ring slots, is the backpressure that keeps a
+        fast producer from outrunning the workers.  With an older ticket
+        still in flight, the time spent partitioning and staging here is
+        genuine parent/worker overlap, recorded as
+        ``backend.<name>.staging_overlap_seconds``.
+        """
+        while len(self._pipeline) >= self.pipeline_depth:
+            self._collect_oldest()
+        reg = telemetry.active()
+        overlapping = bool(self._pipeline)
+        staging_started = time.perf_counter() \
+            if reg is not None and overlapping else None
+        ticket = DispatchTicket(
+            seq=self._next_seq,
+            outputs=np.empty(identifiers.size, dtype=np.int64))
+        self._next_seq += 1
         for shard in range(self.shards):
             mask = shard_indices == shard
             if not mask.any():
                 continue
-            masks[shard] = mask
+            ticket.masks[shard] = mask
+            ticket.counts[shard] = int(mask.sum())
             worker = self._placement.worker_of(shard)
-            per_worker.setdefault(worker, {})[shard] = identifiers[mask]
-        involved = sorted(per_worker)
-        reg = telemetry.active()
+            ticket.per_worker.setdefault(worker, {})[shard] = \
+                identifiers[mask]
+        ticket.involved = sorted(ticket.per_worker)
+        for worker in ticket.involved:
+            self._post_batch(worker, ticket)
+        self._pipeline.append(ticket)
         if reg is not None:
             # queue depth = requests pipelined before the first collect;
             # sub-chunks = per-shard slices scattered across those workers
@@ -483,17 +587,67 @@ class WorkerPoolBackend(ExecutionBackend):
             reg.counter(f"backend.{self.name}.dispatch_elements").inc(
                 int(identifiers.size))
             reg.histogram(f"backend.{self.name}.dispatch_queue_depth",
-                          DEPTH_EDGES).observe(len(involved))
+                          DEPTH_EDGES).observe(len(ticket.involved))
             reg.histogram(f"backend.{self.name}.dispatch_subchunks",
-                          DEPTH_EDGES).observe(len(masks))
-        for worker in involved:
-            self._post_timed(worker, "batch", per_worker[worker])
-        for worker in involved:
-            for shard, shard_outputs in self._finish_timed(worker).items():
-                outputs[masks[shard]] = shard_outputs
-                self._loads[shard] += int(masks[shard].sum())
-        self._after_requests(involved)
-        return outputs
+                          DEPTH_EDGES).observe(len(ticket.masks))
+            reg.histogram(f"backend.{self.name}.pipeline_occupancy",
+                          DEPTH_EDGES).observe(len(self._pipeline))
+            if staging_started is not None:
+                reg.histogram(
+                    f"backend.{self.name}.staging_overlap_seconds",
+                    TIME_EDGES).observe(
+                        time.perf_counter() - staging_started)
+        return ticket
+
+    def dispatch_finish(self, ticket: DispatchTicket) -> np.ndarray:
+        while not ticket.collected:
+            self._collect_oldest()
+        return ticket.outputs
+
+    def drain_pipeline(self) -> None:
+        while self._pipeline:
+            self._collect_oldest()
+
+    def _collect_oldest(self) -> None:
+        """Collect, scatter and release the oldest in-flight dispatch.
+
+        Strictly FIFO — tickets complete in ``seq`` order no matter how the
+        caller interleaves begin/finish, which keeps the worker-side command
+        stream identical to synchronous execution.  On a collection failure
+        the ticket is dropped from the pipeline before the error propagates
+        (the transport has already poisoned itself; retrying the collect
+        would read stale replies).
+        """
+        ticket = self._pipeline[0]
+        try:
+            for worker in ticket.involved:
+                replies = self._collect_batch(worker, ticket)
+                for shard, shard_outputs in replies.items():
+                    ticket.outputs[ticket.masks[shard]] = shard_outputs
+                    self._loads[shard] += ticket.counts[shard]
+                self._release_batch(worker, ticket)
+        except BaseException:
+            self._pipeline.popleft()
+            ticket.collected = True
+            raise
+        self._pipeline.popleft()
+        ticket.collected = True
+        self._after_requests(ticket.involved)
+
+    # ------------------------------------------------------------------ #
+    # Dispatch transport hooks (overridden by zero-copy transports)
+    # ------------------------------------------------------------------ #
+    def _post_batch(self, worker: int, ticket: DispatchTicket) -> None:
+        """Send one worker its sub-chunks of a dispatch (pickle default)."""
+        self._post_timed(worker, "batch", ticket.per_worker[worker])
+
+    def _collect_batch(self, worker: int,
+                       ticket: DispatchTicket) -> Dict[int, np.ndarray]:
+        """Collect one worker's ``{shard: outputs}`` reply of a dispatch."""
+        return self._finish_timed(worker)
+
+    def _release_batch(self, worker: int, ticket: DispatchTicket) -> None:
+        """Free transport resources once a worker's reply is scattered."""
 
     # ------------------------------------------------------------------ #
     # Sampling
@@ -504,6 +658,7 @@ class WorkerPoolBackend(ExecutionBackend):
 
     def sample_shards_many(self, counts: Dict[int, int]
                            ) -> Dict[int, List[Optional[int]]]:
+        self.drain_pipeline()
         per_worker: Dict[int, Dict[int, int]] = {}
         for shard, count in counts.items():
             worker = self._placement.worker_of(shard)
@@ -612,6 +767,7 @@ class WorkerPoolBackend(ExecutionBackend):
         holds its current state, so the next migration ships only what
         changes from here on.
         """
+        self.drain_pipeline()
         workers = self._placement.worker_ids
         for worker in workers:
             self._post_timed(worker, "snapshot_delta", None)
@@ -627,10 +783,14 @@ class WorkerPoolBackend(ExecutionBackend):
         return [by_shard[shard] for shard in range(self.shards)]
 
     def cached_loads(self) -> List[int]:
-        # The parent-side counter (updated at dispatch, zeroed at reset) is
+        # The parent-side counter (updated at collect, zeroed at reset) is
         # provably equal to the worker-side elements_processed — a shard
         # processes exactly the elements dispatched to it — so the
         # per-sample candidate computation skips the transport round-trip.
+        # In-flight dispatches are collected first: their elements are
+        # already committed to the workers, and the sampling path's coin
+        # consumption depends on which shards count as loaded.
+        self.drain_pipeline()
         return list(self._loads)
 
     def memory_sizes(self) -> List[int]:
@@ -651,6 +811,7 @@ class WorkerPoolBackend(ExecutionBackend):
     def snapshot_shards(self) -> bytes:
         # each worker replies with the pickled map of its own shards; the
         # merged map is re-pickled so the caller gets one self-contained blob
+        self.drain_pipeline()
         workers = self._placement.worker_ids
         for worker in workers:
             self._post_timed(worker, "snapshot", None)
@@ -674,6 +835,7 @@ class WorkerPoolBackend(ExecutionBackend):
         handed out and cleared here, so a second harvest cannot re-merge a
         dead worker's counters.
         """
+        self.drain_pipeline()
         workers = self._placement.worker_ids
         for worker in workers:
             self._post_timed(worker, "telemetry", None)
@@ -695,6 +857,8 @@ def make_backend(name: str, shards: int, shard_factory: ShardFactory,
                  endpoints: Optional[Sequence[str]] = None,
                  auth_token: Optional[object] = None,
                  auth_token_file: Optional[str] = None,
+                 transport: Optional[str] = None,
+                 ring_slots: Optional[int] = None,
                  placement: Optional[ShardPlacement] = None
                  ) -> ExecutionBackend:
     """Build the execution backend registered under ``name``.
@@ -712,6 +876,11 @@ def make_backend(name: str, shards: int, shard_factory: ShardFactory,
         running ``repro worker serve`` instances) and the shared auth token
         (directly, or read from a file).  Without endpoints the socket
         backend spawns supervised localhost workers itself.
+    transport, ring_slots:
+        Process-backend chunk transport: ``"shm"`` stages sub-chunks in
+        per-worker shared-memory rings of ``ring_slots`` slots (the
+        default where shared memory is available), ``"pickle"`` keeps
+        everything in the command pipe.  Rejected for other backends.
     """
     from repro.engine.backends.process import ProcessBackend
     from repro.engine.backends.serial import SerialBackend
@@ -722,6 +891,15 @@ def make_backend(name: str, shards: int, shard_factory: ShardFactory,
             f"the {name!r} backend runs on this host and takes no "
             "endpoints/auth token; choose backend='socket' for "
             "network-transparent workers")
+    if name != "process" and (transport is not None
+                              or ring_slots is not None):
+        raise ValueError(
+            f"the {name!r} backend takes no transport/ring_slots; the "
+            "shared-memory transport is a process-backend knob")
+    if transport is not None and transport not in TRANSPORTS:
+        raise ValueError(
+            f"unknown transport {transport!r}; available: "
+            f"{', '.join(TRANSPORTS)}")
     if name == "serial":
         if workers is not None:
             raise ValueError(
@@ -732,6 +910,7 @@ def make_backend(name: str, shards: int, shard_factory: ShardFactory,
     if name == "process":
         return ProcessBackend(shards, shard_factory, shard_rngs,
                               workers=workers, worker_timeout=worker_timeout,
+                              transport=transport, ring_slots=ring_slots,
                               placement=placement)
     if name == "socket":
         from repro.engine.backends.socket import SocketBackend, load_auth_token

@@ -35,14 +35,17 @@ module-level callables such as
 from __future__ import annotations
 
 import multiprocessing
+import os
 import pickle
 import time
 import traceback
-from typing import List, Optional, Sequence
+import uuid
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.engine.backends import base as _base
+from repro.engine.backends import shm as _shm
 from repro.engine.backends.base import (
     ShardFactory,
     ShardGroup,
@@ -51,6 +54,7 @@ from repro.engine.backends.base import (
     WorkerTimeoutError,
     serve_shard_command,
 )
+from repro.engine.backends.shm import ShmRing, ShmRingView
 from repro.engine.placement import ShardPlacement
 from repro.telemetry import runtime as telemetry
 
@@ -60,17 +64,49 @@ _STARTUP_TIMEOUT = 120.0
 #: Poll interval of the reply loop (liveness checks between polls).
 _POLL_INTERVAL = 0.05
 
+#: Prefix of the backend's shared-memory ring segments.  Unlink tests (and
+#: an operator staring at ``/dev/shm``) identify leaked segments by it.
+RING_NAME_PREFIX = "repro-ring"
+
+
+def _ring_name(worker: int) -> str:
+    return f"{RING_NAME_PREFIX}-{os.getpid()}-{worker}-{uuid.uuid4().hex[:8]}"
+
+
+def _serve_batch_shm(ring: ShmRingView, services, header):
+    """Serve one zero-copy batch: views in, ordinary ingest, views out.
+
+    Delegates the actual ingestion to the regular ``batch`` interpreter so
+    dirty tracking and the worker-side batch telemetry behave identically
+    on both transports.  The reply echoes the slot and sequence number (the
+    parent verifies them against its ticket) and carries either out-region
+    entries or, when the outputs outgrow the slot, the inlined arrays.
+    """
+    views = ring.read_in(header["slot"], header["entries"], header["dtype"])
+    outputs = serve_shard_command(services, "batch", views)
+    reply = {"slot": header["slot"], "seq": header["seq"]}
+    entries = ring.try_write_out(header["slot"], outputs)
+    if entries is None:  # pragma: no cover - outputs larger than the slot
+        reply["inline"] = outputs
+    else:
+        reply["entries"] = entries
+    return reply
+
 
 def _worker_main(connection, shard_ids: List[int], shard_factory: ShardFactory,
                  shard_rngs: List[np.random.Generator],
-                 telemetry_enabled: bool = False) -> None:
+                 telemetry_enabled: bool = False,
+                 ring_spec: Optional[Tuple[str, int, int]] = None) -> None:
     """Run one worker: build the assigned shards, then serve the protocol."""
+    ring = None
     try:
         if telemetry_enabled:
             # the worker keeps its own registry (fresh, so a fork-inherited
             # parent registry is never double-counted); the parent harvests
             # it over the command channel via the "telemetry" command
             telemetry.enable_worker()
+        if ring_spec is not None:
+            ring = ShmRingView(*ring_spec)
         services = ShardGroup({shard: shard_factory(shard, rng)
                                for shard, rng in zip(shard_ids, shard_rngs)})
     except BaseException:
@@ -81,14 +117,19 @@ def _worker_main(connection, shard_ids: List[int], shard_factory: ShardFactory,
         try:
             command, payload = connection.recv()
         except (EOFError, OSError):
-            return
+            break
         if command == "close":
-            return
+            break
         try:
-            connection.send((True, serve_shard_command(services, command,
-                                                       payload)))
+            if command == "batch_shm":
+                result = _serve_batch_shm(ring, services, payload)
+            else:
+                result = serve_shard_command(services, command, payload)
+            connection.send((True, result))
         except BaseException:
             connection.send((False, traceback.format_exc()))
+    if ring is not None:
+        ring.close()
 
 
 class ProcessBackend(WorkerPoolBackend):
@@ -109,17 +150,48 @@ class ProcessBackend(WorkerPoolBackend):
         Optional per-request timeout in seconds; ``None`` (default) applies
         the generous :data:`~repro.engine.backends.base.DEFAULT_REQUEST_TIMEOUT`
         so a live-but-hung worker cannot block the parent forever.
+    transport:
+        Chunk payload transport: ``"shm"`` stages each worker's sub-chunks
+        into a per-worker shared-memory ring and sends only small headers
+        over the pipe (zero-copy; the default where shared memory is
+        available), ``"pickle"`` serialises payloads into the pipe (the
+        pre-ring behaviour, and the transparent fallback when shared
+        memory is unavailable or a payload does not fit a ring slot).
+        Results are bit-identical either way.
+    ring_slots, slot_bytes:
+        Shared-memory ring geometry per worker (``transport="shm"``).
     """
 
     name = "process"
+
+    #: Double-buffered: chunk k+1 is partitioned and staged while the
+    #: workers are still chewing on chunk k.
+    pipeline_depth = 2
 
     def __init__(self, shards: int, shard_factory: ShardFactory,
                  shard_rngs: Sequence[np.random.Generator], *,
                  workers: Optional[int] = None,
                  worker_timeout: Optional[float] = None,
+                 transport: Optional[str] = None,
+                 ring_slots: Optional[int] = None,
+                 slot_bytes: Optional[int] = None,
                  placement: Optional[ShardPlacement] = None) -> None:
         super().__init__(shards, shard_factory, shard_rngs, workers=workers,
                          worker_timeout=worker_timeout, placement=placement)
+        if transport is not None and transport not in _base.TRANSPORTS:
+            raise ValueError(
+                f"unknown transport {transport!r}; available: "
+                f"{', '.join(_base.TRANSPORTS)}")
+        if ring_slots is not None and ring_slots <= 0:
+            raise ValueError(
+                f"ring_slots must be positive, got {ring_slots}")
+        if transport in (None, "shm") and not _shm.shared_memory_available():
+            # graceful fallback: hosts without POSIX shared memory run the
+            # pickle path transparently (results are identical)
+            transport = "pickle"
+        self.transport = transport or "shm"
+        self._ring_slots = int(ring_slots or _shm.DEFAULT_RING_SLOTS)
+        self._slot_bytes = int(slot_bytes or _shm.DEFAULT_SLOT_BYTES)
         self._closed = False
         self._broken = False
         methods = multiprocessing.get_all_start_methods()
@@ -127,6 +199,7 @@ class ProcessBackend(WorkerPoolBackend):
             "fork" if "fork" in methods else "spawn")
         self._connections: List[object] = []
         self._processes: List[object] = []
+        self._rings: List[Optional[ShmRing]] = []
         for worker in self._placement.worker_ids:
             self._spawn(worker, self._placement.shards_of(worker))
         try:
@@ -134,7 +207,8 @@ class ProcessBackend(WorkerPoolBackend):
                 self._receive(worker, timeout=_STARTUP_TIMEOUT)
         except BaseException:
             # a failed startup (shard factory error, startup timeout) must
-            # not leak the sibling workers already spawned
+            # not leak the sibling workers — or ring segments — already
+            # created
             self._reap_workers()
             raise
 
@@ -143,19 +217,34 @@ class ProcessBackend(WorkerPoolBackend):
         while len(self._connections) <= worker:
             self._connections.append(None)
             self._processes.append(None)
+            self._rings.append(None)
+        ring = None
+        if self.transport == "shm":
+            try:
+                ring = ShmRing(self._ring_slots, self._slot_bytes,
+                               name=_ring_name(worker))
+            except (OSError, ValueError):  # pragma: no cover - shm exhausted
+                ring = None  # this worker degrades to the pickle path
         parent_end, child_end = self._context.Pipe(duplex=True)
         process = self._context.Process(
             target=_worker_main,
             args=(child_end, owned, self._shard_factory,
                   [self._shard_rngs[shard] for shard in owned],
-                  telemetry.is_enabled()),
+                  telemetry.is_enabled(),
+                  ring.spec() if ring is not None else None),
             daemon=True,
             name=f"repro-shard-worker-{worker}",
         )
-        process.start()
+        try:
+            process.start()
+        except BaseException:  # pragma: no cover - spawn failure
+            if ring is not None:
+                ring.destroy()
+            raise
         child_end.close()
         self._connections[worker] = parent_end
         self._processes[worker] = process
+        self._rings[worker] = ring
 
     # ------------------------------------------------------------------ #
     # Placement plane (runtime scaling)
@@ -167,8 +256,10 @@ class ProcessBackend(WorkerPoolBackend):
     def _stop_worker(self, worker: int) -> None:
         connection = self._connections[worker]
         process = self._processes[worker]
+        ring = self._rings[worker]
         self._connections[worker] = None
         self._processes[worker] = None
+        self._rings[worker] = None
         try:
             connection.send(("close", None))
         except (BrokenPipeError, OSError):
@@ -181,9 +272,18 @@ class ProcessBackend(WorkerPoolBackend):
             connection.close()
         except OSError:  # pragma: no cover - already closed
             pass
+        if ring is not None:
+            ring.destroy()
+
+    def _destroy_rings(self) -> None:
+        """Unlink every ring segment; idempotent, crash-path safe."""
+        for worker, ring in enumerate(self._rings):
+            if ring is not None:
+                self._rings[worker] = None
+                ring.destroy()
 
     def _reap_workers(self) -> None:
-        """Terminate and join every worker, then close the pipes."""
+        """Terminate and join every worker, then close pipes and rings."""
         for process in self._processes:
             if process is not None and process.is_alive():
                 process.terminate()
@@ -197,6 +297,65 @@ class ProcessBackend(WorkerPoolBackend):
                 connection.close()
             except OSError:  # pragma: no cover - already closed
                 pass
+        self._destroy_rings()
+
+    # ------------------------------------------------------------------ #
+    # Dispatch transport (shared-memory rings with pickle fallback)
+    # ------------------------------------------------------------------ #
+    def _post_batch(self, worker: int, ticket) -> None:
+        payload = ticket.per_worker[worker]
+        ring = self._rings[worker] if self.transport == "shm" else None
+        reg = telemetry.active()
+        if ring is not None:
+            staged = None
+            size = _shm.packed_size(list(payload.values()))
+            if size >= _shm.MIN_SHM_BYTES:
+                # small sub-chunks skip the ring: the pickle copy is
+                # cheaper than the staging bookkeeping below ~2 KiB
+                staged = ring.try_stage(payload)
+            if staged is not None:
+                staged["seq"] = ticket.seq
+                ticket.transport_state[worker] = staged["slot"]
+                try:
+                    self._post_timed(worker, "batch_shm", staged,
+                                     metric="batch")
+                except BaseException:
+                    ticket.transport_state.pop(worker, None)
+                    ring.release(staged["slot"])
+                    raise
+                if reg is not None:
+                    reg.counter("backend.process.shm_bytes_sent").inc(size)
+                return
+            if reg is not None:
+                reg.counter("backend.process.shm_fallbacks").inc()
+        self._post_timed(worker, "batch", payload)
+
+    def _collect_batch(self, worker: int, ticket):
+        reply = self._finish_timed(worker)
+        slot = ticket.transport_state.get(worker)
+        if slot is None:
+            return reply
+        if not isinstance(reply, dict) or reply.get("seq") != ticket.seq \
+                or reply.get("slot") != slot:
+            self._broken = True
+            raise WorkerCrashError(
+                f"worker {worker} answered a shared-memory batch with a "
+                f"mismatched header (expected slot {slot} seq {ticket.seq}, "
+                f"got {reply!r}); the protocol is desynchronised — build a "
+                "new service")
+        if "inline" in reply:  # pragma: no cover - outputs outgrew the slot
+            return reply["inline"]
+        views = self._rings[worker].read_out(slot, reply["entries"])
+        reg = telemetry.active()
+        if reg is not None:
+            reg.counter("backend.process.shm_bytes_received").inc(
+                int(sum(view.nbytes for view in views.values())))
+        return views
+
+    def _release_batch(self, worker: int, ticket) -> None:
+        slot = ticket.transport_state.pop(worker, None)
+        if slot is not None and self._rings[worker] is not None:
+            self._rings[worker].release(slot)
 
     # ------------------------------------------------------------------ #
     # Transport primitives (the WorkerPoolBackend contract)
@@ -229,6 +388,13 @@ class ProcessBackend(WorkerPoolBackend):
                 f"{command!r}): {error}") from error
 
     def _receive(self, worker: int, *, timeout: Optional[float] = None):
+        if self._broken:
+            # a pipelined collect after a failure would read the stale
+            # replies the failed operation left in the pipes
+            raise WorkerCrashError(
+                "a previous worker failure desynchronised the worker "
+                "protocol (a reply may still be in flight); build a new "
+                "service")
         connection = self._connections[worker]
         process = self._processes[worker]
         timeout = self.worker_timeout if timeout is None else timeout
@@ -288,6 +454,12 @@ class ProcessBackend(WorkerPoolBackend):
     def close(self) -> None:
         if self._closed:
             return
+        try:
+            # collect in-flight dispatches so their loads are accounted;
+            # best-effort — a crashed worker must not block the close
+            self.drain_pipeline()
+        except Exception:
+            pass
         self._closed = True
         for connection in self._connections:
             if connection is None:
@@ -306,6 +478,7 @@ class ProcessBackend(WorkerPoolBackend):
         for connection in self._connections:
             if connection is not None:
                 connection.close()
+        self._destroy_rings()
 
     def __del__(self) -> None:  # pragma: no cover - interpreter-dependent
         try:

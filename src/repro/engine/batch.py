@@ -122,7 +122,8 @@ def _resolve_feed(target: BatchTarget):
 
 def run_stream(target: BatchTarget,
                stream: Union[IdentifierStream, Sequence[int], np.ndarray], *,
-               batch_size: int = DEFAULT_BATCH_SIZE) -> BatchResult:
+               batch_size: int = DEFAULT_BATCH_SIZE,
+               pipeline: Optional[bool] = None) -> BatchResult:
     """Drive ``target`` over ``stream`` in chunks and collect the outputs.
 
     Parameters
@@ -135,10 +136,28 @@ def run_stream(target: BatchTarget,
         The finite input stream (any identifier sequence).
     batch_size:
         Chunk size; the produced output stream does not depend on it.
+    pipeline:
+        Double-buffered driving: begin chunk ``k+1`` before collecting
+        chunk ``k``, so the driver partitions and stages while the
+        target's workers are busy.  Requires a target with
+        ``begin_batch`` / ``finish_batch`` (e.g.
+        :class:`~repro.engine.sharded.ShardedSamplingService`).  The
+        default ``None`` enables it exactly when the target reports
+        ``supports_pipelining`` (backends whose workers genuinely run
+        concurrently); the produced output stream does not depend on it.
     """
     check_positive("batch_size", batch_size)
     identifiers = as_identifier_array(stream)
-    feed = _resolve_feed(target)
+    begin = getattr(target, "begin_batch", None)
+    finish = getattr(target, "finish_batch", None)
+    if pipeline is None:
+        pipeline = bool(getattr(target, "supports_pipelining", False)) \
+            and begin is not None and finish is not None
+    elif pipeline and (begin is None or finish is None):
+        raise TypeError(
+            f"{type(target).__name__} exposes no begin_batch/finish_batch; "
+            "it cannot be driven pipelined (pass pipeline=False)")
+    feed = _resolve_feed(target) if not pipeline else None
     outputs: List[np.ndarray] = []
     batches = 0
     # Telemetry (when enabled) records per-chunk service time and the
@@ -151,18 +170,42 @@ def run_stream(target: BatchTarget,
         chunks_total = reg.counter("engine.chunks")
         elements_total = reg.counter("engine.elements")
         bytes_total = reg.counter("engine.bytes")
+
+    def _account(chunk: np.ndarray, chunk_started: float) -> None:
+        chunk_seconds.observe(time.perf_counter() - chunk_started)
+        chunks_total.inc()
+        elements_total.inc(int(chunk.size))
+        bytes_total.inc(int(chunk.nbytes))
+
     started = time.perf_counter()
-    for chunk in iter_batches(identifiers, batch_size):
-        if reg is None:
-            outputs.append(feed(chunk))
-        else:
-            chunk_started = time.perf_counter()
-            outputs.append(feed(chunk))
-            chunk_seconds.observe(time.perf_counter() - chunk_started)
-            chunks_total.inc()
-            elements_total.inc(int(chunk.size))
-            bytes_total.inc(int(chunk.nbytes))
-        batches += 1
+    if pipeline:
+        # Double-buffered loop: chunk k is collected only after chunk k+1
+        # has been partitioned and posted, so the parent's staging work
+        # overlaps the workers' ingestion.  Handles complete strictly FIFO,
+        # which keeps the output stream identical to the plain loop.
+        pending = None  # (handle, chunk, started-at)
+        for chunk in iter_batches(identifiers, batch_size):
+            chunk_started = time.perf_counter() if reg is not None else 0.0
+            handle = begin(chunk)
+            if pending is not None:
+                outputs.append(finish(pending[0]))
+                if reg is not None:
+                    _account(pending[1], pending[2])
+            pending = (handle, chunk, chunk_started)
+            batches += 1
+        if pending is not None:
+            outputs.append(finish(pending[0]))
+            if reg is not None:
+                _account(pending[1], pending[2])
+    else:
+        for chunk in iter_batches(identifiers, batch_size):
+            if reg is None:
+                outputs.append(feed(chunk))
+            else:
+                chunk_started = time.perf_counter()
+                outputs.append(feed(chunk))
+                _account(chunk, chunk_started)
+            batches += 1
     elapsed = time.perf_counter() - started
     merged = (np.concatenate(outputs) if outputs
               else np.zeros(0, dtype=np.int64))

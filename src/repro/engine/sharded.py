@@ -163,6 +163,8 @@ class ShardedSamplingService:
                  endpoints: Optional[List[str]] = None,
                  auth_token: Optional[object] = None,
                  auth_token_file: Optional[str] = None,
+                 transport: Optional[str] = None,
+                 ring_slots: Optional[int] = None,
                  autoscale: Optional[object] = None) -> None:
         check_positive("shards", shards)
         self.shards = int(shards)
@@ -176,7 +178,8 @@ class ShardedSamplingService:
             backend, self.shards, shard_factory, child_rngs[:self.shards],
             workers=workers, worker_timeout=worker_timeout,
             endpoints=endpoints, auth_token=auth_token,
-            auth_token_file=auth_token_file, placement=self._placement)
+            auth_token_file=auth_token_file, transport=transport,
+            ring_slots=ring_slots, placement=self._placement)
         self._init_autoscale(autoscale)
 
     # ------------------------------------------------------------------ #
@@ -193,6 +196,8 @@ class ShardedSamplingService:
                        endpoints: Optional[List[str]] = None,
                        auth_token: Optional[object] = None,
                        auth_token_file: Optional[str] = None,
+                       transport: Optional[str] = None,
+                       ring_slots: Optional[int] = None,
                        autoscale: Optional[object] = None
                        ) -> "ShardedSamplingService":
         """Build an ensemble of knowledge-free services (Algorithm 3)."""
@@ -206,6 +211,7 @@ class ShardedSamplingService:
                    backend=backend, workers=workers,
                    worker_timeout=worker_timeout, endpoints=endpoints,
                    auth_token=auth_token, auth_token_file=auth_token_file,
+                   transport=transport, ring_slots=ring_slots,
                    autoscale=autoscale)
 
     # ------------------------------------------------------------------ #
@@ -246,6 +252,8 @@ class ShardedSamplingService:
                 endpoints: Optional[List[str]] = None,
                 auth_token: Optional[object] = None,
                 auth_token_file: Optional[str] = None,
+                transport: Optional[str] = None,
+                ring_slots: Optional[int] = None,
                 autoscale: Optional[object] = None
                 ) -> "ShardedSamplingService":
         """Rebuild an ensemble from a :meth:`snapshot` blob.
@@ -280,7 +288,8 @@ class ShardedSamplingService:
             RestoredShardFactory(state["services_blob"]),
             placeholder_rngs, workers=workers, worker_timeout=worker_timeout,
             endpoints=endpoints, auth_token=auth_token,
-            auth_token_file=auth_token_file, placement=service._placement)
+            auth_token_file=auth_token_file, transport=transport,
+            ring_slots=ring_slots, placement=service._placement)
         service._backend.seed_loads(state["loads"])
         service._init_autoscale(autoscale)
         return service
@@ -399,6 +408,48 @@ class ShardedSamplingService:
             # between batches and never consume a coin, so they are
             # invisible in the sampled outputs per seed
             self._autoscaler.after_batch(self._backend, int(ids.size))
+        return outputs
+
+    @property
+    def supports_pipelining(self) -> bool:
+        """Whether :meth:`begin_batch` genuinely overlaps with caller work.
+
+        True for backends whose workers run concurrently with the caller
+        (the process backend double-buffers); the batch engine consults
+        this to pick the pipelined driving loop automatically.
+        """
+        return self._backend.supports_pipelining
+
+    def begin_batch(self, identifiers):
+        """Start ingesting one chunk; finish it with :meth:`finish_batch`.
+
+        The pipelined half of :meth:`on_receive_batch`: the chunk is
+        hash-partitioned and posted to the workers, and the caller gets a
+        handle back while they are still processing — so it can partition
+        and stage the next chunk in the meantime.  Handles must be finished
+        in begin order (the backend collects strictly FIFO), and outputs
+        are bit-identical to the synchronous path per seed: partitioning
+        consumes no coins, and every inspection or sampling operation
+        drains the pipeline before touching a worker.
+        """
+        ids = np.atleast_1d(np.asarray(identifiers, dtype=np.int64))
+        if ids.size == 0:
+            return (None, 0)
+        shard_indices = self._partition_hash.hash_many(ids)
+        return (self._backend.dispatch_begin(ids, shard_indices),
+                int(ids.size))
+
+    def finish_batch(self, handle) -> np.ndarray:
+        """Collect the merged output chunk of a :meth:`begin_batch` handle."""
+        ticket, size = handle
+        if ticket is None:
+            return np.zeros(0, dtype=np.int64)
+        outputs = self._backend.dispatch_finish(ticket)
+        if self._autoscaler is not None:
+            # the autoscaler sees exactly the loads a synchronous dispatch
+            # of this chunk would have produced: collection is FIFO, so
+            # every chunk up to and including this one is accounted
+            self._autoscaler.after_batch(self._backend, size)
         return outputs
 
     def sample(self) -> Optional[int]:
