@@ -3,9 +3,22 @@
 * :mod:`repro.adversary.attacks` — targeted, flooding and peak attacks plus
   Sybil identifier generation;
 * :mod:`repro.adversary.adversary` — the strong-adversary controller that
-  composes attacks and biases a correct node's input stream.
+  composes attacks and biases a correct node's input stream up front;
+* :mod:`repro.adversary.view` — the read-only sampler observations the
+  strong adversary is allowed (memory, loads; never the coins);
+* :mod:`repro.adversary.adaptive` — feedback-driven attacks scheduled
+  chunk by chunk against the observed sampler state.
 """
 
+from repro.adversary.adaptive import (
+    AdaptiveAdversary,
+    AdaptiveAttack,
+    AdaptiveStreamSource,
+    BudgetLedger,
+    BurstSybilAttack,
+    EclipseAttack,
+    MemoryFloodAttack,
+)
 from repro.adversary.adversary import (
     Adversary,
     make_combined_adversary,
@@ -20,6 +33,7 @@ from repro.adversary.attacks import (
     SybilIdentifierFactory,
     TargetedAttack,
 )
+from repro.adversary.view import SamplerView
 
 __all__ = [
     "Adversary",
@@ -28,6 +42,14 @@ __all__ = [
     "FloodingAttack",
     "PeakAttack",
     "SybilIdentifierFactory",
+    "SamplerView",
+    "BudgetLedger",
+    "AdaptiveAttack",
+    "AdaptiveAdversary",
+    "AdaptiveStreamSource",
+    "MemoryFloodAttack",
+    "EclipseAttack",
+    "BurstSybilAttack",
     "make_peak_adversary",
     "make_targeted_adversary",
     "make_flooding_adversary",

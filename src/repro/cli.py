@@ -421,6 +421,99 @@ def _cmd_loadgen(arguments: argparse.Namespace) -> None:
         print(f"drained: {json.dumps(report['drain'], sort_keys=True)}")
 
 
+def _cmd_fuzz(arguments: argparse.Namespace) -> None:
+    """Differential fuzzing: random specs on several backends, compared."""
+    import os
+
+    from repro.fuzz import (
+        DEFAULT_VARIANTS,
+        VARIANTS,
+        corpus_entry,
+        generate_specs,
+        replay_corpus_entry,
+        run_differential,
+    )
+
+    if arguments.backends is None:
+        variants = DEFAULT_VARIANTS
+    else:
+        variants = tuple(entry.strip()
+                         for entry in arguments.backends.split(",")
+                         if entry.strip())
+        unknown = [name for name in variants if name not in VARIANTS]
+        if unknown:
+            raise SystemExit(
+                f"repro fuzz: unknown backend variant(s) "
+                f"{', '.join(unknown)}; "
+                f"expected any of {', '.join(sorted(VARIANTS))}")
+
+    def progress(index: int, spec) -> None:
+        print(f"[{index + 1}] {spec.name}", file=sys.stderr)
+
+    reporter = progress if not arguments.json else None
+    if arguments.replay:
+        reports = []
+        for path in arguments.replay:
+            with open(path, "r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+            if reporter is not None:
+                print(f"replaying {path}", file=sys.stderr)
+            reports.append((path, replay_corpus_entry(entry)))
+        divergences = [(path, d) for path, report in reports
+                       for d in report.divergences]
+        if arguments.json:
+            print(json.dumps({
+                "replayed": [path for path, _ in reports],
+                "divergences": [
+                    {"corpus": path, "spec": d.spec.name, "reason": d.reason}
+                    for path, d in divergences],
+            }, indent=2, sort_keys=True))
+        else:
+            for path, d in divergences:
+                print(f"DIVERGENCE in {path}: {d.reason}")
+            print(f"replayed {len(reports)} corpus entr"
+                  f"{'y' if len(reports) == 1 else 'ies'}: "
+                  f"{len(divergences)} divergence(s)")
+        if divergences:
+            raise SystemExit(1)
+        return
+
+    specs = generate_specs(arguments.specs, arguments.seed)
+    report = run_differential(specs, variants=variants, progress=reporter)
+    written = []
+    if report.divergences:
+        os.makedirs(arguments.corpus_dir, exist_ok=True)
+        found_by = (f"repro fuzz --specs {arguments.specs} "
+                    f"--seed {arguments.seed}")
+        for d in report.divergences:
+            path = os.path.join(arguments.corpus_dir,
+                                f"{d.spec.name}_{d.diverged}.json")
+            with open(path, "w", encoding="utf-8") as handle:
+                json.dump(corpus_entry(d, found_by=found_by), handle,
+                          indent=2, sort_keys=True)
+                handle.write("\n")
+            written.append(path)
+    if arguments.json:
+        print(json.dumps({
+            "checked": report.checked,
+            "variants": list(report.variants),
+            "ok": report.ok,
+            "divergences": [{"spec": d.spec.name, "reason": d.reason}
+                            for d in report.divergences],
+            "corpus_written": written,
+        }, indent=2, sort_keys=True))
+    else:
+        for d in report.divergences:
+            print(f"DIVERGENCE: {d.spec.name}: {d.reason}")
+        for path in written:
+            print(f"divergent spec written to {path}", file=sys.stderr)
+        print(f"checked {report.checked} spec(s) across "
+              f"{', '.join(report.variants)}: "
+              f"{'all identical' if report.ok else str(len(report.divergences)) + ' divergence(s)'}")
+    if not report.ok:
+        raise SystemExit(1)
+
+
 def _print_series(series, x_label: str) -> None:
     print(format_series(series, x_label=x_label))
 
@@ -831,6 +924,29 @@ def build_parser() -> argparse.ArgumentParser:
                               "BENCH_JSON_DIR set)")
     loadgen.set_defaults(handler=_cmd_loadgen)
 
+    fuzz = subparsers.add_parser(
+        "fuzz",
+        help="differential fuzzing: run random scenario specs on several "
+             "backends and fail on any output divergence")
+    fuzz.add_argument("--specs", type=int, default=20,
+                      help="number of random specs to generate and check")
+    fuzz.add_argument("--seed", type=int, default=0,
+                      help="seed of the spec generator (same --specs/--seed "
+                           "always reproduces the same sweep)")
+    fuzz.add_argument("--backends", default=None,
+                      help="comma-separated backend variants to compare "
+                           "(default serial,process,socket; also "
+                           "process-pickle)")
+    fuzz.add_argument("--replay", nargs="+", default=None, metavar="ENTRY",
+                      help="replay corpus entry JSON files instead of "
+                           "generating specs (see tests/fuzz_corpus/)")
+    fuzz.add_argument("--corpus-dir", default="tests/fuzz_corpus",
+                      help="directory where divergent specs are written in "
+                           "corpus format")
+    fuzz.add_argument("--json", action="store_true",
+                      help="print the report as JSON")
+    fuzz.set_defaults(handler=_cmd_fuzz)
+
     return parser
 
 
@@ -850,7 +966,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                      "figure4", "figure5", "figure6", "figure7 a|b",
                      "figure8", "figure9", "figure10 a|b", "figure11",
                      "figure12", "throughput", "worker serve", "serve",
-                     "loadgen"):
+                     "loadgen", "fuzz"):
             print(name)
         return 0
     arguments.handler(arguments)

@@ -107,6 +107,15 @@ def iter_batches(identifiers: np.ndarray,
         yield identifiers[start:start + batch_size]
 
 
+def _iter_source_chunks(source) -> Iterator[np.ndarray]:
+    """Pull chunks from a :class:`~repro.streams.source.StreamSource`."""
+    while True:
+        chunk = source.next_chunk()
+        if chunk is None:
+            return
+        yield np.ascontiguousarray(np.asarray(chunk), dtype=np.int64)
+
+
 def _resolve_feed(target: BatchTarget):
     """Return the chunk-feeding callable of a strategy or service."""
     feed = getattr(target, "process_batch", None)
@@ -133,9 +142,16 @@ def run_stream(target: BatchTarget,
         :class:`~repro.core.service.NodeSamplingService`, or any object with
         a compatible ``process_batch`` / ``on_receive_batch`` method.
     stream:
-        The finite input stream (any identifier sequence).
+        The finite input stream (any identifier sequence), or a
+        :class:`~repro.streams.source.StreamSource` read one chunk at a
+        time.  A source is bound to a read-only
+        :class:`~repro.adversary.view.SamplerView` of the target before
+        the first pull, which is how adaptive adversaries observe the
+        sampler between chunks (observations only, never its coins).
     batch_size:
         Chunk size; the produced output stream does not depend on it.
+        Sources define their own chunk boundaries, so ``batch_size`` is
+        ignored for them.
     pipeline:
         Double-buffered driving: begin chunk ``k+1`` before collecting
         chunk ``k``, so the driver partitions and stages while the
@@ -147,7 +163,18 @@ def run_stream(target: BatchTarget,
         concurrently); the produced output stream does not depend on it.
     """
     check_positive("batch_size", batch_size)
-    identifiers = as_identifier_array(stream)
+    if hasattr(stream, "next_chunk"):
+        # Incremental source: it defines its own chunk boundaries and may
+        # observe the target between chunks through a read-only view.
+        from repro.adversary.view import SamplerView
+
+        binder = getattr(stream, "bind_sampler", None)
+        if binder is not None:
+            binder(SamplerView(target))
+        chunks = _iter_source_chunks(stream)
+    else:
+        identifiers = as_identifier_array(stream)
+        chunks = iter_batches(identifiers, batch_size)
     begin = getattr(target, "begin_batch", None)
     finish = getattr(target, "finish_batch", None)
     if pipeline is None:
@@ -178,13 +205,18 @@ def run_stream(target: BatchTarget,
         bytes_total.inc(int(chunk.nbytes))
 
     started = time.perf_counter()
+    elements = 0
     if pipeline:
         # Double-buffered loop: chunk k is collected only after chunk k+1
         # has been partitioned and posted, so the parent's staging work
         # overlaps the workers' ingestion.  Handles complete strictly FIFO,
-        # which keeps the output stream identical to the plain loop.
+        # which keeps the output stream identical to the plain loop.  A
+        # source pulled here observes the target between begin(k) and
+        # finish(k); its view reads drain the pipeline first, so it sees
+        # exactly the post-chunk-k state — the same state the plain loop
+        # exposes.
         pending = None  # (handle, chunk, started-at)
-        for chunk in iter_batches(identifiers, batch_size):
+        for chunk in chunks:
             chunk_started = time.perf_counter() if reg is not None else 0.0
             handle = begin(chunk)
             if pending is not None:
@@ -193,12 +225,13 @@ def run_stream(target: BatchTarget,
                     _account(pending[1], pending[2])
             pending = (handle, chunk, chunk_started)
             batches += 1
+            elements += int(chunk.size)
         if pending is not None:
             outputs.append(finish(pending[0]))
             if reg is not None:
                 _account(pending[1], pending[2])
     else:
-        for chunk in iter_batches(identifiers, batch_size):
+        for chunk in chunks:
             if reg is None:
                 outputs.append(feed(chunk))
             else:
@@ -206,12 +239,13 @@ def run_stream(target: BatchTarget,
                 outputs.append(feed(chunk))
                 _account(chunk, chunk_started)
             batches += 1
+            elements += int(chunk.size)
     elapsed = time.perf_counter() - started
     merged = (np.concatenate(outputs) if outputs
               else np.zeros(0, dtype=np.int64))
     return BatchResult(
         outputs=merged,
-        elements=int(identifiers.size),
+        elements=elements,
         batches=batches,
         batch_size=int(batch_size),
         elapsed_seconds=elapsed,

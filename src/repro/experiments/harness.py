@@ -19,6 +19,7 @@ from repro.core.base import SamplingStrategy
 from repro.core.knowledge_free import KnowledgeFreeStrategy
 from repro.core.omniscient import OmniscientStrategy
 from repro.engine.batch import DEFAULT_BATCH_SIZE, run_stream
+from repro.streams.source import MaterializedStreamSource
 from repro.metrics.divergence import kl_divergence_to_uniform, kl_gain
 from repro.streams.oracle import StreamOracle
 from repro.streams.stream import IdentifierStream
@@ -41,6 +42,13 @@ StrategyFactory = Callable[[IdentifierStream, np.random.Generator], SamplingStra
 #: absent.
 MetricsView = Callable[[IdentifierStream, IdentifierStream],
                        "tuple[IdentifierStream, IdentifierStream]"]
+
+#: An adversary factory takes the trial's legitimate stream and a dedicated
+#: spawned generator and returns a fresh
+#: :class:`~repro.adversary.adaptive.AdaptiveAdversary` — one per
+#: (trial, strategy) run, since adaptivity makes the biased stream depend on
+#: the driven sampler.
+AdversaryFactory = Callable[[IdentifierStream, np.random.Generator], object]
 
 
 @dataclass
@@ -161,6 +169,14 @@ class ExperimentHarness:
         input stream; the view only narrows what is measured — churn
         scenarios use it to report uniformity over the post-``T0`` suffix
         and the stable population only.
+    adversary_factory:
+        Optional adaptive-adversary factory.  When set, each strategy of a
+        trial is driven over an incrementally biased stream: the
+        legitimate stream is read chunk by chunk and, between chunks, the
+        adversary observes the running sampler through a read-only view
+        and interleaves its scheduled insertions.  The biased stream then
+        becomes that strategy's metric input (adaptivity makes the inputs
+        per-strategy).  Requires the batch driver.
     """
 
     def __init__(self, stream_factory: StreamFactory,
@@ -168,17 +184,23 @@ class ExperimentHarness:
                  trials: int = 10,
                  random_state: RandomState = None,
                  batch_size: Optional[int] = DEFAULT_BATCH_SIZE,
-                 metrics_view: Optional[MetricsView] = None) -> None:
+                 metrics_view: Optional[MetricsView] = None,
+                 adversary_factory: Optional[AdversaryFactory] = None) -> None:
         check_positive("trials", trials)
         if not strategy_factories:
             raise ValueError("at least one strategy factory is required")
         if batch_size is not None:
             check_positive("batch_size", batch_size)
+        if adversary_factory is not None and batch_size is None:
+            raise ValueError(
+                "an adaptive adversary schedules insertions between chunks; "
+                "it requires the batch driver (set batch_size)")
         self.stream_factory = stream_factory
         self.strategy_factories = dict(strategy_factories)
         self.trials = int(trials)
         self.batch_size = batch_size
         self.metrics_view = metrics_view
+        self.adversary_factory = adversary_factory
         self._rng = ensure_rng(random_state)
 
     @classmethod
@@ -207,6 +229,26 @@ class ExperimentHarness:
         return result.output_stream(
             stream, label=f"{label}({stream.label})")
 
+    def _drive_adaptive(self, strategy: SamplingStrategy,
+                        stream: IdentifierStream,
+                        adversary_rng: np.random.Generator):
+        """Drive one strategy under the adaptive adversary.
+
+        Returns the (biased input, output) stream pair: the legitimate
+        stream is pulled chunk-wise through the adversary's source, which
+        observes the running strategy between chunks and interleaves its
+        insertions.
+        """
+        adversary = self.adversary_factory(stream, adversary_rng)
+        source = adversary.source(
+            MaterializedStreamSource(stream, chunk_size=self.batch_size))
+        result = run_stream(strategy, source, batch_size=self.batch_size)
+        biased = source.materialized()
+        label = getattr(strategy, "name", type(strategy).__name__)
+        output = result.output_stream(
+            biased, label=f"{label}({biased.label})")
+        return biased, output
+
     def run(self) -> ExperimentResult:
         """Run all trials and return the collected results."""
         result = ExperimentResult()
@@ -225,9 +267,12 @@ class ExperimentHarness:
         for trial_index, trial_rng in enumerate(trial_rngs):
             trial_started = time.perf_counter()
             stream = self.stream_factory(trial_rng)
-            if self.metrics_view is None:
+            adaptive = self.adversary_factory is not None
+            if self.metrics_view is None and not adaptive:
                 # the input-side metrics are shared by every strategy of the
-                # trial; with a view they depend on the (input, output) pair
+                # trial; with a view they depend on the (input, output)
+                # pair, and under an adaptive adversary each strategy faces
+                # its own biased input
                 shared_support = stream.universe
                 shared_input_divergence = kl_divergence_to_uniform(
                     stream, support=shared_support)
@@ -236,7 +281,18 @@ class ExperimentHarness:
                 strategy = factory(stream, trial_rng)
                 drive_started = time.perf_counter()
                 try:
-                    output = self._drive(strategy, stream)
+                    if adaptive:
+                        # The adversary's coins are its own spawned child
+                        # generator — separate from the sampler's, as the
+                        # paper's model requires.  Spawning advances the
+                        # trial generator's spawn key only, never its bit
+                        # stream, so the sampler's coins are untouched.
+                        adversary_rng = spawn_children(trial_rng, 1)[0]
+                        input_stream, output = self._drive_adaptive(
+                            strategy, stream, adversary_rng)
+                    else:
+                        input_stream = stream
+                        output = self._drive(strategy, stream)
                 finally:
                     # process-backed sharded services hold worker processes;
                     # release them as soon as the trial's outputs are read
@@ -247,13 +303,19 @@ class ExperimentHarness:
                     drive_seconds.observe(time.perf_counter() - drive_started)
                     drives_total.inc()
                 if self.metrics_view is None:
-                    metric_input, metric_output = stream, output
-                    support = shared_support
-                    input_divergence = shared_input_divergence
-                    input_max_frequency = shared_input_max_frequency
+                    metric_input, metric_output = input_stream, output
+                    if adaptive:
+                        support = input_stream.universe
+                        input_divergence = kl_divergence_to_uniform(
+                            input_stream, support=support)
+                        input_max_frequency = input_stream.max_frequency()
+                    else:
+                        support = shared_support
+                        input_divergence = shared_input_divergence
+                        input_max_frequency = shared_input_max_frequency
                 else:
-                    metric_input, metric_output = self.metrics_view(stream,
-                                                                    output)
+                    metric_input, metric_output = self.metrics_view(
+                        input_stream, output)
                     support = metric_input.universe
                     input_divergence = kl_divergence_to_uniform(
                         metric_input, support=support,
@@ -280,7 +342,7 @@ class ExperimentHarness:
                     gain=gain,
                     input_max_frequency=input_max_frequency,
                     output_max_frequency=metric_output.max_frequency(),
-                    stream_size=stream.size,
+                    stream_size=input_stream.size,
                 ))
             if reg is not None:
                 trial_seconds.observe(time.perf_counter() - trial_started)

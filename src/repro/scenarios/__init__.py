@@ -30,6 +30,7 @@ True
 """
 
 from repro.scenarios.registry import (
+    ADAPTIVE_ADVERSARIES,
     ADVERSARIES,
     SKETCHES,
     STRATEGIES,
@@ -37,12 +38,14 @@ from repro.scenarios.registry import (
     ComponentRegistry,
     ScenarioError,
     UnknownComponentError,
+    register_adaptive_adversary,
     register_adversary,
     register_sketch,
     register_strategy,
     register_stream,
 )
 from repro.scenarios.spec import (
+    AdaptiveAdversarySpec,
     ChurnSpec,
     ComponentSpec,
     EngineSpec,
@@ -72,6 +75,7 @@ def available_components() -> dict:
         "streams": STREAMS.keys(),
         "sketches": SKETCHES.keys(),
         "adversaries": ADVERSARIES.keys(),
+        "adaptive_adversaries": ADAPTIVE_ADVERSARIES.keys(),
     }
 
 
@@ -83,10 +87,12 @@ __all__ = [
     "STREAMS",
     "SKETCHES",
     "ADVERSARIES",
+    "ADAPTIVE_ADVERSARIES",
     "register_strategy",
     "register_stream",
     "register_sketch",
     "register_adversary",
+    "register_adaptive_adversary",
     "ComponentSpec",
     "StrategySpec",
     "NetworkSpec",
@@ -94,6 +100,7 @@ __all__ = [
     "SweepSpec",
     "EngineSpec",
     "MetricsSpec",
+    "AdaptiveAdversarySpec",
     "ScenarioSpec",
     "ScenarioResult",
     "SweepResult",

@@ -181,11 +181,12 @@ class ComponentRegistry:
                 f"keys={self.keys()})")
 
 
-#: The four global registries backing the scenario API.
+#: The five global registries backing the scenario API.
 STRATEGIES = ComponentRegistry("strategy")
 STREAMS = ComponentRegistry("stream")
 SKETCHES = ComponentRegistry("sketch")
 ADVERSARIES = ComponentRegistry("adversary")
+ADAPTIVE_ADVERSARIES = ComponentRegistry("adaptive adversary")
 
 
 def register_strategy(key: str, builder: Optional[Callable] = None):
@@ -227,3 +228,17 @@ def register_adversary(key: str, builder: Optional[Callable] = None):
     must return an :class:`~repro.adversary.adversary.Adversary`.
     """
     return ADVERSARIES.register(key, builder)
+
+
+def register_adaptive_adversary(key: str,
+                                builder: Optional[Callable] = None):
+    """Register an adaptive-attack builder under ``key`` (decorator-friendly).
+
+    The builder is called with the spec's ``params`` plus any of the
+    context keywords it declares — ``correct_identifiers`` (the universe of
+    the legitimate stream) and ``random_state`` — and must return an
+    :class:`~repro.adversary.adaptive.AdaptiveAttack`.  Attacks are
+    composed into one :class:`~repro.adversary.adaptive.AdaptiveAdversary`
+    by the scenario runner.
+    """
+    return ADAPTIVE_ADVERSARIES.register(key, builder)

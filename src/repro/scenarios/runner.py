@@ -246,7 +246,9 @@ class ScenarioRunner:
                  strategies: Optional[ComponentRegistry] = None,
                  streams: Optional[ComponentRegistry] = None,
                  sketches: Optional[ComponentRegistry] = None,
-                 adversaries: Optional[ComponentRegistry] = None) -> None:
+                 adversaries: Optional[ComponentRegistry] = None,
+                 adaptive_adversaries: Optional[ComponentRegistry] = None
+                 ) -> None:
         if isinstance(spec, str):
             spec = ScenarioSpec.from_json(spec)
         elif isinstance(spec, dict):
@@ -260,6 +262,8 @@ class ScenarioRunner:
         self._streams = streams or registries.STREAMS
         self._sketches = sketches or registries.SKETCHES
         self._adversaries = adversaries or registries.ADVERSARIES
+        self._adaptive_adversaries = (adaptive_adversaries
+                                      or registries.ADAPTIVE_ADVERSARIES)
 
     # ------------------------------------------------------------------ #
     # Compilation
@@ -286,6 +290,18 @@ class ScenarioRunner:
         if spec.adversary is not None:
             self._adversaries.check_params(spec.adversary.kind,
                                            spec.adversary.params)
+        if spec.adaptive_adversary is not None:
+            for attack in spec.adaptive_adversary.attacks:
+                self._adaptive_adversaries.check_params(attack.kind,
+                                                        attack.params)
+            for strategy in spec.strategies:
+                if self._strategies.accepts(strategy.kind, "stream"):
+                    raise ScenarioError(
+                        f"strategy {strategy.kind!r} needs the full input "
+                        "stream up front (it declares a 'stream' context "
+                        "parameter); an adaptive adversary generates the "
+                        "stream incrementally, so such strategies cannot "
+                        f"run in scenario {spec.name!r}")
         for strategy in spec.strategies:
             self._strategies.check_params(strategy.kind, strategy.params)
             if strategy.sketch is not None:
@@ -340,6 +356,34 @@ class ScenarioRunner:
                     correct_identifiers=stream.universe, random_state=rng)
                 stream = adversary.bias(stream)
             return stream
+
+        return factory
+
+    def adaptive_adversary_factory(self):
+        """Return the harness adversary factory, or ``None`` without one.
+
+        The factory builds one fresh :class:`AdaptiveAdversary` per
+        (trial, strategy) run — adaptivity makes the biased stream depend
+        on the driven sampler, so each strategy faces its own adversary
+        instance — from the trial's legitimate stream (for Sybil-factory
+        collision avoidance) and a dedicated spawned generator.
+        """
+        section = self.spec.adaptive_adversary
+        if section is None:
+            return None
+        attacks = list(section.attacks)
+        observe_every = section.observe_every
+        registry = self._adaptive_adversaries
+
+        def factory(stream: IdentifierStream, rng: np.random.Generator):
+            from repro.adversary.adaptive import AdaptiveAdversary
+
+            built = [registry.build(attack.kind, attack.params,
+                                    correct_identifiers=stream.universe,
+                                    random_state=rng)
+                     for attack in attacks]
+            return AdaptiveAdversary(built, random_state=rng,
+                                     observe_every=observe_every)
 
         return factory
 
@@ -457,6 +501,7 @@ class ScenarioRunner:
             random_state=(spec.seed if random_state is None else random_state),
             batch_size=batch_size,
             metrics_view=metrics_view,
+            adversary_factory=self.adaptive_adversary_factory(),
         )
 
     def system_config(self) -> SystemConfig:
@@ -572,6 +617,7 @@ class ScenarioRunner:
                 streams=self._streams,
                 sketches=self._sketches,
                 adversaries=self._adversaries,
+                adaptive_adversaries=self._adaptive_adversaries,
             )
             if runner.spec.mode == "network":
                 result = runner._run_network(random_state=master)

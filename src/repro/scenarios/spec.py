@@ -451,6 +451,58 @@ class ChurnSpec:
 
 
 @dataclass
+class AdaptiveAdversarySpec:
+    """Feedback-driven adversary section (the strong model of Section III-B).
+
+    Unlike the static ``adversary`` section — whose malicious stream is
+    generated before ingestion begins — the attacks named here are
+    consulted *between chunks*: each may query a read-only view of the
+    running sampler (memory contents, loads; never its coins) and schedule
+    its next insertions accordingly.  Mutually exclusive with the static
+    ``adversary`` and ``churn`` sections, and requires the batch driver
+    (the feedback loop is chunk-granular).
+
+    Attributes
+    ----------
+    attacks:
+        Registry-resolved adaptive attacks
+        (:data:`~repro.scenarios.registry.ADAPTIVE_ADVERSARIES` keys).
+    observe_every:
+        Consult the attacks every this many chunks (1 = every chunk).
+    """
+
+    attacks: List[ComponentSpec] = field(default_factory=list)
+    observe_every: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.attacks:
+            raise ScenarioError(
+                "adaptive_adversary.attacks must name at least one attack")
+        check_positive("adaptive_adversary.observe_every", self.observe_every)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Return the JSON-serializable form of the section."""
+        return {"attacks": [attack.to_dict() for attack in self.attacks],
+                "observe_every": self.observe_every}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "AdaptiveAdversarySpec":
+        """Rebuild an adaptive-adversary section from its dict form."""
+        data = _require_mapping("adaptive_adversary", data)
+        _check_known_keys("adaptive_adversary", data,
+                          ["attacks", "observe_every"])
+        attacks = data.get("attacks")
+        if not isinstance(attacks, list):
+            raise ScenarioError(
+                "adaptive_adversary.attacks must be a list of components")
+        return cls(
+            attacks=[ComponentSpec.from_dict(entry, "adaptive attack")
+                     for entry in attacks],
+            observe_every=int(data.get("observe_every", 1)),
+        )
+
+
+@dataclass
 class MetricsSpec:
     """Which metric groups the scenario report includes."""
 
@@ -513,6 +565,7 @@ class ScenarioSpec:
     stream: Optional[ComponentSpec] = None
     strategies: List[StrategySpec] = field(default_factory=list)
     adversary: Optional[ComponentSpec] = None
+    adaptive_adversary: Optional[AdaptiveAdversarySpec] = None
     network: Optional[NetworkSpec] = None
     churn: Optional[ChurnSpec] = None
     sweep: Optional[SweepSpec] = None
@@ -543,6 +596,25 @@ class ScenarioSpec:
                     f"scenario {self.name!r} combines churn and adversary "
                     "sections; an adversary would rewrite the stream and "
                     "invalidate its pre-/post-T0 split")
+            if self.adaptive_adversary is not None:
+                if self.adversary is not None:
+                    raise ScenarioError(
+                        f"scenario {self.name!r} has both adversary and "
+                        "adaptive_adversary sections; the adaptive adversary "
+                        "schedules every malicious insertion itself, so "
+                        "declare only one")
+                if self.churn is not None:
+                    raise ScenarioError(
+                        f"scenario {self.name!r} combines churn and "
+                        "adaptive_adversary sections; an adversary would "
+                        "rewrite the stream and invalidate its pre-/post-T0 "
+                        "split (use a churn-model *stream* component such as "
+                        "'flash_crowd' instead)")
+                if self.engine.driver != "batch":
+                    raise ScenarioError(
+                        f"scenario {self.name!r} has an adaptive_adversary "
+                        "section; the feedback loop is chunk-granular, so "
+                        "the engine driver must be 'batch'")
             if not self.strategies:
                 raise ScenarioError(
                     f"scenario {self.name!r} needs at least one strategy")
@@ -552,7 +624,8 @@ class ScenarioSpec:
                     f"scenario {self.name!r} has duplicate strategy labels; "
                     "set distinct 'label' fields")
         else:
-            if self.stream is not None or self.adversary is not None:
+            if (self.stream is not None or self.adversary is not None
+                    or self.adaptive_adversary is not None):
                 raise ScenarioError(
                     f"scenario {self.name!r} is a network scenario; the "
                     "dissemination protocol generates the streams, so "
@@ -601,6 +674,8 @@ class ScenarioSpec:
                                   for strategy in self.strategies]
             if self.adversary is not None:
                 data["adversary"] = self.adversary.to_dict()
+            if self.adaptive_adversary is not None:
+                data["adaptive_adversary"] = self.adaptive_adversary.to_dict()
         if self.churn is not None:
             data["churn"] = self.churn.to_dict()
         if self.sweep is not None:
@@ -613,12 +688,13 @@ class ScenarioSpec:
         data = _require_mapping("scenario", data)
         _check_known_keys("scenario", data,
                           ["name", "seed", "trials", "stream", "strategies",
-                           "adversary", "network", "churn", "sweep",
-                           "engine", "metrics"])
+                           "adversary", "adaptive_adversary", "network",
+                           "churn", "sweep", "engine", "metrics"])
         if "name" not in data:
             raise ScenarioError("scenario requires a 'name' key")
         stream = data.get("stream")
         adversary = data.get("adversary")
+        adaptive_adversary = data.get("adaptive_adversary")
         network = data.get("network")
         churn = data.get("churn")
         sweep = data.get("sweep")
@@ -634,6 +710,9 @@ class ScenarioSpec:
             strategies=[StrategySpec.from_dict(entry) for entry in strategies],
             adversary=(ComponentSpec.from_dict(adversary, "adversary")
                        if adversary is not None else None),
+            adaptive_adversary=(
+                AdaptiveAdversarySpec.from_dict(adaptive_adversary)
+                if adaptive_adversary is not None else None),
             network=(NetworkSpec.from_dict(network)
                      if network is not None else None),
             churn=(ChurnSpec.from_dict(churn)

@@ -29,6 +29,10 @@ from repro.streams.churn import (
     ParetoChurnModel,
 )
 from repro.streams.oracle import StreamOracle
+from repro.streams.source import (
+    MaterializedStreamSource,
+    StreamSource,
+)
 from repro.streams.stream import (
     IdentifierStream,
     merge_streams,
@@ -49,6 +53,8 @@ __all__ = [
     "IdentifierStream",
     "merge_streams",
     "stream_from_frequencies",
+    "StreamSource",
+    "MaterializedStreamSource",
     "StreamOracle",
     "ChurnModel",
     "ChurnTrace",
